@@ -1,0 +1,80 @@
+//===- bench/BenchCommon.h - Shared figure-harness helpers ------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the figure-reproduction harnesses: running one model
+/// through one optimization configuration, and rendering the paper's
+/// speedup histograms as ASCII.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_BENCH_BENCHCOMMON_H
+#define PYPM_BENCH_BENCHCOMMON_H
+
+#include "models/Zoo.h"
+#include "opt/StdPatterns.h"
+#include "rewrite/RewriteEngine.h"
+#include "sim/CostModel.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pypm::bench {
+
+struct ConfigResult {
+  double Seconds = 0;       ///< simulated per-iteration inference time
+  unsigned Kernels = 0;
+  uint64_t Fired = 0;
+  double MatchSeconds = 0;  ///< wall-clock inside the matcher
+  rewrite::RewriteStats Stats;
+};
+
+/// Builds the model fresh, runs the configuration's rewrite pipeline to
+/// fixpoint, and measures with the cost model.
+inline ConfigResult runConfig(const models::ModelEntry &Model,
+                              opt::OptConfig Config) {
+  term::Signature Sig;
+  auto G = Model.Build(Sig);
+  opt::Pipeline Pipe = opt::makePipeline(Sig, Config);
+  ConfigResult R;
+  R.Stats = rewrite::rewriteToFixpoint(*G, Pipe.Rules,
+                                       graph::ShapeInference());
+  R.Fired = R.Stats.TotalFired;
+  R.MatchSeconds = R.Stats.MatchSeconds;
+  sim::GraphCost C = sim::CostModel().graphCost(*G);
+  R.Seconds = C.Seconds;
+  R.Kernels = C.Kernels;
+  return R;
+}
+
+/// The paper's Figures 10/11 histograms: distribution of relative
+/// speedups across a suite, one row per bucket.
+inline void printHistogram(const char *Title,
+                           const std::vector<double> &Speedups) {
+  const double Edges[] = {1.00, 1.05, 1.10, 1.15, 1.20, 1.30,
+                          1.40, 1.50, 1.75, 2.00};
+  constexpr size_t NumEdges = sizeof(Edges) / sizeof(Edges[0]);
+  size_t Buckets[NumEdges + 1] = {};
+  for (double S : Speedups) {
+    size_t B = 0;
+    while (B < NumEdges && S >= Edges[B])
+      ++B;
+    ++Buckets[B];
+  }
+  std::printf("\n%s (n=%zu)\n", Title, Speedups.size());
+  for (size_t B = 0; B <= NumEdges; ++B) {
+    if (B == 0)
+      std::printf("  %11s<%.2f | ", "", Edges[0]);
+    else if (B == NumEdges)
+      std::printf("  %10s>=%.2f | ", "", Edges[NumEdges - 1]);
+    else
+      std::printf("  [%.2f, %.2f) | ", Edges[B - 1], Edges[B]);
+    for (size_t I = 0; I != Buckets[B]; ++I)
+      std::printf("#");
+    std::printf(" %zu\n", Buckets[B]);
+  }
+}
+
+} // namespace pypm::bench
+
+#endif // PYPM_BENCH_BENCHCOMMON_H

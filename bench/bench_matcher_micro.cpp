@@ -1,0 +1,305 @@
+//===- bench/bench_matcher_micro.cpp - Matcher micro-benchmarks ----------------===//
+///
+/// \file
+/// google-benchmark suite for the backtracking machine itself: how cost
+/// scales with pattern/term size, alternate count (backtracking), μ
+/// recursion depth, nonlinear equality checks (O(1) via hash-consing),
+/// guard evaluation, serialization, and the full MHA pattern against a
+/// transformer layer's term view.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Sema.h"
+#include "graph/TermView.h"
+#include "match/Declarative.h"
+#include "match/FastMatcher.h"
+#include "match/Machine.h"
+#include "models/Transformers.h"
+#include "opt/StdPatterns.h"
+#include "pattern/Serializer.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pypm;
+using namespace pypm::match;
+using namespace pypm::pattern;
+
+namespace {
+
+/// Fixture state shared by one benchmark run.
+struct Ctx {
+  term::Signature Sig;
+  term::TermArena Arena{Sig};
+  PatternArena PA;
+
+  term::OpId U, B, C;
+  Ctx() {
+    U = Sig.addOp("u", 1, 1, "unary_pointwise");
+    B = Sig.addOp("b", 2);
+    C = Sig.addOp("c", 0);
+  }
+
+  term::TermRef chain(int Depth) {
+    term::TermRef T = Arena.leaf(C);
+    for (int I = 0; I != Depth; ++I)
+      T = Arena.make(U, {T});
+    return T;
+  }
+
+  term::TermRef tree(int Depth) {
+    if (Depth == 0)
+      return Arena.leaf(C);
+    term::TermRef Sub = tree(Depth - 1);
+    return Arena.make(B, {Sub, Sub});
+  }
+};
+
+void BM_MatchLinearChain(benchmark::State &State) {
+  Ctx X;
+  int Depth = static_cast<int>(State.range(0));
+  term::TermRef T = X.chain(Depth);
+  // u(u(...u(x)...)) with exactly Depth levels.
+  const Pattern *P = X.PA.var("x");
+  for (int I = 0; I != Depth; ++I)
+    P = X.PA.app(X.U, {P});
+  for (auto _ : State) {
+    MatchResult R = matchPattern(P, T, X.Arena);
+    benchmark::DoNotOptimize(R.Status);
+  }
+  State.SetComplexityN(Depth);
+}
+BENCHMARK(BM_MatchLinearChain)->RangeMultiplier(4)->Range(4, 1024)
+    ->Complexity(benchmark::oN);
+
+void BM_BacktrackThroughAlternates(benchmark::State &State) {
+  // N alternates; only the last one matches — worst-case backtracking.
+  Ctx X;
+  int N = static_cast<int>(State.range(0));
+  term::TermRef T = X.tree(4);
+  std::vector<const Pattern *> Alts;
+  for (int I = 0; I != N - 1; ++I)
+    Alts.push_back(X.PA.app(X.U, {X.PA.var("x")})); // wrong root
+  Alts.push_back(X.PA.var("x"));
+  const Pattern *P = X.PA.altList(Alts);
+  for (auto _ : State) {
+    MatchResult R = matchPattern(P, T, X.Arena);
+    benchmark::DoNotOptimize(R.W.Theta.size());
+  }
+  State.SetComplexityN(N);
+}
+BENCHMARK(BM_BacktrackThroughAlternates)->RangeMultiplier(4)->Range(4, 256)
+    ->Complexity(benchmark::oN);
+
+void BM_RecursiveChainUnfolding(benchmark::State &State) {
+  // Fig. 3's UnaryChain against towers of growing depth: one μ-unfold
+  // (with binder freshening) per level.
+  Ctx X;
+  int Depth = static_cast<int>(State.range(0));
+  term::TermRef T = X.chain(Depth);
+  Symbol Self = Symbol::intern("Chain"), Var = Symbol::intern("x"),
+         F = Symbol::intern("f");
+  const Pattern *Body =
+      X.PA.alt(X.PA.funVarApp(F, {X.PA.recCall(Self, {Var, F})}),
+               X.PA.funVarApp(F, {X.PA.var(Var)}));
+  const Pattern *Mu = X.PA.mu(Self, {Var, F}, {Var, F}, Body);
+  for (auto _ : State) {
+    MatchResult R = matchPattern(Mu, T, X.Arena);
+    benchmark::DoNotOptimize(R.Stats.MuUnfolds);
+  }
+  State.SetComplexityN(Depth);
+}
+BENCHMARK(BM_RecursiveChainUnfolding)->RangeMultiplier(2)->Range(2, 256)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_NonlinearEqualityIsO1(benchmark::State &State) {
+  // b(x, x) against b(T, T) where T is a full binary tree of the given
+  // depth: with hash-consing the equality check is pointer comparison,
+  // so cost must NOT grow with subterm size.
+  Ctx X;
+  term::TermRef Sub = X.tree(static_cast<int>(State.range(0)));
+  term::TermRef T = X.Arena.make(X.B, {Sub, Sub});
+  const Pattern *P = X.PA.app(X.B, {X.PA.var("x"), X.PA.var("x")});
+  for (auto _ : State) {
+    MatchResult R = matchPattern(P, T, X.Arena);
+    benchmark::DoNotOptimize(R.Status);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_NonlinearEqualityIsO1)->DenseRange(2, 18, 4)
+    ->Complexity(benchmark::o1);
+
+void BM_GuardEvaluation(benchmark::State &State) {
+  Ctx X;
+  term::TermRef T = X.chain(8);
+  Subst Theta;
+  Theta.bind(Symbol::intern("x"), T);
+  FunSubst Phi;
+  Symbol Var = Symbol::intern("x");
+  const GuardExpr *G = X.PA.binary(
+      GuardKind::And,
+      X.PA.binary(GuardKind::Eq, X.PA.attr(Var, Symbol::intern("depth")),
+                  X.PA.intLit(9)),
+      X.PA.binary(GuardKind::Le, X.PA.attr(Var, Symbol::intern("size")),
+                  X.PA.binary(GuardKind::Mul, X.PA.intLit(3),
+                              X.PA.intLit(4))));
+  SubstEnv Env(Theta, Phi, X.Arena);
+  for (auto _ : State) {
+    GuardEval E = G->evalBool(Env);
+    benchmark::DoNotOptimize(E.Value);
+  }
+}
+BENCHMARK(BM_GuardEvaluation);
+
+void BM_DeclarativeEnumeration(benchmark::State &State) {
+  // The executable spec is allowed to be slow; measure it anyway.
+  Ctx X;
+  term::TermRef T = X.tree(static_cast<int>(State.range(0)));
+  const Pattern *P =
+      X.PA.alt(X.PA.app(X.B, {X.PA.var("x"), X.PA.var("y")}),
+               X.PA.app(X.B, {X.PA.var("y"), X.PA.var("x")}));
+  for (auto _ : State) {
+    EnumResult R = enumerateWitnesses(P, T, X.Arena);
+    benchmark::DoNotOptimize(R.Witnesses.size());
+  }
+}
+BENCHMARK(BM_DeclarativeEnumeration)->DenseRange(2, 6, 2);
+
+void BM_MhaPatternOnTransformerTerm(benchmark::State &State) {
+  // The production pattern against the real term view of an attention
+  // output node (a successful match) and of an FFN node (a failure).
+  term::Signature Sig;
+  models::TransformerConfig Cfg;
+  Cfg.Name = "bench";
+  Cfg.Layers = 1;
+  Cfg.Hidden = 256;
+  auto G = models::buildTransformer(Sig, Cfg);
+  auto Fmha = opt::compileFmha(Sig);
+  const Pattern *MHA = Fmha->findPattern("MHA")->Pat;
+  term::TermArena Arena(Sig);
+  graph::TermView View(*G, Arena);
+
+  // Locate the attention output: the MatMul whose input is a Softmax.
+  term::TermRef Target = nullptr;
+  for (graph::NodeId N : G->topoOrder())
+    if (Sig.name(G->op(N)).str() == "MatMul" &&
+        Sig.name(G->op(G->inputs(N)[0])).str() == "Softmax")
+      Target = View.termFor(N);
+  for (auto _ : State) {
+    MatchResult R = matchPattern(MHA, Target, Arena);
+    benchmark::DoNotOptimize(R.Status);
+  }
+}
+BENCHMARK(BM_MhaPatternOnTransformerTerm);
+
+/// A chain of alternates where θ grows by one binding per level: the
+/// reference machine snapshots the whole substitution at every choice
+/// point (Σi = O(N²) copying), the production matcher records two trail
+/// marks (O(N) total). This is the workload the trail design exists for.
+const Pattern *thetaChainPattern(Ctx &X, int Depth) {
+  const Pattern *P = X.PA.var("end");
+  for (int I = Depth; I-- > 0;) {
+    Symbol TV = Symbol::intern("t" + std::to_string(I));
+    Symbol VV = Symbol::intern("v" + std::to_string(I));
+    term::OpId Trans = X.Sig.getOrAddOp("tr", 1);
+    const Pattern *Choice =
+        X.PA.alt(X.PA.app(Trans, {X.PA.var(TV)}), X.PA.var(VV));
+    P = X.PA.app(X.B, {Choice, P});
+  }
+  return P;
+}
+
+term::TermRef thetaChainTerm(Ctx &X, int Depth) {
+  term::TermRef T = X.Arena.leaf(X.C);
+  for (int I = 0; I != Depth; ++I)
+    T = X.Arena.make(X.B, {X.Arena.leaf(X.C), T});
+  return T;
+}
+
+void BM_ReferenceMachineThetaSnapshots(benchmark::State &State) {
+  Ctx X;
+  int Depth = static_cast<int>(State.range(0));
+  const Pattern *P = thetaChainPattern(X, Depth);
+  term::TermRef T = thetaChainTerm(X, Depth);
+  for (auto _ : State) {
+    MatchResult R = matchPattern(P, T, X.Arena);
+    benchmark::DoNotOptimize(R.Status);
+  }
+  State.SetComplexityN(Depth);
+}
+BENCHMARK(BM_ReferenceMachineThetaSnapshots)
+    ->RangeMultiplier(2)->Range(16, 512)->Complexity(benchmark::oNSquared);
+
+void BM_FastMatcherThetaTrail(benchmark::State &State) {
+  Ctx X;
+  int Depth = static_cast<int>(State.range(0));
+  const Pattern *P = thetaChainPattern(X, Depth);
+  term::TermRef T = thetaChainTerm(X, Depth);
+  for (auto _ : State) {
+    MatchResult R = FastMatcher::run(P, T, X.Arena);
+    benchmark::DoNotOptimize(R.Status);
+  }
+  State.SetComplexityN(Depth);
+}
+BENCHMARK(BM_FastMatcherThetaTrail)
+    ->RangeMultiplier(2)->Range(16, 512)->Complexity(benchmark::oN);
+
+/// Reference machine vs production matcher on the same recursive-chain
+/// workload: quantifies what the snapshot-per-choice-point idealization
+/// costs relative to persistent continuations + trail unwinding.
+void BM_ReferenceMachineChain(benchmark::State &State) {
+  Ctx X;
+  int Depth = static_cast<int>(State.range(0));
+  term::TermRef T = X.chain(Depth);
+  Symbol Self = Symbol::intern("ChainR"), Var = Symbol::intern("x"),
+         F = Symbol::intern("f");
+  const Pattern *Body =
+      X.PA.alt(X.PA.funVarApp(F, {X.PA.recCall(Self, {Var, F})}),
+               X.PA.funVarApp(F, {X.PA.var(Var)}));
+  const Pattern *Mu = X.PA.mu(Self, {Var, F}, {Var, F}, Body);
+  for (auto _ : State) {
+    MatchResult R = matchPattern(Mu, T, X.Arena);
+    benchmark::DoNotOptimize(R.Status);
+  }
+}
+BENCHMARK(BM_ReferenceMachineChain)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FastMatcherChain(benchmark::State &State) {
+  Ctx X;
+  int Depth = static_cast<int>(State.range(0));
+  term::TermRef T = X.chain(Depth);
+  Symbol Self = Symbol::intern("ChainF"), Var = Symbol::intern("x"),
+         F = Symbol::intern("f");
+  const Pattern *Body =
+      X.PA.alt(X.PA.funVarApp(F, {X.PA.recCall(Self, {Var, F})}),
+               X.PA.funVarApp(F, {X.PA.var(Var)}));
+  const Pattern *Mu = X.PA.mu(Self, {Var, F}, {Var, F}, Body);
+  for (auto _ : State) {
+    MatchResult R = FastMatcher::run(Mu, T, X.Arena);
+    benchmark::DoNotOptimize(R.Status);
+  }
+}
+BENCHMARK(BM_FastMatcherChain)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SerializeRoundTrip(benchmark::State &State) {
+  term::Signature Sig;
+  auto Lib = opt::compileEpilog(Sig);
+  for (auto _ : State) {
+    std::string Bytes = serializeLibrary(*Lib, Sig);
+    term::Signature Sig2;
+    DiagnosticEngine Diags;
+    auto Loaded = deserializeLibrary(Bytes, Sig2, Diags);
+    benchmark::DoNotOptimize(Loaded->PatternDefs.size());
+  }
+}
+BENCHMARK(BM_SerializeRoundTrip);
+
+void BM_DslCompile(benchmark::State &State) {
+  for (auto _ : State) {
+    term::Signature Sig;
+    auto Lib = opt::compileEpilog(Sig);
+    benchmark::DoNotOptimize(Lib->Rules.size());
+  }
+}
+BENCHMARK(BM_DslCompile);
+
+} // namespace

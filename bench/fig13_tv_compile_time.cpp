@@ -1,0 +1,69 @@
+//===- bench/fig13_tv_compile_time.cpp - Figure 13 reproduction ----------------===//
+///
+/// \file
+/// Paper Figure 13: compile-time cost on the TorchVision suite. The key
+/// datapoint the paper highlights: the MHA pass finds ZERO matches on
+/// every vision model yet still costs time (it must traverse the whole
+/// model probing partial matches), while the Epilog pass finds many
+/// matches and costs orders of magnitude more.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace pypm;
+using namespace pypm::bench;
+
+namespace {
+
+struct Series {
+  std::string Model;
+  size_t Nodes = 0;
+  uint64_t Matches = 0;
+  uint64_t Attempts = 0;
+  double Millis = 0;
+};
+
+Series measure(const models::ModelEntry &Model, opt::OptConfig Config) {
+  term::Signature Sig;
+  auto G = Model.Build(Sig);
+  Series S;
+  S.Model = Model.Name;
+  S.Nodes = G->numLiveNodes();
+  opt::Pipeline Pipe = opt::makePipeline(Sig, Config);
+  rewrite::RewriteStats Stats =
+      rewrite::rewriteToFixpoint(*G, Pipe.Rules, graph::ShapeInference());
+  S.Matches = Stats.TotalMatches;
+  S.Millis = Stats.MatchSeconds * 1e3;
+  for (const auto &[Name, PS] : Stats.PerPattern)
+    S.Attempts += PS.Attempts;
+  return S;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Figure 13: TorchVision compile-time cost "
+              "(matcher wall-clock vs matches, to fixpoint) ===\n");
+  std::printf("\n%-20s %7s | %9s %10s | %9s %10s\n", "model", "nodes",
+              "mha-match", "mha(ms)", "epi-match", "epi(ms)");
+  double MaxMs = 0;
+  uint64_t MhaMatchTotal = 0;
+  for (const models::ModelEntry &Model : models::tvSuite()) {
+    Series Mha = measure(Model, opt::OptConfig::FmhaOnly);
+    Series Epi = measure(Model, opt::OptConfig::EpilogOnly);
+    std::printf("%-20s %7zu | %9llu %10.3f | %9llu %10.3f\n",
+                Model.Name.c_str(), Mha.Nodes,
+                (unsigned long long)Mha.Matches, Mha.Millis,
+                (unsigned long long)Epi.Matches, Epi.Millis);
+    MaxMs = std::max({MaxMs, Mha.Millis, Epi.Millis});
+    MhaMatchTotal += Mha.Matches;
+  }
+  std::printf("\ntotal MHA matches across the suite: %llu (paper: none — "
+              "\"Even when there are none, the\nimplementation takes 2 "
+              "orders of magnitude longer looking for Epilog matches than "
+              "MHA matches\")\nmax pass time: %.3f ms (paper bound: "
+              "< 3000 ms)\n",
+              (unsigned long long)MhaMatchTotal, MaxMs);
+  return 0;
+}

@@ -1,0 +1,55 @@
+//===- examples/mha_fusion.cpp - Fused multi-head attention (§4.1) ------------===//
+///
+/// \file
+/// The paper's flagship optimization: recognize softmax(α·Q·Kᵀ)·V — as
+/// frontends actually emit it, "three matrix products, a transpose, and a
+/// row-wise softmax" — and replace it with the FMHA fused kernel. This
+/// example sweeps sequence lengths on a BERT-like model and reports the
+/// simulated inference time for all four benchmark configurations
+/// (the per-model slice of Figures 10).
+///
+/// Run:  ./build/examples/mha_fusion
+///
+//===----------------------------------------------------------------------===//
+
+#include "models/Transformers.h"
+#include "opt/StdPatterns.h"
+#include "rewrite/RewriteEngine.h"
+#include "sim/CostModel.h"
+
+#include <cstdio>
+
+using namespace pypm;
+
+int main() {
+  std::printf("The MHA pattern (both scale spellings via alternates):\n%s\n",
+              std::string(opt::fmhaSource()).c_str());
+
+  std::printf("%-8s | %12s %12s %12s %12s | %s\n", "seqlen", "none(ms)",
+              "fmha(ms)", "epilog(ms)", "both(ms)", "best speedup");
+  for (int SeqLen : {64, 128, 256, 512, 1024}) {
+    double Times[4];
+    int I = 0;
+    for (auto Config : {opt::OptConfig::None, opt::OptConfig::FmhaOnly,
+                        opt::OptConfig::EpilogOnly, opt::OptConfig::Both}) {
+      term::Signature Sig;
+      models::TransformerConfig Cfg;
+      Cfg.Name = "bert-like";
+      Cfg.Layers = 4;
+      Cfg.Hidden = 512;
+      Cfg.SeqLen = SeqLen;
+      Cfg.Batch = 4;
+      auto G = models::buildTransformer(Sig, Cfg);
+      opt::Pipeline Pipe = opt::makePipeline(Sig, Config);
+      rewrite::rewriteToFixpoint(*G, Pipe.Rules, graph::ShapeInference());
+      Times[I++] = sim::CostModel().graphCost(*G).Seconds * 1e3;
+    }
+    std::printf("%-8d | %12.3f %12.3f %12.3f %12.3f | %.3fx\n", SeqLen,
+                Times[0], Times[1], Times[2], Times[3],
+                Times[0] / Times[3]);
+  }
+  std::printf("\nFMHA gains grow with sequence length (the S×S score "
+              "intermediates it eliminates grow\nquadratically), while the "
+              "epilog fusion's benefit is roughly constant per layer.\n");
+  return 0;
+}

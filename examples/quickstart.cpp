@@ -1,0 +1,99 @@
+//===- examples/quickstart.cpp - Paper Figure 1, end to end -------------------===//
+///
+/// \file
+/// The cuBLAS example that opens the paper (§1–§2, Fig. 1): declare
+/// operators, write the MMxyT pattern and its dtype-dispatching rule in
+/// the PyPM dialect, build a small tensor graph, and run the DLCB rewrite
+/// pass. Shows the match substitution, the fired rule, and the graph
+/// before and after.
+///
+/// Run:  ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Sema.h"
+#include "graph/Dot.h"
+#include "graph/ShapeInference.h"
+#include "graph/TermView.h"
+#include "match/Machine.h"
+#include "rewrite/RewriteEngine.h"
+
+#include <cstdio>
+
+using namespace pypm;
+
+int main() {
+  // --- 1. A PyPM program: Figure 1, in the textual dialect. -------------
+  const char *Program = R"(
+    op MatMul(2);
+    op Trans(1);
+    op cublasMM_xyT_f32(2);
+    op cublasMM_xyT_i8(2);
+
+    pattern MMxyT(x, y) {
+      assert x.shape.rank == 2;
+      assert y.shape.rank == 2;
+      yt = Trans(y);
+      return MatMul(x, yt);
+    }
+
+    rule cublasrule for MMxyT(x, y) {
+      assert (x.eltType == f32 && y.eltType == f32)
+          || (x.eltType == i8 && y.eltType == i8);
+      if x.eltType == f32 && y.eltType == f32 {
+        return cublasMM_xyT_f32(x, y);
+      } elif x.eltType == i8 && y.eltType == i8 {
+        return cublasMM_xyT_i8(x, y);
+      }
+    }
+  )";
+
+  term::Signature Sig;
+  DiagnosticEngine Diags;
+  auto Lib = dsl::compile(Program, Sig, Diags);
+  if (!Lib) {
+    std::fprintf(stderr, "%s", Diags.renderAll().c_str());
+    return 1;
+  }
+  const pattern::NamedPattern *MMxyT = Lib->findPattern("MMxyT");
+  std::printf("compiled pattern  %s = %s\n", "MMxyT",
+              MMxyT->Pat->toString(Sig).c_str());
+  for (const pattern::RewriteRule &R : Lib->Rules)
+    std::printf("compiled rule     %s: guard %s -> %s\n",
+                std::string(R.Name.str()).c_str(),
+                R.Guard ? R.Guard->toString().c_str() : "<none>",
+                R.Rhs->toString(Sig).c_str());
+
+  // --- 2. A computation graph computing A · Bᵀ on f32 matrices. ---------
+  graph::Graph G(Sig);
+  graph::NodeId A = G.addLeaf(
+      "Input", graph::TensorType::make(term::DType::F32, {512, 256}));
+  graph::NodeId B = G.addLeaf(
+      "Input", graph::TensorType::make(term::DType::F32, {128, 256}));
+  graph::NodeId T = G.addNode(Sig.lookup("Trans"), {B});
+  graph::NodeId M = G.addNode(Sig.lookup("MatMul"), {A, T});
+  G.addOutput(M);
+  graph::ShapeInference SI;
+  SI.inferAll(G);
+  std::printf("\nbefore:\n%s", graph::toDot(G, "before").c_str());
+
+  // --- 3. Match the pattern at the root and show the witness. -----------
+  term::TermArena Arena(Sig);
+  graph::TermView View(G, Arena);
+  match::MatchResult R = match::matchPattern(MMxyT->Pat, View.termFor(M),
+                                             Arena);
+  std::printf("\nmatch at root: %s\n",
+              R.matched() ? "success" : "failure");
+  if (R.matched())
+    std::printf("substitution θ = %s\n", match::toString(R.W, Sig).c_str());
+
+  // --- 4. Run the rewrite pass to fixpoint. ------------------------------
+  rewrite::RuleSet Rules;
+  Rules.addLibrary(*Lib);
+  rewrite::RewriteStats Stats = rewrite::rewriteToFixpoint(G, Rules, SI);
+  std::printf("\nrewrite: %s\n", Stats.summary().c_str());
+  std::printf("\nafter:\n%s", graph::toDot(G, "after").c_str());
+  std::printf("result: %zu cublas call(s), %zu naive matmul(s) remain\n",
+              G.countOps("cublasMM_xyT_f32"), G.countOps("MatMul"));
+  return 0;
+}

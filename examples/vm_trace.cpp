@@ -1,0 +1,59 @@
+//===- examples/vm_trace.cpp - Watching the algorithmic semantics run ----------===//
+///
+/// \file
+/// Steps the backtracking machine of §3.1.2 one transition at a time on
+/// the paper's non-completeness example — matching f(c1, c2) against
+/// f(x, y) ‖ f(y, x) — printing each state in the paper's notation:
+/// running(θ, stk, k) with the continuation and backtrack stack visible.
+/// Then resumes past the first success to enumerate the second witness
+/// the declarative semantics admits.
+///
+/// Run:  ./build/examples/vm_trace
+///
+//===----------------------------------------------------------------------===//
+
+#include "match/Declarative.h"
+#include "match/Machine.h"
+#include "term/TermParser.h"
+
+#include <cstdio>
+
+using namespace pypm;
+
+int main() {
+  term::Signature Sig;
+  term::TermArena Arena(Sig);
+  pattern::PatternArena PA;
+
+  term::TermRef T = term::parseTermOrDie("f(c1, c2)", Sig, Arena);
+  const pattern::Pattern *P = PA.alt(
+      PA.app(Sig.lookup("f"), {PA.var("x"), PA.var("y")}),
+      PA.app(Sig.lookup("f"), {PA.var("y"), PA.var("x")}));
+
+  std::printf("pattern  p = %s\n", P->toString(Sig).c_str());
+  std::printf("term     t = %s\n\n", Arena.toString(T).c_str());
+
+  match::Machine M(Arena);
+  M.start(P, T);
+  std::printf("initial  %s\n", M.describeState(Sig).c_str());
+  unsigned Step = 0;
+  while (M.status() == match::MachineStatus::Running) {
+    M.step();
+    std::printf("step %-3u %s\n", ++Step, M.describeState(Sig).c_str());
+  }
+
+  std::printf("\nThe machine is deterministic and left-eager: the first "
+              "witness is always\n{x -> c1, y -> c2} (§3.1.2). resume() "
+              "backtracks into the saved choice point:\n\n");
+  M.resume();
+  std::printf("resumed  %s\n", M.describeState(Sig).c_str());
+
+  match::EnumResult Decl = match::enumerateWitnesses(P, T, Arena);
+  std::printf("\ndeclarative witness set (%zu):\n", Decl.Witnesses.size());
+  for (const match::Witness &W : Decl.Witnesses)
+    std::printf("  %s\n", match::toString(W, Sig).c_str());
+  std::printf("\nTheorem 2 in action: every machine answer appears in the "
+              "declarative set; the\nmachine is sound but (first-answer) "
+              "incomplete.\n");
+  return 0;
+}

@@ -1,0 +1,357 @@
+//===- dsl/Lexer.cpp - PyPM DSL tokenizer -----------------------------------===//
+
+#include "dsl/Lexer.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+using namespace pypm;
+using namespace pypm::dsl;
+
+namespace {
+
+struct Keyword {
+  std::string_view Spelling;
+  TokKind Kind;
+};
+
+constexpr Keyword Keywords[] = {
+    {"op", TokKind::KwOp},         {"pattern", TokKind::KwPattern},
+    {"rule", TokKind::KwRule},     {"for", TokKind::KwFor},
+    {"assert", TokKind::KwAssert}, {"return", TokKind::KwReturn},
+    {"if", TokKind::KwIf},         {"elif", TokKind::KwElif},
+    {"else", TokKind::KwElse},     {"var", TokKind::KwVar},
+    {"opvar", TokKind::KwOpVar},   {"class", TokKind::KwClass},
+    {"attrs", TokKind::KwAttrs},   {"opclass", TokKind::KwOpClass},
+    {"include", TokKind::KwInclude},
+};
+
+class LexerImpl {
+public:
+  LexerImpl(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Out;
+    for (;;) {
+      Token T = next();
+      Out.push_back(T);
+      if (T.Kind == TokKind::Eof)
+        return Out;
+    }
+  }
+
+private:
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1, Col = 1;
+
+  SourceLoc here() const { return SourceLoc{Line, Col}; }
+
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  void skipTrivia() {
+    for (;;) {
+      char C = peek();
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        advance();
+        continue;
+      }
+      if (C == '#' || (C == '/' && peek(1) == '/')) {
+        while (Pos < Source.size() && peek() != '\n')
+          advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(TokKind Kind, SourceLoc Loc, std::string_view Text = {}) {
+    Token T;
+    T.Kind = Kind;
+    T.Loc = Loc;
+    T.Text = Text;
+    return T;
+  }
+
+  Token next() {
+    skipTrivia();
+    SourceLoc Loc = here();
+    if (Pos >= Source.size())
+      return make(TokKind::Eof, Loc);
+
+    char C = peek();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return identOrKeyword(Loc);
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return number(Loc);
+
+    switch (C) {
+    case '"':
+      return stringLit(Loc);
+    case '(':
+      advance();
+      return make(TokKind::LParen, Loc);
+    case ')':
+      advance();
+      return make(TokKind::RParen, Loc);
+    case '{':
+      advance();
+      return make(TokKind::LBrace, Loc);
+    case '}':
+      advance();
+      return make(TokKind::RBrace, Loc);
+    case '[':
+      advance();
+      return make(TokKind::LBracket, Loc);
+    case ']':
+      advance();
+      return make(TokKind::RBracket, Loc);
+    case ',':
+      advance();
+      return make(TokKind::Comma, Loc);
+    case ';':
+      advance();
+      return make(TokKind::Semi, Loc);
+    case '.':
+      advance();
+      return make(TokKind::Dot, Loc);
+    case '+':
+      advance();
+      return make(TokKind::Plus, Loc);
+    case '*':
+      advance();
+      return make(TokKind::Star, Loc);
+    case '/':
+      advance();
+      return make(TokKind::Slash, Loc);
+    case '%':
+      advance();
+      return make(TokKind::Percent, Loc);
+    case '-':
+      advance();
+      if (peek() == '>') {
+        advance();
+        return make(TokKind::Arrow, Loc);
+      }
+      return make(TokKind::Minus, Loc);
+    case '=':
+      advance();
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::EqEq, Loc);
+      }
+      return make(TokKind::Assign, Loc);
+    case '!':
+      advance();
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::NotEq, Loc);
+      }
+      return make(TokKind::Bang, Loc);
+    case '<':
+      advance();
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::LessEq, Loc);
+      }
+      return make(TokKind::Lt, Loc);
+    case '>':
+      advance();
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::GtEq, Loc);
+      }
+      return make(TokKind::Gt, Loc);
+    case '&':
+      advance();
+      if (peek() == '&') {
+        advance();
+        return make(TokKind::AndAnd, Loc);
+      }
+      Diags.error(Loc, "expected '&&'");
+      return next();
+    case '|':
+      advance();
+      if (peek() == '|') {
+        advance();
+        return make(TokKind::OrOr, Loc);
+      }
+      Diags.error(Loc, "expected '||'");
+      return next();
+    default:
+      Diags.error(Loc, std::string("unexpected character '") + C + "'");
+      advance();
+      return next();
+    }
+  }
+
+  Token identOrKeyword(SourceLoc Loc) {
+    size_t Start = Pos;
+    while (Pos < Source.size() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_'))
+      advance();
+    std::string_view Text = Source.substr(Start, Pos - Start);
+    for (const Keyword &K : Keywords)
+      if (K.Spelling == Text)
+        return make(K.Kind, Loc, Text);
+    return make(TokKind::Ident, Loc, Text);
+  }
+
+  Token number(SourceLoc Loc) {
+    size_t Start = Pos;
+    while (Pos < Source.size() &&
+           std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+    bool IsFloat = false;
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      IsFloat = true;
+      advance(); // '.'
+      while (Pos < Source.size() &&
+             std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+    std::string Text(Source.substr(Start, Pos - Start));
+    Token T = make(IsFloat ? TokKind::FloatLit : TokKind::IntLit, Loc,
+                   Source.substr(Start, Pos - Start));
+    if (IsFloat)
+      T.IntValue = static_cast<int64_t>(
+          std::llround(std::strtod(Text.c_str(), nullptr) * 1e6));
+    else
+      T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+    return T;
+  }
+
+  Token stringLit(SourceLoc Loc) {
+    advance(); // opening quote
+    size_t Start = Pos;
+    while (Pos < Source.size() && peek() != '"' && peek() != '\n')
+      advance();
+    if (peek() != '"') {
+      Diags.error(Loc, "unterminated string literal");
+      return make(TokKind::StringLit, Loc, Source.substr(Start, Pos - Start));
+    }
+    std::string_view Text = Source.substr(Start, Pos - Start);
+    advance(); // closing quote
+    return make(TokKind::StringLit, Loc, Text);
+  }
+};
+
+} // namespace
+
+std::vector<Token> pypm::dsl::tokenize(std::string_view Source,
+                                       DiagnosticEngine &Diags) {
+  return LexerImpl(Source, Diags).run();
+}
+
+std::string_view pypm::dsl::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::FloatLit:
+    return "float literal";
+  case TokKind::StringLit:
+    return "string literal";
+  case TokKind::KwOp:
+    return "'op'";
+  case TokKind::KwPattern:
+    return "'pattern'";
+  case TokKind::KwRule:
+    return "'rule'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwAssert:
+    return "'assert'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElif:
+    return "'elif'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwVar:
+    return "'var'";
+  case TokKind::KwOpVar:
+    return "'opvar'";
+  case TokKind::KwClass:
+    return "'class'";
+  case TokKind::KwAttrs:
+    return "'attrs'";
+  case TokKind::KwOpClass:
+    return "'opclass'";
+  case TokKind::KwInclude:
+    return "'include'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::Arrow:
+    return "'->'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::GtEq:
+    return "'>='";
+  case TokKind::AndAnd:
+    return "'&&'";
+  case TokKind::OrOr:
+    return "'||'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  }
+  return "<token?>";
+}

@@ -1,0 +1,88 @@
+//===- dsl/Lexer.h - PyPM DSL tokenizer -------------------------*- C++ -*-===//
+///
+/// \file
+/// Tokenizer for the textual PyPM dialect. The paper's PyPM is embedded in
+/// Python and lowered by symbolic execution (§2.4); this standalone dialect
+/// lowers to the same core calculus through a conventional
+/// lexer/parser/sema pipeline. Comments run `//` or `#` to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_DSL_LEXER_H
+#define PYPM_DSL_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace pypm::dsl {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,
+  IntLit,
+  FloatLit, ///< value scaled to micro-units (×1e6, rounded)
+  StringLit,
+  // Keywords.
+  KwOp,
+  KwPattern,
+  KwRule,
+  KwFor,
+  KwAssert,
+  KwReturn,
+  KwIf,
+  KwElif,
+  KwElse,
+  KwVar,
+  KwOpVar,
+  KwClass,
+  KwAttrs,
+  KwOpClass,
+  KwInclude,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Dot,
+  Assign,  // =
+  Arrow,   // ->
+  LessEq,  // <=  (match constraint at statement level, comparison in guards)
+  EqEq,
+  NotEq,
+  Lt,
+  Gt,
+  GtEq,
+  AndAnd,
+  OrOr,
+  Bang,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string_view Text; ///< spelling (idents, strings without quotes)
+  int64_t IntValue = 0;  ///< IntLit value, or FloatLit micro-units
+};
+
+/// Tokenizes \p Source. Errors (bad characters, unterminated strings) are
+/// reported to \p Diags; the returned stream always ends with Eof.
+std::vector<Token> tokenize(std::string_view Source, DiagnosticEngine &Diags);
+
+/// Spelling of a token kind for diagnostics ("';'", "identifier", …).
+std::string_view tokKindName(TokKind Kind);
+
+} // namespace pypm::dsl
+
+#endif // PYPM_DSL_LEXER_H

@@ -1,0 +1,629 @@
+//===- dsl/Parser.cpp - PyPM DSL parser --------------------------------------===//
+
+#include "dsl/Parser.h"
+
+#include "term/DType.h"
+
+using namespace pypm;
+using namespace pypm::dsl;
+using pattern::GuardExpr;
+using pattern::GuardKind;
+
+namespace {
+
+/// Normalizes PyPM attribute spellings to the canonical keys stored on
+/// terms by the graph adapter: `x.shape.rank` → rank, `x.shape.dim0` →
+/// dim0, `x.eltType` → elt_type. Unknown paths pass through verbatim
+/// (operator-specific attributes like stride).
+std::string normalizeAttrPath(std::string_view Path) {
+  std::string S(Path);
+  if (S == "eltType" || S == "elt_type")
+    return "elt_type";
+  if (S == "shape.rank")
+    return "rank";
+  constexpr std::string_view ShapeDim = "shape.dim";
+  if (S.size() > ShapeDim.size() && std::string_view(S).substr(0, ShapeDim.size()) == ShapeDim)
+    return S.substr(6); // strip "shape."
+  return S;
+}
+
+class ParserImpl {
+public:
+  ParserImpl(std::string_view Source, DiagnosticEngine &Diags)
+      : Diags(Diags) {
+    Toks = tokenize(Source, Diags);
+  }
+
+  std::unique_ptr<ModuleAst> run() {
+    auto M = std::make_unique<ModuleAst>();
+    Mod = M.get();
+    while (!at(TokKind::Eof)) {
+      if (at(TokKind::KwInclude)) {
+        IncludeAst Inc;
+        Inc.Loc = cur().Loc;
+        advance();
+        if (at(TokKind::StringLit)) {
+          Inc.Path = std::string(cur().Text);
+          advance();
+        } else {
+          error("expected a quoted path after 'include'");
+        }
+        expect(TokKind::Semi);
+        if (!Inc.Path.empty())
+          Mod->Includes.push_back(std::move(Inc));
+      } else if (at(TokKind::KwOp)) {
+        parseOpDecl();
+      } else if (at(TokKind::KwPattern)) {
+        parsePatternDecl();
+      } else if (at(TokKind::KwRule)) {
+        parseRuleDecl();
+      } else {
+        error("expected 'include', 'op', 'pattern', or 'rule' at top "
+              "level");
+        synchronizeTopLevel();
+      }
+    }
+    if (Diags.hasErrors())
+      return nullptr;
+    return M;
+  }
+
+private:
+  DiagnosticEngine &Diags;
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  ModuleAst *Mod = nullptr;
+
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &peek(size_t Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  bool at(TokKind K) const { return cur().Kind == K; }
+
+  Token advance() { return Toks[Pos < Toks.size() - 1 ? Pos++ : Pos]; }
+
+  void error(std::string Msg) { Diags.error(cur().Loc, std::move(Msg)); }
+
+  bool expect(TokKind K) {
+    if (at(K)) {
+      advance();
+      return true;
+    }
+    error("expected " + std::string(tokKindName(K)) + ", found " +
+          std::string(tokKindName(cur().Kind)));
+    return false;
+  }
+
+  Symbol expectIdent(std::string_view What) {
+    if (at(TokKind::Ident)) {
+      Symbol S = Symbol::intern(cur().Text);
+      advance();
+      return S;
+    }
+    error("expected " + std::string(What));
+    return Symbol();
+  }
+
+  void synchronizeTopLevel() {
+    while (!at(TokKind::Eof) && !at(TokKind::KwOp) &&
+           !at(TokKind::KwPattern) && !at(TokKind::KwRule) &&
+           !at(TokKind::KwInclude))
+      advance();
+  }
+
+  Expr *newExpr(Expr E) {
+    Mod->ExprStorage.push_back(std::make_unique<Expr>(std::move(E)));
+    return Mod->ExprStorage.back().get();
+  }
+  Stmt *newStmt(Stmt S) {
+    Mod->StmtStorage.push_back(std::make_unique<Stmt>(std::move(S)));
+    return Mod->StmtStorage.back().get();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Top-level declarations
+  //===------------------------------------------------------------------===//
+
+  void parseOpDecl() {
+    OpDeclAst D;
+    D.Loc = cur().Loc;
+    advance(); // 'op'
+    D.Name = expectIdent("operator name");
+    expect(TokKind::LParen);
+    if (at(TokKind::IntLit)) {
+      D.Arity = static_cast<unsigned>(cur().IntValue);
+      advance();
+    } else {
+      error("expected operator arity (an integer)");
+    }
+    expect(TokKind::RParen);
+    if (at(TokKind::Arrow)) {
+      advance();
+      if (at(TokKind::IntLit)) {
+        D.Results = static_cast<unsigned>(cur().IntValue);
+        advance();
+      } else {
+        error("expected result count after '->'");
+      }
+    }
+    while (at(TokKind::KwClass) || at(TokKind::KwAttrs)) {
+      bool IsClass = at(TokKind::KwClass);
+      advance();
+      expect(TokKind::LParen);
+      if (IsClass) {
+        if (at(TokKind::StringLit)) {
+          D.OpClass = Symbol::intern(cur().Text);
+          advance();
+        } else {
+          error("expected class name string");
+        }
+      } else {
+        do {
+          Symbol A = expectIdent("attribute name");
+          if (A.isValid())
+            D.AttrNames.push_back(A);
+        } while (at(TokKind::Comma) && (advance(), true));
+      }
+      expect(TokKind::RParen);
+    }
+    expect(TokKind::Semi);
+    Mod->Ops.push_back(std::move(D));
+  }
+
+  std::vector<Symbol> parseParamList() {
+    std::vector<Symbol> Params;
+    expect(TokKind::LParen);
+    if (!at(TokKind::RParen)) {
+      do {
+        Symbol P = expectIdent("parameter name");
+        if (P.isValid())
+          Params.push_back(P);
+      } while (at(TokKind::Comma) && (advance(), true));
+    }
+    expect(TokKind::RParen);
+    return Params;
+  }
+
+  void parsePatternDecl() {
+    PatternDefAst D;
+    D.Loc = cur().Loc;
+    advance(); // 'pattern'
+    D.Name = expectIdent("pattern name");
+    D.Params = parseParamList();
+    D.Body = parseBlock(/*InRule=*/false);
+    Mod->Patterns.push_back(std::move(D));
+  }
+
+  void parseRuleDecl() {
+    RuleDefAst D;
+    D.Loc = cur().Loc;
+    advance(); // 'rule'
+    D.Name = expectIdent("rule name");
+    expect(TokKind::KwFor);
+    D.PatternName = expectIdent("pattern name");
+    D.Params = parseParamList();
+    D.Body = parseBlock(/*InRule=*/true);
+    Mod->Rules.push_back(std::move(D));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  std::vector<Stmt *> parseBlock(bool InRule) {
+    std::vector<Stmt *> Body;
+    if (!expect(TokKind::LBrace))
+      return Body;
+    while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+      if (Stmt *S = parseStmt(InRule))
+        Body.push_back(S);
+      else
+        synchronizeStmt();
+    }
+    expect(TokKind::RBrace);
+    return Body;
+  }
+
+  void synchronizeStmt() {
+    while (!at(TokKind::Eof) && !at(TokKind::Semi) && !at(TokKind::RBrace))
+      advance();
+    if (at(TokKind::Semi))
+      advance();
+  }
+
+  Stmt *parseStmt(bool InRule) {
+    SourceLoc Loc = cur().Loc;
+
+    if (at(TokKind::KwAssert)) {
+      advance();
+      const GuardExpr *G = parseGuard();
+      expect(TokKind::Semi);
+      if (!G)
+        return nullptr;
+      Stmt S;
+      S.K = Stmt::Kind::Assert;
+      S.Loc = Loc;
+      S.Guard = G;
+      return newStmt(std::move(S));
+    }
+
+    if (at(TokKind::KwReturn)) {
+      advance();
+      Expr *E = parsePExpr(InRule);
+      expect(TokKind::Semi);
+      if (!E)
+        return nullptr;
+      Stmt S;
+      S.K = Stmt::Kind::Return;
+      S.Loc = Loc;
+      S.E = E;
+      return newStmt(std::move(S));
+    }
+
+    if (at(TokKind::KwIf)) {
+      if (!InRule)
+        error("'if' is only allowed in rule bodies (patterns use "
+              "alternates instead)");
+      return parseIf(InRule);
+    }
+
+    if (at(TokKind::Ident)) {
+      Symbol Name = Symbol::intern(cur().Text);
+      advance();
+      if (at(TokKind::LessEq)) {
+        advance();
+        Expr *E = parsePExpr(InRule);
+        expect(TokKind::Semi);
+        if (!E)
+          return nullptr;
+        Stmt S;
+        S.K = Stmt::Kind::Constraint;
+        S.Loc = Loc;
+        S.Name = Name;
+        S.E = E;
+        return newStmt(std::move(S));
+      }
+      if (!expect(TokKind::Assign))
+        return nullptr;
+      if (at(TokKind::KwVar)) {
+        advance();
+        expect(TokKind::LParen);
+        expect(TokKind::RParen);
+        expect(TokKind::Semi);
+        Stmt S;
+        S.K = Stmt::Kind::VarDecl;
+        S.Loc = Loc;
+        S.Name = Name;
+        return newStmt(std::move(S));
+      }
+      if (at(TokKind::KwOpVar)) {
+        advance();
+        expect(TokKind::LParen);
+        unsigned Arity = 0;
+        if (at(TokKind::IntLit)) {
+          Arity = static_cast<unsigned>(cur().IntValue);
+          advance();
+        } else {
+          error("expected function-variable arity");
+        }
+        // Tolerate the paper's Op(inputs, outputs) spelling: an optional
+        // second integer (output arity) is accepted and checked to be 1.
+        if (at(TokKind::Comma)) {
+          advance();
+          if (at(TokKind::IntLit)) {
+            if (cur().IntValue != 1)
+              error("function variables with multiple results are not "
+                    "supported");
+            advance();
+          }
+        }
+        expect(TokKind::RParen);
+        expect(TokKind::Semi);
+        Stmt S;
+        S.K = Stmt::Kind::OpVarDecl;
+        S.Loc = Loc;
+        S.Name = Name;
+        S.Arity = Arity;
+        return newStmt(std::move(S));
+      }
+      Expr *E = parsePExpr(InRule);
+      expect(TokKind::Semi);
+      if (!E)
+        return nullptr;
+      Stmt S;
+      S.K = Stmt::Kind::Alias;
+      S.Loc = Loc;
+      S.Name = Name;
+      S.E = E;
+      return newStmt(std::move(S));
+    }
+
+    error("expected a statement");
+    return nullptr;
+  }
+
+  Stmt *parseIf(bool InRule) {
+    SourceLoc Loc = cur().Loc;
+    advance(); // 'if' or 'elif'
+    const GuardExpr *G = parseGuard();
+    Stmt S;
+    S.K = Stmt::Kind::If;
+    S.Loc = Loc;
+    S.Guard = G;
+    S.Then = parseBlock(InRule);
+    if (at(TokKind::KwElif)) {
+      // Desugar: elif … ≡ else { if … }.
+      if (Stmt *Elif = parseIf(InRule))
+        S.Else.push_back(Elif);
+    } else if (at(TokKind::KwElse)) {
+      advance();
+      S.Else = parseBlock(InRule);
+    }
+    if (!G)
+      return nullptr;
+    return newStmt(std::move(S));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Pattern / RHS expressions
+  //===------------------------------------------------------------------===//
+
+  Expr *parsePExpr(bool InRule) {
+    SourceLoc Loc = cur().Loc;
+    if (at(TokKind::IntLit) || at(TokKind::FloatLit)) {
+      Expr E;
+      E.K = Expr::Kind::Literal;
+      E.Loc = Loc;
+      E.Value = at(TokKind::IntLit) ? cur().IntValue * 1'000'000
+                                    : cur().IntValue;
+      advance();
+      return newExpr(std::move(E));
+    }
+    if (!at(TokKind::Ident)) {
+      error("expected a pattern expression");
+      return nullptr;
+    }
+    Symbol Name = Symbol::intern(cur().Text);
+    advance();
+
+    Expr E;
+    E.Loc = Loc;
+    E.Name = Name;
+    if (!at(TokKind::LParen) && !at(TokKind::LBracket)) {
+      E.K = Expr::Kind::Ref;
+      return newExpr(std::move(E));
+    }
+
+    E.K = Expr::Kind::Call;
+    if (at(TokKind::LBracket)) {
+      if (!InRule)
+        error("attribute templates '[k = e]' are only allowed on rule "
+              "right-hand sides");
+      advance();
+      do {
+        Symbol Key = expectIdent("attribute name");
+        expect(TokKind::Assign);
+        const GuardExpr *V = parseGuard();
+        if (Key.isValid() && V)
+          E.Attrs.emplace_back(Key, V);
+      } while (at(TokKind::Comma) && (advance(), true));
+      expect(TokKind::RBracket);
+    }
+    expect(TokKind::LParen);
+    if (!at(TokKind::RParen)) {
+      do {
+        Expr *Arg = parsePExpr(InRule);
+        if (!Arg)
+          return nullptr;
+        E.Args.push_back(Arg);
+      } while (at(TokKind::Comma) && (advance(), true));
+    }
+    expect(TokKind::RParen);
+    return newExpr(std::move(E));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Guard expressions
+  //===------------------------------------------------------------------===//
+  // Precedence (loosest first): || , && , comparisons, + -, * / %, unary.
+  // Sortedness (bool vs arith) is validated by the well-formedness checker.
+
+  pattern::PatternArena &arena() { return Mod->GuardArena; }
+
+  const GuardExpr *parseGuard() { return parseOr(); }
+
+  const GuardExpr *parseOr() {
+    const GuardExpr *L = parseAnd();
+    while (L && at(TokKind::OrOr)) {
+      advance();
+      const GuardExpr *R = parseAnd();
+      if (!R)
+        return nullptr;
+      L = arena().binary(GuardKind::Or, L, R);
+    }
+    return L;
+  }
+
+  const GuardExpr *parseAnd() {
+    const GuardExpr *L = parseCmp();
+    while (L && at(TokKind::AndAnd)) {
+      advance();
+      const GuardExpr *R = parseCmp();
+      if (!R)
+        return nullptr;
+      L = arena().binary(GuardKind::And, L, R);
+    }
+    return L;
+  }
+
+  const GuardExpr *parseCmp() {
+    const GuardExpr *L = parseAddSub();
+    if (!L)
+      return nullptr;
+    GuardKind K;
+    switch (cur().Kind) {
+    case TokKind::EqEq:
+      K = GuardKind::Eq;
+      break;
+    case TokKind::NotEq:
+      K = GuardKind::Ne;
+      break;
+    case TokKind::Lt:
+      K = GuardKind::Lt;
+      break;
+    case TokKind::LessEq:
+      K = GuardKind::Le;
+      break;
+    case TokKind::Gt:
+      K = GuardKind::Gt;
+      break;
+    case TokKind::GtEq:
+      K = GuardKind::Ge;
+      break;
+    default:
+      return L;
+    }
+    advance();
+    const GuardExpr *R = parseAddSub();
+    if (!R)
+      return nullptr;
+    return arena().binary(K, L, R);
+  }
+
+  const GuardExpr *parseAddSub() {
+    const GuardExpr *L = parseMul();
+    while (L && (at(TokKind::Plus) || at(TokKind::Minus))) {
+      GuardKind K = at(TokKind::Plus) ? GuardKind::Add : GuardKind::Sub;
+      advance();
+      const GuardExpr *R = parseMul();
+      if (!R)
+        return nullptr;
+      L = arena().binary(K, L, R);
+    }
+    return L;
+  }
+
+  const GuardExpr *parseMul() {
+    const GuardExpr *L = parseUnary();
+    while (L && (at(TokKind::Star) || at(TokKind::Slash) ||
+                 at(TokKind::Percent))) {
+      GuardKind K = at(TokKind::Star)    ? GuardKind::Mul
+                    : at(TokKind::Slash) ? GuardKind::Div
+                                         : GuardKind::Mod;
+      advance();
+      const GuardExpr *R = parseUnary();
+      if (!R)
+        return nullptr;
+      L = arena().binary(K, L, R);
+    }
+    return L;
+  }
+
+  const GuardExpr *parseUnary() {
+    if (at(TokKind::Bang)) {
+      advance();
+      const GuardExpr *Sub = parseUnary();
+      if (!Sub)
+        return nullptr;
+      if (!pattern::isBoolKind(Sub->kind())) {
+        error("'!' applied to an arithmetic expression");
+        return nullptr;
+      }
+      return arena().notExpr(Sub);
+    }
+    if (at(TokKind::Minus)) {
+      advance();
+      const GuardExpr *Sub = parseUnary();
+      if (!Sub)
+        return nullptr;
+      return arena().binary(GuardKind::Sub, arena().intLit(0), Sub);
+    }
+    return parsePrimary();
+  }
+
+  const GuardExpr *parsePrimary() {
+    if (at(TokKind::IntLit)) {
+      int64_t V = cur().IntValue;
+      advance();
+      return arena().intLit(V);
+    }
+    if (at(TokKind::FloatLit)) {
+      // Float literals in guards are micro-scaled so they compare against
+      // the *_u6 attributes the graph adapter stores for scalar constants.
+      int64_t V = cur().IntValue;
+      advance();
+      return arena().intLit(V);
+    }
+    if (at(TokKind::LParen)) {
+      advance();
+      const GuardExpr *G = parseOr();
+      expect(TokKind::RParen);
+      return G;
+    }
+    if (at(TokKind::KwOpClass)) {
+      advance();
+      expect(TokKind::LParen);
+      Symbol Name;
+      if (at(TokKind::StringLit)) {
+        Name = Symbol::intern(cur().Text);
+        advance();
+      } else {
+        error("expected class name string in opclass(…)");
+      }
+      expect(TokKind::RParen);
+      return Name.isValid() ? arena().opClassRef(Name) : nullptr;
+    }
+    if (at(TokKind::KwOp)) {
+      advance();
+      expect(TokKind::LParen);
+      Symbol Name;
+      if (at(TokKind::StringLit)) {
+        Name = Symbol::intern(cur().Text);
+        advance();
+      } else {
+        error("expected operator name string in op(…)");
+      }
+      expect(TokKind::RParen);
+      return Name.isValid() ? arena().opRef(Name) : nullptr;
+    }
+    if (at(TokKind::Ident)) {
+      std::string_view Text = cur().Text;
+      // A bare dtype keyword is an integer constant.
+      if (peek().Kind != TokKind::Dot) {
+        if (std::optional<term::DType> DT = term::dtypeFromName(Text)) {
+          advance();
+          return arena().intLit(static_cast<int64_t>(*DT));
+        }
+        error("expected attribute access, literal, or dtype keyword; bare "
+              "variable '" +
+              std::string(Text) + "' has no value in a guard");
+        return nullptr;
+      }
+      Symbol Var = Symbol::intern(Text);
+      advance();
+      std::string Path;
+      while (at(TokKind::Dot)) {
+        advance();
+        if (!at(TokKind::Ident)) {
+          error("expected attribute name after '.'");
+          return nullptr;
+        }
+        if (!Path.empty())
+          Path += '.';
+        Path += cur().Text;
+        advance();
+      }
+      return arena().attr(Var, Symbol::intern(normalizeAttrPath(Path)));
+    }
+    error("expected a guard expression");
+    return nullptr;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<ModuleAst> pypm::dsl::parseModule(std::string_view Source,
+                                                  DiagnosticEngine &Diags) {
+  return ParserImpl(Source, Diags).run();
+}

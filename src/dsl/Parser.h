@@ -1,0 +1,133 @@
+//===- dsl/Parser.h - PyPM DSL syntax trees and parser ----------*- C++ -*-===//
+///
+/// \file
+/// Grammar of the textual PyPM dialect (one construct per paper feature):
+///
+///   program     ::= (opDecl | patternDecl | ruleDecl)*
+///   opDecl      ::= 'op' Ident '(' Int ')' ('->' Int)?
+///                   ('class' '(' String ')')? ('attrs' '(' idents ')')? ';'
+///   patternDecl ::= 'pattern' Ident '(' idents? ')' '{' stmt* '}'
+///   ruleDecl    ::= 'rule' Ident 'for' Ident '(' idents? ')' '{' stmt* '}'
+///   stmt        ::= 'assert' guard ';'
+///                 | Ident '=' 'var' '(' ')' ';'          (local variable)
+///                 | Ident '=' 'opvar' '(' Int ')' ';'    (local function var)
+///                 | Ident '=' pexpr ';'                  (sub-pattern alias)
+///                 | Ident '<=' pexpr ';'                 (match constraint)
+///                 | 'return' pexpr ';'
+///                 | 'if' guard '{' stmt* '}'
+///                   ('elif' guard '{' stmt* '}')* ('else' '{' stmt* '}')?
+///   pexpr       ::= Ident | Int | Float
+///                 | Ident ('[' Ident '=' guard (',' …)* ']')? '(' pexprs ')'
+///   guard       ::= the expression grammar of Fig. 8, plus Ident '.' path
+///                   attribute access, dtype keywords (f32, i8, …),
+///                   opclass("…"), op("…"), and float literals (scaled to
+///                   micro-units to compare against *_u6 attributes).
+///
+/// Pattern alternates are written, as in PyPM, by repeating a pattern name
+/// (§2.1). Whether an identifier denotes an operator, a pattern reference,
+/// a term variable, or a function variable is resolved by Sema — mirroring
+/// how the Python frontend infers roles during symbolic execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_DSL_PARSER_H
+#define PYPM_DSL_PARSER_H
+
+#include "dsl/Lexer.h"
+#include "pattern/Pattern.h"
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace pypm::dsl {
+
+/// Pattern-position / RHS-position expression.
+struct Expr {
+  enum class Kind : uint8_t {
+    Ref,      ///< bare identifier: variable, alias, or 0-ary reference
+    Call,     ///< Head(args…) with optional [key = guard, …] attributes
+    Literal,  ///< numeric literal (lowered to a Const-matching pattern)
+  };
+  Kind K = Kind::Ref;
+  SourceLoc Loc;
+  Symbol Name;          ///< Ref / Call head
+  int64_t Value = 0;    ///< Literal, in micro-units
+  std::vector<Expr *> Args;
+  std::vector<std::pair<Symbol, const pattern::GuardExpr *>> Attrs;
+};
+
+struct Stmt {
+  enum class Kind : uint8_t {
+    Assert,
+    VarDecl,
+    OpVarDecl,
+    Alias,
+    Constraint,
+    Return,
+    If,
+  };
+  Kind K = Kind::Assert;
+  SourceLoc Loc;
+  const pattern::GuardExpr *Guard = nullptr; ///< Assert / If
+  Symbol Name;                               ///< decl/alias/constraint target
+  unsigned Arity = 0;                        ///< OpVarDecl
+  Expr *E = nullptr;                         ///< Alias/Constraint/Return
+  std::vector<Stmt *> Then, Else;            ///< If
+};
+
+struct OpDeclAst {
+  SourceLoc Loc;
+  Symbol Name;
+  unsigned Arity = 0;
+  unsigned Results = 1;
+  Symbol OpClass;
+  std::vector<Symbol> AttrNames;
+};
+
+struct PatternDefAst {
+  SourceLoc Loc;
+  Symbol Name;
+  std::vector<Symbol> Params;
+  std::vector<Stmt *> Body;
+};
+
+struct RuleDefAst {
+  SourceLoc Loc;
+  Symbol Name;
+  Symbol PatternName;
+  std::vector<Symbol> Params;
+  std::vector<Stmt *> Body;
+};
+
+/// Parsed module. Owns its AST nodes; guard expressions are allocated into
+/// GuardArena (later adopted by the compiled Library's arena — Sema moves
+/// them wholesale, so pointers stay valid).
+struct IncludeAst {
+  SourceLoc Loc;
+  std::string Path;
+};
+
+struct ModuleAst {
+  std::vector<IncludeAst> Includes;
+  std::vector<OpDeclAst> Ops;
+  std::vector<PatternDefAst> Patterns;
+  std::vector<RuleDefAst> Rules;
+
+  std::deque<std::unique_ptr<Expr>> ExprStorage;
+  std::deque<std::unique_ptr<Stmt>> StmtStorage;
+  /// Guards parsed directly as pattern::GuardExpr; this arena must be kept
+  /// alive by whoever consumes the module (Sema folds it into the Library).
+  pattern::PatternArena GuardArena;
+  /// Modules pulled in by `include "…";` (kept alive because merged decls
+  /// reference their AST storage).
+  std::vector<std::unique_ptr<ModuleAst>> Included;
+};
+
+/// Parses \p Source; returns nullptr and emits diagnostics on syntax errors.
+std::unique_ptr<ModuleAst> parseModule(std::string_view Source,
+                                       DiagnosticEngine &Diags);
+
+} // namespace pypm::dsl
+
+#endif // PYPM_DSL_PARSER_H

@@ -1,0 +1,72 @@
+//===- dsl/Sema.h - DSL semantic analysis and lowering ----------*- C++ -*-===//
+///
+/// \file
+/// Lowers a parsed PyPM module to the core calculus, performing the same
+/// job as the Python frontend's symbolic execution (§2.4):
+///
+///  - operator declarations extend the Signature;
+///  - same-named pattern definitions become alternates, folded
+///    right-associatively in definition order (§2.1);
+///  - local `x = var()` becomes ∃x (wrapped outside later statements);
+///  - `x <= p` becomes a match constraint;
+///  - `assert g` becomes a guarded pattern;
+///  - local aliases are expanded at each use (they are "merely aliases");
+///  - references to other patterns are inlined with freshened binders
+///    (complex arguments introduce ∃w plus a match constraint w <= arg);
+///  - self-recursive references become μ/recursive calls; mutual recursion
+///    between named patterns is rejected with a diagnostic;
+///  - identifiers are classified by use: a parameter applied like an
+///    operator is a function variable (§3.4), as are `f = opvar(n)` locals;
+///  - numeric literals in pattern position match scalar `Const` operators
+///    via an ∃-bound variable guarded on `value_u6` (micro-units);
+///  - rule bodies with if/elif/else lower to one RewriteRule per
+///    root-to-return path, with the branch conditions conjoined onto the
+///    rule guard — matching PyPM's "first rule whose assertions pass fires".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_DSL_SEMA_H
+#define PYPM_DSL_SEMA_H
+
+#include "dsl/Parser.h"
+#include "pattern/Pattern.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+namespace pypm::dsl {
+
+struct CompileOptions {
+  /// Resolves an `include "path";` to source text; nullopt = not found.
+  /// When unset, any include is an error. Each distinct path is included
+  /// once (include-once semantics); include cycles are rejected.
+  std::function<std::optional<std::string>(const std::string &)> Resolver;
+  /// The include-spelling of the root source itself, if it has one; seeds
+  /// the include-once set so a cycle back to the root is a no-op rather
+  /// than a duplicate definition (compileFile sets this to the file's
+  /// basename).
+  std::string RootName;
+};
+
+/// Compiles DSL source to a pattern Library. Operator declarations are
+/// merged into \p Sig. Returns nullptr (with diagnostics) on any error;
+/// the result has passed the well-formedness checker.
+std::unique_ptr<pattern::Library> compile(std::string_view Source,
+                                          term::Signature &Sig,
+                                          DiagnosticEngine &Diags,
+                                          const CompileOptions &Opts = {});
+
+/// Compiles a file, resolving its includes relative to the file's
+/// directory.
+std::unique_ptr<pattern::Library> compileFile(const std::string &Path,
+                                              term::Signature &Sig,
+                                              DiagnosticEngine &Diags);
+
+/// Convenience for tests/examples: compile or abort printing diagnostics.
+std::unique_ptr<pattern::Library> compileOrDie(std::string_view Source,
+                                               term::Signature &Sig);
+
+} // namespace pypm::dsl
+
+#endif // PYPM_DSL_SEMA_H

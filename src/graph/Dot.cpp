@@ -1,0 +1,31 @@
+//===- graph/Dot.cpp - Graphviz export ----------------------------------------===//
+
+#include "graph/Dot.h"
+
+using namespace pypm;
+using namespace pypm::graph;
+
+std::string pypm::graph::toDot(const Graph &G, std::string_view Title) {
+  std::string Out = "digraph \"";
+  Out += Title;
+  Out += "\" {\n  rankdir=BT;\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (NodeId N : G.topoOrder()) {
+    Out += "  n" + std::to_string(N) + " [label=\"";
+    Out += G.signature().name(G.op(N)).str();
+    Out += "\\n";
+    Out += G.type(N).str();
+    for (const term::Attr &A : G.attrs(N)) {
+      Out += "\\n";
+      Out += A.Key.str();
+      Out += "=";
+      Out += std::to_string(A.Value);
+    }
+    Out += "\"];\n";
+    for (NodeId In : G.inputs(N))
+      Out += "  n" + std::to_string(In) + " -> n" + std::to_string(N) + ";\n";
+  }
+  for (NodeId Output : G.outputs())
+    Out += "  n" + std::to_string(Output) + " [style=bold];\n";
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,24 @@
+//===- graph/Dot.h - Graphviz export ----------------------------*- C++ -*-===//
+///
+/// \file
+/// Renders a computation graph in Graphviz DOT format for debugging and
+/// the examples' before/after visualizations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_GRAPH_DOT_H
+#define PYPM_GRAPH_DOT_H
+
+#include "graph/Graph.h"
+
+#include <string>
+
+namespace pypm::graph {
+
+/// DOT text for the live subgraph. Node labels show op name, type, and
+/// attributes.
+std::string toDot(const Graph &G, std::string_view Title = "pypm");
+
+} // namespace pypm::graph
+
+#endif // PYPM_GRAPH_DOT_H

@@ -1,0 +1,269 @@
+//===- graph/GraphIO.cpp - Textual computation-graph format --------------------===//
+
+#include "graph/GraphIO.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace pypm;
+using namespace pypm::graph;
+
+std::string pypm::graph::writeGraphText(const Graph &G) {
+  std::string Out;
+  const term::Signature &Sig = G.signature();
+  for (NodeId N : G.topoOrder()) {
+    Out += 'n';
+    Out += std::to_string(N);
+    Out += " = ";
+    Out += Sig.name(G.op(N)).str();
+    if (!G.attrs(N).empty()) {
+      Out += '[';
+      bool First = true;
+      for (const term::Attr &A : G.attrs(N)) {
+        if (!First)
+          Out += ',';
+        First = false;
+        Out += A.Key.str();
+        Out += '=';
+        Out += std::to_string(A.Value);
+      }
+      Out += ']';
+    }
+    Out += '(';
+    bool First = true;
+    for (NodeId In : G.inputs(N)) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += 'n';
+      Out += std::to_string(In);
+    }
+    Out += ") : ";
+    Out += term::dtypeName(G.type(N).Dtype);
+    Out += '[';
+    for (size_t I = 0; I != G.type(N).Dims.size(); ++I) {
+      if (I)
+        Out += 'x';
+      Out += std::to_string(G.type(N).Dims[I]);
+    }
+    Out += "]\n";
+  }
+  for (NodeId Output : G.outputs()) {
+    Out += "output n";
+    Out += std::to_string(Output);
+    Out += '\n';
+  }
+  return Out;
+}
+
+namespace {
+
+/// Single-line cursor with character-level helpers.
+class LineParser {
+public:
+  LineParser(std::string_view Line, uint32_t LineNo, DiagnosticEngine &Diags)
+      : Line(Line), LineNo(LineNo), Diags(Diags) {}
+
+  void skipWs() {
+    while (Pos < Line.size() &&
+           std::isspace(static_cast<unsigned char>(Line[Pos])))
+      ++Pos;
+  }
+
+  bool atEnd() {
+    skipWs();
+    return Pos == Line.size();
+  }
+
+  bool eat(char C) {
+    skipWs();
+    if (Pos < Line.size() && Line[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool expect(char C) {
+    if (eat(C))
+      return true;
+    error(std::string("expected '") + C + "'");
+    return false;
+  }
+
+  std::string_view ident() {
+    skipWs();
+    size_t Start = Pos;
+    while (Pos < Line.size() &&
+           (std::isalnum(static_cast<unsigned char>(Line[Pos])) ||
+            Line[Pos] == '_'))
+      ++Pos;
+    return Line.substr(Start, Pos - Start);
+  }
+
+  bool integer(int64_t &Out) {
+    skipWs();
+    size_t Start = Pos;
+    if (Pos < Line.size() && (Line[Pos] == '-' || Line[Pos] == '+'))
+      ++Pos;
+    while (Pos < Line.size() &&
+           std::isdigit(static_cast<unsigned char>(Line[Pos])))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    Out = std::strtoll(std::string(Line.substr(Start, Pos - Start)).c_str(),
+                       nullptr, 10);
+    return true;
+  }
+
+  void error(std::string Msg) {
+    Diags.error(SourceLoc{LineNo, static_cast<uint32_t>(Pos + 1)},
+                std::move(Msg));
+  }
+
+private:
+  std::string_view Line;
+  uint32_t LineNo;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Graph> pypm::graph::parseGraphText(std::string_view Text,
+                                                   term::Signature &Sig,
+                                                   DiagnosticEngine &Diags) {
+  auto G = std::make_unique<Graph>(Sig);
+  std::unordered_map<std::string, NodeId> Names;
+  uint32_t LineNo = 0;
+  size_t Pos = 0;
+
+  while (Pos <= Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    std::string_view Line = Text.substr(
+        Pos, End == std::string_view::npos ? std::string_view::npos
+                                           : End - Pos);
+    Pos = End == std::string_view::npos ? Text.size() + 1 : End + 1;
+    ++LineNo;
+
+    LineParser LP(Line, LineNo, Diags);
+    if (LP.atEnd() || LP.eat('#'))
+      continue;
+
+    std::string_view First = LP.ident();
+    if (First == "output") {
+      std::string Ref(LP.ident());
+      auto It = Names.find(Ref);
+      if (It == Names.end()) {
+        LP.error("output references unknown node '" + Ref + "'");
+        return nullptr;
+      }
+      G->addOutput(It->second);
+      continue;
+    }
+    if (First.empty()) {
+      LP.error("expected node definition or 'output'");
+      return nullptr;
+    }
+
+    std::string Name(First);
+    if (Names.count(Name)) {
+      LP.error("node '" + Name + "' redefined");
+      return nullptr;
+    }
+    if (!LP.expect('='))
+      return nullptr;
+    std::string_view OpName = LP.ident();
+    if (OpName.empty()) {
+      LP.error("expected operator name");
+      return nullptr;
+    }
+
+    std::vector<term::Attr> Attrs;
+    if (LP.eat('[')) {
+      if (!LP.eat(']')) {
+        do {
+          std::string_view Key = LP.ident();
+          int64_t V = 0;
+          if (Key.empty() || !LP.expect('=') || !LP.integer(V)) {
+            LP.error("malformed attribute");
+            return nullptr;
+          }
+          Attrs.push_back({Symbol::intern(Key), V});
+        } while (LP.eat(','));
+        if (!LP.expect(']'))
+          return nullptr;
+      }
+    }
+
+    std::vector<NodeId> Inputs;
+    if (!LP.expect('('))
+      return nullptr;
+    if (!LP.eat(')')) {
+      do {
+        std::string Ref(LP.ident());
+        auto It = Names.find(Ref);
+        if (It == Names.end()) {
+          LP.error("unknown input node '" + Ref + "'");
+          return nullptr;
+        }
+        Inputs.push_back(It->second);
+      } while (LP.eat(','));
+      if (!LP.expect(')'))
+        return nullptr;
+    }
+
+    if (!LP.expect(':'))
+      return nullptr;
+    std::string_view DtypeName = LP.ident();
+    std::optional<term::DType> Dtype = term::dtypeFromName(DtypeName);
+    if (!Dtype) {
+      LP.error("unknown dtype '" + std::string(DtypeName) + "'");
+      return nullptr;
+    }
+    TensorType Type;
+    Type.Dtype = *Dtype;
+    if (!LP.expect('['))
+      return nullptr;
+    if (!LP.eat(']')) {
+      int64_t D = 0;
+      if (!LP.integer(D)) {
+        LP.error("expected dimension");
+        return nullptr;
+      }
+      Type.Dims.push_back(D);
+      while (LP.eat('x')) {
+        if (!LP.integer(D)) {
+          LP.error("expected dimension");
+          return nullptr;
+        }
+        Type.Dims.push_back(D);
+      }
+      if (!LP.expect(']'))
+        return nullptr;
+    }
+    if (!LP.atEnd()) {
+      LP.error("trailing characters");
+      return nullptr;
+    }
+
+    term::OpId Op = Sig.lookup(OpName);
+    if (!Op.isValid()) {
+      Op = Sig.addOp(OpName, static_cast<unsigned>(Inputs.size()));
+    } else if (Sig.arity(Op) != Inputs.size()) {
+      LP.error("operator '" + std::string(OpName) + "' expects " +
+               std::to_string(Sig.arity(Op)) + " inputs, got " +
+               std::to_string(Inputs.size()));
+      return nullptr;
+    }
+    NodeId N = G->addNode(Op, std::span<const NodeId>(Inputs),
+                          std::move(Attrs));
+    G->setType(N, std::move(Type));
+    Names.emplace(std::move(Name), N);
+  }
+
+  if (G->outputs().empty() && G->numNodes() != 0)
+    Diags.warning(SourceLoc{LineNo, 1}, "graph has no outputs");
+  return G;
+}

@@ -1,0 +1,44 @@
+//===- graph/GraphIO.h - Textual computation-graph format -------*- C++ -*-===//
+///
+/// \file
+/// A line-oriented textual serialization of computation graphs, so that
+/// models can be shipped to / produced by the pypmc driver and diffed in
+/// review:
+///
+///   # comment
+///   n0 = Input[uid=0] : f32[8x128]
+///   n1 = Weight[uid=1] : f32[128x64]
+///   n2 = MatMul(n0, n1) : f32[8x64]
+///   output n2
+///
+/// One node per line: `<name> = <Op>[k=v,…](<inputs>) : <dtype>[<dims>]`,
+/// inputs referencing earlier names. Scalars print as `f32[]`. The writer
+/// emits live nodes in topological order; the reader checks arities,
+/// declares unknown operators with the observed arity, and reports errors
+/// with line numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_GRAPH_GRAPHIO_H
+#define PYPM_GRAPH_GRAPHIO_H
+
+#include "graph/Graph.h"
+
+#include <memory>
+#include <string>
+
+namespace pypm::graph {
+
+/// Renders the live subgraph as text (inverse of parseGraphText).
+std::string writeGraphText(const Graph &G);
+
+/// Parses the textual format. Returns nullptr and reports line-located
+/// diagnostics on malformed input. Unknown operators are declared in
+/// \p Sig with the observed arity.
+std::unique_ptr<Graph> parseGraphText(std::string_view Text,
+                                      term::Signature &Sig,
+                                      DiagnosticEngine &Diags);
+
+} // namespace pypm::graph
+
+#endif // PYPM_GRAPH_GRAPHIO_H

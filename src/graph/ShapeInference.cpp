@@ -1,0 +1,270 @@
+//===- graph/ShapeInference.cpp - Tensor shape/dtype inference ---------------===//
+
+#include "graph/ShapeInference.h"
+
+#include <algorithm>
+
+using namespace pypm;
+using namespace pypm::graph;
+
+namespace {
+
+std::optional<std::vector<int64_t>>
+broadcastDims(std::span<const int64_t> A, std::span<const int64_t> B) {
+  // Numpy-style right-aligned broadcast; scalars (empty) broadcast freely.
+  size_t Rank = std::max(A.size(), B.size());
+  std::vector<int64_t> Out(Rank);
+  for (size_t I = 0; I != Rank; ++I) {
+    int64_t DA = I < A.size() ? A[A.size() - 1 - I] : 1;
+    int64_t DB = I < B.size() ? B[B.size() - 1 - I] : 1;
+    if (DA != DB && DA != 1 && DB != 1)
+      return std::nullopt;
+    Out[Rank - 1 - I] = std::max(DA, DB);
+  }
+  return Out;
+}
+
+std::optional<TensorType> inferElementwise(const Graph &,
+                                           NodeId,
+                                           std::span<const TensorType> In) {
+  TensorType Out;
+  Out.Dtype = In[0].Dtype;
+  if (In.size() == 1) {
+    Out.Dims = In[0].Dims;
+    return Out;
+  }
+  std::optional<std::vector<int64_t>> Dims =
+      broadcastDims(In[0].Dims, In[1].Dims);
+  if (!Dims)
+    return std::nullopt;
+  // Prefer a non-scalar dtype source (a Const scalar should not demote the
+  // tensor's dtype).
+  if (In[0].Dims.empty() && !In[1].Dims.empty())
+    Out.Dtype = In[1].Dtype;
+  Out.Dims = std::move(*Dims);
+  return Out;
+}
+
+/// result = A · B over the trailing two dims, leading dims broadcast.
+std::optional<TensorType> matmulType(const TensorType &A, const TensorType &B,
+                                     bool TransposeB) {
+  if (A.rank() < 2 || B.rank() < 2)
+    return std::nullopt;
+  int64_t M = A.Dims[A.rank() - 2];
+  int64_t KA = A.Dims[A.rank() - 1];
+  int64_t KB = TransposeB ? B.Dims[B.rank() - 1] : B.Dims[B.rank() - 2];
+  int64_t N = TransposeB ? B.Dims[B.rank() - 2] : B.Dims[B.rank() - 1];
+  if (KA != KB)
+    return std::nullopt;
+  std::span<const int64_t> BatchA(A.Dims.data(), A.rank() - 2);
+  std::span<const int64_t> BatchB(B.Dims.data(), B.rank() - 2);
+  std::optional<std::vector<int64_t>> Batch = broadcastDims(BatchA, BatchB);
+  if (!Batch)
+    return std::nullopt;
+  TensorType Out;
+  Out.Dtype = A.Dtype;
+  Out.Dims = std::move(*Batch);
+  Out.Dims.push_back(M);
+  Out.Dims.push_back(N);
+  return Out;
+}
+
+int64_t attrOr(const Graph &G, NodeId N, std::string_view Key,
+               int64_t Default) {
+  return G.attr(N, Symbol::intern(Key)).value_or(Default);
+}
+
+} // namespace
+
+ShapeInference::ShapeInference() {
+  registerRule("MatMul", [](const Graph &, NodeId,
+                            std::span<const TensorType> In) {
+    return matmulType(In[0], In[1], /*TransposeB=*/false);
+  });
+  registerRule("GemmEpilog", [](const Graph &, NodeId,
+                                std::span<const TensorType> In) {
+    return matmulType(In[0], In[1], /*TransposeB=*/false);
+  });
+  registerRule("GemmBiasEpilog", [](const Graph &, NodeId,
+                                    std::span<const TensorType> In) {
+    return matmulType(In[0], In[1], /*TransposeB=*/false);
+  });
+  for (std::string_view Name : {"cublasMM_xyT_f32", "cublasMM_xyT_i8"})
+    registerRule(Name, [](const Graph &, NodeId,
+                          std::span<const TensorType> In) {
+      return matmulType(In[0], In[1], /*TransposeB=*/true);
+    });
+
+  registerRule("Trans", [](const Graph &, NodeId,
+                           std::span<const TensorType> In)
+                    -> std::optional<TensorType> {
+    if (In[0].rank() < 2)
+      return std::nullopt;
+    TensorType Out = In[0];
+    std::swap(Out.Dims[Out.rank() - 1], Out.Dims[Out.rank() - 2]);
+    return Out;
+  });
+
+  for (std::string_view Name : {"Add", "Sub", "Mul", "Div", "Pow"})
+    registerRule(Name, inferElementwise);
+
+  registerRule("BiasAdd", [](const Graph &, NodeId,
+                             std::span<const TensorType> In) {
+    return std::optional<TensorType>(In[0]);
+  });
+
+  // FMHA(Q, K, V[, Mask]): Q-shaped with V's head dim (softmax(αQKᵀ)V,
+  // §4.1); the masked variant takes the additive mask as a fourth operand.
+  for (std::string_view Name : {"FMHA", "FMHAMasked"})
+    registerRule(Name, [](const Graph &, NodeId,
+                          std::span<const TensorType> In)
+                      -> std::optional<TensorType> {
+      if (In[0].rank() < 2 || In[2].rank() < 2)
+        return std::nullopt;
+      TensorType Out = In[0];
+      Out.Dims.back() = In[2].Dims.back();
+      return Out;
+    });
+
+  // ConvEpilog(x, w, bias) computes the same output shape as Conv2D(x, w);
+  // the rule only inspects the first two inputs.
+  for (std::string_view Name : {"Conv2D", "ConvEpilog"})
+    registerRule(Name, [](const Graph &G, NodeId N,
+                          std::span<const TensorType> In)
+                      -> std::optional<TensorType> {
+      // x: [N, C, H, W], w: [F, C, kh, kw]
+      if (In[0].rank() != 4 || In[1].rank() != 4)
+        return std::nullopt;
+      if (In[0].Dims[1] != In[1].Dims[1])
+        return std::nullopt;
+      int64_t Stride = attrOr(G, N, "stride", 1);
+      int64_t Pad = attrOr(G, N, "pad", 0);
+      int64_t H = (In[0].Dims[2] + 2 * Pad - In[1].Dims[2]) / Stride + 1;
+      int64_t W = (In[0].Dims[3] + 2 * Pad - In[1].Dims[3]) / Stride + 1;
+      if (H <= 0 || W <= 0)
+        return std::nullopt;
+      TensorType Out;
+      Out.Dtype = In[0].Dtype;
+      Out.Dims = {In[0].Dims[0], In[1].Dims[0], H, W};
+      return Out;
+    });
+
+  for (std::string_view Name : {"MaxPool", "AvgPool"})
+    registerRule(Name, [](const Graph &G, NodeId N,
+                          std::span<const TensorType> In)
+                      -> std::optional<TensorType> {
+      if (In[0].rank() != 4)
+        return std::nullopt;
+      int64_t K = attrOr(G, N, "k", 2);
+      int64_t Stride = attrOr(G, N, "stride", K);
+      int64_t H = (In[0].Dims[2] - K) / Stride + 1;
+      int64_t W = (In[0].Dims[3] - K) / Stride + 1;
+      if (H <= 0 || W <= 0)
+        return std::nullopt;
+      TensorType Out = In[0];
+      Out.Dims[2] = H;
+      Out.Dims[3] = W;
+      return Out;
+    });
+
+  registerRule("GlobalAvgPool", [](const Graph &, NodeId,
+                                   std::span<const TensorType> In)
+                    -> std::optional<TensorType> {
+    if (In[0].rank() != 4)
+      return std::nullopt;
+    TensorType Out;
+    Out.Dtype = In[0].Dtype;
+    Out.Dims = {In[0].Dims[0], In[0].Dims[1]};
+    return Out;
+  });
+
+  registerRule("Reshape", [](const Graph &G, NodeId N,
+                             std::span<const TensorType> In)
+                    -> std::optional<TensorType> {
+    TensorType Out;
+    Out.Dtype = In[0].Dtype;
+    for (std::string_view Key : {"d0", "d1", "d2", "d3"})
+      if (std::optional<int64_t> D = G.attr(N, Symbol::intern(Key)))
+        Out.Dims.push_back(*D);
+    if (Out.numElements() != In[0].numElements())
+      return std::nullopt; // relayout must preserve element count
+    return Out;
+  });
+
+  registerRule("Flatten", [](const Graph &, NodeId,
+                             std::span<const TensorType> In)
+                    -> std::optional<TensorType> {
+    if (In[0].rank() < 1)
+      return std::nullopt;
+    int64_t Rest = 1;
+    for (size_t I = 1; I < In[0].Dims.size(); ++I)
+      Rest *= In[0].Dims[I];
+    TensorType Out;
+    Out.Dtype = In[0].Dtype;
+    Out.Dims = {In[0].Dims[0], Rest};
+    return Out;
+  });
+}
+
+void ShapeInference::registerRule(std::string_view OpName, InferFn Fn) {
+  Rules[Symbol::intern(OpName)] = std::move(Fn);
+}
+
+bool ShapeInference::applyRule(Graph &G, NodeId N, DiagnosticEngine *Diags,
+                               bool &Defaulted) const {
+  const Node &Nd = G.node(N);
+  std::vector<TensorType> InTypes;
+  InTypes.reserve(Nd.Inputs.size());
+  for (NodeId In : Nd.Inputs)
+    InTypes.push_back(G.type(In));
+
+  auto It = Rules.find(G.signature().name(Nd.Op));
+  if (It == Rules.end()) {
+    // Opaque operator: same type as first input (shape-preserving), which
+    // is correct for the whole unary_pointwise class.
+    Defaulted = true;
+    if (!InTypes.empty())
+      G.setType(N, InTypes[0]);
+    return true;
+  }
+  std::optional<TensorType> Out = It->second(G, N, InTypes);
+  if (!Out) {
+    if (Diags) {
+      std::string Msg = "shape inference failed for node " +
+                        std::to_string(N) + " (" +
+                        std::string(G.signature().name(Nd.Op).str()) + "): ";
+      for (const TensorType &T : InTypes)
+        Msg += T.str() + " ";
+      Diags->error(SourceLoc(), Msg);
+    }
+    return false;
+  }
+  G.setType(N, std::move(*Out));
+  return true;
+}
+
+ShapeInference::Stats ShapeInference::inferAll(Graph &G,
+                                               DiagnosticEngine *Diags) const {
+  Stats S;
+  for (NodeId N : G.topoOrder()) {
+    if (G.inputs(N).empty())
+      continue; // leaves keep their preset type
+    bool Defaulted = false;
+    if (!applyRule(G, N, Diags, Defaulted)) {
+      ++S.Errors;
+      continue;
+    }
+    ++S.InferredNodes;
+    if (Defaulted)
+      ++S.DefaultedNodes;
+  }
+  return S;
+}
+
+bool ShapeInference::inferNode(Graph &G, NodeId N,
+                               DiagnosticEngine *Diags) const {
+  if (G.inputs(N).empty())
+    return true;
+  bool Defaulted = false;
+  return applyRule(G, N, Diags, Defaulted);
+}

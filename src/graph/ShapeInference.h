@@ -1,0 +1,64 @@
+//===- graph/ShapeInference.h - Tensor shape/dtype inference -----*- C++ -*-===//
+///
+/// \file
+/// Propagates tensor types through a computation graph. PyPM guards query
+/// `x.shape.rank`, `x.shape.dimN`, and `x.eltType` (§2, Fig. 1); this pass
+/// computes them for every node from the leaf types the model builder set.
+///
+/// Rules are registered per operator name; built-in rules cover the model
+/// zoo's vocabulary (matmul family, transpose, elementwise broadcast,
+/// softmax/normalization, conv/pool, flatten, the fused kernels the rules
+/// introduce). Operators without a rule default to "same type as first
+/// input" — mirroring DLCB's treatment of unfamiliar operators as opaque
+/// nodes — and are counted in Stats.DefaultedNodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_GRAPH_SHAPEINFERENCE_H
+#define PYPM_GRAPH_SHAPEINFERENCE_H
+
+#include "graph/Graph.h"
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+namespace pypm::graph {
+
+/// Computes the output type of one node from its input types; nullopt on a
+/// shape error (reported by inferAll).
+using InferFn = std::function<std::optional<TensorType>(
+    const Graph &, NodeId, std::span<const TensorType>)>;
+
+class ShapeInference {
+public:
+  /// Constructs with the built-in rule set.
+  ShapeInference();
+
+  /// Registers/overrides the rule for an operator name.
+  void registerRule(std::string_view OpName, InferFn Fn);
+
+  struct Stats {
+    size_t InferredNodes = 0;
+    size_t DefaultedNodes = 0;
+    size_t Errors = 0;
+  };
+
+  /// Infers types for every live non-leaf node in topological order. Leaf
+  /// nodes (arity 0) keep their preset types. Returns the stats; errors are
+  /// reported to \p Diags if given.
+  Stats inferAll(Graph &G, DiagnosticEngine *Diags = nullptr) const;
+
+  /// Infers the type of a single node (inputs must be typed). Returns false
+  /// on error.
+  bool inferNode(Graph &G, NodeId N, DiagnosticEngine *Diags = nullptr) const;
+
+private:
+  std::unordered_map<Symbol, InferFn> Rules;
+  bool applyRule(Graph &G, NodeId N, DiagnosticEngine *Diags,
+                 bool &Defaulted) const;
+};
+
+} // namespace pypm::graph
+
+#endif // PYPM_GRAPH_SHAPEINFERENCE_H

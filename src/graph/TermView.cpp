@@ -1,0 +1,47 @@
+//===- graph/TermView.cpp - Graph ↔ term adapter -----------------------------===//
+
+#include "graph/TermView.h"
+
+using namespace pypm;
+using namespace pypm::graph;
+
+term::TermRef TermView::termFor(NodeId N) {
+  assert(!G.isDead(N) && "term view of a dead node");
+  if (auto It = NodeToTerm.find(N); It != NodeToTerm.end())
+    return It->second;
+
+  std::vector<term::TermRef> Children;
+  Children.reserve(G.inputs(N).size());
+  for (NodeId In : G.inputs(N))
+    Children.push_back(termFor(In));
+
+  // Tensor-type attributes first, then the node's own operator attributes.
+  static const Symbol EltType = Symbol::intern("elt_type");
+  static const Symbol Rank = Symbol::intern("rank");
+  static const Symbol DimKeys[8] = {
+      Symbol::intern("dim0"), Symbol::intern("dim1"), Symbol::intern("dim2"),
+      Symbol::intern("dim3"), Symbol::intern("dim4"), Symbol::intern("dim5"),
+      Symbol::intern("dim6"), Symbol::intern("dim7")};
+
+  const TensorType &Ty = G.type(N);
+  std::vector<term::Attr> Attrs;
+  Attrs.reserve(Ty.rank() + 2 + G.attrs(N).size());
+  Attrs.push_back({EltType, static_cast<int64_t>(Ty.Dtype)});
+  Attrs.push_back({Rank, static_cast<int64_t>(Ty.rank())});
+  for (unsigned I = 0; I < Ty.rank() && I < 8; ++I)
+    Attrs.push_back({DimKeys[I], Ty.Dims[I]});
+  for (const term::Attr &A : G.attrs(N))
+    Attrs.push_back(A);
+
+  term::TermRef T =
+      Arena.make(G.op(N), std::span<const term::TermRef>(Children), Attrs);
+  NodeToTerm.emplace(N, T);
+  // Keep the first (lowest-id) representative for determinism.
+  TermToNode.emplace(T, N);
+  return T;
+}
+
+NodeId TermView::nodeFor(term::TermRef T) const {
+  auto It = TermToNode.find(T);
+  return It == TermToNode.end() ? InvalidNode : It->second;
+}

@@ -1,0 +1,64 @@
+//===- graph/TermView.h - Graph ↔ term adapter ------------------*- C++ -*-===//
+///
+/// \file
+/// CorePyPM abstracts computation graphs as syntax trees (§3): the matcher
+/// matches the *tree unrolling* of the subgraph rooted at a node. TermView
+/// provides that view: termFor(n) converts the DAG rooted at n into a
+/// hash-consed term (conversion is memoized per node, so shared subgraphs
+/// convert once and sharing survives as hash-consing sharing — the
+/// conversion is linear in the number of live nodes, not in tree size).
+///
+/// Term attributes are assembled from the node: `elt_type`, `rank`,
+/// `dim0…dim7` from the inferred tensor type, plus the node's own operator
+/// attributes (stride, value_u6, …). Because attributes participate in term
+/// identity, structurally equal subgraphs with different shapes are
+/// distinct terms — which is what nonlinear patterns should see.
+///
+/// nodeFor(t) maps a matched term back to a *representative* node (needed
+/// to build rule replacements); when hash-consing merged several
+/// structurally identical nodes, any representative is semantically
+/// interchangeable (pure dataflow).
+///
+/// After any graph mutation, call invalidate().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_GRAPH_TERMVIEW_H
+#define PYPM_GRAPH_TERMVIEW_H
+
+#include "graph/Graph.h"
+#include "term/Term.h"
+
+#include <unordered_map>
+
+namespace pypm::graph {
+
+class TermView {
+public:
+  TermView(const Graph &G, term::TermArena &Arena) : G(G), Arena(Arena) {}
+
+  /// The term unrolling of the subgraph rooted at \p N.
+  term::TermRef termFor(NodeId N);
+
+  /// A live node whose unrolling equals \p T, or InvalidNode. Only terms
+  /// previously produced by termFor (or their subterms) are mapped.
+  NodeId nodeFor(term::TermRef T) const;
+
+  /// Drops all memoized conversions (call after mutating the graph).
+  void invalidate() {
+    NodeToTerm.clear();
+    TermToNode.clear();
+  }
+
+  term::TermArena &arena() { return Arena; }
+
+private:
+  const Graph &G;
+  term::TermArena &Arena;
+  std::unordered_map<NodeId, term::TermRef> NodeToTerm;
+  std::unordered_map<term::TermRef, NodeId> TermToNode;
+};
+
+} // namespace pypm::graph
+
+#endif // PYPM_GRAPH_TERMVIEW_H

@@ -1,0 +1,237 @@
+//===- match/Declarative.cpp - Declarative semantics ------------------------===//
+
+#include "match/Declarative.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace pypm;
+using namespace pypm::match;
+using namespace pypm::pattern;
+
+namespace {
+
+/// One engine implements both entry points:
+///
+///  - Strict mode (the derivation checker): at P-Var, only variables
+///    introduced by an enclosing ∃ within this derivation ("open"
+///    variables) may acquire new bindings; every other variable must
+///    already be bound by the candidate witness, exactly as P-Var demands.
+///    Function variables must always be bound by the candidate φ.
+///
+///  - Free mode (the witness enumerator): every variable may bind, so the
+///    search computes all witnesses.
+///
+/// Following §2.3 ("every fresh variable introduced must eventually be
+/// bound to some subterm") both modes require an ∃-variable to be bound
+/// when its scope closes — the declarative counterpart of the machine's
+/// checkName action. (The bare P-Exists rule would also admit an arbitrary
+/// t′ for an unused variable; PyPM the language rules that out, and the
+/// two executable semantics agree on the stricter reading.)
+class Engine {
+public:
+  Engine(const term::TermArena &Arena, DeclOptions Opts, bool Strict)
+      : Arena(Arena), Opts(Opts), Strict(Strict) {}
+
+  using States = std::vector<Witness>;
+
+  States solve(const Pattern *P, term::TermRef T, States In, unsigned Fuel) {
+    if (In.empty())
+      return In;
+    if (In.size() > Opts.MaxWitnesses) {
+      Incomplete = true;
+      In.resize(Opts.MaxWitnesses);
+    }
+
+    switch (P->kind()) {
+    case PatternKind::Var: {
+      Symbol X = cast<VarPattern>(P)->name();
+      States Out;
+      for (Witness &W : In) {
+        std::optional<term::TermRef> Bound = W.Theta.lookup(X);
+        if (Bound) {
+          if (*Bound == T)
+            Out.push_back(std::move(W)); // P-Var
+          continue;
+        }
+        if (Strict && !Open.count(X))
+          continue; // P-Var premise θ(x) ↦ t fails for this witness
+        W.Theta.bind(X, T);
+        Out.push_back(std::move(W));
+      }
+      return Out;
+    }
+
+    case PatternKind::App: {
+      const auto *AP = cast<AppPattern>(P);
+      if (AP->op() != T->op())
+        return {};
+      States Cur = std::move(In);
+      for (unsigned I = 0; I != AP->arity() && !Cur.empty(); ++I)
+        Cur = solve(AP->children()[I], T->child(I), std::move(Cur), Fuel);
+      return Cur; // P-Fun
+    }
+
+    case PatternKind::FunVarApp: {
+      const auto *FP = cast<FunVarAppPattern>(P);
+      if (FP->arity() != T->arity())
+        return {};
+      States Survivors;
+      for (Witness &W : In) {
+        std::optional<term::OpId> Bound = W.Phi.lookup(FP->funVar());
+        if (Bound) {
+          if (*Bound == T->op())
+            Survivors.push_back(std::move(W));
+          continue;
+        }
+        if (Strict && !OpenFun.count(FP->funVar()))
+          continue; // P-Fun-Var premise φ(F) ↦ f fails
+        W.Phi.bind(FP->funVar(), T->op());
+        Survivors.push_back(std::move(W));
+      }
+      States Cur = std::move(Survivors);
+      for (unsigned I = 0; I != FP->arity() && !Cur.empty(); ++I)
+        Cur = solve(FP->children()[I], T->child(I), std::move(Cur), Fuel);
+      return Cur;
+    }
+
+    case PatternKind::Alt: {
+      // P-Alt-1 ∪ P-Alt-2: the relation is the union of both derivations.
+      const auto *AP = cast<AltPattern>(P);
+      States L = solve(AP->left(), T, In, Fuel);
+      States R = solve(AP->right(), T, std::move(In), Fuel);
+      L.insert(L.end(), std::make_move_iterator(R.begin()),
+               std::make_move_iterator(R.end()));
+      return L;
+    }
+
+    case PatternKind::Guarded: {
+      const auto *GP = cast<GuardedPattern>(P);
+      States Sub = solve(GP->sub(), T, std::move(In), Fuel);
+      States Out;
+      for (Witness &W : Sub) {
+        SubstEnv Env(W.Theta, W.Phi, Arena);
+        if (GP->guard()->evalBool(Env).truthy()) // ⟦g[θ]⟧ = True
+          Out.push_back(std::move(W));
+      }
+      return Out;
+    }
+
+    case PatternKind::Exists: {
+      const auto *EP = cast<ExistsPattern>(P);
+      bool Inserted = Open.insert(EP->var()).second;
+      States Sub = solve(EP->sub(), T, std::move(In), Fuel);
+      if (Inserted)
+        Open.erase(EP->var());
+      States Out;
+      for (Witness &W : Sub)
+        if (W.Theta.contains(EP->var())) // the checkName requirement
+          Out.push_back(std::move(W));
+      return Out;
+    }
+
+    case PatternKind::ExistsFun: {
+      // ∃F over function variables (local operator variables, Fig. 14).
+      const auto *EP = cast<ExistsFunPattern>(P);
+      bool Inserted = OpenFun.insert(EP->funVar()).second;
+      States Sub = solve(EP->sub(), T, std::move(In), Fuel);
+      if (Inserted)
+        OpenFun.erase(EP->funVar());
+      States Out;
+      for (Witness &W : Sub)
+        if (W.Phi.contains(EP->funVar()))
+          Out.push_back(std::move(W));
+      return Out;
+    }
+
+    case PatternKind::MatchConstraint: {
+      const auto *MP = cast<MatchConstraintPattern>(P);
+      States Sub = solve(MP->sub(), T, std::move(In), Fuel);
+      States Out;
+      for (Witness &W : Sub) {
+        std::optional<term::TermRef> Bound = W.Theta.lookup(MP->var());
+        if (!Bound)
+          continue; // P-MatchConstr premise θ(x) ↦ t′ fails
+        States One;
+        One.push_back(std::move(W));
+        States Res = solve(MP->constraint(), *Bound, std::move(One), Fuel);
+        Out.insert(Out.end(), std::make_move_iterator(Res.begin()),
+                   std::make_move_iterator(Res.end()));
+      }
+      return Out;
+    }
+
+    case PatternKind::Mu: {
+      if (Fuel == 0) {
+        Incomplete = true;
+        return {};
+      }
+      const Pattern *Unfolded = Scratch.unfoldMu(cast<MuPattern>(P));
+      return solve(Unfolded, T, std::move(In), Fuel - 1); // P-Mu
+    }
+
+    case PatternKind::RecCall:
+      assert(false && "RecCall outside a mu body (ill-formed pattern)");
+      return {};
+    }
+    assert(false && "unknown pattern kind");
+    return {};
+  }
+
+  bool incomplete() const { return Incomplete; }
+
+private:
+  const term::TermArena &Arena;
+  DeclOptions Opts;
+  bool Strict;
+  PatternArena Scratch;
+  std::unordered_set<Symbol> Open;
+  std::unordered_set<Symbol> OpenFun;
+  bool Incomplete = false;
+};
+
+void dedup(std::vector<Witness> &Ws) {
+  auto Less = [](const Witness &A, const Witness &B) {
+    auto Tup = [](const Witness &W) {
+      // Lexicographic over the sorted entry vectors; TermRef/OpId values
+      // are stable within a run, which is all dedup needs.
+      std::vector<std::pair<uint64_t, uint64_t>> Keys;
+      for (const auto &[S, T] : W.Theta)
+        Keys.emplace_back(S.rawId(), reinterpret_cast<uint64_t>(T));
+      Keys.emplace_back(~0ull, ~0ull); // separator
+      for (const auto &[S, Op] : W.Phi)
+        Keys.emplace_back(S.rawId(), Op.index());
+      return Keys;
+    };
+    return Tup(A) < Tup(B);
+  };
+  std::sort(Ws.begin(), Ws.end(), Less);
+  Ws.erase(std::unique(Ws.begin(), Ws.end()), Ws.end());
+}
+
+} // namespace
+
+bool pypm::match::checkDerivable(const pattern::Pattern *P, term::TermRef T,
+                                 const Subst &Theta, const FunSubst &Phi,
+                                 const term::TermArena &Arena,
+                                 DeclOptions Opts) {
+  Engine E(Arena, Opts, /*Strict=*/true);
+  Engine::States Seed;
+  Seed.push_back(Witness{Theta, Phi});
+  return !E.solve(P, T, std::move(Seed), Opts.MuFuel).empty();
+}
+
+EnumResult pypm::match::enumerateWitnesses(const pattern::Pattern *P,
+                                           term::TermRef T,
+                                           const term::TermArena &Arena,
+                                           DeclOptions Opts, Subst SeedTheta,
+                                           FunSubst SeedPhi) {
+  Engine E(Arena, Opts, /*Strict=*/false);
+  Engine::States Seed;
+  Seed.push_back(Witness{std::move(SeedTheta), std::move(SeedPhi)});
+  EnumResult R;
+  R.Witnesses = E.solve(P, T, std::move(Seed), Opts.MuFuel);
+  R.Incomplete = E.incomplete();
+  dedup(R.Witnesses);
+  return R;
+}

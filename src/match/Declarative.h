@@ -1,0 +1,68 @@
+//===- match/Declarative.h - Declarative semantics ---------------*- C++ -*-===//
+///
+/// \file
+/// The declarative semantics of CorePyPM (paper Fig. 16): the inductive
+/// relation  p @ ⟨θ, φ⟩ ≈ t , realized two ways:
+///
+///  1. checkDerivable — a *derivation checker*: given a candidate witness
+///     ⟨θ, φ⟩ (e.g. one produced by the algorithmic machine), decide whether
+///     the judgment is derivable. The ∃ rule uses θ(x) as its invented term
+///     t′ — sound because the machine's final substitution contains every
+///     existential binding (checkName), and complete for μ-free patterns by
+///     Theorem 1 (weakening). For patterns containing μ the checker's
+///     freshened unfold names cannot align with a foreign witness's names;
+///     use the enumerator and compare restricted to the pattern parameters.
+///
+///  2. enumerateWitnesses — a *bounded-complete witness search*: computes
+///     every ⟨θ, φ⟩ with p @ ⟨θ, φ⟩ ≈ t derivable within a μ-unfold budget.
+///     All bindings in any derivation map variables to subterms of t (the
+///     only binding rule is P-Var against a concrete subterm), so the
+///     search space is finite for μ-free patterns and finite-per-budget in
+///     general. The result records whether the budget was hit, letting
+///     property tests discard undecided instances instead of mislabeling
+///     them.
+///
+/// Together these are the executable counterpart of the paper's Coq
+/// specification; tests/test_differential.cpp checks the machine against
+/// them (Theorem 2) and checks weakening (Theorem 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_MATCH_DECLARATIVE_H
+#define PYPM_MATCH_DECLARATIVE_H
+
+#include "match/Subst.h"
+#include "pattern/Pattern.h"
+
+#include <vector>
+
+namespace pypm::match {
+
+struct DeclOptions {
+  /// μ-unfold budget per derivation branch.
+  unsigned MuFuel = 64;
+  /// Cap on the number of witnesses the enumerator returns.
+  size_t MaxWitnesses = 100'000;
+};
+
+/// Is  p @ ⟨θ, φ⟩ ≈ t  derivable? See the file comment for the μ caveat.
+bool checkDerivable(const pattern::Pattern *P, term::TermRef T,
+                    const Subst &Theta, const FunSubst &Phi,
+                    const term::TermArena &Arena, DeclOptions Opts = {});
+
+struct EnumResult {
+  std::vector<Witness> Witnesses;
+  /// True if a μ-unfold budget or the witness cap was hit somewhere: the
+  /// witness list is then a (still-sound) under-approximation.
+  bool Incomplete = false;
+};
+
+/// All witnesses deriving  p @ ⟨θ, φ⟩ ≈ t  that extend the given seeds.
+EnumResult enumerateWitnesses(const pattern::Pattern *P, term::TermRef T,
+                              const term::TermArena &Arena,
+                              DeclOptions Opts = {}, Subst SeedTheta = {},
+                              FunSubst SeedPhi = {});
+
+} // namespace pypm::match
+
+#endif // PYPM_MATCH_DECLARATIVE_H

@@ -1,0 +1,335 @@
+//===- match/Derivation.cpp - Match derivation (proof) trees -------------------===//
+
+#include "match/Derivation.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace pypm;
+using namespace pypm::match;
+using namespace pypm::pattern;
+
+namespace {
+
+/// Deterministic backtracking derivation builder. The witness ⟨θ, φ⟩ is
+/// authoritative for every variable except ∃-opened ones, which live in a
+/// trailed overlay so alternate branches can retract their guesses.
+class Builder {
+public:
+  Builder(const Subst &Theta, const FunSubst &Phi,
+          const term::TermArena &Arena, DeriveOptions Opts)
+      : Theta(Theta), Phi(Phi), Arena(Arena), Opts(Opts) {}
+
+  std::unique_ptr<Derivation> build(const Pattern *P, term::TermRef T) {
+    return derive(P, T, Opts.MuFuel);
+  }
+
+private:
+  const Subst &Theta;
+  const FunSubst &Phi;
+  const term::TermArena &Arena;
+  DeriveOptions Opts;
+  PatternArena Scratch;
+
+  // Overlay for ∃-opened variables.
+  std::unordered_map<Symbol, term::TermRef> OpenTheta;
+  std::unordered_map<Symbol, term::OpId> OpenPhi;
+  std::unordered_set<Symbol> OpenVars, OpenFunVars;
+  std::vector<Symbol> ThetaTrail, PhiTrail;
+
+  /// GuardEnv over witness + overlay.
+  struct Env final : public GuardEnv {
+    const Builder &B;
+    explicit Env(const Builder &B) : B(B) {}
+    std::optional<term::TermRef> lookupVar(Symbol Var) const override {
+      if (auto It = B.OpenTheta.find(Var); It != B.OpenTheta.end())
+        return It->second;
+      return B.Theta.lookup(Var);
+    }
+    std::optional<term::OpId> lookupFunVar(Symbol FunVar) const override {
+      if (auto It = B.OpenPhi.find(FunVar); It != B.OpenPhi.end())
+        return It->second;
+      return B.Phi.lookup(FunVar);
+    }
+    const term::TermArena &arena() const override { return B.Arena; }
+  };
+
+  std::optional<term::TermRef> lookupVar(Symbol V) const {
+    if (auto It = OpenTheta.find(V); It != OpenTheta.end())
+      return It->second;
+    return Theta.lookup(V);
+  }
+  std::optional<term::OpId> lookupFunVar(Symbol V) const {
+    if (auto It = OpenPhi.find(V); It != OpenPhi.end())
+      return It->second;
+    return Phi.lookup(V);
+  }
+
+  static std::unique_ptr<Derivation> node(std::string Rule, const Pattern *P,
+                                          term::TermRef T,
+                                          std::string Note = {}) {
+    auto D = std::make_unique<Derivation>();
+    D->Rule = std::move(Rule);
+    D->Pat = P;
+    D->T = T;
+    D->Note = std::move(Note);
+    return D;
+  }
+
+  std::unique_ptr<Derivation> derive(const Pattern *P, term::TermRef T,
+                                     unsigned Fuel) {
+    switch (P->kind()) {
+    case PatternKind::Var: {
+      Symbol X = cast<VarPattern>(P)->name();
+      std::optional<term::TermRef> Bound = lookupVar(X);
+      if (Bound) {
+        if (*Bound != T)
+          return nullptr;
+        return node("P-Var", P, T,
+                    "θ(" + std::string(X.str()) + ") ↦ " +
+                        Arena.toString(T));
+      }
+      if (!OpenVars.count(X))
+        return nullptr; // P-Var premise fails; x is not ∃-opened
+      OpenTheta.emplace(X, T);
+      ThetaTrail.push_back(X);
+      return node("P-Var", P, T,
+                  "bind " + std::string(X.str()) + " ↦ " +
+                      Arena.toString(T));
+    }
+
+    case PatternKind::App: {
+      const auto *AP = cast<AppPattern>(P);
+      if (AP->op() != T->op())
+        return nullptr;
+      size_t ThetaMark = ThetaTrail.size(), PhiMark = PhiTrail.size();
+      auto D = node("P-Fun", P, T);
+      for (unsigned I = 0; I != AP->arity(); ++I) {
+        auto Premise = derive(AP->children()[I], T->child(I), Fuel);
+        if (!Premise) {
+          unwind(ThetaMark, PhiMark);
+          return nullptr;
+        }
+        D->Premises.push_back(std::move(Premise));
+      }
+      return D;
+    }
+
+    case PatternKind::FunVarApp: {
+      const auto *FP = cast<FunVarAppPattern>(P);
+      if (FP->arity() != T->arity())
+        return nullptr;
+      std::optional<term::OpId> Bound = lookupFunVar(FP->funVar());
+      size_t ThetaMark = ThetaTrail.size(), PhiMark = PhiTrail.size();
+      std::string Note;
+      if (Bound) {
+        if (*Bound != T->op())
+          return nullptr;
+        Note = "φ(" + std::string(FP->funVar().str()) + ") ↦ " +
+               std::string(Arena.signature().name(T->op()).str());
+      } else {
+        if (!OpenFunVars.count(FP->funVar()))
+          return nullptr;
+        OpenPhi.emplace(FP->funVar(), T->op());
+        PhiTrail.push_back(FP->funVar());
+        Note = "bind " + std::string(FP->funVar().str()) + " ↦ " +
+               std::string(Arena.signature().name(T->op()).str());
+      }
+      auto D = node("P-Fun-Var", P, T, std::move(Note));
+      for (unsigned I = 0; I != FP->arity(); ++I) {
+        auto Premise = derive(FP->children()[I], T->child(I), Fuel);
+        if (!Premise) {
+          unwind(ThetaMark, PhiMark);
+          return nullptr;
+        }
+        D->Premises.push_back(std::move(Premise));
+      }
+      return D;
+    }
+
+    case PatternKind::Alt: {
+      const auto *AP = cast<AltPattern>(P);
+      size_t ThetaMark = ThetaTrail.size(), PhiMark = PhiTrail.size();
+      if (auto L = derive(AP->left(), T, Fuel)) {
+        auto D = node("P-Alt-1", P, T);
+        D->Premises.push_back(std::move(L));
+        return D;
+      }
+      unwind(ThetaMark, PhiMark);
+      if (auto R = derive(AP->right(), T, Fuel)) {
+        auto D = node("P-Alt-2", P, T);
+        D->Premises.push_back(std::move(R));
+        return D;
+      }
+      unwind(ThetaMark, PhiMark);
+      return nullptr;
+    }
+
+    case PatternKind::Guarded: {
+      const auto *GP = cast<GuardedPattern>(P);
+      size_t ThetaMark = ThetaTrail.size(), PhiMark = PhiTrail.size();
+      auto Sub = derive(GP->sub(), T, Fuel);
+      if (!Sub) {
+        unwind(ThetaMark, PhiMark);
+        return nullptr;
+      }
+      Env E(*this);
+      if (!GP->guard()->evalBool(E).truthy()) {
+        unwind(ThetaMark, PhiMark);
+        return nullptr;
+      }
+      auto D = node("P-Guard", P, T,
+                    "⟦" + GP->guard()->toString() + "⟧ = True");
+      D->Premises.push_back(std::move(Sub));
+      return D;
+    }
+
+    case PatternKind::Exists: {
+      const auto *EP = cast<ExistsPattern>(P);
+      Symbol X = EP->var();
+      // If the witness already binds x, it is the invented t′; otherwise
+      // open x and let the structure bind it.
+      bool Opened = !lookupVar(X).has_value() && OpenVars.insert(X).second;
+      size_t ThetaMark = ThetaTrail.size(), PhiMark = PhiTrail.size();
+      auto Sub = derive(EP->sub(), T, Fuel);
+      std::optional<term::TermRef> Witness = lookupVar(X);
+      if (Opened)
+        OpenVars.erase(X);
+      if (!Sub || !Witness) {
+        unwind(ThetaMark, PhiMark);
+        return nullptr;
+      }
+      auto D = node("P-Exists", P, T,
+                    "t′ = " + Arena.toString(*Witness));
+      D->Premises.push_back(std::move(Sub));
+      return D;
+    }
+
+    case PatternKind::ExistsFun: {
+      const auto *EP = cast<ExistsFunPattern>(P);
+      Symbol F = EP->funVar();
+      bool Opened =
+          !lookupFunVar(F).has_value() && OpenFunVars.insert(F).second;
+      size_t ThetaMark = ThetaTrail.size(), PhiMark = PhiTrail.size();
+      auto Sub = derive(EP->sub(), T, Fuel);
+      std::optional<term::OpId> Witness = lookupFunVar(F);
+      if (Opened)
+        OpenFunVars.erase(F);
+      if (!Sub || !Witness) {
+        unwind(ThetaMark, PhiMark);
+        return nullptr;
+      }
+      auto D = node("P-Exists-Fun", P, T,
+                    "f′ = " + std::string(
+                                  Arena.signature().name(*Witness).str()));
+      D->Premises.push_back(std::move(Sub));
+      return D;
+    }
+
+    case PatternKind::MatchConstraint: {
+      const auto *MP = cast<MatchConstraintPattern>(P);
+      size_t ThetaMark = ThetaTrail.size(), PhiMark = PhiTrail.size();
+      auto Sub = derive(MP->sub(), T, Fuel);
+      if (!Sub) {
+        unwind(ThetaMark, PhiMark);
+        return nullptr;
+      }
+      std::optional<term::TermRef> Bound = lookupVar(MP->var());
+      if (!Bound) {
+        unwind(ThetaMark, PhiMark);
+        return nullptr;
+      }
+      auto Constr = derive(MP->constraint(), *Bound, Fuel);
+      if (!Constr) {
+        unwind(ThetaMark, PhiMark);
+        return nullptr;
+      }
+      auto D = node("P-MatchConstr", P, T,
+                    "θ(" + std::string(MP->var().str()) + ") ↦ " +
+                        Arena.toString(*Bound));
+      D->Premises.push_back(std::move(Sub));
+      D->Premises.push_back(std::move(Constr));
+      return D;
+    }
+
+    case PatternKind::Mu: {
+      if (Fuel == 0)
+        return nullptr;
+      const auto *MP = cast<MuPattern>(P);
+      const Pattern *Unfolded = Scratch.unfoldMu(MP);
+      auto Sub = derive(Unfolded, T, Fuel - 1);
+      if (!Sub)
+        return nullptr;
+      auto D = node("P-Mu", P, T, "unfold one step");
+      D->Premises.push_back(std::move(Sub));
+      return D;
+    }
+
+    case PatternKind::RecCall:
+      assert(false && "RecCall outside a mu body");
+      return nullptr;
+    }
+    return nullptr;
+  }
+
+  void unwind(size_t ThetaMark, size_t PhiMark) {
+    while (ThetaTrail.size() > ThetaMark) {
+      OpenTheta.erase(ThetaTrail.back());
+      ThetaTrail.pop_back();
+    }
+    while (PhiTrail.size() > PhiMark) {
+      OpenPhi.erase(PhiTrail.back());
+      PhiTrail.pop_back();
+    }
+  }
+
+  std::string toString(term::TermRef T) const { return Arena.toString(T); }
+};
+
+void renderInto(const Derivation &D, const term::Signature &Sig,
+                const std::string &Prefix, bool Last, std::string &Out,
+                bool Root) {
+  if (!Root) {
+    Out += Prefix;
+    Out += Last ? "└─ " : "├─ ";
+  }
+  Out += D.Rule;
+  Out += ": ";
+  Out += D.Pat->toString(Sig);
+  Out += " ≈ ";
+  Out += term::TermArena::toString(D.T, Sig);
+  if (!D.Note.empty()) {
+    Out += "   [";
+    Out += D.Note;
+    Out += "]";
+  }
+  Out += '\n';
+  std::string ChildPrefix =
+      Root ? Prefix : Prefix + (Last ? "   " : "│  ");
+  for (size_t I = 0; I != D.Premises.size(); ++I)
+    renderInto(*D.Premises[I], Sig, ChildPrefix,
+               I + 1 == D.Premises.size(), Out, false);
+}
+
+} // namespace
+
+size_t Derivation::size() const {
+  size_t N = 1;
+  for (const auto &P : Premises)
+    N += P->size();
+  return N;
+}
+
+std::string Derivation::render(const term::Signature &Sig) const {
+  std::string Out;
+  renderInto(*this, Sig, "", true, Out, true);
+  return Out;
+}
+
+std::unique_ptr<Derivation>
+pypm::match::deriveMatch(const Pattern *P, term::TermRef T,
+                         const Subst &Theta, const FunSubst &Phi,
+                         const term::TermArena &Arena, DeriveOptions Opts) {
+  Builder B(Theta, Phi, Arena, Opts);
+  return B.build(P, T);
+}

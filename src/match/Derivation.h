@@ -1,0 +1,64 @@
+//===- match/Derivation.h - Match derivation (proof) trees ------*- C++ -*-===//
+///
+/// \file
+/// The paper reads the declarative semantics as "a proof system for
+/// pattern matching: given a witness, verify that the formula is
+/// satisfied" (§3). This module makes the proof itself a value: given a
+/// pattern, a term, and a witness ⟨θ, φ⟩ (e.g. from the machine), build
+/// the derivation tree of  p @ ⟨θ, φ⟩ ≈ t  under the rules of Fig. 16 —
+/// each node labeled with the rule that concluded it (P-Var, P-Fun,
+/// P-Alt-1/2, P-Guard, P-Exists, P-MatchConstr, P-Fun-Var, P-Mu).
+///
+/// Existential variables the witness does not bind are searched for (the
+/// ∃ rule's invented t′), so derivations also exist for μ-patterns whose
+/// unfold freshening produced binder names the caller's witness cannot
+/// name. Used by `pypmc match --explain` and as an oracle in tests: a
+/// derivation exists iff checkDerivable holds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_MATCH_DERIVATION_H
+#define PYPM_MATCH_DERIVATION_H
+
+#include "match/Subst.h"
+#include "pattern/Pattern.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pypm::match {
+
+struct Derivation {
+  /// The Fig. 16 rule concluding this judgment ("P-Fun", "P-Alt-1", …).
+  std::string Rule;
+  const pattern::Pattern *Pat = nullptr;
+  term::TermRef T = nullptr;
+  /// Extra info for leaves: the binding a P-Var used, the guard a P-Guard
+  /// checked, the witness t′ a P-Exists invented.
+  std::string Note;
+  std::vector<std::unique_ptr<Derivation>> Premises;
+
+  /// Number of judgments in the tree.
+  size_t size() const;
+
+  /// Pretty tree rendering in the paper's `p @ θ ≈ t` notation.
+  std::string render(const term::Signature &Sig) const;
+};
+
+struct DeriveOptions {
+  unsigned MuFuel = 64;
+};
+
+/// Builds the derivation of  p @ ⟨θ, φ⟩ ≈ t , or nullptr if none exists.
+/// ∃-bound variables may extend the witness (searched over subterms the
+/// structure dictates); all other variables must be bound by ⟨θ, φ⟩
+/// exactly as P-Var/P-Fun-Var demand.
+std::unique_ptr<Derivation>
+deriveMatch(const pattern::Pattern *P, term::TermRef T, const Subst &Theta,
+            const FunSubst &Phi, const term::TermArena &Arena,
+            DeriveOptions Opts = {});
+
+} // namespace pypm::match
+
+#endif // PYPM_MATCH_DERIVATION_H

@@ -1,0 +1,303 @@
+//===- match/Machine.cpp - Algorithmic semantics (backtracking VM) ---------===//
+
+#include "match/Machine.h"
+
+using namespace pypm;
+using namespace pypm::match;
+using namespace pypm::pattern;
+
+std::string Action::toString(const term::Signature &Sig) const {
+  switch (Kind) {
+  case ActionKind::Match:
+    return "match(" + Pat->toString(Sig) + ", " +
+           term::TermArena::toString(T, Sig) + ")";
+  case ActionKind::Guard:
+    return "guard(" + Guard->toString() + ")";
+  case ActionKind::CheckName:
+    return "checkName(" + std::string(Var.str()) + ")";
+  case ActionKind::CheckFunName:
+    return "checkFunName(" + std::string(Var.str()) + ")";
+  case ActionKind::MatchConstr:
+    return "matchConstr(" + Pat->toString(Sig) + ", " +
+           std::string(Var.str()) + ")";
+  }
+  return "<action?>";
+}
+
+void Machine::start(const pattern::Pattern *P, term::TermRef T) {
+  Theta = Subst();
+  Phi = FunSubst();
+  Stack.clear();
+  Cont.clear();
+  Stats = MachineStats();
+  MuBudget = Opts.MaxMuUnfolds;
+  Status = MachineStatus::Running;
+  pushAction(Action::match(P, T));
+}
+
+/// backtrack([]) = failure; backtrack((θ,φ,k)::stk) = running(θ,φ,stk,k).
+MachineStatus Machine::backtrack() {
+  ++Stats.Backtracks;
+  if (Stack.empty()) {
+    Status = MachineStatus::Failure;
+    return Status;
+  }
+  Frame F = std::move(Stack.back());
+  Stack.pop_back();
+  Theta = std::move(F.Theta);
+  Phi = std::move(F.Phi);
+  Cont = std::move(F.Cont);
+  Status = MachineStatus::Running;
+  return Status;
+}
+
+MachineStatus Machine::step() {
+  if (Status != MachineStatus::Running)
+    return Status;
+  if (++Stats.Steps > Opts.MaxSteps) {
+    Status = MachineStatus::OutOfFuel;
+    return Status;
+  }
+
+  // ST-Success: running(θ, φ, stk, []) ↦ success(θ, φ).
+  if (Cont.empty()) {
+    Status = MachineStatus::Success;
+    return Status;
+  }
+
+  Action A = std::move(Cont.back());
+  Cont.pop_back();
+
+  switch (A.Kind) {
+  case ActionKind::Match:
+    return stepMatch(A);
+
+  case ActionKind::Guard: {
+    // ST-CheckGuard-Continue / ST-CheckGuard-Backtrack. A guard that is
+    // stuck (unbound variable, unknown attribute) cannot evaluate to True,
+    // so it backtracks like a False guard; the GuardStuck counter surfaces
+    // it for diagnostics.
+    ++Stats.GuardEvals;
+    SubstEnv Env(Theta, Phi, Arena);
+    GuardEval E = A.Guard->evalBool(Env);
+    if (!E.ok())
+      ++Stats.GuardStuck;
+    if (E.truthy())
+      return Status;
+    return backtrack();
+  }
+
+  case ActionKind::CheckName:
+    // ST-CheckName: θ(x) must be bound. An unbound x means some ∃-variable
+    // was never matched against a subterm; no completion of this path can
+    // bind it, so backtrack.
+    if (Theta.contains(A.Var))
+      return Status;
+    return backtrack();
+
+  case ActionKind::CheckFunName:
+    // The φ analogue of ST-CheckName, for ∃F (local operator variables).
+    if (Phi.contains(A.Var))
+      return Status;
+    return backtrack();
+
+  case ActionKind::MatchConstr: {
+    // ST-MatchConstr: θ(x) ↦ t, then match(p, t).
+    std::optional<term::TermRef> T = Theta.lookup(A.Var);
+    if (!T)
+      return backtrack();
+    pushAction(Action::match(A.Pat, *T));
+    return Status;
+  }
+  }
+  assert(false && "unknown action kind");
+  return Status;
+}
+
+MachineStatus Machine::stepMatch(const Action &A) {
+  const Pattern *P = A.Pat;
+  term::TermRef T = A.T;
+
+  switch (P->kind()) {
+  case PatternKind::Var: {
+    const auto *VP = cast<VarPattern>(P);
+    std::optional<term::TermRef> Bound = Theta.lookup(VP->name());
+    if (!Bound) {
+      // ST-Match-Var-Bind.
+      Theta.bind(VP->name(), T);
+      ++Stats.VarBinds;
+      return Status;
+    }
+    if (*Bound == T) // hash-consing: structural equality is pointer equality
+      return Status; // ST-Match-Var-Bound
+    return backtrack(); // ST-Match-Var-Conflict
+  }
+
+  case PatternKind::App: {
+    const auto *AP = cast<AppPattern>(P);
+    // ST-Match-Fun-Conflict: f ≠ g ∨ m ≠ n. (Equal ops imply equal arity.)
+    if (AP->op() != T->op())
+      return backtrack();
+    assert(AP->arity() == T->arity() && "signature arity invariant violated");
+    // ST-Match-Fun: prepend match(p_i, t_i); the continuation's head is at
+    // the vector's back, so push in reverse to execute left-to-right.
+    for (unsigned I = AP->arity(); I-- > 0;)
+      pushAction(Action::match(AP->children()[I], T->child(I)));
+    return Status;
+  }
+
+  case PatternKind::FunVarApp: {
+    const auto *FP = cast<FunVarAppPattern>(P);
+    if (FP->arity() != T->arity())
+      return backtrack(); // ST-Match-Fun-Var-Conflict (m ≠ n)
+    std::optional<term::OpId> Bound = Phi.lookup(FP->funVar());
+    if (Bound && *Bound != T->op())
+      return backtrack(); // ST-Match-Fun-Var-Conflict (φ(F) ↦ g, f ≠ g)
+    if (!Bound)
+      Phi.bind(FP->funVar(), T->op()); // ST-Match-Fun-Var-Bind
+    for (unsigned I = FP->arity(); I-- > 0;)
+      pushAction(Action::match(FP->children()[I], T->child(I)));
+    return Status;
+  }
+
+  case PatternKind::Alt: {
+    // ST-Match-Alt: push (θ, φ, match(p', t) :: k); continue with p.
+    const auto *AP = cast<AltPattern>(P);
+    Frame F;
+    F.Theta = Theta;
+    F.Phi = Phi;
+    F.Cont = Cont;
+    F.Cont.push_back(Action::match(AP->right(), T));
+    Stack.push_back(std::move(F));
+    Stats.MaxStackDepth = std::max(Stats.MaxStackDepth, Stack.size());
+    pushAction(Action::match(AP->left(), T));
+    return Status;
+  }
+
+  case PatternKind::Guarded: {
+    // ST-Match-Guard: match(p, t) :: guard(g) :: k.
+    const auto *GP = cast<GuardedPattern>(P);
+    pushAction(Action::guard(GP->guard()));
+    pushAction(Action::match(GP->sub(), T));
+    return Status;
+  }
+
+  case PatternKind::Exists: {
+    // ST-Match-Name: match(p, t) :: checkName(x) :: k.
+    const auto *EP = cast<ExistsPattern>(P);
+    pushAction(Action::checkName(EP->var()));
+    pushAction(Action::match(EP->sub(), T));
+    return Status;
+  }
+
+  case PatternKind::ExistsFun: {
+    // ∃F analogue of ST-Match-Name.
+    const auto *EP = cast<ExistsFunPattern>(P);
+    pushAction(Action::checkFunName(EP->funVar()));
+    pushAction(Action::match(EP->sub(), T));
+    return Status;
+  }
+
+  case PatternKind::MatchConstraint: {
+    // ST-Match-Match-Constr: match(p, t) :: matchConstr(p', x) :: k.
+    const auto *MP = cast<MatchConstraintPattern>(P);
+    pushAction(Action::matchConstr(MP->constraint(), MP->var()));
+    pushAction(Action::match(MP->sub(), T));
+    return Status;
+  }
+
+  case PatternKind::Mu: {
+    // ST-Match-Mu: unfold one step (with freshened binders) and retry.
+    const auto *MP = cast<MuPattern>(P);
+    if (MuBudget == 0) {
+      Status = MachineStatus::OutOfFuel;
+      return Status;
+    }
+    --MuBudget;
+    ++Stats.MuUnfolds;
+    const Pattern *Unfolded = Scratch.unfoldMu(MP);
+    pushAction(Action::match(Unfolded, T));
+    return Status;
+  }
+
+  case PatternKind::RecCall:
+    // A bare recursive call only appears inside a μ body; unfolding always
+    // rewraps it before it can reach the continuation.
+    assert(false && "RecCall reached the machine (ill-formed pattern)");
+    return backtrack();
+  }
+  assert(false && "unknown pattern kind");
+  return Status;
+}
+
+MachineStatus Machine::run() {
+  while (Status == MachineStatus::Running)
+    step();
+  return Status;
+}
+
+MachineStatus Machine::resume() {
+  if (Status != MachineStatus::Success)
+    return Status;
+  backtrack();
+  return run();
+}
+
+std::string Machine::describeState(const term::Signature &Sig) const {
+  std::string Out;
+  switch (Status) {
+  case MachineStatus::Success:
+    Out += "success";
+    break;
+  case MachineStatus::Failure:
+    return "failure";
+  case MachineStatus::OutOfFuel:
+    return "out-of-fuel";
+  case MachineStatus::Running:
+    Out += "running";
+    break;
+  }
+  Witness W{Theta, Phi};
+  Out += toString(W, Sig);
+  if (Status == MachineStatus::Running) {
+    Out += " cont=[";
+    for (size_t I = Cont.size(); I-- > 0;) {
+      Out += Cont[I].toString(Sig);
+      if (I != 0)
+        Out += ", ";
+    }
+    Out += "] |stk|=" + std::to_string(Stack.size());
+  }
+  return Out;
+}
+
+MatchResult pypm::match::matchPattern(const pattern::Pattern *P,
+                                      term::TermRef T,
+                                      const term::TermArena &Arena,
+                                      Machine::Options Opts) {
+  Machine M(Arena, Opts);
+  M.start(P, T);
+  MachineStatus S = M.run();
+  MatchResult R;
+  R.Status = S;
+  if (S == MachineStatus::Success)
+    R.W = Witness{M.theta(), M.phi()};
+  R.Stats = M.stats();
+  return R;
+}
+
+std::vector<Witness> pypm::match::allSolutions(const pattern::Pattern *P,
+                                               term::TermRef T,
+                                               const term::TermArena &Arena,
+                                               size_t Limit,
+                                               Machine::Options Opts) {
+  std::vector<Witness> Out;
+  Machine M(Arena, Opts);
+  M.start(P, T);
+  MachineStatus S = M.run();
+  while (S == MachineStatus::Success && Out.size() < Limit) {
+    Out.push_back(Witness{M.theta(), M.phi()});
+    S = M.resume();
+  }
+  return Out;
+}

@@ -1,0 +1,203 @@
+//===- match/Machine.h - Algorithmic semantics (backtracking VM) -*- C++ -*-===//
+///
+/// \file
+/// The algorithmic semantics of CorePyPM (paper §3.1.2 and Figs. 17–18),
+/// implemented literally as a small-step state transition system:
+///
+///   a   ::= match(p, t) | guard(g) | checkName(x) | matchConstr(p, x)
+///   k   ::= [] | a :: k
+///   stk ::= [] | (θ, φ, k) :: stk
+///   st  ::= success(θ, φ) | failure | running(θ, φ, stk, k)
+///
+/// The machine is the idealized version of DLCB's C++ pattern interpreter:
+/// it maintains a continuation of pending actions and a stack of saved
+/// choice points, pushing a backtrack node at every pattern alternate
+/// (ST-Match-Alt) and restoring the most recent one whenever a conflict is
+/// hit. A single-step API is exposed so tests and the vm_trace example can
+/// observe individual transitions; run() drives to a terminal state.
+///
+/// Two deliberate completions of the paper's rule set (which leaves these
+/// states stuck):
+///  - checkName(x) with x unbound, and matchConstr(p, x) with x unbound,
+///    backtrack (the path cannot be completed to a success);
+///  - μ-unfolding consumes *fuel*; exhausting it terminates in the distinct
+///    OutOfFuel state rather than looping forever on patterns like
+///    μP(x).P(x) (§3.5 notes the possibility of nontermination).
+///
+/// After success(θ, φ), resume() pops the backtrack stack and continues the
+/// search, enumerating further solutions in the machine's deterministic,
+/// left-eager order — the mechanism behind the paper's observation that the
+/// algorithm is sound but not complete w.r.t. the declarative semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_MATCH_MACHINE_H
+#define PYPM_MATCH_MACHINE_H
+
+#include "match/Subst.h"
+#include "pattern/Pattern.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pypm::match {
+
+enum class ActionKind : uint8_t { Match, Guard, CheckName, CheckFunName, MatchConstr };
+
+/// One continuation entry. A small tagged struct rather than a variant so
+/// the continuation is a flat, cheaply-copied vector.
+struct Action {
+  ActionKind Kind = ActionKind::Match;
+  const pattern::Pattern *Pat = nullptr; ///< Match: p; MatchConstr: p'
+  term::TermRef T = nullptr;             ///< Match: t
+  const pattern::GuardExpr *Guard = nullptr; ///< Guard: g
+  Symbol Var;                                ///< CheckName / MatchConstr: x
+
+  static Action match(const pattern::Pattern *P, term::TermRef T) {
+    Action A;
+    A.Kind = ActionKind::Match;
+    A.Pat = P;
+    A.T = T;
+    return A;
+  }
+  static Action guard(const pattern::GuardExpr *G) {
+    Action A;
+    A.Kind = ActionKind::Guard;
+    A.Guard = G;
+    return A;
+  }
+  static Action checkName(Symbol X) {
+    Action A;
+    A.Kind = ActionKind::CheckName;
+    A.Var = X;
+    return A;
+  }
+  static Action checkFunName(Symbol F) {
+    Action A;
+    A.Kind = ActionKind::CheckFunName;
+    A.Var = F;
+    return A;
+  }
+  static Action matchConstr(const pattern::Pattern *P, Symbol X) {
+    Action A;
+    A.Kind = ActionKind::MatchConstr;
+    A.Pat = P;
+    A.Var = X;
+    return A;
+  }
+
+  std::string toString(const term::Signature &Sig) const;
+};
+
+enum class MachineStatus : uint8_t {
+  Running,
+  Success,
+  Failure,
+  /// The μ-unfold or step budget was exhausted; the match is undecided.
+  OutOfFuel,
+};
+
+/// Counters exposed for the compile-time-cost experiments (Figs. 12–13)
+/// and the matcher micro-benchmarks.
+struct MachineStats {
+  uint64_t Steps = 0;
+  uint64_t Backtracks = 0;
+  uint64_t MuUnfolds = 0;
+  uint64_t VarBinds = 0;
+  uint64_t GuardEvals = 0;
+  uint64_t GuardStuck = 0;
+  size_t MaxStackDepth = 0;
+  size_t MaxContDepth = 0;
+};
+
+/// The backtracking pattern-matching machine.
+class Machine {
+public:
+  struct Options {
+    /// Total small-step budget (safety net; generous by default).
+    uint64_t MaxSteps = 10'000'000;
+    /// μ-unfold budget; recursion deeper than this is OutOfFuel.
+    uint64_t MaxMuUnfolds = 4'096;
+  };
+
+  explicit Machine(const term::TermArena &Arena) : Machine(Arena, Options()) {}
+  Machine(const term::TermArena &Arena, Options Opts)
+      : Arena(Arena), Opts(Opts) {}
+
+  /// Resets the machine to running(∅, ∅, [], [match(p, t)]).
+  void start(const pattern::Pattern *P, term::TermRef T);
+
+  /// Performs one transition; returns the resulting status.
+  MachineStatus step();
+
+  /// Steps until a terminal state (or the step budget runs out).
+  MachineStatus run();
+
+  /// From Success: backtracks into the most recent choice point and keeps
+  /// searching; returns the status of the continued search. From Failure /
+  /// OutOfFuel: returns that status unchanged.
+  MachineStatus resume();
+
+  MachineStatus status() const { return Status; }
+  const Subst &theta() const { return Theta; }
+  const FunSubst &phi() const { return Phi; }
+  const MachineStats &stats() const { return Stats; }
+
+  /// Human-readable snapshot of the current state, in the paper's notation;
+  /// drives the vm_trace example.
+  std::string describeState(const term::Signature &Sig) const;
+
+private:
+  struct Frame {
+    Subst Theta;
+    FunSubst Phi;
+    std::vector<Action> Cont;
+  };
+
+  MachineStatus backtrack();
+  MachineStatus stepMatch(const Action &A);
+  void pushAction(Action A) {
+    Cont.push_back(std::move(A));
+    Stats.MaxContDepth = std::max(Stats.MaxContDepth, Cont.size());
+  }
+
+  const term::TermArena &Arena;
+  Options Opts;
+  // Scratch arena for μ-unfold clones; owned by the machine so unfolded
+  // pattern nodes live as long as the actions that reference them.
+  pattern::PatternArena Scratch;
+
+  MachineStatus Status = MachineStatus::Failure;
+  Subst Theta;
+  FunSubst Phi;
+  std::vector<Frame> Stack;
+  // Continuation with its head at the *back* (push/pop at the end).
+  std::vector<Action> Cont;
+  uint64_t MuBudget = 0;
+  MachineStats Stats;
+};
+
+/// One-call convenience: matches \p P against \p T and returns the first
+/// witness if any.
+struct MatchResult {
+  MachineStatus Status;
+  Witness W;
+  MachineStats Stats;
+
+  bool matched() const { return Status == MachineStatus::Success; }
+};
+MatchResult matchPattern(const pattern::Pattern *P, term::TermRef T,
+                         const term::TermArena &Arena,
+                         Machine::Options Opts = {});
+
+/// Enumerates every solution the machine finds (in its deterministic
+/// order), up to \p Limit.
+std::vector<Witness> allSolutions(const pattern::Pattern *P, term::TermRef T,
+                                  const term::TermArena &Arena,
+                                  size_t Limit = 1024,
+                                  Machine::Options Opts = {});
+
+} // namespace pypm::match
+
+#endif // PYPM_MATCH_MACHINE_H

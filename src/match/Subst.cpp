@@ -1,0 +1,41 @@
+//===- match/Subst.cpp - Substitutions θ and φ -----------------------------===//
+
+#include "match/Subst.h"
+
+using namespace pypm;
+using namespace pypm::match;
+
+std::string pypm::match::toString(const Subst &Theta,
+                                  const term::Signature &Sig) {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Var, T] : Theta) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += Var.str();
+    Out += " -> ";
+    Out += term::TermArena::toString(T, Sig);
+  }
+  Out += "}";
+  return Out;
+}
+
+std::string pypm::match::toString(const Witness &W,
+                                  const term::Signature &Sig) {
+  std::string Out = toString(W.Theta, Sig);
+  if (!W.Phi.empty()) {
+    Out += " / {";
+    bool First = true;
+    for (const auto &[Var, Op] : W.Phi) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += Var.str();
+      Out += " -> ";
+      Out += Sig.name(Op).str();
+    }
+    Out += "}";
+  }
+  return Out;
+}

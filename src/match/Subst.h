@@ -1,0 +1,143 @@
+//===- match/Subst.h - Substitutions θ and φ --------------------*- C++ -*-===//
+///
+/// \file
+/// The two substitution components of a CorePyPM match witness (§3.4):
+/// θ maps pattern variables to terms; φ maps function variables to operator
+/// symbols. Both are small sorted-vector maps: matches bind few variables,
+/// and the algorithmic machine snapshots substitutions onto its backtrack
+/// stack, so cheap copies matter more than asymptotics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_MATCH_SUBST_H
+#define PYPM_MATCH_SUBST_H
+
+#include "pattern/Guard.h"
+#include "term/Term.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pypm::match {
+
+/// Sorted-vector map Symbol → V with value semantics.
+template <typename V> class SymbolMap {
+public:
+  std::optional<V> lookup(Symbol Key) const {
+    auto It = find(Key);
+    if (It == Entries.end() || It->first != Key)
+      return std::nullopt;
+    return It->second;
+  }
+
+  bool contains(Symbol Key) const { return lookup(Key).has_value(); }
+
+  /// Inserts a new binding. Asserts the key is unbound (the machine's
+  /// ST-Match-Var-Bind rule only fires when ¬∃t'. θ(x)↦t').
+  void bind(Symbol Key, V Value) {
+    auto It = find(Key);
+    assert((It == Entries.end() || It->first != Key) &&
+           "bind() on an already-bound variable");
+    Entries.insert(It, {Key, Value});
+  }
+
+  /// Removes a binding if present (used for ∃-scoping in the declarative
+  /// enumerator).
+  void erase(Symbol Key) {
+    auto It = find(Key);
+    if (It != Entries.end() && It->first == Key)
+      Entries.erase(It);
+  }
+
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+
+  auto begin() const { return Entries.begin(); }
+  auto end() const { return Entries.end(); }
+
+  /// θ ⊆ Other: every binding of *this appears in Other (Theorem 1's
+  /// premise).
+  bool subsetOf(const SymbolMap &Other) const {
+    for (const auto &[K, Val] : Entries) {
+      std::optional<V> O = Other.lookup(K);
+      if (!O || !(*O == Val))
+        return false;
+    }
+    return true;
+  }
+
+  /// The sub-map containing only the given keys.
+  SymbolMap restrictedTo(std::span<const Symbol> Keys) const {
+    SymbolMap Out;
+    for (Symbol K : Keys)
+      if (std::optional<V> Val = lookup(K))
+        Out.bind(K, *Val);
+    return Out;
+  }
+
+  friend bool operator==(const SymbolMap &A, const SymbolMap &B) {
+    return A.Entries == B.Entries;
+  }
+
+private:
+  using Entry = std::pair<Symbol, V>;
+  std::vector<Entry> Entries;
+
+  typename std::vector<Entry>::const_iterator find(Symbol Key) const {
+    return std::lower_bound(Entries.begin(), Entries.end(), Key,
+                            [](const Entry &E, Symbol K) {
+                              return E.first.rawId() < K.rawId();
+                            });
+  }
+  typename std::vector<Entry>::iterator find(Symbol Key) {
+    return std::lower_bound(Entries.begin(), Entries.end(), Key,
+                            [](const Entry &E, Symbol K) {
+                              return E.first.rawId() < K.rawId();
+                            });
+  }
+};
+
+using Subst = SymbolMap<term::TermRef>;
+using FunSubst = SymbolMap<term::OpId>;
+
+/// A complete match witness ⟨θ, φ⟩.
+struct Witness {
+  Subst Theta;
+  FunSubst Phi;
+
+  friend bool operator==(const Witness &A, const Witness &B) {
+    return A.Theta == B.Theta && A.Phi == B.Phi;
+  }
+};
+
+/// GuardEnv view over a ⟨θ, φ⟩ pair. Borrow-only; keep the substitutions
+/// alive while evaluating.
+class SubstEnv final : public pattern::GuardEnv {
+public:
+  SubstEnv(const Subst &Theta, const FunSubst &Phi,
+           const term::TermArena &Arena)
+      : Theta(Theta), Phi(Phi), Arena(Arena) {}
+
+  std::optional<term::TermRef> lookupVar(Symbol Var) const override {
+    return Theta.lookup(Var);
+  }
+  std::optional<term::OpId> lookupFunVar(Symbol FunVar) const override {
+    return Phi.lookup(FunVar);
+  }
+  const term::TermArena &arena() const override { return Arena; }
+
+private:
+  const Subst &Theta;
+  const FunSubst &Phi;
+  const term::TermArena &Arena;
+};
+
+/// Debug rendering "{x ↦ f(c), …} / {F ↦ Relu}".
+std::string toString(const Witness &W, const term::Signature &Sig);
+std::string toString(const Subst &Theta, const term::Signature &Sig);
+
+} // namespace pypm::match
+
+#endif // PYPM_MATCH_SUBST_H

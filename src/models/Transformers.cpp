@@ -1,0 +1,222 @@
+//===- models/Transformers.cpp - HF-like transformer generator ----------------===//
+
+#include "models/Transformers.h"
+
+#include "graph/ShapeInference.h"
+
+#include <cmath>
+
+using namespace pypm;
+using namespace pypm::models;
+using graph::Graph;
+using graph::NodeId;
+using graph::TensorType;
+using term::DType;
+
+void pypm::models::declareModelOps(term::Signature &Sig) {
+  auto Decl = [&](std::string_view Name, unsigned Arity,
+                  std::string_view Class) {
+    Sig.getOrAddOp(Name, Arity, 1, Class);
+  };
+  // Leaves.
+  Decl("Input", 0, "leaf");
+  Decl("Weight", 0, "leaf");
+  if (!Sig.lookup("Const").isValid())
+    Sig.addOp("Const", 0, 1, "const", {Symbol::intern("value_u6")});
+  // Linear algebra & movement.
+  Decl("MatMul", 2, "matmul");
+  Decl("Trans", 1, "movement");
+  // Elementwise.
+  Decl("Add", 2, "binary_pointwise");
+  Decl("Sub", 2, "binary_pointwise");
+  Decl("Mul", 2, "binary_pointwise");
+  Decl("Div", 2, "binary_pointwise");
+  Decl("BiasAdd", 2, "binary_pointwise");
+  Decl("Relu", 1, "unary_pointwise");
+  Decl("Gelu", 1, "unary_pointwise");
+  Decl("Erf", 1, "unary_pointwise");
+  Decl("Tanh", 1, "unary_pointwise");
+  Decl("Sigmoid", 1, "unary_pointwise");
+  Decl("Exp", 1, "unary_pointwise");
+  Decl("Sqrt", 1, "unary_pointwise");
+  Decl("Neg", 1, "unary_pointwise");
+  // Normalization.
+  Decl("Softmax", 1, "normalization");
+  Decl("LayerNorm", 1, "normalization");
+  Decl("BatchNorm", 1, "unary_pointwise");
+  // Vision.
+  if (!Sig.lookup("Conv2D").isValid())
+    Sig.addOp("Conv2D", 2, 1, "conv",
+              {Symbol::intern("stride"), Symbol::intern("pad")});
+  if (!Sig.lookup("MaxPool").isValid())
+    Sig.addOp("MaxPool", 1, 1, "pool",
+              {Symbol::intern("k"), Symbol::intern("stride")});
+  if (!Sig.lookup("AvgPool").isValid())
+    Sig.addOp("AvgPool", 1, 1, "pool",
+              {Symbol::intern("k"), Symbol::intern("stride")});
+  Decl("GlobalAvgPool", 1, "pool");
+  Decl("Flatten", 1, "movement");
+  if (!Sig.lookup("Reshape").isValid())
+    Sig.addOp("Reshape", 1, 1, "movement",
+              {Symbol::intern("d0"), Symbol::intern("d1"),
+               Symbol::intern("d2"), Symbol::intern("d3")});
+  // Fused kernels introduced by the optimization rules.
+  Decl("FMHA", 3, "fused_kernel");
+  Decl("FMHAMasked", 4, "fused_kernel");
+  if (!Sig.lookup("GemmEpilog").isValid())
+    Sig.addOp("GemmEpilog", 2, 1, "fused_kernel", {Symbol::intern("act")});
+  if (!Sig.lookup("GemmBiasEpilog").isValid())
+    Sig.addOp("GemmBiasEpilog", 3, 1, "fused_kernel",
+              {Symbol::intern("act")});
+  if (!Sig.lookup("ConvEpilog").isValid())
+    Sig.addOp("ConvEpilog", 3, 1, "fused_kernel",
+              {Symbol::intern("act"), Symbol::intern("stride"),
+               Symbol::intern("pad")});
+  Decl("cublasMM_xyT_f32", 2, "fused_kernel");
+  Decl("cublasMM_xyT_i8", 2, "fused_kernel");
+}
+
+namespace {
+
+class TransformerBuilder {
+public:
+  TransformerBuilder(Graph &G, const TransformerConfig &Cfg)
+      : G(G), Sig(G.signature()), Cfg(Cfg) {}
+
+  NodeId op(std::string_view Name, std::initializer_list<NodeId> Inputs) {
+    return G.addNode(Sig.lookup(Name), Inputs);
+  }
+
+  NodeId weight(int64_t Rows, int64_t Cols) {
+    return G.addLeaf("Weight",
+                     TensorType{Cfg.Dtype, {Rows, Cols}});
+  }
+  NodeId biasVec(int64_t N) {
+    return G.addLeaf("Weight", TensorType{Cfg.Dtype, {N}});
+  }
+
+  /// GELU(x) per Fig. 2: Mul(Half(x), Add(1, Erf(Div(x, √2)))).
+  NodeId gelu(NodeId X) {
+    NodeId Half;
+    if (Cfg.Half == TransformerConfig::HalfStyle::DivTwo)
+      Half = op("Div", {X, G.addConst(2.0, Cfg.Dtype)});
+    else
+      Half = op("Mul", {X, G.addConst(0.5, Cfg.Dtype)});
+    NodeId Inner = op("Div", {X, G.addConst(std::sqrt(2.0), Cfg.Dtype)});
+    NodeId ErfN = op("Erf", {Inner});
+    NodeId OnePlus = op("Add", {G.addConst(1.0, Cfg.Dtype), ErfN});
+    return op("Mul", {Half, OnePlus});
+  }
+
+  /// One encoder layer on [B, S, D].
+  NodeId layer(NodeId X) {
+    int64_t D = Cfg.Hidden;
+    // Attention projections (bias omitted in projections: frontends fold
+    // them or they appear as BiasAdd; keeping projections lean keeps the
+    // MHA subgraph exactly "three matmuls, a transpose, a softmax").
+    NodeId Q = op("MatMul", {X, weight(D, D)});
+    NodeId K = op("MatMul", {X, weight(D, D)});
+    NodeId V = op("MatMul", {X, weight(D, D)});
+    NodeId Scores = op("MatMul", {Q, op("Trans", {K})});
+    double SqrtD = std::sqrt(static_cast<double>(D));
+    NodeId Scaled;
+    if (Cfg.Scale == TransformerConfig::ScaleStyle::DivSqrtD)
+      Scaled = op("Div", {Scores, G.addConst(SqrtD, Cfg.Dtype)});
+    else
+      Scaled = op("Mul", {Scores, G.addConst(1.0 / SqrtD, Cfg.Dtype)});
+    if (Cfg.AttentionMask) {
+      // Additive attention mask, as decoder/padded-batch frontends emit.
+      NodeId Mask = G.addLeaf(
+          "Input", TensorType{Cfg.Dtype,
+                              {Cfg.Batch, Cfg.SeqLen, Cfg.SeqLen}});
+      Scaled = op("Add", {Scaled, Mask});
+    }
+    NodeId Probs = op("Softmax", {Scaled});
+    NodeId Attn = op("MatMul", {Probs, V});
+    NodeId Out = op("MatMul", {Attn, weight(D, D)});
+    NodeId Res1 = op("LayerNorm", {op("Add", {X, Out})});
+
+    // FFN.
+    NodeId H = op("MatMul", {Res1, weight(D, Cfg.FfnHidden)});
+    if (Cfg.FfnBias)
+      H = op("BiasAdd", {H, biasVec(Cfg.FfnHidden)});
+    NodeId Act = Cfg.Activation == TransformerConfig::Act::GeluDecomposed
+                     ? gelu(H)
+                     : op("Relu", {H});
+    NodeId Y = op("MatMul", {Act, weight(Cfg.FfnHidden, D)});
+    if (Cfg.FfnBias)
+      Y = op("BiasAdd", {Y, biasVec(D)});
+    return op("LayerNorm", {op("Add", {Res1, Y})});
+  }
+
+private:
+  Graph &G;
+  term::Signature &Sig;
+  const TransformerConfig &Cfg;
+};
+
+} // namespace
+
+std::unique_ptr<Graph>
+pypm::models::buildVit(term::Signature &Sig, const VitConfig &Cfg) {
+  declareModelOps(Sig);
+  auto G = std::make_unique<Graph>(Sig);
+  TransformerConfig Enc = Cfg.Encoder;
+  int64_t Patches = (Cfg.ImageSize / Cfg.PatchSize);
+  Enc.SeqLen = static_cast<int>(Patches * Patches);
+  Enc.Batch = Cfg.Batch;
+
+  // Patch embedding: a strided conv producing Hidden channels per patch,
+  // ReLU'd (an epilog opportunity), flattened into [B, S·D] and projected
+  // to the sequence layout via the shape-preserving LayerNorm entry.
+  NodeId Img = G->addLeaf(
+      "Input", TensorType{Enc.Dtype,
+                          {Cfg.Batch, 3, Cfg.ImageSize, Cfg.ImageSize}});
+  NodeId PatchW = G->addLeaf(
+      "Weight", TensorType{Enc.Dtype,
+                           {Enc.Hidden, 3, Cfg.PatchSize, Cfg.PatchSize}});
+  NodeId Conv = G->addNode(
+      Sig.lookup("Conv2D"), {Img, PatchW},
+      {{Symbol::intern("stride"), Cfg.PatchSize},
+       {Symbol::intern("pad"), 0}});
+  NodeId Bias = G->addLeaf("Weight", TensorType{Enc.Dtype,
+                                                {Enc.Hidden, 1, 1}});
+  NodeId Embedded = G->addNode(
+      Sig.lookup("Relu"),
+      {G->addNode(Sig.lookup("BiasAdd"), {Conv, Bias})});
+  // [B, D, P, P] → [B, S, D] patch sequence (metadata-only relayout), plus
+  // learned position embeddings.
+  NodeId Tokens = G->addNode(
+      Sig.lookup("Reshape"), {Embedded},
+      {{Symbol::intern("d0"), Cfg.Batch},
+       {Symbol::intern("d1"), static_cast<int64_t>(Enc.SeqLen)},
+       {Symbol::intern("d2"), static_cast<int64_t>(Enc.Hidden)}});
+  NodeId Pos = G->addLeaf(
+      "Weight",
+      TensorType{Enc.Dtype, {Cfg.Batch, Enc.SeqLen, Enc.Hidden}});
+  NodeId X = G->addNode(Sig.lookup("Add"), {Pos, Tokens});
+
+  TransformerBuilder B(*G, Enc);
+  for (int L = 0; L != Enc.Layers; ++L)
+    X = B.layer(X);
+  G->addOutput(X);
+  graph::ShapeInference SI;
+  SI.inferAll(*G);
+  return G;
+}
+
+std::unique_ptr<Graph>
+pypm::models::buildTransformer(term::Signature &Sig,
+                               const TransformerConfig &Cfg) {
+  declareModelOps(Sig);
+  auto G = std::make_unique<Graph>(Sig);
+  NodeId X = G->addLeaf(
+      "Input", TensorType{Cfg.Dtype, {Cfg.Batch, Cfg.SeqLen, Cfg.Hidden}});
+  TransformerBuilder B(*G, Cfg);
+  for (int L = 0; L != Cfg.Layers; ++L)
+    X = B.layer(X);
+  G->addOutput(X);
+  graph::ShapeInference SI;
+  SI.inferAll(*G);
+  return G;
+}

@@ -1,0 +1,69 @@
+//===- models/Transformers.h - HF-like transformer generator ----*- C++ -*-===//
+///
+/// \file
+/// Synthetic stand-in for the HuggingFace transformers benchmark suite
+/// (§4.1): parametric builders producing the inference graphs of
+/// transformer encoders the way frontends actually emit them — multi-head
+/// attention spelled out as "three matrix products, a transpose, and a
+/// row-wise softmax", and GELU spelled out per Fig. 2, with the x/2 term
+/// appearing as either Div(x, 2) or Mul(x, 0.5) depending on the model
+/// (the Huggingface observation motivating pattern alternates, §2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_MODELS_TRANSFORMERS_H
+#define PYPM_MODELS_TRANSFORMERS_H
+
+#include "graph/Graph.h"
+
+#include <memory>
+#include <string>
+
+namespace pypm::models {
+
+struct TransformerConfig {
+  std::string Name;
+  int Layers = 12;
+  int Hidden = 768;
+  int FfnHidden = 3072;
+  int SeqLen = 128;
+  int Batch = 8;
+  term::DType Dtype = term::DType::F32;
+
+  /// How x/2 is spelled inside GELU (§2.1).
+  enum class HalfStyle { DivTwo, MulHalf } Half = HalfStyle::DivTwo;
+  /// How the attention scores are scaled by 1/√d.
+  enum class ScaleStyle { DivSqrtD, MulInvSqrtD } Scale = ScaleStyle::DivSqrtD;
+  /// FFN activation: decomposed GELU (Fig. 2) or plain ReLU.
+  enum class Act { GeluDecomposed, Relu } Activation = Act::GeluDecomposed;
+  /// Whether FFN matmuls carry explicit BiasAdd nodes.
+  bool FfnBias = true;
+  /// Whether attention scores carry an explicit additive mask (decoder /
+  /// padded-batch spelling); matched by the masked MHA alternate.
+  bool AttentionMask = false;
+};
+
+/// Declares the operator vocabulary shared by the model zoo, the shape
+/// rules, the cost model, and the optimization patterns. Idempotent.
+void declareModelOps(term::Signature &Sig);
+
+/// Builds the inference graph for one configuration.
+std::unique_ptr<graph::Graph> buildTransformer(term::Signature &Sig,
+                                               const TransformerConfig &Cfg);
+
+/// A ViT-style hybrid: convolutional patch embedding (Conv2D + BiasAdd +
+/// activation + Flatten) feeding a transformer encoder. Exercises the FMHA
+/// and both the GEMM- and Conv-epilog rewrites in a single model.
+struct VitConfig {
+  std::string Name;
+  int ImageSize = 224;
+  int PatchSize = 16;
+  int Batch = 8;
+  TransformerConfig Encoder; ///< Layers/Hidden/etc.; SeqLen is derived
+};
+std::unique_ptr<graph::Graph> buildVit(term::Signature &Sig,
+                                       const VitConfig &Cfg);
+
+} // namespace pypm::models
+
+#endif // PYPM_MODELS_TRANSFORMERS_H

@@ -1,0 +1,130 @@
+//===- models/Vision.cpp - TorchVision-like model generator -------------------===//
+
+#include "models/Vision.h"
+
+#include "graph/ShapeInference.h"
+#include "models/Transformers.h" // declareModelOps
+
+using namespace pypm;
+using namespace pypm::models;
+using graph::Graph;
+using graph::NodeId;
+using graph::TensorType;
+
+namespace {
+
+class VisionBuilder {
+public:
+  VisionBuilder(Graph &G, const VisionConfig &Cfg)
+      : G(G), Sig(G.signature()), Cfg(Cfg) {}
+
+  NodeId op(std::string_view Name, std::initializer_list<NodeId> Inputs,
+            std::vector<term::Attr> Attrs = {}) {
+    return G.addNode(Sig.lookup(Name), Inputs, std::move(Attrs));
+  }
+
+  NodeId convWeight(int64_t OutC, int64_t InC, int64_t K) {
+    return G.addLeaf("Weight", TensorType{Cfg.Dtype, {OutC, InC, K, K}});
+  }
+
+  /// Conv3x3 (+ optional BN) + BiasAdd + ReLU — the canonical epilog
+  /// opportunity in vision models.
+  NodeId convBlock(NodeId X, int64_t InC, int64_t OutC, int64_t Stride = 1) {
+    std::vector<term::Attr> Attrs{{Symbol::intern("stride"), Stride},
+                                  {Symbol::intern("pad"), 1}};
+    NodeId C = op("Conv2D", {X, convWeight(OutC, InC, 3)}, std::move(Attrs));
+    if (Cfg.BatchNormAfterConv)
+      C = op("BatchNorm", {C});
+    NodeId Bias = G.addLeaf("Weight", TensorType{Cfg.Dtype, {OutC, 1, 1}});
+    NodeId B = op("BiasAdd", {C, Bias});
+    return op("Relu", {B});
+  }
+
+  NodeId residualBlock(NodeId X, int64_t C) {
+    NodeId Y = convBlock(X, C, C);
+    std::vector<term::Attr> Attrs{{Symbol::intern("stride"), int64_t(1)},
+                                  {Symbol::intern("pad"), int64_t(1)}};
+    NodeId Conv2 = op("Conv2D", {Y, convWeight(C, C, 3)}, std::move(Attrs));
+    if (Cfg.BatchNormAfterConv)
+      Conv2 = op("BatchNorm", {Conv2});
+    NodeId Bias = G.addLeaf("Weight", TensorType{Cfg.Dtype, {C, 1, 1}});
+    NodeId B = op("BiasAdd", {Conv2, Bias});
+    return op("Relu", {op("Add", {B, X})});
+  }
+
+  NodeId pool(NodeId X) {
+    return op("MaxPool", {X},
+              {{Symbol::intern("k"), int64_t(2)},
+               {Symbol::intern("stride"), int64_t(2)}});
+  }
+
+  NodeId classifier(NodeId X, int64_t InFeatures) {
+    NodeId F = op("Flatten", {X});
+    if (Cfg.ClassifierHidden > 0) {
+      NodeId W1 =
+          G.addLeaf("Weight", TensorType{Cfg.Dtype,
+                                         {InFeatures, Cfg.ClassifierHidden}});
+      NodeId H = op("MatMul", {F, W1});
+      NodeId B1 = G.addLeaf(
+          "Weight", TensorType{Cfg.Dtype, {Cfg.ClassifierHidden}});
+      H = op("Relu", {op("BiasAdd", {H, B1})});
+      NodeId W2 = G.addLeaf(
+          "Weight",
+          TensorType{Cfg.Dtype, {Cfg.ClassifierHidden, Cfg.Classes}});
+      return op("MatMul", {H, W2});
+    }
+    NodeId W = G.addLeaf(
+        "Weight", TensorType{Cfg.Dtype, {InFeatures, Cfg.Classes}});
+    return op("MatMul", {F, W});
+  }
+
+private:
+  Graph &G;
+  term::Signature &Sig;
+  const VisionConfig &Cfg;
+};
+
+} // namespace
+
+std::unique_ptr<Graph>
+pypm::models::buildVisionModel(term::Signature &Sig,
+                               const VisionConfig &Cfg) {
+  declareModelOps(Sig);
+  auto G = std::make_unique<Graph>(Sig);
+  VisionBuilder B(*G, Cfg);
+
+  NodeId X = G->addLeaf(
+      "Input",
+      TensorType{Cfg.Dtype, {Cfg.Batch, 3, Cfg.ImageSize, Cfg.ImageSize}});
+
+  int64_t Channels = Cfg.BaseChannels;
+  X = B.convBlock(X, 3, Channels);
+  int64_t Spatial = Cfg.ImageSize;
+
+  for (size_t Stage = 0; Stage != Cfg.StageDepths.size(); ++Stage) {
+    int Depth = Cfg.StageDepths[Stage];
+    if (Cfg.Kind == VisionConfig::Family::Vgg) {
+      for (int I = 0; I != Depth; ++I)
+        X = B.convBlock(X, Channels, Channels);
+    } else {
+      for (int I = 0; I != Depth; ++I)
+        X = B.residualBlock(X, Channels);
+    }
+    X = B.pool(X);
+    Spatial /= 2;
+    if (Stage + 1 != Cfg.StageDepths.size()) {
+      // Channel doubling between stages.
+      X = B.convBlock(X, Channels, Channels * 2);
+      Channels *= 2;
+    }
+  }
+
+  int64_t Features = Channels * Spatial * Spatial;
+  X = B.classifier(X, Features);
+  G->addOutput(X);
+
+  graph::ShapeInference SI;
+  DiagnosticEngine Diags;
+  SI.inferAll(*G, &Diags);
+  return G;
+}

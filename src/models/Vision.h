@@ -1,0 +1,45 @@
+//===- models/Vision.h - TorchVision-like model generator -------*- C++ -*-===//
+///
+/// \file
+/// Synthetic stand-in for the TorchVision benchmark suite (§4.1):
+/// parametric builders for CNN inference graphs — VGG-style stacks,
+/// ResNet-style residual blocks, and simple classifier heads. These models
+/// are rich in Conv/GEMM + pointwise epilog opportunities and (by
+/// construction, like real vision models) contain no multi-head attention,
+/// which is why Fig. 11 shows FMHA-only speedups concentrated at 1.0×.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_MODELS_VISION_H
+#define PYPM_MODELS_VISION_H
+
+#include "graph/Graph.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pypm::models {
+
+struct VisionConfig {
+  std::string Name;
+  enum class Family { Vgg, ResNet } Kind = Family::Vgg;
+  int Batch = 16;
+  int ImageSize = 224;
+  int BaseChannels = 64;
+  /// Convs per stage (VGG) or residual blocks per stage (ResNet).
+  std::vector<int> StageDepths = {2, 2, 3, 3};
+  /// Hidden width of the classifier MLP (0 = single linear).
+  int ClassifierHidden = 4096;
+  int Classes = 1000;
+  term::DType Dtype = term::DType::F32;
+  bool BatchNormAfterConv = false; ///< ResNet-style Conv→BN→ReLU
+};
+
+/// Builds the inference graph for one configuration.
+std::unique_ptr<graph::Graph> buildVisionModel(term::Signature &Sig,
+                                               const VisionConfig &Cfg);
+
+} // namespace pypm::models
+
+#endif // PYPM_MODELS_VISION_H

@@ -1,0 +1,179 @@
+//===- models/Zoo.cpp - Named model suites -------------------------------------===//
+
+#include "models/Zoo.h"
+
+using namespace pypm;
+using namespace pypm::models;
+
+namespace {
+
+ModelEntry transformerEntry(TransformerConfig Cfg) {
+  ModelEntry E;
+  E.Name = Cfg.Name;
+  E.Build = [Cfg](term::Signature &Sig) {
+    return buildTransformer(Sig, Cfg);
+  };
+  return E;
+}
+
+ModelEntry visionEntry(VisionConfig Cfg) {
+  ModelEntry E;
+  E.Name = Cfg.Name;
+  E.Build = [Cfg](term::Signature &Sig) {
+    return buildVisionModel(Sig, Cfg);
+  };
+  return E;
+}
+
+TransformerConfig hf(std::string Name, int Layers, int Hidden, int Seq,
+                     TransformerConfig::HalfStyle Half,
+                     TransformerConfig::ScaleStyle Scale,
+                     TransformerConfig::Act Act, bool Bias = true,
+                     int Batch = 8) {
+  TransformerConfig C;
+  C.Name = std::move(Name);
+  C.Layers = Layers;
+  C.Hidden = Hidden;
+  C.FfnHidden = Hidden * 4;
+  C.SeqLen = Seq;
+  C.Batch = Batch;
+  C.Half = Half;
+  C.Scale = Scale;
+  C.Activation = Act;
+  C.FfnBias = Bias;
+  return C;
+}
+
+} // namespace
+
+std::vector<ModelEntry> pypm::models::hfSuite() {
+  using HS = TransformerConfig::HalfStyle;
+  using SS = TransformerConfig::ScaleStyle;
+  using Act = TransformerConfig::Act;
+  std::vector<ModelEntry> Suite;
+  auto AddT = [&Suite](TransformerConfig C) {
+    Suite.push_back(transformerEntry(std::move(C)));
+  };
+
+  // BERT family: GELU with Div(x, 2), Div-by-sqrt(d) scaling.
+  AddT(hf("bert-tiny", 2, 128, 128, HS::DivTwo, SS::DivSqrtD, Act::GeluDecomposed));
+  AddT(hf("bert-mini", 4, 256, 128, HS::DivTwo, SS::DivSqrtD, Act::GeluDecomposed));
+  AddT(hf("bert-small", 4, 512, 128, HS::DivTwo, SS::DivSqrtD, Act::GeluDecomposed));
+  AddT(hf("bert-medium", 8, 512, 128, HS::DivTwo, SS::DivSqrtD, Act::GeluDecomposed));
+  AddT(hf("bert-base", 12, 768, 128, HS::DivTwo, SS::DivSqrtD, Act::GeluDecomposed));
+  AddT(hf("bert-large", 24, 1024, 128, HS::DivTwo, SS::DivSqrtD, Act::GeluDecomposed, true, 4));
+  // RoBERTa family: same skeleton, Mul(x, 0.5) GELU spelling.
+  AddT(hf("roberta-base", 12, 768, 128, HS::MulHalf, SS::DivSqrtD, Act::GeluDecomposed));
+  AddT(hf("roberta-large", 24, 1024, 128, HS::MulHalf, SS::DivSqrtD, Act::GeluDecomposed, true, 4));
+  // DistilBERT: shallower, biasless FFN.
+  AddT(hf("distilbert", 6, 768, 128, HS::DivTwo, SS::DivSqrtD, Act::GeluDecomposed, false));
+  AddT(hf("distilroberta", 6, 768, 128, HS::MulHalf, SS::DivSqrtD, Act::GeluDecomposed, false));
+  // GPT-2 family: Mul-by-1/sqrt(d) scaling, Mul-half GELU, longer context.
+  AddT(hf("gpt2-small", 12, 768, 256, HS::MulHalf, SS::MulInvSqrtD, Act::GeluDecomposed, true, 4));
+  AddT(hf("gpt2-medium", 24, 1024, 256, HS::MulHalf, SS::MulInvSqrtD, Act::GeluDecomposed, true, 2));
+  AddT(hf("gpt2-large", 36, 1280, 256, HS::MulHalf, SS::MulInvSqrtD, Act::GeluDecomposed, true, 1));
+  // ELECTRA-ish small models.
+  AddT(hf("electra-small", 12, 256, 128, HS::DivTwo, SS::MulInvSqrtD, Act::GeluDecomposed));
+  AddT(hf("electra-base", 12, 768, 128, HS::DivTwo, SS::MulInvSqrtD, Act::GeluDecomposed));
+  // ALBERT-ish: narrow FFN-heavy.
+  AddT(hf("albert-base", 12, 768, 128, HS::MulHalf, SS::DivSqrtD, Act::GeluDecomposed, false));
+  // ReLU transformers (original "Attention is All You Need" style): the
+  // GELU rewrite finds nothing here, the plain epilog rewrite everything.
+  AddT(hf("vanilla-relu-small", 6, 512, 128, HS::DivTwo, SS::DivSqrtD, Act::Relu));
+  AddT(hf("vanilla-relu-base", 12, 512, 128, HS::DivTwo, SS::DivSqrtD, Act::Relu));
+  AddT(hf("t5ish-relu", 12, 768, 128, HS::DivTwo, SS::MulInvSqrtD, Act::Relu, false));
+  // Long-context variants: attention-dominant, FMHA shines.
+  AddT(hf("bert-base-512", 12, 768, 512, HS::DivTwo, SS::DivSqrtD, Act::GeluDecomposed, true, 2));
+  AddT(hf("roberta-base-512", 12, 768, 512, HS::MulHalf, SS::DivSqrtD, Act::GeluDecomposed, true, 2));
+  AddT(hf("gpt2-small-1k", 12, 768, 1024, HS::MulHalf, SS::MulInvSqrtD, Act::GeluDecomposed, true, 1));
+  // Wide-FFN variants: GEMM-dominant, epilog fusion matters relatively more.
+  {
+    TransformerConfig C = hf("ffn-heavy-base", 12, 768, 128, HS::DivTwo,
+                             SS::DivSqrtD, Act::GeluDecomposed);
+    C.FfnHidden = 768 * 8;
+    AddT(C);
+  }
+  {
+    TransformerConfig C = hf("ffn-heavy-relu", 12, 768, 128, HS::DivTwo,
+                             SS::DivSqrtD, Act::Relu);
+    C.FfnHidden = 768 * 8;
+    AddT(C);
+  }
+  // Masked-attention variants (decoder / padded-batch spelling): the
+  // masked MHA alternate and FMHAMasked kernel handle these.
+  {
+    TransformerConfig C = hf("bert-base-masked", 12, 768, 128, HS::DivTwo,
+                             SS::DivSqrtD, Act::GeluDecomposed);
+    C.AttentionMask = true;
+    AddT(C);
+  }
+  {
+    TransformerConfig C = hf("gpt2-small-causal", 12, 768, 256, HS::MulHalf,
+                             SS::MulInvSqrtD, Act::GeluDecomposed, true, 4);
+    C.AttentionMask = true;
+    AddT(C);
+  }
+  // ViT-style hybrids: conv patch embedding + transformer encoder; both
+  // the FMHA and the Conv/GEMM epilog rewrites apply in one model.
+  auto AddVit = [&Suite](std::string Name, int Layers, int Hidden,
+                         int Image, int Patch) {
+    VitConfig C;
+    C.Name = Name;
+    C.ImageSize = Image;
+    C.PatchSize = Patch;
+    C.Batch = 4;
+    C.Encoder = TransformerConfig();
+    C.Encoder.Name = Name;
+    C.Encoder.Layers = Layers;
+    C.Encoder.Hidden = Hidden;
+    C.Encoder.FfnHidden = Hidden * 4;
+    ModelEntry E;
+    E.Name = C.Name;
+    E.Build = [C](term::Signature &Sig) { return buildVit(Sig, C); };
+    Suite.push_back(std::move(E));
+  };
+  AddVit("vit-tiny", 4, 192, 224, 16);
+  AddVit("vit-small", 8, 384, 224, 16);
+  return Suite;
+}
+
+std::vector<ModelEntry> pypm::models::tvSuite() {
+  using Fam = VisionConfig::Family;
+  std::vector<ModelEntry> Suite;
+  auto AddV = [&Suite](std::string Name, Fam Kind, std::vector<int> Depths,
+                       int Base, bool BN, int Image = 224, int Batch = 16,
+                       int ClsHidden = 4096) {
+    VisionConfig C;
+    C.Name = std::move(Name);
+    C.Kind = Kind;
+    C.StageDepths = std::move(Depths);
+    C.BaseChannels = Base;
+    C.BatchNormAfterConv = BN;
+    C.ImageSize = Image;
+    C.Batch = Batch;
+    C.ClassifierHidden = ClsHidden;
+    Suite.push_back(visionEntry(std::move(C)));
+  };
+
+  AddV("vgg11ish", Fam::Vgg, {1, 1, 2, 2}, 64, false);
+  AddV("vgg13ish", Fam::Vgg, {2, 2, 2, 2}, 64, false);
+  AddV("vgg16ish", Fam::Vgg, {2, 2, 3, 3}, 64, false);
+  AddV("vgg19ish", Fam::Vgg, {2, 2, 4, 4}, 64, false);
+  AddV("vgg16ish-bn", Fam::Vgg, {2, 2, 3, 3}, 64, true);
+  AddV("vgg-narrow", Fam::Vgg, {2, 2, 3, 3}, 32, false);
+  AddV("vgg-wide", Fam::Vgg, {2, 2, 3, 3}, 96, false, 224, 8);
+  AddV("resnet10ish", Fam::ResNet, {1, 1, 1, 1}, 64, true);
+  AddV("resnet18ish", Fam::ResNet, {2, 2, 2, 2}, 64, true);
+  AddV("resnet34ish", Fam::ResNet, {3, 4, 6, 3}, 64, true);
+  AddV("resnet18ish-nobn", Fam::ResNet, {2, 2, 2, 2}, 64, false);
+  AddV("resnet-narrow", Fam::ResNet, {2, 2, 2, 2}, 32, true);
+  AddV("resnet-wide", Fam::ResNet, {2, 2, 2, 2}, 96, true, 224, 8);
+  AddV("tiny-cnn", Fam::Vgg, {1, 1}, 32, false, 64, 32, 512);
+  AddV("small-cnn", Fam::Vgg, {1, 1, 1}, 48, false, 96, 32, 1024);
+  AddV("mobile-ish", Fam::ResNet, {1, 2, 2, 1}, 32, true, 192, 16, 1024);
+  AddV("vgg16ish-96", Fam::Vgg, {2, 2, 3, 3}, 64, false, 96, 32);
+  AddV("resnet18ish-96", Fam::ResNet, {2, 2, 2, 2}, 64, true, 96, 32);
+  AddV("vgg-linear-head", Fam::Vgg, {2, 2, 3, 3}, 64, false, 224, 16, 0);
+  AddV("resnet-linear-head", Fam::ResNet, {2, 2, 2, 2}, 64, true, 224, 16, 0);
+  return Suite;
+}

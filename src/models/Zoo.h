@@ -1,0 +1,37 @@
+//===- models/Zoo.h - Named model suites ------------------------*- C++ -*-===//
+///
+/// \file
+/// The two benchmark suites of §4.1 as named, deterministic model
+/// registries: an HF-like suite of transformer encoders (spanning the
+/// GELU/scale spelling variants, widths, and depths found across
+/// HuggingFace checkpoints) and a TV-like suite of CNNs. Every suite entry
+/// builds the same graph on every run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_MODELS_ZOO_H
+#define PYPM_MODELS_ZOO_H
+
+#include "models/Transformers.h"
+#include "models/Vision.h"
+
+#include <functional>
+#include <vector>
+
+namespace pypm::models {
+
+struct ModelEntry {
+  std::string Name;
+  std::function<std::unique_ptr<graph::Graph>(term::Signature &)> Build;
+};
+
+/// ~24 transformer configurations (bert/gpt2/roberta/distil-style sizes ×
+/// spelling variants).
+std::vector<ModelEntry> hfSuite();
+
+/// ~20 CNN configurations (VGG/ResNet-style depths × widths).
+std::vector<ModelEntry> tvSuite();
+
+} // namespace pypm::models
+
+#endif // PYPM_MODELS_ZOO_H

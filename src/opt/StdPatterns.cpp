@@ -1,0 +1,267 @@
+//===- opt/StdPatterns.cpp - The paper's optimization library ------------------===//
+
+#include "opt/StdPatterns.h"
+
+#include "dsl/Sema.h"
+#include "models/Transformers.h"
+
+using namespace pypm;
+using namespace pypm::opt;
+
+//===----------------------------------------------------------------------===//
+// DSL sources
+//===----------------------------------------------------------------------===//
+
+std::string_view pypm::opt::fmhaSource() {
+  // MHA(Q,K,V) = softmax(α·Q·Kᵀ)·V, with the scale spelled either as a
+  // division by √d or a multiplication by 1/√d (the alternates of §2.1).
+  // The scale must be a scalar constant, enforced by a guard on the
+  // ∃-bound scale subterm.
+  return R"pypm(
+pattern Scores(q, k, s) { return Div(MatMul(q, Trans(k)), s); }
+pattern Scores(q, k, s) { return Mul(MatMul(q, Trans(k)), s); }
+
+// m is a parameter that only the masked alternate mentions: on unmasked
+// graphs it simply stays unbound.
+pattern MHA(q, k, v, m) {
+  s = var();
+  assert s.op_id == op("Const");
+  assert q.shape.rank >= 2 && v.shape.rank >= 2;
+  return MatMul(Softmax(Add(Scores(q, k, s), m)), v);
+}
+pattern MHA(q, k, v, m) {
+  s = var();
+  assert s.op_id == op("Const");
+  assert q.shape.rank >= 2 && v.shape.rank >= 2;
+  return MatMul(Softmax(Scores(q, k, s)), v);
+}
+
+// Two rules; which fires depends on which alternate matched. The masked
+// replacement references m, so when the unmasked alternate matched (m
+// unbound) building its right-hand side fails and the engine falls
+// through to the unmasked kernel — PyPM's "first rule whose assertions
+// pass is fired" in action.
+rule fuse_mha_masked for MHA(q, k, v, m) {
+  return FMHAMasked(q, k, v, m);
+}
+rule fuse_mha for MHA(q, k, v, m) {
+  return FMHA(q, k, v);
+}
+)pypm";
+}
+
+std::string_view pypm::opt::epilogSource() {
+  // Stage 1: recognize decomposed GELU (Fig. 2) — both Half spellings —
+  // and contract it to the single Gelu operator (class unary_pointwise).
+  // Stage 2: fold any unary_pointwise activation into the matmul / conv
+  // that feeds it, with or without an intervening BiasAdd / BatchNorm,
+  // recording which activation was fused as the `act` attribute.
+  return R"pypm(
+pattern Half(x) { return Div(x, 2); }
+pattern Half(x) { return Mul(x, 0.5); }
+
+pattern GeluExpanded(x) {
+  return Mul(Half(x), Add(1, Erf(Div(x, 1.414214))));
+}
+
+rule contract_gelu for GeluExpanded(x) {
+  return Gelu(x);
+}
+
+pattern GemmBiasAct(a, b, c, f) {
+  assert f.op_class == opclass("unary_pointwise");
+  return f(BiasAdd(MatMul(a, b), c));
+}
+
+rule fuse_gemm_bias_act for GemmBiasAct(a, b, c, f) {
+  return GemmBiasEpilog[act = f.op_id](a, b, c);
+}
+
+pattern GemmAct(a, b, f) {
+  assert f.op_class == opclass("unary_pointwise");
+  return f(MatMul(a, b));
+}
+
+rule fuse_gemm_act for GemmAct(a, b, f) {
+  return GemmEpilog[act = f.op_id](a, b);
+}
+
+pattern ConvBiasAct(x, w, b, f, cv) {
+  assert f.op_class == opclass("unary_pointwise");
+  cv <= Conv2D(x, w);
+  return f(BiasAdd(cv, b));
+}
+pattern ConvBiasAct(x, w, b, f, cv) {
+  assert f.op_class == opclass("unary_pointwise");
+  cv <= Conv2D(x, w);
+  return f(BiasAdd(BatchNorm(cv), b));
+}
+
+rule fuse_conv_bias_act for ConvBiasAct(x, w, b, f, cv) {
+  return ConvEpilog[act = f.op_id, stride = cv.stride, pad = cv.pad](x, w, b);
+}
+)pypm";
+}
+
+std::string_view pypm::opt::cublasSource() {
+  // Fig. 1 verbatim (modulo surface syntax): rank-2 x·yᵀ with the rule
+  // dispatching on element type.
+  return R"pypm(
+pattern MMxyT(x, y) {
+  assert x.shape.rank == 2;
+  assert y.shape.rank == 2;
+  yt = Trans(y);
+  return MatMul(x, yt);
+}
+
+rule cublasrule for MMxyT(x, y) {
+  assert (x.eltType == f32 && y.eltType == f32)
+      || (x.eltType == i8 && y.eltType == i8);
+  if x.eltType == f32 && y.eltType == f32 {
+    return cublasMM_xyT_f32(x, y);
+  } elif x.eltType == i8 && y.eltType == i8 {
+    return cublasMM_xyT_i8(x, y);
+  }
+}
+)pypm";
+}
+
+std::string_view pypm::opt::unaryChainSource() {
+  // Fig. 3's recursive UnaryChain plus a rule that collapses ReLU towers
+  // (ReLU is idempotent). IdemChain requires ≥ 2 applications so the
+  // rewrite strictly shrinks the graph.
+  return R"pypm(
+pattern UnaryChain(x, f) { return f(UnaryChain(x, f)); }
+pattern UnaryChain(x, f) { return f(x); }
+
+pattern IdemChain(x, f) {
+  assert f.op_id == op("Relu");
+  return f(UnaryChain(x, f));
+}
+
+rule collapse_relu_chain for IdemChain(x, f) {
+  return f(x);
+}
+)pypm";
+}
+
+std::string_view pypm::opt::partitionSource() {
+  // Fig. 14's PwSubgraph/MatMulEpilog: a tower of unary pointwise
+  // operators anchored on a matrix multiply, each level allowed to be a
+  // *different* operator (the local UnaryOp function variable is fresh
+  // per recursive unfold). We encode the recursion in the style of
+  // Fig. 3's UnaryChain — threading the parameter to the bottom of the
+  // tower — because Fig. 14's literal listing binds its recursion leaf to
+  // a fresh unused variable, under which reading the MatMul(a, b)
+  // argument constrains only height-zero towers (see DESIGN.md).
+  // Match-only: the directed-graph-partitioning pass consumes the matches
+  // (§4.2).
+  return R"pypm(
+pattern PwSubgraph(x) {
+  UnaryOp = opvar(1);
+  assert UnaryOp.op_class == opclass("unary_pointwise");
+  return UnaryOp(PwSubgraph(x));
+}
+pattern PwSubgraph(x) { return x; }
+
+pattern MatMulEpilog(x) {
+  a = var();
+  b = var();
+  x <= PwSubgraph(MatMul(a, b));
+  return x;
+}
+
+// Extended variant: real epilogs also contain a bias addition and scalar
+// binary pointwise steps (Div(x, 2), Mul(x, 0.5), …). The bias value b1 is
+// a parameter so it lands on the region frontier; it stays unbound for
+// towers without a bias (the partitioner treats unbound frontier
+// variables as absent inputs).
+pattern PwChain(x, b1) {
+  UnaryOp = opvar(1);
+  assert UnaryOp.op_class == opclass("unary_pointwise");
+  return UnaryOp(PwChain(x, b1));
+}
+pattern PwChain(x, b1) {
+  return BiasAdd(PwChain(x, b1), b1);
+}
+// Statement order matters for search cost, not meaning: later statements
+// wrap innermost and therefore evaluate first. Writing the cheap
+// `c.op_id == Const` check *after* the recursive constraint makes the
+// machine test it before exploring the recursion — without it, every
+// residual Add(x, y) in a ResNet doubles the backtracking search.
+pattern PwChain(x, b1) {
+  BinOp = opvar(2);
+  assert BinOp.op_class == opclass("binary_pointwise");
+  y = var();
+  c = var();
+  y <= PwChain(x, b1);
+  assert c.op_id == op("Const");
+  return BinOp(y, c);
+}
+pattern PwChain(x, b1) { return x; }
+
+pattern MatMulEpilogExt(x, a, b, b1) {
+  x <= PwChain(MatMul(a, b), b1);
+  return x;
+}
+)pypm";
+}
+
+//===----------------------------------------------------------------------===//
+// Compilation helpers
+//===----------------------------------------------------------------------===//
+
+static std::unique_ptr<pattern::Library> compileStd(term::Signature &Sig,
+                                                    std::string_view Source) {
+  models::declareModelOps(Sig); // ops, arities, classes shared with the zoo
+  return dsl::compileOrDie(Source, Sig);
+}
+
+std::unique_ptr<pattern::Library> pypm::opt::compileFmha(term::Signature &Sig) {
+  return compileStd(Sig, fmhaSource());
+}
+std::unique_ptr<pattern::Library>
+pypm::opt::compileEpilog(term::Signature &Sig) {
+  return compileStd(Sig, epilogSource());
+}
+std::unique_ptr<pattern::Library>
+pypm::opt::compileCublas(term::Signature &Sig) {
+  return compileStd(Sig, cublasSource());
+}
+std::unique_ptr<pattern::Library>
+pypm::opt::compileUnaryChain(term::Signature &Sig) {
+  return compileStd(Sig, unaryChainSource());
+}
+std::unique_ptr<pattern::Library>
+pypm::opt::compilePartition(term::Signature &Sig) {
+  return compileStd(Sig, partitionSource());
+}
+
+std::string_view pypm::opt::optConfigName(OptConfig C) {
+  switch (C) {
+  case OptConfig::None:
+    return "none";
+  case OptConfig::FmhaOnly:
+    return "fmha";
+  case OptConfig::EpilogOnly:
+    return "epilog";
+  case OptConfig::Both:
+    return "fmha+epilog";
+  }
+  return "?";
+}
+
+Pipeline pypm::opt::makePipeline(term::Signature &Sig, OptConfig Config) {
+  Pipeline P;
+  // FMHA first: the MHA subgraph contains matmuls that the epilog rewrite
+  // must not consume before the attention pattern has had its chance.
+  if (Config == OptConfig::FmhaOnly || Config == OptConfig::Both) {
+    P.Libs.push_back(compileFmha(Sig));
+    P.Rules.addLibrary(*P.Libs.back());
+  }
+  if (Config == OptConfig::EpilogOnly || Config == OptConfig::Both) {
+    P.Libs.push_back(compileEpilog(Sig));
+    P.Rules.addLibrary(*P.Libs.back());
+  }
+  return P;
+}

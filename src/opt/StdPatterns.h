@@ -1,0 +1,67 @@
+//===- opt/StdPatterns.h - The paper's optimization library -----*- C++ -*-===//
+///
+/// \file
+/// The hand-crafted PyPM optimization libraries evaluated in §4, written
+/// in the textual dialect and compiled on demand:
+///
+///  - FMHA (§4.1): matches softmax(α·Q·Kᵀ)·V spelled with either Div- or
+///    Mul-scaling and rewrites to the fused FMHA kernel.
+///  - Epilog (§4.1): recognizes decomposed GELU (Fig. 2, both Half
+///    spellings), then fuses pointwise activations into GEMM / GEMM+bias /
+///    Conv+bias epilog kernels using function patterns with op-class
+///    guards.
+///  - cuBLAS (Fig. 1): MMxyT → cublasMM_xyT_{f32,i8} with dtype-dispatched
+///    rules.
+///  - UnaryChain (Fig. 3): recursive chain matching, with a rule
+///    collapsing ReLU towers.
+///  - Partition (Fig. 14): PwSubgraph/MatMulEpilog, match-only, consumed
+///    by the directed-graph-partitioning pass (§4.2).
+///
+/// Each accessor returns a freshly compiled Library against the given
+/// Signature (declaring the model-zoo operators first so classes and
+/// arities agree).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_OPT_STDPATTERNS_H
+#define PYPM_OPT_STDPATTERNS_H
+
+#include "pattern/Pattern.h"
+#include "rewrite/Rule.h"
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace pypm::opt {
+
+// DSL sources (exposed so tests and docs can show them verbatim).
+std::string_view fmhaSource();
+std::string_view epilogSource();
+std::string_view cublasSource();
+std::string_view unaryChainSource();
+std::string_view partitionSource();
+
+std::unique_ptr<pattern::Library> compileFmha(term::Signature &Sig);
+std::unique_ptr<pattern::Library> compileEpilog(term::Signature &Sig);
+std::unique_ptr<pattern::Library> compileCublas(term::Signature &Sig);
+std::unique_ptr<pattern::Library> compileUnaryChain(term::Signature &Sig);
+std::unique_ptr<pattern::Library> compilePartition(term::Signature &Sig);
+
+/// The four benchmark configurations of Figs. 10–11.
+enum class OptConfig { None, FmhaOnly, EpilogOnly, Both };
+std::string_view optConfigName(OptConfig C);
+
+/// An optimization pipeline: the owned libraries plus the RuleSet that
+/// borrows them, assembled in the order the rewrites should be tried.
+struct Pipeline {
+  std::vector<std::unique_ptr<pattern::Library>> Libs;
+  rewrite::RuleSet Rules;
+};
+
+/// Builds the pipeline for one benchmark configuration.
+Pipeline makePipeline(term::Signature &Sig, OptConfig Config);
+
+} // namespace pypm::opt
+
+#endif // PYPM_OPT_STDPATTERNS_H

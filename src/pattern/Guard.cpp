@@ -1,0 +1,204 @@
+//===- pattern/Guard.cpp - Guard expression evaluation ---------------------===//
+
+#include "pattern/Guard.h"
+
+using namespace pypm;
+using namespace pypm::pattern;
+
+GuardEnv::~GuardEnv() = default;
+
+static GuardEval ok(int64_t V) { return GuardEval{GuardStatus::Ok, V}; }
+static GuardEval stuck(GuardStatus S) { return GuardEval{S, 0}; }
+
+GuardEval GuardExpr::evalInt(const GuardEnv &Env) const {
+  switch (Kind) {
+  case GuardKind::IntLit:
+    return ok(Value);
+  case GuardKind::Attr: {
+    std::optional<term::TermRef> T = Env.lookupVar(Name);
+    if (!T)
+      return stuck(GuardStatus::UnboundVar);
+    std::optional<int64_t> V = Env.arena().attribute(*T, AttrSym);
+    if (!V)
+      return stuck(GuardStatus::UnknownAttr);
+    return ok(*V);
+  }
+  case GuardKind::FunAttr: {
+    std::optional<term::OpId> Op = Env.lookupFunVar(Name);
+    if (!Op)
+      return stuck(GuardStatus::UnboundVar);
+    const term::Signature &Sig = Env.arena().signature();
+    std::string_view A = AttrSym.str();
+    if (A == "op_class")
+      return ok(static_cast<int64_t>(Sig.opClass(*Op).rawId()));
+    if (A == "arity")
+      return ok(static_cast<int64_t>(Sig.arity(*Op)));
+    if (A == "op_id")
+      return ok(static_cast<int64_t>(Op->index()));
+    if (A == "results")
+      return ok(static_cast<int64_t>(Sig.info(*Op).Results));
+    return stuck(GuardStatus::UnknownAttr);
+  }
+  case GuardKind::OpClassRef:
+    return ok(static_cast<int64_t>(Name.rawId()));
+  case GuardKind::OpRef: {
+    term::OpId Op = Env.arena().signature().lookup(Name);
+    if (!Op.isValid())
+      return stuck(GuardStatus::UnknownAttr);
+    return ok(static_cast<int64_t>(Op.index()));
+  }
+  case GuardKind::Add:
+  case GuardKind::Sub:
+  case GuardKind::Mul:
+  case GuardKind::Div:
+  case GuardKind::Mod: {
+    GuardEval L = Lhs->evalInt(Env);
+    if (!L.ok())
+      return L;
+    GuardEval R = Rhs->evalInt(Env);
+    if (!R.ok())
+      return R;
+    switch (Kind) {
+    case GuardKind::Add:
+      return ok(L.Value + R.Value);
+    case GuardKind::Sub:
+      return ok(L.Value - R.Value);
+    case GuardKind::Mul:
+      return ok(L.Value * R.Value);
+    case GuardKind::Div:
+      if (R.Value == 0)
+        return stuck(GuardStatus::DivByZero);
+      return ok(L.Value / R.Value);
+    case GuardKind::Mod:
+      if (R.Value == 0)
+        return stuck(GuardStatus::DivByZero);
+      return ok(L.Value % R.Value);
+    default:
+      break;
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  assert(false && "evalInt on boolean guard");
+  return stuck(GuardStatus::UnknownAttr);
+}
+
+GuardEval GuardExpr::evalBool(const GuardEnv &Env) const {
+  switch (Kind) {
+  case GuardKind::Eq:
+  case GuardKind::Ne:
+  case GuardKind::Lt:
+  case GuardKind::Le:
+  case GuardKind::Gt:
+  case GuardKind::Ge: {
+    GuardEval L = Lhs->evalInt(Env);
+    if (!L.ok())
+      return L;
+    GuardEval R = Rhs->evalInt(Env);
+    if (!R.ok())
+      return R;
+    bool B = false;
+    switch (Kind) {
+    case GuardKind::Eq:
+      B = L.Value == R.Value;
+      break;
+    case GuardKind::Ne:
+      B = L.Value != R.Value;
+      break;
+    case GuardKind::Lt:
+      B = L.Value < R.Value;
+      break;
+    case GuardKind::Le:
+      B = L.Value <= R.Value;
+      break;
+    case GuardKind::Gt:
+      B = L.Value > R.Value;
+      break;
+    case GuardKind::Ge:
+      B = L.Value >= R.Value;
+      break;
+    default:
+      break;
+    }
+    return ok(B ? 1 : 0);
+  }
+  case GuardKind::And: {
+    // Short-circuit: a false left operand decides the guard even if the
+    // right operand would be stuck. This matches Fig. 1's rule style,
+    // where "x.eltType == f32 && y.eltType == f32" guards branch bodies.
+    GuardEval L = Lhs->evalBool(Env);
+    if (!L.ok() || L.Value == 0)
+      return L;
+    return Rhs->evalBool(Env);
+  }
+  case GuardKind::Or: {
+    GuardEval L = Lhs->evalBool(Env);
+    if (!L.ok() || L.Value != 0)
+      return L;
+    return Rhs->evalBool(Env);
+  }
+  case GuardKind::Not: {
+    GuardEval L = Lhs->evalBool(Env);
+    if (!L.ok())
+      return L;
+    return ok(L.Value == 0 ? 1 : 0);
+  }
+  default:
+    break;
+  }
+  assert(false && "evalBool on arithmetic expression");
+  return stuck(GuardStatus::UnknownAttr);
+}
+
+static const char *opSpelling(GuardKind K) {
+  switch (K) {
+  case GuardKind::Add:
+    return " + ";
+  case GuardKind::Sub:
+    return " - ";
+  case GuardKind::Mul:
+    return " * ";
+  case GuardKind::Div:
+    return " / ";
+  case GuardKind::Mod:
+    return " % ";
+  case GuardKind::Eq:
+    return " == ";
+  case GuardKind::Ne:
+    return " != ";
+  case GuardKind::Lt:
+    return " < ";
+  case GuardKind::Le:
+    return " <= ";
+  case GuardKind::Gt:
+    return " > ";
+  case GuardKind::Ge:
+    return " >= ";
+  case GuardKind::And:
+    return " && ";
+  case GuardKind::Or:
+    return " || ";
+  default:
+    return " ? ";
+  }
+}
+
+std::string GuardExpr::toString() const {
+  switch (Kind) {
+  case GuardKind::IntLit:
+    return std::to_string(Value);
+  case GuardKind::Attr:
+  case GuardKind::FunAttr:
+    return std::string(Name.str()) + "." + std::string(AttrSym.str());
+  case GuardKind::OpClassRef:
+    return "opclass(\"" + std::string(Name.str()) + "\")";
+  case GuardKind::OpRef:
+    return "op(\"" + std::string(Name.str()) + "\")";
+  case GuardKind::Not:
+    return "!(" + Lhs->toString() + ")";
+  default:
+    return "(" + Lhs->toString() + opSpelling(Kind) + Rhs->toString() + ")";
+  }
+}

@@ -1,0 +1,133 @@
+//===- pattern/Guard.h - Guard expression AST -------------------*- C++ -*-===//
+///
+/// \file
+/// Guards g and arithmetic expressions e of CorePyPM (paper Fig. 8):
+///
+///   e ::= n | x.α | e+e | e-e | e*e | e/e | e%e
+///   g ::= e=e | e≠e | e<e | e≤e | e>e | e≥e | g∧g | g∨g | ¬g
+///
+/// plus the function-variable extension required by Fig. 14: `F.op_class`,
+/// `F.arity`, `F.op_id` where F is a function variable, interpreted through
+/// the function substitution φ. Literals referring to operator classes and
+/// operator names are distinct node kinds so the serializer can persist
+/// spellings instead of process-local symbol ids.
+///
+/// Evaluation is over a GuardEnv — an abstract view of ⟨θ, φ⟩ — so this
+/// library does not depend on the matcher.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_PATTERN_GUARD_H
+#define PYPM_PATTERN_GUARD_H
+
+#include "term/Term.h"
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace pypm::pattern {
+
+/// Abstract evaluation environment: the ⟨θ, φ⟩ pair plus the attribute
+/// interpretation ⟦·⟧ (provided by the term arena).
+class GuardEnv {
+public:
+  virtual ~GuardEnv();
+  /// θ(x), or nullopt if unbound.
+  virtual std::optional<term::TermRef> lookupVar(Symbol Var) const = 0;
+  /// φ(F), or nullopt if unbound.
+  virtual std::optional<term::OpId> lookupFunVar(Symbol FunVar) const = 0;
+  /// Arena providing ⟦α⟧(t) and the signature.
+  virtual const term::TermArena &arena() const = 0;
+};
+
+enum class GuardKind : uint8_t {
+  // Arithmetic expressions.
+  IntLit,      ///< n
+  Attr,        ///< x.α — attribute of the term bound to x
+  FunAttr,     ///< F.α — attribute of the operator bound to F
+  OpClassRef,  ///< opclass("name") literal; evaluates to the class symbol id
+  OpRef,       ///< op("Name") literal; evaluates to the operator's index
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  // Boolean guards.
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+  Not,
+};
+
+/// Whether nodes of this kind denote integers (arith level) or booleans.
+inline bool isArithKind(GuardKind K) { return K <= GuardKind::Mod; }
+inline bool isBoolKind(GuardKind K) { return !isArithKind(K); }
+
+/// Outcome of evaluating a guard. Distinguishes "false" from "stuck"
+/// (unbound variable / unknown attribute): the algorithmic semantics treats
+/// a stuck guard as a failed match (backtrack), but diagnostics report it.
+enum class GuardStatus : uint8_t { Ok, UnboundVar, UnknownAttr, DivByZero };
+
+struct GuardEval {
+  GuardStatus Status = GuardStatus::Ok;
+  int64_t Value = 0; ///< integer value, or 0/1 for booleans
+
+  bool ok() const { return Status == GuardStatus::Ok; }
+  bool truthy() const { return ok() && Value != 0; }
+};
+
+/// Immutable guard-expression node. Allocated in a PatternArena.
+class GuardExpr {
+public:
+  GuardKind kind() const { return Kind; }
+
+  // --- Leaf payloads (valid per kind; asserted) ---
+  int64_t intValue() const {
+    assert(Kind == GuardKind::IntLit);
+    return Value;
+  }
+  Symbol varName() const {
+    assert(Kind == GuardKind::Attr || Kind == GuardKind::FunAttr);
+    return Name;
+  }
+  Symbol attrName() const {
+    assert(Kind == GuardKind::Attr || Kind == GuardKind::FunAttr);
+    return AttrSym;
+  }
+  Symbol refName() const {
+    assert(Kind == GuardKind::OpClassRef || Kind == GuardKind::OpRef);
+    return Name;
+  }
+
+  const GuardExpr *lhs() const { return Lhs; }
+  const GuardExpr *rhs() const { return Rhs; }
+
+  /// Evaluates an arithmetic expression. Precondition: isArithKind(kind()).
+  GuardEval evalInt(const GuardEnv &Env) const;
+  /// Evaluates a boolean guard. Precondition: isBoolKind(kind()).
+  GuardEval evalBool(const GuardEnv &Env) const;
+
+  std::string toString() const;
+
+private:
+  friend class PatternArena;
+  GuardExpr() = default;
+
+  GuardKind Kind = GuardKind::IntLit;
+  int64_t Value = 0;
+  Symbol Name;    // variable / funvar / class / op name
+  Symbol AttrSym; // attribute name
+  const GuardExpr *Lhs = nullptr;
+  const GuardExpr *Rhs = nullptr;
+};
+
+} // namespace pypm::pattern
+
+#endif // PYPM_PATTERN_GUARD_H

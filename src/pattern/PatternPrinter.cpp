@@ -1,0 +1,179 @@
+//===- pattern/PatternPrinter.cpp - Textual rendering of patterns ----------===//
+///
+/// \file
+/// Renders patterns and RHS templates in a notation close to the paper's
+/// (ASCII): `p || p'`, `p ; guard(g)`, `exists x. p`, `p ; (x <= p')`,
+/// `mu P(params)[args]. p`. Used by tests, diagnostics, and examples.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pattern/Pattern.h"
+
+using namespace pypm;
+using namespace pypm::pattern;
+
+static void printPattern(const Pattern *P, const term::Signature &Sig,
+                         std::string &Out) {
+  switch (P->kind()) {
+  case PatternKind::Var:
+    Out += cast<VarPattern>(P)->name().str();
+    return;
+  case PatternKind::App: {
+    const auto *AP = cast<AppPattern>(P);
+    Out += Sig.name(AP->op()).str();
+    Out += '(';
+    bool First = true;
+    for (const Pattern *C : AP->children()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      printPattern(C, Sig, Out);
+    }
+    Out += ')';
+    return;
+  }
+  case PatternKind::FunVarApp: {
+    const auto *FP = cast<FunVarAppPattern>(P);
+    Out += FP->funVar().str();
+    Out += '(';
+    bool First = true;
+    for (const Pattern *C : FP->children()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      printPattern(C, Sig, Out);
+    }
+    Out += ')';
+    return;
+  }
+  case PatternKind::Alt: {
+    const auto *AP = cast<AltPattern>(P);
+    Out += '(';
+    printPattern(AP->left(), Sig, Out);
+    Out += " || ";
+    printPattern(AP->right(), Sig, Out);
+    Out += ')';
+    return;
+  }
+  case PatternKind::Guarded: {
+    const auto *GP = cast<GuardedPattern>(P);
+    Out += '(';
+    printPattern(GP->sub(), Sig, Out);
+    Out += " ; guard(";
+    Out += GP->guard()->toString();
+    Out += "))";
+    return;
+  }
+  case PatternKind::Exists: {
+    const auto *EP = cast<ExistsPattern>(P);
+    Out += "(exists ";
+    Out += EP->var().str();
+    Out += ". ";
+    printPattern(EP->sub(), Sig, Out);
+    Out += ')';
+    return;
+  }
+  case PatternKind::ExistsFun: {
+    const auto *EP = cast<ExistsFunPattern>(P);
+    Out += "(existsfun ";
+    Out += EP->funVar().str();
+    Out += ". ";
+    printPattern(EP->sub(), Sig, Out);
+    Out += ')';
+    return;
+  }
+  case PatternKind::MatchConstraint: {
+    const auto *MP = cast<MatchConstraintPattern>(P);
+    Out += '(';
+    printPattern(MP->sub(), Sig, Out);
+    Out += " ; (";
+    Out += MP->var().str();
+    Out += " <= ";
+    printPattern(MP->constraint(), Sig, Out);
+    Out += "))";
+    return;
+  }
+  case PatternKind::Mu: {
+    const auto *MP = cast<MuPattern>(P);
+    Out += "(mu ";
+    Out += MP->self().str();
+    Out += '(';
+    bool First = true;
+    for (Symbol S : MP->params()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += S.str();
+    }
+    Out += ")[";
+    First = true;
+    for (Symbol S : MP->args()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += S.str();
+    }
+    Out += "]. ";
+    printPattern(MP->body(), Sig, Out);
+    Out += ')';
+    return;
+  }
+  case PatternKind::RecCall: {
+    const auto *RP = cast<RecCallPattern>(P);
+    Out += RP->self().str();
+    Out += '(';
+    bool First = true;
+    for (Symbol S : RP->args()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += S.str();
+    }
+    Out += ')';
+    return;
+  }
+  }
+}
+
+std::string Pattern::toString(const term::Signature &Sig) const {
+  std::string Out;
+  printPattern(this, Sig, Out);
+  return Out;
+}
+
+std::string RhsExpr::toString(const term::Signature &Sig) const {
+  switch (Kind) {
+  case RhsKind::VarRef:
+    return std::string(Name.str());
+  case RhsKind::App:
+  case RhsKind::FunVarApp: {
+    std::string Out = Kind == RhsKind::App
+                          ? std::string(Sig.name(Op).str())
+                          : std::string(Name.str());
+    if (!Attrs.empty()) {
+      Out += '[';
+      bool First = true;
+      for (const AttrTemplate &A : Attrs) {
+        if (!First)
+          Out += ',';
+        First = false;
+        Out += A.Key.str();
+        Out += '=';
+        Out += A.Value->toString();
+      }
+      Out += ']';
+    }
+    Out += '(';
+    bool First = true;
+    for (const RhsExpr *C : Children) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += C->toString(Sig);
+    }
+    Out += ')';
+    return Out;
+  }
+  }
+  return "<rhs?>";
+}

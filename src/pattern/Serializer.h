@@ -1,0 +1,48 @@
+//===- pattern/Serializer.h - Pattern binary format -------------*- C++ -*-===//
+///
+/// \file
+/// The portable serialized "pattern binary" format of §2.4: the PyPM
+/// frontend serializes compiled patterns and rules, and the DLCB backend
+/// dynamically loads them at startup. The format is versioned,
+/// little-endian, and self-contained: it embeds a string table (symbols are
+/// persisted as spellings, never as process-local ids) and the operator
+/// declarations the patterns were compiled against.
+///
+/// Layout (v1):
+///   magic "PYPM", u32 version
+///   string table: u32 count, then per string u32 length + bytes
+///   signature:   u32 count, per op: name, arity, results, class(~0=none),
+///                attr-name list
+///   patterns:    u32 count, per def: name, params, funparams, pattern tree
+///   rules:       u32 count, per rule: name, pattern name, guard?, rhs tree
+///
+/// Trees are serialized pre-order with one tag byte per node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_PATTERN_SERIALIZER_H
+#define PYPM_PATTERN_SERIALIZER_H
+
+#include "pattern/Pattern.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace pypm::pattern {
+
+/// Serializes \p Lib (compiled against \p Sig) to a byte string.
+std::string serializeLibrary(const Library &Lib, const term::Signature &Sig);
+
+/// Deserializes a pattern binary. Operator declarations are merged into
+/// \p Sig: existing ops must agree on arity (else a diagnostic is emitted),
+/// new ops are added. Returns nullptr and emits diagnostics on malformed
+/// input; never reads out of bounds.
+std::unique_ptr<Library> deserializeLibrary(std::string_view Bytes,
+                                            term::Signature &Sig,
+                                            DiagnosticEngine &Diags);
+
+} // namespace pypm::pattern
+
+#endif // PYPM_PATTERN_SERIALIZER_H

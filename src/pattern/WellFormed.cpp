@@ -1,0 +1,319 @@
+//===- pattern/WellFormed.cpp - Pattern well-formedness checks -------------===//
+
+#include "pattern/WellFormed.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace pypm;
+using namespace pypm::pattern;
+
+namespace {
+
+class Checker {
+public:
+  Checker(const term::Signature &Sig, DiagnosticEngine &Diags,
+          std::string_view PatName)
+      : Sig(Sig), Diags(Diags), PatName(PatName) {}
+
+  bool run(const NamedPattern &NP) {
+    for (Symbol P : NP.Params)
+      KnownVars.insert(P);
+    for (Symbol P : NP.FunParams)
+      KnownVars.insert(P);
+    collectBinders(NP.Pat);
+    std::unordered_map<Symbol, const MuPattern *> MuScope;
+    visit(NP.Pat, MuScope);
+    checkGuardRefsCollected();
+    return Errors == 0;
+  }
+
+private:
+  const term::Signature &Sig;
+  DiagnosticEngine &Diags;
+  std::string PatName;
+  unsigned Errors = 0;
+  std::unordered_set<Symbol> KnownVars;
+  std::vector<std::pair<Symbol, std::string>> PendingGuardRefs;
+
+  void error(std::string Msg) {
+    Diags.error(SourceLoc(), "pattern '" + PatName + "': " + std::move(Msg));
+    ++Errors;
+  }
+
+  /// First pass: record all binder and variable names so guard references
+  /// can be validated, and detect *nested* duplicate binders. Sibling
+  /// alternates may reuse binder names (Fig. 4's alternates each declare
+  /// their own y) — the machine snapshots θ at choice points, so branches
+  /// never observe each other's bindings; only a binder shadowing an
+  /// enclosing same-named binder is an error.
+  void collectBinders(const Pattern *P) {
+    switch (P->kind()) {
+    case PatternKind::Var:
+      KnownVars.insert(cast<VarPattern>(P)->name());
+      return;
+    case PatternKind::App:
+      for (const Pattern *C : cast<AppPattern>(P)->children())
+        collectBinders(C);
+      return;
+    case PatternKind::FunVarApp: {
+      const auto *FP = cast<FunVarAppPattern>(P);
+      KnownVars.insert(FP->funVar());
+      for (const Pattern *C : FP->children())
+        collectBinders(C);
+      return;
+    }
+    case PatternKind::Alt: {
+      const auto *AP = cast<AltPattern>(P);
+      collectBinders(AP->left());
+      collectBinders(AP->right());
+      return;
+    }
+    case PatternKind::Guarded:
+      collectBinders(cast<GuardedPattern>(P)->sub());
+      return;
+    case PatternKind::Exists: {
+      const auto *EP = cast<ExistsPattern>(P);
+      bool Inserted = Binders.insert(EP->var()).second;
+      if (!Inserted)
+        error("duplicate binder '" + std::string(EP->var().str()) +
+              "' shadows an enclosing binder of the same name");
+      KnownVars.insert(EP->var());
+      collectBinders(EP->sub());
+      if (Inserted)
+        Binders.erase(EP->var());
+      return;
+    }
+    case PatternKind::ExistsFun: {
+      const auto *EP = cast<ExistsFunPattern>(P);
+      bool Inserted = Binders.insert(EP->funVar()).second;
+      if (!Inserted)
+        error("duplicate binder '" + std::string(EP->funVar().str()) +
+              "' shadows an enclosing binder of the same name");
+      KnownVars.insert(EP->funVar());
+      collectBinders(EP->sub());
+      if (Inserted)
+        Binders.erase(EP->funVar());
+      return;
+    }
+    case PatternKind::MatchConstraint: {
+      const auto *MP = cast<MatchConstraintPattern>(P);
+      collectBinders(MP->sub());
+      collectBinders(MP->constraint());
+      return;
+    }
+    case PatternKind::Mu: {
+      const auto *MP = cast<MuPattern>(P);
+      bool Inserted = Binders.insert(MP->self()).second;
+      if (!Inserted)
+        error("duplicate recursive-pattern name '" +
+              std::string(MP->self().str()) + "'");
+      for (Symbol Param : MP->params())
+        KnownVars.insert(Param);
+      for (Symbol Arg : MP->args())
+        KnownVars.insert(Arg);
+      collectBinders(MP->body());
+      if (Inserted)
+        Binders.erase(MP->self());
+      return;
+    }
+    case PatternKind::RecCall:
+      return;
+    }
+  }
+
+  void visit(const Pattern *P,
+             std::unordered_map<Symbol, const MuPattern *> &MuScope) {
+    switch (P->kind()) {
+    case PatternKind::Var:
+      return;
+    case PatternKind::App: {
+      const auto *AP = cast<AppPattern>(P);
+      unsigned Declared = Sig.arity(AP->op());
+      if (AP->arity() != Declared)
+        error("operator '" + std::string(Sig.name(AP->op()).str()) +
+              "' applied to " + std::to_string(AP->arity()) +
+              " children, declared arity " + std::to_string(Declared));
+      for (const Pattern *C : AP->children())
+        visit(C, MuScope);
+      return;
+    }
+    case PatternKind::FunVarApp:
+      for (const Pattern *C : cast<FunVarAppPattern>(P)->children())
+        visit(C, MuScope);
+      return;
+    case PatternKind::Alt: {
+      const auto *AP = cast<AltPattern>(P);
+      visit(AP->left(), MuScope);
+      visit(AP->right(), MuScope);
+      return;
+    }
+    case PatternKind::Guarded: {
+      const auto *GP = cast<GuardedPattern>(P);
+      if (!isBoolKind(GP->guard()->kind()))
+        error("guard is not a boolean expression: " +
+              GP->guard()->toString());
+      checkGuard(GP->guard());
+      visit(GP->sub(), MuScope);
+      return;
+    }
+    case PatternKind::Exists:
+      visit(cast<ExistsPattern>(P)->sub(), MuScope);
+      return;
+    case PatternKind::ExistsFun:
+      visit(cast<ExistsFunPattern>(P)->sub(), MuScope);
+      return;
+    case PatternKind::MatchConstraint: {
+      const auto *MP = cast<MatchConstraintPattern>(P);
+      if (!KnownVars.count(MP->var()))
+        error("match constraint on unknown variable '" +
+              std::string(MP->var().str()) + "'");
+      visit(MP->sub(), MuScope);
+      visit(MP->constraint(), MuScope);
+      return;
+    }
+    case PatternKind::Mu: {
+      const auto *MP = cast<MuPattern>(P);
+      const MuPattern *&Slot = MuScope[MP->self()];
+      const MuPattern *Saved = Slot;
+      Slot = MP;
+      visit(MP->body(), MuScope);
+      Slot = Saved;
+      return;
+    }
+    case PatternKind::RecCall: {
+      const auto *RP = cast<RecCallPattern>(P);
+      auto It = MuScope.find(RP->self());
+      if (It == MuScope.end() || !It->second) {
+        error("recursive call to '" + std::string(RP->self().str()) +
+              "' outside the scope of its mu binder");
+        return;
+      }
+      if (RP->args().size() != It->second->params().size())
+        error("recursive call to '" + std::string(RP->self().str()) +
+              "' passes " + std::to_string(RP->args().size()) +
+              " arguments, expected " +
+              std::to_string(It->second->params().size()));
+      return;
+    }
+    }
+  }
+
+  void checkGuard(const GuardExpr *G) {
+    switch (G->kind()) {
+    case GuardKind::IntLit:
+    case GuardKind::OpClassRef:
+      return;
+    case GuardKind::OpRef:
+      if (!Sig.lookup(G->refName()).isValid())
+        error("guard references unknown operator '" +
+              std::string(G->refName().str()) + "'");
+      return;
+    case GuardKind::Attr:
+    case GuardKind::FunAttr:
+      PendingGuardRefs.emplace_back(G->varName(), G->toString());
+      return;
+    case GuardKind::Not:
+      checkGuard(G->lhs());
+      return;
+    default: {
+      // Check sortedness: comparisons take arithmetic operands; logical
+      // connectives take boolean operands; arithmetic takes arithmetic.
+      bool WantArith =
+          isArithKind(G->kind()) ||
+          (G->kind() >= GuardKind::Eq && G->kind() <= GuardKind::Ge);
+      for (const GuardExpr *Sub : {G->lhs(), G->rhs()}) {
+        bool SubArith = isArithKind(Sub->kind());
+        if (SubArith != WantArith)
+          error("ill-sorted guard expression: " + G->toString());
+        checkGuard(Sub);
+      }
+      return;
+    }
+    }
+  }
+
+  void checkGuardRefsCollected() {
+    for (auto &[Var, Ctx] : PendingGuardRefs)
+      if (!KnownVars.count(Var))
+        error("guard references unknown variable '" +
+              std::string(Var.str()) + "' in " + Ctx);
+  }
+
+  std::unordered_set<Symbol> Binders;
+};
+
+void collectRhsVars(const RhsExpr *R, std::vector<Symbol> &Vars) {
+  switch (R->kind()) {
+  case RhsKind::VarRef:
+    Vars.push_back(R->var());
+    return;
+  case RhsKind::FunVarApp:
+    Vars.push_back(R->funVar());
+    [[fallthrough]];
+  case RhsKind::App:
+    for (const RhsExpr *C : R->children())
+      collectRhsVars(C, Vars);
+    return;
+  }
+}
+
+} // namespace
+
+bool pypm::pattern::checkWellFormed(const NamedPattern &NP,
+                                    const term::Signature &Sig,
+                                    DiagnosticEngine &Diags) {
+  Checker C(Sig, Diags, NP.Name.str());
+  return C.run(NP);
+}
+
+bool pypm::pattern::checkWellFormed(const Library &Lib,
+                                    const term::Signature &Sig,
+                                    DiagnosticEngine &Diags) {
+  bool Ok = true;
+  std::unordered_set<Symbol> Names;
+  for (const NamedPattern &NP : Lib.PatternDefs) {
+    if (!Names.insert(NP.Name).second) {
+      Diags.error(SourceLoc(), "duplicate compiled pattern '" +
+                                   std::string(NP.Name.str()) +
+                                   "' (alternates must be merged before "
+                                   "library construction)");
+      Ok = false;
+    }
+    Ok &= checkWellFormed(NP, Sig, Diags);
+  }
+  for (const RewriteRule &R : Lib.Rules) {
+    const NamedPattern *NP = Lib.findPattern(R.PatternName);
+    if (!NP) {
+      Diags.error(SourceLoc(), "rule '" + std::string(R.Name.str()) +
+                                   "' references unknown pattern '" +
+                                   std::string(R.PatternName.str()) + "'");
+      Ok = false;
+      continue;
+    }
+    if (!R.Rhs) {
+      Diags.error(SourceLoc(),
+                  "rule '" + std::string(R.Name.str()) + "' has no RHS");
+      Ok = false;
+      continue;
+    }
+    std::vector<Symbol> Vars;
+    collectRhsVars(R.Rhs, Vars);
+    for (Symbol V : Vars) {
+      bool IsParam = false;
+      for (Symbol P : NP->Params)
+        IsParam |= P == V;
+      for (Symbol P : NP->FunParams)
+        IsParam |= P == V;
+      if (!IsParam) {
+        Diags.error(SourceLoc(),
+                    "rule '" + std::string(R.Name.str()) +
+                        "' references variable '" + std::string(V.str()) +
+                        "' which is not a parameter of pattern '" +
+                        std::string(R.PatternName.str()) + "'");
+        Ok = false;
+      }
+    }
+  }
+  return Ok;
+}

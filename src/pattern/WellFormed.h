@@ -1,0 +1,38 @@
+//===- pattern/WellFormed.h - Pattern well-formedness checks ----*- C++ -*-===//
+///
+/// \file
+/// Structural validity checks run on compiled patterns before matching:
+///
+///  - every binder name (∃ variables, μ self names) is unique within a
+///    pattern (the Barendregt convention the unfolder relies on);
+///  - recursive calls P(ȳ) occur inside a μ that binds P and pass the right
+///    number of arguments;
+///  - App children agree with the operator's declared arity;
+///  - Guarded nodes carry boolean guards, and guard arithmetic is
+///    structurally well-sorted;
+///  - MatchConstraint / guard variable references name a variable that is
+///    bound somewhere in the pattern or is a declared parameter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_PATTERN_WELLFORMED_H
+#define PYPM_PATTERN_WELLFORMED_H
+
+#include "pattern/Pattern.h"
+#include "support/Diagnostics.h"
+
+namespace pypm::pattern {
+
+/// Checks one named pattern; emits diagnostics. Returns true if no errors.
+bool checkWellFormed(const NamedPattern &NP, const term::Signature &Sig,
+                     DiagnosticEngine &Diags);
+
+/// Checks every pattern and rule of a library. Rules are checked for: the
+/// referenced pattern exists; RHS variable references are parameters of the
+/// pattern; RHS App arities match. Returns true if no errors.
+bool checkWellFormed(const Library &Lib, const term::Signature &Sig,
+                     DiagnosticEngine &Diags);
+
+} // namespace pypm::pattern
+
+#endif // PYPM_PATTERN_WELLFORMED_H

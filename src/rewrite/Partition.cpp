@@ -1,0 +1,160 @@
+//===- rewrite/Partition.cpp - Directed graph partitioning --------------------===//
+
+#include "rewrite/Partition.h"
+
+#include "graph/TermView.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+using namespace pypm;
+using namespace pypm::rewrite;
+using graph::Graph;
+using graph::InvalidNode;
+using graph::NodeId;
+
+namespace {
+
+double nowSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+PartitionResult pypm::rewrite::partitionGraph(Graph &G,
+                                              const pattern::NamedPattern &NP,
+                                              std::span<const Symbol> FrontierVars,
+                                              PartitionOptions Opts) {
+  PartitionResult Result;
+  double Start = nowSeconds();
+
+  term::TermArena Arena(G.signature());
+  graph::TermView View(G, Arena);
+  std::vector<char> Claimed(G.numNodes(), 0);
+
+  // Outputs-downward scan: higher node ids are later in topological order,
+  // so walking ids descending visits enclosing expressions before their
+  // operands and the largest match claims first.
+  std::vector<NodeId> Order = G.topoOrder();
+  std::reverse(Order.begin(), Order.end());
+
+  for (NodeId N : Order) {
+    if (Claimed[N])
+      continue;
+    ++Result.Stats.Attempts;
+    match::Machine M(Arena, Opts.MachineOpts);
+    M.start(NP.Pat, View.termFor(N));
+    if (M.run() != match::MachineStatus::Success)
+      continue;
+    ++Result.Stats.Matches;
+    match::Witness W{M.theta(), M.phi()};
+
+    // Frontier nodes: the bindings of the designated variables.
+    std::unordered_set<NodeId> FrontierSet;
+    std::vector<NodeId> Frontier;
+    bool FrontierOk = true;
+    for (Symbol Var : FrontierVars) {
+      std::optional<term::TermRef> T = W.Theta.lookup(Var);
+      if (!T)
+        continue; // optional frontier input not present in this match
+      NodeId FN = View.nodeFor(*T);
+      if (FN == InvalidNode) {
+        FrontierOk = false;
+        break;
+      }
+      if (FrontierSet.insert(FN).second)
+        Frontier.push_back(FN);
+    }
+    if (!FrontierOk)
+      continue;
+
+    // Interior: reachable from the root without crossing the frontier.
+    std::vector<NodeId> Interior;
+    std::unordered_set<NodeId> InteriorSet;
+    std::vector<NodeId> Stack{N};
+    bool Overlap = false;
+    while (!Stack.empty()) {
+      NodeId Cur = Stack.back();
+      Stack.pop_back();
+      if (FrontierSet.count(Cur) || InteriorSet.count(Cur))
+        continue;
+      if (Claimed[Cur]) {
+        Overlap = true;
+        break;
+      }
+      InteriorSet.insert(Cur);
+      Interior.push_back(Cur);
+      for (NodeId In : G.inputs(Cur))
+        Stack.push_back(In);
+    }
+    if (Overlap) {
+      ++Result.Stats.OverlapRejects;
+      continue;
+    }
+    if (Interior.size() < Opts.MinInteriorSize)
+      continue;
+
+    // Escape check: interior nodes other than the root must have all their
+    // users inside the region (their values disappear when fused).
+    bool Escapes = false;
+    for (NodeId I : Interior) {
+      if (I == N)
+        continue;
+      for (NodeId User : G.users(I))
+        if (!InteriorSet.count(User)) {
+          Escapes = true;
+          break;
+        }
+      if (Escapes)
+        break;
+    }
+    for (NodeId Out : G.outputs())
+      if (Out != N && InteriorSet.count(Out))
+        Escapes = true;
+    if (Escapes) {
+      ++Result.Stats.EscapeRejects;
+      continue;
+    }
+
+    std::sort(Interior.begin(), Interior.end());
+    for (NodeId I : Interior)
+      Claimed[I] = 1;
+    Region R;
+    R.Root = N;
+    R.Interior = std::move(Interior);
+    R.Frontier = std::move(Frontier);
+    R.W = std::move(W);
+    Result.Regions.push_back(std::move(R));
+  }
+
+  Result.Stats.Seconds = nowSeconds() - Start;
+  return Result;
+}
+
+std::vector<NodeId>
+pypm::rewrite::fuseRegions(Graph &G, const PartitionResult &P,
+                           const graph::ShapeInference &SI,
+                           std::vector<term::Attr> ExtraAttrs) {
+  std::vector<NodeId> Fused;
+  static const Symbol FusedOpsKey = Symbol::intern("fused_ops");
+  for (const Region &R : P.Regions) {
+    std::string OpName =
+        "FusedRegion" + std::to_string(R.Frontier.size());
+    term::OpId Op = G.signature().getOrAddOp(
+        OpName, static_cast<unsigned>(R.Frontier.size()), 1, "fused");
+    std::vector<term::Attr> Attrs = ExtraAttrs;
+    Attrs.push_back({FusedOpsKey, static_cast<int64_t>(R.Interior.size())});
+    NodeId N = G.addNode(Op, std::span<const NodeId>(R.Frontier),
+                         std::move(Attrs));
+    // The fused kernel produces exactly what the region's root produced.
+    G.setType(N, G.type(R.Root));
+    G.replaceAllUses(R.Root, N);
+    Fused.push_back(N);
+  }
+  G.removeUnreachable();
+  (void)SI;
+  return Fused;
+}

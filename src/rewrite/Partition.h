@@ -1,0 +1,87 @@
+//===- rewrite/Partition.h - Directed graph partitioning --------*- C++ -*-===//
+///
+/// \file
+/// Directed Graph Partitioning (paper §4.2): instead of replacing a matched
+/// subgraph with a hand-written right-hand side, use a PyPM pattern (like
+/// Fig. 14's MatMulEpilog) to *carve out* regions that a downstream
+/// compiler can fuse "just in time". The partitioner:
+///
+///  1. scans nodes from outputs downward (so the largest enclosing match
+///     claims a region before its sub-matches can),
+///  2. matches the partition pattern at each node,
+///  3. derives the region: all nodes reachable from the matched root
+///     without crossing the *frontier* — the nodes bound to the designated
+///     frontier variables of the pattern (the region's dataflow inputs),
+///  4. rejects regions that overlap an earlier region or whose interior
+///     values escape (an interior node with users outside the region
+///     cannot be fused away),
+///  5. optionally replaces each accepted region with a fused-kernel node
+///     whose operands are the frontier nodes (fuseRegions) — the "pass the
+///     subgraph to a compiler that can build the fused kernel" step,
+///     modeled by attaching the region's op count so the cost model can
+///     price the fused kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_REWRITE_PARTITION_H
+#define PYPM_REWRITE_PARTITION_H
+
+#include "graph/Graph.h"
+#include "graph/ShapeInference.h"
+#include "match/Machine.h"
+#include "pattern/Pattern.h"
+
+#include <string>
+#include <vector>
+
+namespace pypm::rewrite {
+
+struct Region {
+  graph::NodeId Root = graph::InvalidNode;
+  /// Nodes fused away (includes Root), topologically ordered.
+  std::vector<graph::NodeId> Interior;
+  /// Dataflow inputs of the region (deduplicated, deterministic order).
+  std::vector<graph::NodeId> Frontier;
+  match::Witness W;
+};
+
+struct PartitionStats {
+  uint64_t Attempts = 0;
+  uint64_t Matches = 0;
+  uint64_t OverlapRejects = 0;
+  uint64_t EscapeRejects = 0;
+  double Seconds = 0.0;
+};
+
+struct PartitionResult {
+  std::vector<Region> Regions;
+  PartitionStats Stats;
+};
+
+struct PartitionOptions {
+  /// Regions must contain at least this many interior nodes (a fused
+  /// kernel of one op is not worth a kernel launch).
+  size_t MinInteriorSize = 2;
+  match::Machine::Options MachineOpts;
+};
+
+/// Partitions \p G with \p NP. \p FrontierVars name the pattern variables
+/// whose bindings delimit the region (e.g. {a, b} for Fig. 14's
+/// MatMulEpilog). Does not mutate the graph.
+PartitionResult partitionGraph(graph::Graph &G,
+                               const pattern::NamedPattern &NP,
+                               std::span<const Symbol> FrontierVars,
+                               PartitionOptions Opts = {});
+
+/// Replaces each region with a fresh fused operator ("FusedRegion<N>",
+/// arity = frontier size, class "fused") carrying attributes
+/// `fused_ops` (interior count) plus \p ExtraAttrs, then sweeps dead
+/// nodes. Returns the ids of the fused nodes.
+std::vector<graph::NodeId> fuseRegions(graph::Graph &G,
+                                       const PartitionResult &P,
+                                       const graph::ShapeInference &SI,
+                                       std::vector<term::Attr> ExtraAttrs = {});
+
+} // namespace pypm::rewrite
+
+#endif // PYPM_REWRITE_PARTITION_H

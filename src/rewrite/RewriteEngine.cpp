@@ -1,0 +1,297 @@
+//===- rewrite/RewriteEngine.cpp - Greedy fixpoint rewriting ------------------===//
+
+#include "rewrite/RewriteEngine.h"
+
+#include "match/Declarative.h"
+#include "match/FastMatcher.h"
+
+#include <chrono>
+#include <optional>
+#include <unordered_set>
+
+using namespace pypm;
+using namespace pypm::rewrite;
+using namespace pypm::pattern;
+using graph::Graph;
+using graph::NodeId;
+using match::Machine;
+using match::MachineStatus;
+using match::MatchResult;
+
+namespace {
+
+double nowSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+/// The set of operators a pattern can match at its root, or nullopt for
+/// "any" (root is a variable, function variable, or recursive call).
+std::optional<std::unordered_set<term::OpId>> rootOps(const Pattern *P) {
+  switch (P->kind()) {
+  case PatternKind::App:
+    return std::unordered_set<term::OpId>{cast<AppPattern>(P)->op()};
+  case PatternKind::Alt: {
+    const auto *AP = cast<AltPattern>(P);
+    auto L = rootOps(AP->left());
+    auto R = rootOps(AP->right());
+    if (!L || !R)
+      return std::nullopt;
+    L->insert(R->begin(), R->end());
+    return L;
+  }
+  case PatternKind::Guarded:
+    return rootOps(cast<GuardedPattern>(P)->sub());
+  case PatternKind::Exists:
+    return rootOps(cast<ExistsPattern>(P)->sub());
+  case PatternKind::ExistsFun:
+    return rootOps(cast<ExistsFunPattern>(P)->sub());
+  case PatternKind::MatchConstraint:
+    return rootOps(cast<MatchConstraintPattern>(P)->sub());
+  case PatternKind::Mu:
+    return rootOps(cast<MuPattern>(P)->body());
+  case PatternKind::Var:
+  case PatternKind::FunVarApp:
+  case PatternKind::RecCall:
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+class Engine {
+public:
+  Engine(Graph &G, const RuleSet &Rules, const graph::ShapeInference *SI,
+         RewriteOptions Opts)
+      : G(G), Rules(Rules), SI(SI), Opts(Opts), Arena(G.signature()),
+        View(G, Arena) {}
+
+  RewriteStats run(bool RewriteMode) {
+    double Start = nowSeconds();
+    computeRootFilters();
+
+    bool Changed = true;
+    while (Changed && Stats.Passes < Opts.MaxPasses &&
+           !Stats.HitRewriteLimit) {
+      Changed = false;
+      ++Stats.Passes;
+      if (Opts.Order == Traversal::OperandsFirst) {
+        // Ascending ids visit operands before users; replacement nodes
+        // appended mid-pass are picked up within the same pass.
+        for (NodeId N = 0; N < G.numNodes(); ++N) {
+          if (G.isDead(N))
+            continue;
+          ++Stats.NodesVisited;
+          if (visitNode(N, RewriteMode))
+            Changed = true;
+          if (Stats.HitRewriteLimit)
+            break;
+        }
+      } else {
+        // RootsFirst: per-pass snapshot of the reverse topological order;
+        // nodes swept mid-pass are skipped, new nodes wait for the next
+        // pass.
+        std::vector<NodeId> Order = G.topoOrder();
+        for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
+          NodeId N = *It;
+          if (G.isDead(N))
+            continue;
+          ++Stats.NodesVisited;
+          if (visitNode(N, RewriteMode))
+            Changed = true;
+          if (Stats.HitRewriteLimit)
+            break;
+        }
+      }
+      if (!RewriteMode)
+        break; // match-only: a single traversal
+    }
+    Stats.NodesSwept += G.removeUnreachable();
+    Stats.TotalSeconds = nowSeconds() - Start;
+    return std::move(Stats);
+  }
+
+private:
+  Graph &G;
+  const RuleSet &Rules;
+  const graph::ShapeInference *SI;
+  RewriteOptions Opts;
+  term::TermArena Arena;
+  graph::TermView View;
+  RewriteStats Stats;
+  std::vector<std::optional<std::unordered_set<term::OpId>>> RootFilters;
+
+  void computeRootFilters() {
+    RootFilters.reserve(Rules.entries().size());
+    for (const RewriteEntry &E : Rules.entries())
+      RootFilters.push_back(rootOps(E.Pattern->Pat));
+  }
+
+  PatternStats &statsFor(const RewriteEntry &E) {
+    return Stats.PerPattern[std::string(E.Pattern->Name.str())];
+  }
+
+  /// Tries each pattern in order at node N; on a match fires the first rule
+  /// whose guard passes. Returns true if the graph changed.
+  bool visitNode(NodeId N, bool RewriteMode) {
+    const auto &Entries = Rules.entries();
+    for (size_t I = 0; I != Entries.size(); ++I) {
+      const RewriteEntry &E = Entries[I];
+      PatternStats &PS = statsFor(E);
+      if (Opts.UseRootIndex && RootFilters[I] &&
+          !RootFilters[I]->count(G.op(N))) {
+        ++PS.RootSkips;
+        continue;
+      }
+
+      double T0 = nowSeconds();
+      term::TermRef T = View.termFor(N);
+      MatchResult MR =
+          Opts.UseFastMatcher
+              ? match::FastMatcher::run(E.Pattern->Pat, T, Arena,
+                                        Opts.MachineOpts)
+              : match::matchPattern(E.Pattern->Pat, T, Arena,
+                                    Opts.MachineOpts);
+      MachineStatus S = MR.Status;
+      ++PS.Attempts;
+      PS.MachineSteps += MR.Stats.Steps;
+      PS.Backtracks += MR.Stats.Backtracks;
+      double Elapsed = nowSeconds() - T0;
+      PS.Seconds += Elapsed;
+      Stats.MatchSeconds += Elapsed;
+      if (S != MachineStatus::Success) {
+        // Ablation: without memoization, drop conversions after every
+        // attempt (the witness of a *successful* match still needs the
+        // term→node map until its replacement has been built).
+        if (!Opts.MemoizeTermView)
+          View.invalidate();
+        continue;
+      }
+
+      ++PS.Matches;
+      ++Stats.TotalMatches;
+      if (!RewriteMode || E.Rules.empty()) {
+        if (!Opts.MemoizeTermView)
+          View.invalidate();
+        continue;
+      }
+
+      bool Fired = fireFirstRule(N, E, MR.W, PS);
+      if (!Fired && !Opts.MemoizeTermView)
+        View.invalidate();
+      if (Fired)
+        return true;
+      ++PS.GuardRejects;
+    }
+    return false;
+  }
+
+  bool fireFirstRule(NodeId N, const RewriteEntry &E, const match::Witness &W,
+                     PatternStats &PS) {
+    match::SubstEnv Env(W.Theta, W.Phi, Arena);
+    for (const RewriteRule *R : E.Rules) {
+      if (R->Guard && !R->Guard->evalBool(Env).truthy())
+        continue;
+      NodeId FirstNewNode = static_cast<NodeId>(G.numNodes());
+      NodeId Replacement = buildRhs(G, View, R->Rhs, W, *SI);
+      if (Replacement == graph::InvalidNode)
+        continue; // RHS build failed (unbound var); try next rule
+      // Destructive replacement (§2): redirect all *existing* uses — the
+      // replacement's own references to the matched value stay — then
+      // sweep the now-unreachable matched subgraph so it is not matched
+      // again.
+      G.replaceAllUses(N, Replacement, FirstNewNode);
+      Stats.NodesSwept += G.removeUnreachable();
+      View.invalidate();
+      ++PS.RulesFired;
+      ++Stats.TotalFired;
+      if (Stats.TotalFired >= Opts.MaxRewrites)
+        Stats.HitRewriteLimit = true;
+      return true;
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+NodeId pypm::rewrite::buildRhs(Graph &G, graph::TermView &View,
+                               const RhsExpr *Rhs, const match::Witness &W,
+                               const graph::ShapeInference &SI) {
+  switch (Rhs->kind()) {
+  case RhsKind::VarRef: {
+    std::optional<term::TermRef> T = W.Theta.lookup(Rhs->var());
+    if (!T)
+      return graph::InvalidNode;
+    return View.nodeFor(*T);
+  }
+  case RhsKind::App:
+  case RhsKind::FunVarApp: {
+    term::OpId Op;
+    if (Rhs->kind() == RhsKind::App) {
+      Op = Rhs->op();
+    } else {
+      std::optional<term::OpId> Bound = W.Phi.lookup(Rhs->funVar());
+      if (!Bound)
+        return graph::InvalidNode;
+      Op = *Bound;
+    }
+    std::vector<NodeId> Children;
+    Children.reserve(Rhs->children().size());
+    for (const RhsExpr *C : Rhs->children()) {
+      NodeId Child = buildRhs(G, View, C, W, SI);
+      if (Child == graph::InvalidNode)
+        return graph::InvalidNode;
+      Children.push_back(Child);
+    }
+    match::SubstEnv Env(W.Theta, W.Phi, View.arena());
+    std::vector<term::Attr> Attrs;
+    for (const RhsExpr::AttrTemplate &A : Rhs->attrTemplates()) {
+      pattern::GuardEval V = A.Value->evalInt(Env);
+      if (!V.ok())
+        return graph::InvalidNode;
+      Attrs.push_back({A.Key, V.Value});
+    }
+    NodeId N = G.addNode(Op, std::span<const NodeId>(Children),
+                         std::move(Attrs));
+    SI.inferNode(G, N);
+    return N;
+  }
+  }
+  return graph::InvalidNode;
+}
+
+RewriteStats pypm::rewrite::rewriteToFixpoint(Graph &G, const RuleSet &Rules,
+                                              const graph::ShapeInference &SI,
+                                              RewriteOptions Opts) {
+  return Engine(G, Rules, &SI, Opts).run(/*RewriteMode=*/true);
+}
+
+RewriteStats pypm::rewrite::matchAll(Graph &G, const RuleSet &Rules,
+                                     RewriteOptions Opts) {
+  return Engine(G, Rules, nullptr, Opts).run(/*RewriteMode=*/false);
+}
+
+std::string RewriteStats::summary() const {
+  std::string Out;
+  Out += "passes=" + std::to_string(Passes);
+  Out += " visited=" + std::to_string(NodesVisited);
+  Out += " matches=" + std::to_string(TotalMatches);
+  Out += " fired=" + std::to_string(TotalFired);
+  Out += " swept=" + std::to_string(NodesSwept);
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), " matchTime=%.3fms totalTime=%.3fms",
+                MatchSeconds * 1e3, TotalSeconds * 1e3);
+  Out += Buf;
+  for (const auto &[Name, PS] : PerPattern) {
+    std::snprintf(Buf, sizeof(Buf), "\n  %-18s", Name.c_str());
+    Out += Buf;
+    Out += "attempts=" + std::to_string(PS.Attempts) +
+           " matches=" + std::to_string(PS.Matches) +
+           " fired=" + std::to_string(PS.RulesFired) +
+           " steps=" + std::to_string(PS.MachineSteps);
+    std::snprintf(Buf, sizeof(Buf), " time=%.3fms", PS.Seconds * 1e3);
+    Out += Buf;
+  }
+  return Out;
+}

@@ -1,0 +1,108 @@
+//===- rewrite/RewriteEngine.h - Greedy fixpoint rewriting ------*- C++ -*-===//
+///
+/// \file
+/// DLCB's pattern-matching pass (§2.4): "the compiler repeatedly traverses
+/// the graph, attempting to match any of the patterns. Each time a node is
+/// visited, the compiler attempts to match the subtree rooted at that node
+/// against each of the loaded patterns, in order … When a match is found,
+/// the corresponding rule (if any) fires, and the replacement is built and
+/// substituted into the graph in place of the subgraph the pattern
+/// matched", greedily to fixpoint.
+///
+/// Engine-level optimizations (both ablatable, for bench_ablation):
+///  - a root-operator prefilter: patterns whose possible root operators are
+///    known skip nodes with other roots without starting the machine;
+///  - memoized node→term conversion, invalidated only on rewrites.
+///
+/// Per-pattern statistics (attempts, matches, fires, machine steps, wall
+/// time) drive the compile-time-cost experiments (Figs. 12–13).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_REWRITE_REWRITEENGINE_H
+#define PYPM_REWRITE_REWRITEENGINE_H
+
+#include "graph/Graph.h"
+#include "graph/ShapeInference.h"
+#include "graph/TermView.h"
+#include "match/Machine.h"
+#include "rewrite/Rule.h"
+
+#include <map>
+#include <string>
+
+namespace pypm::rewrite {
+
+struct PatternStats {
+  uint64_t Attempts = 0;      ///< machine runs started
+  uint64_t RootSkips = 0;     ///< nodes skipped by the root-op prefilter
+  uint64_t Matches = 0;       ///< successful matches (whether or not fired)
+  uint64_t RulesFired = 0;
+  uint64_t GuardRejects = 0;  ///< matches where no rule guard passed
+  uint64_t MachineSteps = 0;
+  uint64_t Backtracks = 0;
+  double Seconds = 0.0;       ///< wall-clock inside the matcher
+};
+
+struct RewriteStats {
+  unsigned Passes = 0;
+  uint64_t NodesVisited = 0;
+  uint64_t TotalMatches = 0;
+  uint64_t TotalFired = 0;
+  uint64_t NodesSwept = 0;
+  double MatchSeconds = 0.0; ///< total wall-clock inside the matcher
+  double TotalSeconds = 0.0; ///< whole pass, including replacement building
+  bool HitRewriteLimit = false;
+  std::map<std::string, PatternStats> PerPattern;
+
+  std::string summary() const;
+};
+
+/// Node visitation order within a pass (§2.4 says only "repeatedly walks
+/// the nodes"; both orders reach a fixpoint, but for nested matches they
+/// can fire different rule instances first — e.g. RootsFirst lets a
+/// recursive chain pattern claim a whole tower at its top).
+enum class Traversal : uint8_t {
+  /// Ascending node ids: operands are visited before their users, and
+  /// replacement nodes appended mid-pass are visited within the pass.
+  OperandsFirst,
+  /// Reverse topological order snapshot per pass: outputs first.
+  RootsFirst,
+};
+
+struct RewriteOptions {
+  unsigned MaxPasses = 64;
+  uint64_t MaxRewrites = 1'000'000;
+  bool UseRootIndex = true;
+  bool MemoizeTermView = true;
+  /// Match with the optimized trail-based matcher (FastMatcher). Disable
+  /// to run the reference machine of Figs. 17-18 instead; results are
+  /// identical (tests assert it), only cost differs (bench_ablation
+  /// quantifies it).
+  bool UseFastMatcher = true;
+  Traversal Order = Traversal::OperandsFirst;
+  match::Machine::Options MachineOpts;
+};
+
+/// Runs the rule set over the graph to fixpoint. Replacement nodes are
+/// shape-inferred with \p SI as they are built.
+RewriteStats rewriteToFixpoint(graph::Graph &G, const RuleSet &Rules,
+                               const graph::ShapeInference &SI,
+                               RewriteOptions Opts = {});
+
+/// Match-only traversal: one pass over the live nodes counting matches per
+/// pattern without mutating the graph. (Used by benches that want pure
+/// matcher cost; rewriteToFixpoint reports the with-rewriting numbers.)
+RewriteStats matchAll(graph::Graph &G, const RuleSet &Rules,
+                      RewriteOptions Opts = {});
+
+/// Builds the replacement graph for \p Rhs under the witness \p W.
+/// Exposed for the partitioner and tests. New nodes are appended to the
+/// graph and shape-inferred; returns the replacement root.
+graph::NodeId buildRhs(graph::Graph &G, graph::TermView &View,
+                       const pattern::RhsExpr *Rhs, const match::Witness &W,
+                       const graph::ShapeInference &SI);
+
+} // namespace pypm::rewrite
+
+#endif // PYPM_REWRITE_REWRITEENGINE_H

@@ -1,0 +1,64 @@
+//===- rewrite/Rule.h - Rule sets for the rewrite engine --------*- C++ -*-===//
+///
+/// \file
+/// A RuleSet is the loaded form of one or more pattern binaries: an ordered
+/// list of (pattern, rules) entries. The engine tries patterns in the order
+/// they appear (the order of their definition in the source file, §2.4) and
+/// fires the first rule whose guard passes (§2). Entries whose rule list is
+/// empty are "match-only" — useful for the compile-time-cost experiments
+/// and for directed graph partitioning, where the match itself is the
+/// product.
+///
+/// RuleSet borrows the Library (and its arena); keep libraries alive while
+/// the rule set is in use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_REWRITE_RULE_H
+#define PYPM_REWRITE_RULE_H
+
+#include "pattern/Pattern.h"
+
+#include <vector>
+
+namespace pypm::rewrite {
+
+struct RewriteEntry {
+  const pattern::NamedPattern *Pattern = nullptr;
+  std::vector<const pattern::RewriteRule *> Rules;
+};
+
+class RuleSet {
+public:
+  /// Adds every pattern of \p Lib (in definition order) together with its
+  /// rules. If \p RulesOnly is true, patterns with no rules are skipped
+  /// (the common case for an optimization pipeline: auxiliary patterns
+  /// like Half exist to be referenced, not matched at top level).
+  void addLibrary(const pattern::Library &Lib, bool RulesOnly = true) {
+    for (const pattern::NamedPattern &NP : Lib.PatternDefs) {
+      RewriteEntry E;
+      E.Pattern = &NP;
+      for (const pattern::RewriteRule *R : Lib.rulesFor(NP.Name))
+        E.Rules.push_back(R);
+      if (E.Rules.empty() && RulesOnly)
+        continue;
+      Entries.push_back(std::move(E));
+    }
+  }
+
+  /// Adds one pattern (optionally match-only).
+  void addPattern(const pattern::NamedPattern &NP,
+                  std::vector<const pattern::RewriteRule *> Rules = {}) {
+    Entries.push_back(RewriteEntry{&NP, std::move(Rules)});
+  }
+
+  const std::vector<RewriteEntry> &entries() const { return Entries; }
+  bool empty() const { return Entries.empty(); }
+
+private:
+  std::vector<RewriteEntry> Entries;
+};
+
+} // namespace pypm::rewrite
+
+#endif // PYPM_REWRITE_RULE_H

@@ -1,0 +1,41 @@
+//===- support/Diagnostics.cpp - Source locations and diagnostics --------===//
+
+#include "support/Diagnostics.h"
+
+using namespace pypm;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<no-loc>";
+  return std::to_string(Line) + ":" + std::to_string(Col);
+}
+
+std::string Diagnostic::render() const {
+  std::string Out;
+  if (Loc.isValid()) {
+    Out += Loc.str();
+    Out += ": ";
+  }
+  switch (Sev) {
+  case Severity::Note:
+    Out += "note: ";
+    break;
+  case Severity::Warning:
+    Out += "warning: ";
+    break;
+  case Severity::Error:
+    Out += "error: ";
+    break;
+  }
+  Out += Message;
+  return Out;
+}
+
+std::string DiagnosticEngine::renderAll() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.render();
+    Out += '\n';
+  }
+  return Out;
+}

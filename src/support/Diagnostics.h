@@ -1,0 +1,68 @@
+//===- support/Diagnostics.h - Source locations and diagnostics -*- C++ -*-===//
+///
+/// \file
+/// Minimal diagnostics infrastructure shared by the DSL frontend and the
+/// pattern-binary deserializer: source locations, severities, and a sink
+/// that collects diagnostics for later rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_SUPPORT_DIAGNOSTICS_H
+#define PYPM_SUPPORT_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pypm {
+
+/// 1-based line/column position in a source buffer. Line 0 means "no
+/// location" (e.g. diagnostics from programmatic builders).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const;
+};
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+  Severity Sev = Severity::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string render() const;
+};
+
+/// Collects diagnostics emitted during a frontend run. Cheap to create; one
+/// per compilation.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Severity::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Severity::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Severity::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// All diagnostics rendered one per line; convenient for tests and tools.
+  std::string renderAll() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace pypm
+
+#endif // PYPM_SUPPORT_DIAGNOSTICS_H

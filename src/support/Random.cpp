@@ -1,0 +1,10 @@
+//===- support/Random.cpp - Deterministic RNG ----------------------------===//
+
+#include "support/Random.h"
+
+using namespace pypm;
+
+double Rng::unit() {
+  // 53 random bits into the mantissa.
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}

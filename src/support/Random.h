@@ -1,0 +1,50 @@
+//===- support/Random.h - Deterministic RNG --------------------*- C++ -*-===//
+///
+/// \file
+/// A small, deterministic, seedable PRNG (SplitMix64). Used by the property
+/// test generators and the model zoo so runs are reproducible across
+/// platforms and standard-library versions (std::mt19937 distributions are
+/// not portable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_SUPPORT_RANDOM_H
+#define PYPM_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace pypm {
+
+/// SplitMix64: tiny, fast, high-quality-enough for test-case generation.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, Bound). Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// True with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+  /// Uniform double in [0, 1).
+  double unit();
+
+private:
+  uint64_t State;
+};
+
+} // namespace pypm
+
+#endif // PYPM_SUPPORT_RANDOM_H

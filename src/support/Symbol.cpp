@@ -1,0 +1,65 @@
+//===- support/Symbol.cpp - Interned identifier symbols ------------------===//
+
+#include "support/Symbol.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+using namespace pypm;
+
+namespace {
+
+/// Process-wide intern table. Constructed lazily on first use (function-local
+/// static) so there is no static-initialization-order hazard.
+struct InternTable {
+  // Spellings are stored in a deque so that string_views handed out stay
+  // valid as the table grows.
+  std::deque<std::string> Spellings;
+  std::unordered_map<std::string_view, uint32_t> Index;
+  uint64_t FreshCounter = 0;
+
+  InternTable() {
+    // Reserve id 0 for the invalid symbol.
+    Spellings.emplace_back("<invalid>");
+  }
+
+  uint32_t intern(std::string_view Str) {
+    auto It = Index.find(Str);
+    if (It != Index.end())
+      return It->second;
+    Spellings.emplace_back(Str);
+    uint32_t Id = static_cast<uint32_t>(Spellings.size() - 1);
+    Index.emplace(Spellings.back(), Id);
+    return Id;
+  }
+};
+
+InternTable &table() {
+  static InternTable Table;
+  return Table;
+}
+
+} // namespace
+
+Symbol Symbol::intern(std::string_view Str) {
+  return Symbol::fromRaw(table().intern(Str));
+}
+
+Symbol Symbol::fresh(std::string_view Base) {
+  InternTable &T = table();
+  // Loop in case a user literally interned "<base>$<n>" already.
+  for (;;) {
+    std::string Candidate(Base);
+    Candidate += '$';
+    Candidate += std::to_string(T.FreshCounter++);
+    if (T.Index.find(Candidate) == T.Index.end())
+      return Symbol::fromRaw(T.intern(Candidate));
+  }
+}
+
+std::string_view Symbol::str() const {
+  InternTable &T = table();
+  assert(Id < T.Spellings.size() && "symbol from a different process?");
+  return T.Spellings[Id];
+}

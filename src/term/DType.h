@@ -1,0 +1,81 @@
+//===- term/DType.h - Tensor element types ---------------------*- C++ -*-===//
+///
+/// \file
+/// Element datatypes for tensor values. PyPM guard expressions compare
+/// `x.elt_type` against these (Fig. 1's cuBLAS rule dispatches on f32 vs
+/// i8); the DSL exposes them as the keywords f16/bf16/f32/f64/i8/i32.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_TERM_DTYPE_H
+#define PYPM_TERM_DTYPE_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace pypm::term {
+
+enum class DType : int64_t {
+  F16 = 1,
+  BF16 = 2,
+  F32 = 3,
+  F64 = 4,
+  I8 = 5,
+  I32 = 6,
+};
+
+/// Size of one element in bytes; used by the cost-model simulator.
+inline unsigned dtypeBytes(DType T) {
+  switch (T) {
+  case DType::F16:
+  case DType::BF16:
+    return 2;
+  case DType::F32:
+  case DType::I32:
+    return 4;
+  case DType::F64:
+    return 8;
+  case DType::I8:
+    return 1;
+  }
+  return 4;
+}
+
+inline std::string_view dtypeName(DType T) {
+  switch (T) {
+  case DType::F16:
+    return "f16";
+  case DType::BF16:
+    return "bf16";
+  case DType::F32:
+    return "f32";
+  case DType::F64:
+    return "f64";
+  case DType::I8:
+    return "i8";
+  case DType::I32:
+    return "i32";
+  }
+  return "<dtype?>";
+}
+
+inline std::optional<DType> dtypeFromName(std::string_view Name) {
+  if (Name == "f16")
+    return DType::F16;
+  if (Name == "bf16")
+    return DType::BF16;
+  if (Name == "f32")
+    return DType::F32;
+  if (Name == "f64")
+    return DType::F64;
+  if (Name == "i8")
+    return DType::I8;
+  if (Name == "i32")
+    return DType::I32;
+  return std::nullopt;
+}
+
+} // namespace pypm::term
+
+#endif // PYPM_TERM_DTYPE_H

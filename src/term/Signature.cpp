@@ -1,0 +1,51 @@
+//===- term/Signature.cpp - Operator signatures Σ ------------------------===//
+
+#include "term/Signature.h"
+
+using namespace pypm;
+using namespace pypm::term;
+
+OpId Signature::addOp(std::string_view Name, unsigned Arity, unsigned Results,
+                      std::string_view OpClass,
+                      std::vector<Symbol> AttrNames) {
+  Symbol Sym = Symbol::intern(Name);
+  assert(ByName.find(Sym) == ByName.end() && "operator redeclared");
+  OpInfo Info;
+  Info.Name = Sym;
+  Info.Arity = Arity;
+  Info.Results = Results;
+  Info.OpClass = OpClass.empty() ? Symbol() : Symbol::intern(OpClass);
+  Info.AttrNames = std::move(AttrNames);
+  Ops.push_back(std::move(Info));
+  uint32_t Index = static_cast<uint32_t>(Ops.size() - 1);
+  ByName.emplace(Sym, Index);
+  return OpId(Index);
+}
+
+OpId Signature::lookup(std::string_view Name) const {
+  return lookup(Symbol::intern(Name));
+}
+
+OpId Signature::lookup(Symbol Name) const {
+  auto It = ByName.find(Name);
+  if (It == ByName.end())
+    return OpId();
+  return OpId(It->second);
+}
+
+OpId Signature::getOrAddOp(std::string_view Name, unsigned Arity,
+                           unsigned Results, std::string_view OpClass) {
+  if (OpId Existing = lookup(Name); Existing.isValid()) {
+    assert(arity(Existing) == Arity && "operator arity mismatch");
+    return Existing;
+  }
+  return addOp(Name, Arity, Results, OpClass);
+}
+
+std::vector<OpId> Signature::opsOfClass(Symbol Class) const {
+  std::vector<OpId> Result;
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Ops.size()); I != E; ++I)
+    if (Ops[I].OpClass == Class)
+      Result.push_back(OpId(I));
+  return Result;
+}

@@ -1,0 +1,110 @@
+//===- term/Signature.h - Operator signatures Σ ----------------*- C++ -*-===//
+///
+/// \file
+/// CorePyPM is parameterized over a set of operators Σ with arities
+/// (paper §3.1). A Signature holds the declared operators of one PyPM
+/// program: name, input arity, result arity, an operator class (used by
+/// function-pattern guards like `F.op_class == unary_pointwise`, Fig. 14),
+/// and the names of any non-dataflow attributes (e.g. a convolution's
+/// stride, §2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_TERM_SIGNATURE_H
+#define PYPM_TERM_SIGNATURE_H
+
+#include "support/Symbol.h"
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pypm::term {
+
+/// Dense handle for a declared operator within one Signature.
+class OpId {
+public:
+  OpId() : Index(~0u) {}
+  explicit OpId(uint32_t Index) : Index(Index) {}
+
+  bool isValid() const { return Index != ~0u; }
+  uint32_t index() const {
+    assert(isValid() && "querying invalid OpId");
+    return Index;
+  }
+
+  friend bool operator==(OpId A, OpId B) { return A.Index == B.Index; }
+  friend bool operator!=(OpId A, OpId B) { return A.Index != B.Index; }
+  friend bool operator<(OpId A, OpId B) { return A.Index < B.Index; }
+
+private:
+  uint32_t Index;
+};
+
+/// Metadata for one declared operator.
+struct OpInfo {
+  Symbol Name;
+  /// Number of dataflow inputs (the @op method's parameter count, §2).
+  unsigned Arity = 0;
+  /// Number of results (the @op method's integer return value, §2). The
+  /// graph IR models single-result nodes; multi-result declarations are
+  /// accepted and checked but each node produces its first result.
+  unsigned Results = 1;
+  /// Operator class, e.g. "unary_pointwise", "matmul", "idempotent".
+  /// Invalid symbol means unclassified.
+  Symbol OpClass;
+  /// Declared attribute names (non-dataflow parameters).
+  std::vector<Symbol> AttrNames;
+};
+
+/// The set Σ of operators for one PyPM program, with arity : Σ → ℕ.
+class Signature {
+public:
+  /// Declares a new operator. Redeclaring a name is a programmer error
+  /// (asserted); use lookup() to test first.
+  OpId addOp(std::string_view Name, unsigned Arity, unsigned Results = 1,
+             std::string_view OpClass = {},
+             std::vector<Symbol> AttrNames = {});
+
+  /// Returns the operator named \p Name, or an invalid OpId.
+  OpId lookup(std::string_view Name) const;
+  OpId lookup(Symbol Name) const;
+
+  /// Returns the operator named \p Name, declaring it with the given
+  /// metadata if missing. Arity must agree if already declared (asserted).
+  OpId getOrAddOp(std::string_view Name, unsigned Arity, unsigned Results = 1,
+                  std::string_view OpClass = {});
+
+  const OpInfo &info(OpId Op) const {
+    assert(Op.index() < Ops.size());
+    return Ops[Op.index()];
+  }
+  unsigned arity(OpId Op) const { return info(Op).Arity; }
+  Symbol name(OpId Op) const { return info(Op).Name; }
+  Symbol opClass(OpId Op) const { return info(Op).OpClass; }
+
+  size_t size() const { return Ops.size(); }
+
+  /// All ops in declaration order; iteration is deterministic.
+  const std::vector<OpInfo> &ops() const { return Ops; }
+
+  /// All ops whose OpClass equals \p Class, in declaration order.
+  std::vector<OpId> opsOfClass(Symbol Class) const;
+
+private:
+  std::vector<OpInfo> Ops;
+  std::unordered_map<Symbol, uint32_t> ByName;
+};
+
+} // namespace pypm::term
+
+template <> struct std::hash<pypm::term::OpId> {
+  size_t operator()(pypm::term::OpId Op) const noexcept {
+    return std::hash<uint32_t>()(Op.isValid() ? Op.index() : ~0u);
+  }
+};
+
+#endif // PYPM_TERM_SIGNATURE_H

@@ -1,0 +1,163 @@
+//===- term/Term.cpp - Hash-consed ground terms ---------------------------===//
+
+#include "term/Term.h"
+
+#include <algorithm>
+#include <memory>
+
+using namespace pypm;
+using namespace pypm::term;
+
+std::optional<int64_t> Term::storedAttr(Symbol Key) const {
+  // Attrs is sorted by raw id; binary search.
+  auto It = std::lower_bound(
+      Attrs.begin(), Attrs.end(), Key,
+      [](const Attr &A, Symbol K) { return A.Key.rawId() < K.rawId(); });
+  if (It != Attrs.end() && It->Key == Key)
+    return It->Value;
+  return std::nullopt;
+}
+
+static uint64_t hashCombine(uint64_t Seed, uint64_t V) {
+  // boost::hash_combine-style mixing with a 64-bit constant.
+  Seed ^= V + 0x9e3779b97f4a7c15ULL + (Seed << 12) + (Seed >> 4);
+  return Seed;
+}
+
+uint64_t TermArena::hashKey(const Key &K) {
+  uint64_t H = hashCombine(0x517cc1b727220a95ULL, K.Op.index());
+  for (TermRef C : K.Children)
+    H = hashCombine(H, C->HashValue);
+  for (const Attr &A : K.Attrs) {
+    H = hashCombine(H, A.Key.rawId());
+    H = hashCombine(H, static_cast<uint64_t>(A.Value));
+  }
+  return H;
+}
+
+bool TermArena::keyEquals(const Key &K, const Term *T) {
+  if (T->Op != K.Op || T->Children.size() != K.Children.size() ||
+      T->Attrs.size() != K.Attrs.size())
+    return false;
+  if (!std::equal(K.Children.begin(), K.Children.end(), T->Children.begin()))
+    return false;
+  return std::equal(K.Attrs.begin(), K.Attrs.end(), T->Attrs.begin());
+}
+
+TermRef TermArena::make(OpId Op, std::span<const TermRef> Children,
+                        std::span<const Attr> Attrs) {
+  assert(Op.isValid() && "making term with invalid op");
+  assert(Children.size() == Sig.arity(Op) &&
+         "child count does not match declared arity");
+
+  // Normalize attributes: sort by key.
+  std::vector<Attr> Sorted(Attrs.begin(), Attrs.end());
+  std::sort(Sorted.begin(), Sorted.end(), [](const Attr &A, const Attr &B) {
+    return A.Key.rawId() < B.Key.rawId();
+  });
+#ifndef NDEBUG
+  for (size_t I = 1; I < Sorted.size(); ++I)
+    assert(Sorted[I - 1].Key != Sorted[I].Key && "duplicate attribute key");
+#endif
+
+  Key K{Op, Children, Sorted};
+  uint64_t H = hashKey(K);
+  auto [Lo, Hi] = Interned.equal_range(H);
+  for (auto It = Lo; It != Hi; ++It)
+    if (keyEquals(K, It->second))
+      return It->second;
+
+  auto T = std::unique_ptr<Term>(new Term());
+  T->Op = Op;
+  T->Children.assign(Children.begin(), Children.end());
+  T->Attrs = std::move(Sorted);
+  T->HashValue = H;
+  uint64_t Size = 1;
+  uint32_t Depth = 0;
+  for (TermRef C : T->Children) {
+    Size += C->TreeSize;
+    Depth = std::max(Depth, C->TreeDepth);
+  }
+  T->TreeSize = Size;
+  T->TreeDepth = Depth + 1;
+
+  Term *Raw = T.get();
+  AllTerms.push_back(std::move(T));
+  Interned.emplace(H, Raw);
+  return Raw;
+}
+
+TermRef TermArena::make(OpId Op, std::initializer_list<TermRef> Children,
+                        std::initializer_list<Attr> Attrs) {
+  return make(Op, std::span<const TermRef>(Children.begin(), Children.size()),
+              std::span<const Attr>(Attrs.begin(), Attrs.size()));
+}
+
+TermRef TermArena::leaf(OpId Op, std::initializer_list<Attr> Attrs) {
+  return make(Op, std::span<const TermRef>(),
+              std::span<const Attr>(Attrs.begin(), Attrs.size()));
+}
+
+std::optional<int64_t> TermArena::attribute(TermRef T, Symbol Key) const {
+  if (std::optional<int64_t> Stored = T->storedAttr(Key))
+    return Stored;
+  static const Symbol ArityKey = Symbol::intern("arity");
+  static const Symbol SizeKey = Symbol::intern("size");
+  static const Symbol DepthKey = Symbol::intern("depth");
+  static const Symbol OpIdKey = Symbol::intern("op_id");
+  if (Key == ArityKey)
+    return static_cast<int64_t>(T->arity());
+  if (Key == SizeKey)
+    return static_cast<int64_t>(T->size());
+  if (Key == DepthKey)
+    return static_cast<int64_t>(T->depth());
+  if (Key == OpIdKey)
+    return static_cast<int64_t>(T->op().index());
+  return std::nullopt;
+}
+
+std::vector<TermRef> TermArena::subterms(TermRef T) {
+  std::vector<TermRef> Order;
+  std::vector<TermRef> Stack{T};
+  std::unordered_map<TermRef, bool> Seen;
+  while (!Stack.empty()) {
+    TermRef Cur = Stack.back();
+    Stack.pop_back();
+    if (Seen[Cur])
+      continue;
+    Seen[Cur] = true;
+    Order.push_back(Cur);
+    for (TermRef C : Cur->children())
+      Stack.push_back(C);
+  }
+  return Order;
+}
+
+std::string TermArena::toString(TermRef T, const Signature &Sig) {
+  std::string Out(Sig.name(T->op()).str());
+  if (!T->attrs().empty()) {
+    Out += '[';
+    bool First = true;
+    for (const Attr &A : T->attrs()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += A.Key.str();
+      Out += '=';
+      Out += std::to_string(A.Value);
+    }
+    Out += ']';
+  }
+  if (T->arity() != 0) {
+    Out += '(';
+    bool First = true;
+    for (TermRef C : T->children()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += toString(C, Sig);
+    }
+    Out += ')';
+  }
+  return Out;
+}

@@ -1,0 +1,141 @@
+//===- term/Term.h - Hash-consed ground terms ------------------*- C++ -*-===//
+///
+/// \file
+/// Ground terms t ::= f(t1, …, tn) (paper Fig. 5), hash-consed in an arena.
+///
+/// Hash-consing gives O(1) structural equality (pointer identity), which is
+/// exactly the term equality the algorithmic semantics consults in
+/// ST-Match-Var-Conflict for nonlinear patterns.
+///
+/// Terms additionally carry an *attribute list*: sorted (Symbol, int64)
+/// pairs. CorePyPM requires a fixed attribute set A with an interpretation
+/// ⟦·⟧ : A → Term → ℤ (§3.2); we realize ⟦α⟧(t) as lookup in t's stored
+/// attributes, falling back to a small set of built-ins (arity, size,
+/// depth). Tensor-specific attributes (rank, dim0…, elt_type) are stored by
+/// the graph→term adapter. Attributes participate in term identity: two
+/// Add nodes with different shapes are different terms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_TERM_TERM_H
+#define PYPM_TERM_TERM_H
+
+#include "term/Signature.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pypm::term {
+
+class TermArena;
+
+/// One (Symbol, value) attribute pair.
+struct Attr {
+  Symbol Key;
+  int64_t Value;
+
+  friend bool operator==(const Attr &A, const Attr &B) {
+    return A.Key == B.Key && A.Value == B.Value;
+  }
+};
+
+/// An immutable, interned term. Created only by TermArena; compare with
+/// pointer equality.
+class Term {
+public:
+  OpId op() const { return Op; }
+  std::span<const Term *const> children() const { return Children; }
+  unsigned arity() const { return static_cast<unsigned>(Children.size()); }
+  const Term *child(unsigned I) const {
+    assert(I < Children.size() && "child index out of range");
+    return Children[I];
+  }
+
+  std::span<const Attr> attrs() const { return Attrs; }
+
+  /// Stored attribute lookup (no built-ins). See TermArena::attribute for
+  /// the full ⟦α⟧ including built-ins.
+  std::optional<int64_t> storedAttr(Symbol Key) const;
+
+  /// Number of nodes in this term (counting shared subterms once per
+  /// occurrence, i.e. tree size).
+  uint64_t size() const { return TreeSize; }
+  /// Height of the tree; leaves have depth 1.
+  uint32_t depth() const { return TreeDepth; }
+
+private:
+  friend class TermArena;
+  Term() = default;
+
+  OpId Op;
+  std::vector<const Term *> Children;
+  std::vector<Attr> Attrs; // sorted by Key raw id
+  uint64_t TreeSize = 1;
+  uint32_t TreeDepth = 1;
+  uint64_t HashValue = 0;
+};
+
+using TermRef = const Term *;
+
+/// Owns and interns terms. All TermRefs remain valid for the arena's
+/// lifetime.
+class TermArena {
+public:
+  explicit TermArena(const Signature &Sig) : Sig(Sig) {}
+  TermArena(const TermArena &) = delete;
+  TermArena &operator=(const TermArena &) = delete;
+
+  const Signature &signature() const { return Sig; }
+
+  /// Interns f(Children) with the given attributes. Children size must equal
+  /// the declared arity of \p Op. Attrs may be in any order; they are
+  /// normalized (sorted by key). Duplicate keys are a programmer error.
+  TermRef make(OpId Op, std::span<const TermRef> Children,
+               std::span<const Attr> Attrs = {});
+
+  /// Convenience overloads.
+  TermRef make(OpId Op, std::initializer_list<TermRef> Children,
+               std::initializer_list<Attr> Attrs = {});
+  TermRef leaf(OpId Op, std::initializer_list<Attr> Attrs = {});
+
+  /// The interpretation ⟦α⟧(t): stored attribute if present, else built-ins:
+  ///   "arity" → number of children, "size" → tree size, "depth" → height,
+  ///   "op_id" → raw operator index.
+  /// Returns nullopt for unknown attributes.
+  std::optional<int64_t> attribute(TermRef T, Symbol Key) const;
+
+  /// Number of distinct interned terms.
+  size_t numTerms() const { return AllTerms.size(); }
+
+  /// Collects T and all transitive subterms, deduplicated, in a
+  /// deterministic (post-)order. Useful for declarative-search candidate
+  /// sets.
+  static std::vector<TermRef> subterms(TermRef T);
+
+  /// Renders a term as `Op[attr=v,…](children…)`; inverse of TermParser.
+  static std::string toString(TermRef T, const Signature &Sig);
+  std::string toString(TermRef T) const { return toString(T, Sig); }
+
+private:
+  struct Key {
+    OpId Op;
+    std::span<const TermRef> Children;
+    std::span<const Attr> Attrs;
+  };
+  static uint64_t hashKey(const Key &K);
+  static bool keyEquals(const Key &K, const Term *T);
+
+  const Signature &Sig;
+  std::vector<std::unique_ptr<Term>> AllTerms;
+  // Open-addressed-ish bucket map from hash to candidate terms.
+  std::unordered_multimap<uint64_t, Term *> Interned;
+};
+
+} // namespace pypm::term
+
+#endif // PYPM_TERM_TERM_H

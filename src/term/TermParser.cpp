@@ -1,0 +1,147 @@
+//===- term/TermParser.cpp - Textual ground-term reader -------------------===//
+
+#include "term/TermParser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pypm;
+using namespace pypm::term;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Text, Signature &Sig, TermArena &Arena,
+         bool AutoDeclare)
+      : Text(Text), Sig(Sig), Arena(Arena), AutoDeclare(AutoDeclare) {}
+
+  TermParseResult run() {
+    TermParseResult R = parseTerm();
+    if (std::holds_alternative<TermParseError>(R))
+      return R;
+    skipWs();
+    if (Pos != Text.size())
+      return err("trailing characters after term");
+    return R;
+  }
+
+private:
+  std::string_view Text;
+  Signature &Sig;
+  TermArena &Arena;
+  bool AutoDeclare;
+  size_t Pos = 0;
+
+  TermParseError errObj(std::string Msg) { return TermParseError{Pos, std::move(Msg)}; }
+  TermParseResult err(std::string Msg) { return errObj(std::move(Msg)); }
+
+  void skipWs() {
+    while (Pos < Text.size() && std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  std::string_view ident() {
+    skipWs();
+    size_t Start = Pos;
+    auto IsIdent = [](char C) {
+      return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+             C == '.';
+    };
+    while (Pos < Text.size() && IsIdent(Text[Pos]))
+      ++Pos;
+    return Text.substr(Start, Pos - Start);
+  }
+
+  bool integer(int64_t &Out) {
+    skipWs();
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    while (Pos < Text.size() && std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    Out = std::strtoll(std::string(Text.substr(Start, Pos - Start)).c_str(),
+                       nullptr, 10);
+    return true;
+  }
+
+  TermParseResult parseTerm() {
+    std::string_view Name = ident();
+    if (Name.empty())
+      return err("expected operator name");
+
+    std::vector<Attr> Attrs;
+    if (eat('[')) {
+      do {
+        std::string_view Key = ident();
+        if (Key.empty())
+          return err("expected attribute name");
+        if (!eat('='))
+          return err("expected '=' in attribute");
+        int64_t V;
+        if (!integer(V))
+          return err("expected integer attribute value");
+        Attrs.push_back({Symbol::intern(Key), V});
+      } while (eat(','));
+      if (!eat(']'))
+        return err("expected ']' after attributes");
+    }
+
+    std::vector<TermRef> Children;
+    if (eat('(')) {
+      if (!eat(')')) {
+        do {
+          TermParseResult Child = parseTerm();
+          if (auto *E = std::get_if<TermParseError>(&Child))
+            return *E;
+          Children.push_back(std::get<TermRef>(Child));
+        } while (eat(','));
+        if (!eat(')'))
+          return err("expected ')' after children");
+      }
+    }
+
+    OpId Op = Sig.lookup(Name);
+    if (!Op.isValid()) {
+      if (!AutoDeclare)
+        return err("unknown operator '" + std::string(Name) + "'");
+      Op = Sig.addOp(Name, static_cast<unsigned>(Children.size()));
+    }
+    if (Sig.arity(Op) != Children.size())
+      return err("operator '" + std::string(Name) + "' expects " +
+                 std::to_string(Sig.arity(Op)) + " children, got " +
+                 std::to_string(Children.size()));
+    return Arena.make(Op, std::span<const TermRef>(Children), Attrs);
+  }
+};
+
+} // namespace
+
+TermParseResult pypm::term::parseTerm(std::string_view Text, Signature &Sig,
+                                      TermArena &Arena, bool AutoDeclare) {
+  return Parser(Text, Sig, Arena, AutoDeclare).run();
+}
+
+TermRef pypm::term::parseTermOrDie(std::string_view Text, Signature &Sig,
+                                   TermArena &Arena) {
+  TermParseResult R = parseTerm(Text, Sig, Arena);
+  if (auto *E = std::get_if<TermParseError>(&R)) {
+    std::fprintf(stderr, "parseTermOrDie(\"%.*s\"): at %zu: %s\n",
+                 static_cast<int>(Text.size()), Text.data(), E->Offset,
+                 E->Message.c_str());
+    std::abort();
+  }
+  return std::get<TermRef>(R);
+}

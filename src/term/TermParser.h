@@ -1,0 +1,48 @@
+//===- term/TermParser.h - Textual ground-term reader ----------*- C++ -*-===//
+///
+/// \file
+/// Parses the textual term syntax produced by TermArena::toString:
+///
+///   term ::= ident attrs? args?
+///   attrs ::= '[' (ident '=' int) (',' ident '=' int)* ']'
+///   args ::= '(' term (',' term)* ')'
+///
+/// Primarily a convenience for tests and examples. Operators are resolved
+/// against the arena's Signature; unknown operators are auto-declared with
+/// the observed arity (so test fixtures don't need a declaration preamble).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_TERM_TERMPARSER_H
+#define PYPM_TERM_TERMPARSER_H
+
+#include "term/Term.h"
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace pypm::term {
+
+/// Result of parsing: a term, or an error message with offset.
+struct TermParseError {
+  size_t Offset;
+  std::string Message;
+};
+
+using TermParseResult = std::variant<TermRef, TermParseError>;
+
+/// Parses \p Text into \p Arena. If \p AutoDeclare is true (default),
+/// unknown operator names are declared in the arena's signature with the
+/// observed arity; otherwise they are an error. Note: auto-declaration
+/// mutates \p Sig, hence the non-const Signature parameter.
+TermParseResult parseTerm(std::string_view Text, Signature &Sig,
+                          TermArena &Arena, bool AutoDeclare = true);
+
+/// Asserting convenience wrapper for test code: parse or abort.
+TermRef parseTermOrDie(std::string_view Text, Signature &Sig,
+                       TermArena &Arena);
+
+} // namespace pypm::term
+
+#endif // PYPM_TERM_TERMPARSER_H

@@ -1,0 +1,60 @@
+//===- tests/TestHelpers.h - Shared test fixtures ---------------*- C++ -*-===//
+///
+/// \file
+/// Conveniences shared across the test suite: a fixture owning a Signature
+/// + TermArena + PatternArena, term parsing shorthands, and witness
+/// helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_TESTS_TESTHELPERS_H
+#define PYPM_TESTS_TESTHELPERS_H
+
+#include "match/Declarative.h"
+#include "match/Machine.h"
+#include "pattern/Pattern.h"
+#include "term/TermParser.h"
+
+#include <gtest/gtest.h>
+
+namespace pypm::testing {
+
+/// A fixture with one signature/arena pair, term parsing, and a small
+/// pattern-construction toolkit.
+class CoreFixture : public ::testing::Test {
+protected:
+  CoreFixture() : Arena(Sig) {}
+
+  term::TermRef t(std::string_view Text) {
+    return term::parseTermOrDie(Text, Sig, Arena);
+  }
+
+  term::OpId op(std::string_view Name, unsigned Arity) {
+    return Sig.getOrAddOp(Name, Arity);
+  }
+
+  const pattern::Pattern *v(std::string_view Name) { return PA.var(Name); }
+
+  const pattern::Pattern *app(std::string_view Name,
+                              std::vector<const pattern::Pattern *> Children) {
+    term::OpId Op = op(Name, static_cast<unsigned>(Children.size()));
+    return PA.app(Op, std::move(Children));
+  }
+
+  match::MatchResult matchP(const pattern::Pattern *P, term::TermRef T) {
+    return match::matchPattern(P, T, Arena);
+  }
+
+  /// θ(x) as a term, or nullptr.
+  term::TermRef bound(const match::Witness &W, std::string_view Var) {
+    return W.Theta.lookup(Symbol::intern(Var)).value_or(nullptr);
+  }
+
+  term::Signature Sig;
+  term::TermArena Arena;
+  pattern::PatternArena PA;
+};
+
+} // namespace pypm::testing
+
+#endif // PYPM_TESTS_TESTHELPERS_H

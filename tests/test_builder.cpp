@@ -1,0 +1,217 @@
+//===- tests/test_builder.cpp - Fluent C++ frontend builder --------------------===//
+///
+/// The builder must produce core-calculus libraries that behave exactly
+/// like the DSL frontend's on the paper's figures.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "dsl/Sema.h"
+#include "frontend/Builder.h"
+
+using namespace pypm;
+using namespace pypm::frontend;
+using namespace pypm::pattern;
+
+namespace {
+
+class BuilderTest : public pypm::testing::CoreFixture {};
+
+} // namespace
+
+TEST_F(BuilderTest, Figure1MMxyT) {
+  ModuleBuilder B(Sig);
+  auto MatMul = B.op("MatMul", 2);
+  auto Trans = B.op("Trans", 1);
+  auto Cublas = B.op("cublasMM_xyT_f32", 2);
+
+  auto P = B.pattern("MMxyT", {"x", "y"});
+  P.require(P.arg("x")["rank"] == 2);
+  P.require(P.arg("y")["rank"] == 2);
+  P.ret(MatMul(P.arg("x"), Trans(P.arg("y"))));
+  P.done();
+
+  auto R = B.rule("cublasrule", "MMxyT");
+  R.require(R.arg("x")["elt_type"] == 3 && R.arg("y")["elt_type"] == 3);
+  R.ret(Cublas.rhs({R.arg("x").rhs(), R.arg("y").rhs()}));
+
+  auto Lib = B.finish();
+  ASSERT_TRUE(Lib != nullptr);
+  const NamedPattern *NP = Lib->findPattern("MMxyT");
+  ASSERT_NE(NP, nullptr);
+  EXPECT_TRUE(
+      matchP(NP->Pat, t("MatMul(A[rank=2], Trans(C[rank=2]))")).matched());
+  EXPECT_FALSE(
+      matchP(NP->Pat, t("MatMul(A[rank=1], Trans(C[rank=2]))")).matched());
+  ASSERT_EQ(Lib->Rules.size(), 1u);
+  EXPECT_NE(Lib->Rules[0].Guard, nullptr);
+}
+
+TEST_F(BuilderTest, Figure3UnaryChainViaSelf) {
+  ModuleBuilder B(Sig);
+  {
+    auto P = B.pattern("UnaryChain", {"x", "f"});
+    auto X = P.arg("x");
+    auto F = P.funParam("f");
+    P.ret(P.fcall(F, {P.self({X, F})}));
+    P.done();
+  }
+  {
+    auto P = B.pattern("UnaryChain", {"x", "f"});
+    P.ret(P.fcall(P.funParam("f"), {P.arg("x")}));
+    P.done();
+  }
+  auto Lib = B.finish();
+  ASSERT_TRUE(Lib != nullptr);
+  const NamedPattern *NP = Lib->findPattern("UnaryChain");
+  EXPECT_EQ(NP->Pat->kind(), PatternKind::Mu);
+  auto R = matchP(NP->Pat, t("Relu(Relu(Relu(C)))"));
+  ASSERT_TRUE(R.matched());
+  EXPECT_EQ(bound(R.W, "x"), t("C"));
+}
+
+TEST_F(BuilderTest, VarAndConstraintMirrorFig4Alternate) {
+  ModuleBuilder B(Sig);
+  auto Trans = B.op("Trans", 1);
+  auto P = B.pattern("RootOfTrans", {"x"});
+  auto X = P.arg("x");
+  auto Y = P.var("y");
+  P.constrain(X, Trans(Y));
+  P.ret(X);
+  P.done();
+  auto Lib = B.finish();
+  ASSERT_TRUE(Lib != nullptr);
+  auto R = matchP(Lib->findPattern("RootOfTrans")->Pat, t("Trans(B)"));
+  ASSERT_TRUE(R.matched());
+  EXPECT_EQ(bound(R.W, "x"), t("Trans(B)"));
+  EXPECT_EQ(bound(R.W, "y"), t("B"));
+}
+
+TEST_F(BuilderTest, OpvarWithClassGuard) {
+  ModuleBuilder B(Sig);
+  B.op("Relu", 1, "unary_pointwise");
+  B.op("Trans", 1, "movement");
+  auto P = B.pattern("AnyPointwise", {"x"});
+  auto F = P.opvar("F");
+  P.require(F["op_class"] == P.opclass("unary_pointwise"));
+  P.ret(P.fcall(F, {P.arg("x")}));
+  P.done();
+  auto Lib = B.finish();
+  ASSERT_TRUE(Lib != nullptr);
+  const NamedPattern *NP = Lib->findPattern("AnyPointwise");
+  EXPECT_TRUE(matchP(NP->Pat, t("Relu(C)")).matched());
+  EXPECT_FALSE(matchP(NP->Pat, t("Trans(C)")).matched());
+}
+
+TEST_F(BuilderTest, LitMatchesConstNodes) {
+  ModuleBuilder B(Sig);
+  auto Div = B.op("Div", 2);
+  auto P = B.pattern("HalfOf", {"x"});
+  P.ret(Div(P.arg("x"), P.lit(2.0)));
+  P.done();
+  auto Lib = B.finish();
+  ASSERT_TRUE(Lib != nullptr);
+  const NamedPattern *NP = Lib->findPattern("HalfOf");
+  EXPECT_TRUE(
+      matchP(NP->Pat, t("Div(X, Const[value_u6=2000000])")).matched());
+  EXPECT_FALSE(
+      matchP(NP->Pat, t("Div(X, Const[value_u6=500000])")).matched());
+}
+
+TEST_F(BuilderTest, GuardOperatorsBuildArithmetic) {
+  ModuleBuilder B(Sig);
+  auto P = B.pattern("Sized", {"x"});
+  auto X = P.arg("x");
+  P.require((X["size"] + P.intLit(1)) * P.intLit(2) >= 6 &&
+            !(X["depth"] == 1));
+  P.ret(X);
+  P.done();
+  auto Lib = B.finish();
+  ASSERT_TRUE(Lib != nullptr);
+  const NamedPattern *NP = Lib->findPattern("Sized");
+  // F(C): size 2 → (2+1)*2 = 6 ≥ 6 and depth 2 ≠ 1.
+  EXPECT_TRUE(matchP(NP->Pat, t("F(C)")).matched());
+  // C: size 1 → 4 < 6.
+  EXPECT_FALSE(matchP(NP->Pat, t("C")).matched());
+}
+
+TEST_F(BuilderTest, RuleRhsFunVarAndAttrTemplates) {
+  ModuleBuilder B(Sig);
+  auto MatMul = B.op("MatMul", 2);
+  auto Fused = B.op("GemmEpilog2", 2, "fused_kernel");
+  auto P = B.pattern("GemmAct", {"a", "b", "f"});
+  auto F = P.funParam("f");
+  P.require(F["arity"] == 1);
+  P.ret(P.fcall(F, {MatMul(P.arg("a"), P.arg("b"))}));
+  P.done();
+
+  auto R = B.rule("fuse", "GemmAct");
+  auto RF = R.arg("f");
+  R.ret(Fused.rhs({R.arg("a").rhs(), R.arg("b").rhs()},
+                  {{Symbol::intern("act"),
+                    B.arena().funAttr(RF.name(), Symbol::intern("op_id"))}}));
+  auto Lib = B.finish();
+  ASSERT_TRUE(Lib != nullptr);
+  ASSERT_EQ(Lib->Rules.size(), 1u);
+  EXPECT_EQ(Lib->Rules[0].Rhs->attrTemplates().size(), 1u);
+}
+
+TEST_F(BuilderTest, BuilderAndDslProduceEquivalentMatchers) {
+  // Compile UnaryChain both ways and compare behavior across a family of
+  // terms (the libraries must agree on match/no-match and on θ).
+  term::Signature SigDsl;
+  auto DslLib = dsl::compileOrDie(R"(
+    pattern UnaryChain(x, f) { return f(UnaryChain(x, f)); }
+    pattern UnaryChain(x, f) { return f(x); }
+  )",
+                                  SigDsl);
+
+  ModuleBuilder B(Sig);
+  {
+    auto P = B.pattern("UnaryChain", {"x", "f"});
+    auto X = P.arg("x");
+    auto F = P.funParam("f");
+    P.ret(P.fcall(F, {P.self({X, F})}));
+    P.done();
+  }
+  {
+    auto P = B.pattern("UnaryChain", {"x", "f"});
+    P.ret(P.fcall(P.funParam("f"), {P.arg("x")}));
+    P.done();
+  }
+  auto BuiltLib = B.finish();
+  ASSERT_TRUE(BuiltLib != nullptr);
+
+  term::TermArena ArenaDsl(SigDsl);
+  const char *Cases[] = {"Relu(C)", "Relu(Relu(C))", "Relu(Tanh(C))", "C",
+                         "Pair(C, C)"};
+  for (const char *Case : Cases) {
+    auto TB = t(Case);
+    auto TD = term::parseTermOrDie(Case, SigDsl, ArenaDsl);
+    auto RB = matchP(BuiltLib->findPattern("UnaryChain")->Pat, TB);
+    auto RD = match::matchPattern(DslLib->findPattern("UnaryChain")->Pat, TD,
+                                  ArenaDsl);
+    EXPECT_EQ(RB.matched(), RD.matched()) << Case;
+    if (RB.matched() && RD.matched()) {
+      auto XB = bound(RB.W, "x");
+      auto XD = RD.W.Theta.lookup(Symbol::intern("x")).value_or(nullptr);
+      ASSERT_NE(XB, nullptr);
+      ASSERT_NE(XD, nullptr);
+      EXPECT_EQ(Arena.toString(XB), term::TermArena::toString(XD, SigDsl))
+          << Case;
+    }
+  }
+}
+
+TEST_F(BuilderTest, FinishRejectsIllFormedLibraries) {
+  ModuleBuilder B(Sig);
+  auto F = B.op("F", 1);
+  auto P = B.pattern("P", {"x"});
+  P.ret(F(P.arg("x")));
+  P.done();
+  auto R = B.rule("bad", "P");
+  // RHS references a variable that is not a parameter.
+  R.ret(RExpr{B.arena().rhsVar(Symbol::intern("ghost"))});
+  EXPECT_EQ(B.finish(), nullptr);
+}

@@ -1,0 +1,272 @@
+//===- tests/test_declarative.cpp - Declarative semantics ---------------------===//
+///
+/// Hand-picked derivations and counter-derivations for each rule of
+/// Fig. 16, exercised through both the derivation checker (Strict engine)
+/// and the witness enumerator (Free engine).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+using namespace pypm;
+using namespace pypm::match;
+using namespace pypm::pattern;
+using pypm::testing::CoreFixture;
+
+class DeclarativeTest : public CoreFixture {
+protected:
+  bool derivable(const Pattern *P, term::TermRef T, const Subst &Theta,
+                 const FunSubst &Phi = {}) {
+    return checkDerivable(P, T, Theta, Phi, Arena);
+  }
+  EnumResult enumerate(const Pattern *P, term::TermRef T) {
+    return enumerateWitnesses(P, T, Arena);
+  }
+  Subst theta(std::initializer_list<std::pair<const char *, term::TermRef>>
+                  Bindings) {
+    Subst S;
+    for (auto &[Name, T] : Bindings)
+      S.bind(Symbol::intern(Name), T);
+    return S;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// P-Var
+//===----------------------------------------------------------------------===//
+
+TEST_F(DeclarativeTest, PVarRequiresExactBinding) {
+  EXPECT_TRUE(derivable(v("x"), t("C"), theta({{"x", t("C")}})));
+  EXPECT_FALSE(derivable(v("x"), t("C"), theta({{"x", t("D")}})));
+  EXPECT_FALSE(derivable(v("x"), t("C"), Subst())); // θ(x) undefined
+}
+
+TEST_F(DeclarativeTest, WeakeningExtraBindingsAreHarmless) {
+  // Theorem 1 on a concrete instance.
+  Subst Big = theta({{"x", t("C")}, {"unused", t("D")}});
+  EXPECT_TRUE(derivable(v("x"), t("C"), Big));
+}
+
+//===----------------------------------------------------------------------===//
+// P-Fun
+//===----------------------------------------------------------------------===//
+
+TEST_F(DeclarativeTest, PFunStructural) {
+  const Pattern *P = app("Pair", {v("x"), v("y")});
+  Subst Th = theta({{"x", t("C")}, {"y", t("D")}});
+  EXPECT_TRUE(derivable(P, t("Pair(C, D)"), Th));
+  EXPECT_FALSE(derivable(P, t("Pair(D, C)"), Th));
+  EXPECT_FALSE(derivable(P, t("Trans(C)"), Th));
+}
+
+//===----------------------------------------------------------------------===//
+// P-Alt
+//===----------------------------------------------------------------------===//
+
+TEST_F(DeclarativeTest, PAltEitherSideDerives) {
+  const Pattern *P = PA.alt(app("Trans", {v("x")}), v("x"));
+  EXPECT_TRUE(derivable(P, t("Trans(C)"), theta({{"x", t("C")}})));
+  EXPECT_TRUE(derivable(P, t("Trans(C)"), theta({{"x", t("Trans(C)")}})));
+  EXPECT_FALSE(derivable(P, t("Trans(C)"), theta({{"x", t("D")}})));
+}
+
+TEST_F(DeclarativeTest, EnumeratorFindsBothAltWitnesses) {
+  // The declarative relation for f(x,y) ‖ f(y,x) on f(c1,c2) has two
+  // witnesses — the non-completeness example of §3.1.2.
+  const Pattern *P = PA.alt(app("Pair", {v("x"), v("y")}),
+                            app("Pair", {v("y"), v("x")}));
+  EnumResult R = enumerate(P, t("Pair(C1, C2)"));
+  EXPECT_FALSE(R.Incomplete);
+  EXPECT_EQ(R.Witnesses.size(), 2u);
+}
+
+TEST_F(DeclarativeTest, EnumeratorDeduplicatesIdenticalBranches) {
+  const Pattern *P = PA.alt(v("x"), v("x"));
+  EnumResult R = enumerate(P, t("C"));
+  EXPECT_EQ(R.Witnesses.size(), 1u);
+}
+
+TEST_F(DeclarativeTest, SymmetricTermCollapsesAltWitnesses) {
+  const Pattern *P = PA.alt(app("Pair", {v("x"), v("y")}),
+                            app("Pair", {v("y"), v("x")}));
+  EnumResult R = enumerate(P, t("Pair(C, C)"));
+  EXPECT_EQ(R.Witnesses.size(), 1u); // both alternates give the same θ
+}
+
+//===----------------------------------------------------------------------===//
+// P-Guard
+//===----------------------------------------------------------------------===//
+
+TEST_F(DeclarativeTest, PGuardFiltersWitnesses) {
+  const GuardExpr *RankIs2 = PA.binary(
+      GuardKind::Eq, PA.attr(Symbol::intern("x"), Symbol::intern("rank")),
+      PA.intLit(2));
+  const Pattern *P = PA.guarded(v("x"), RankIs2);
+  EXPECT_TRUE(derivable(P, t("A[rank=2]"), theta({{"x", t("A[rank=2]")}})));
+  EXPECT_FALSE(derivable(P, t("A[rank=3]"), theta({{"x", t("A[rank=3]")}})));
+  EXPECT_TRUE(enumerate(P, t("A[rank=3]")).Witnesses.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// P-Exists
+//===----------------------------------------------------------------------===//
+
+TEST_F(DeclarativeTest, PExistsChecksWithProvidedWitness) {
+  Symbol Y = Symbol::intern("y");
+  const Pattern *P = PA.exists(Y, app("Pair", {PA.var(Y), PA.var(Y)}));
+  // The machine's final θ includes y; checking uses it as the witness t′.
+  EXPECT_TRUE(
+      derivable(P, t("Pair(C, C)"), theta({{"y", t("C")}})));
+  EXPECT_FALSE(
+      derivable(P, t("Pair(C, C)"), theta({{"y", t("D")}})));
+}
+
+TEST_F(DeclarativeTest, PExistsOpenVariableSearchedWhenAbsent) {
+  // With y absent from θ, the checker may invent the witness (the ∃ opens
+  // the variable for binding) — the judgment is still ∃-derivable.
+  Symbol Y = Symbol::intern("y");
+  const Pattern *P = PA.exists(Y, app("Pair", {PA.var(Y), PA.var(Y)}));
+  EXPECT_TRUE(derivable(P, t("Pair(C, C)"), Subst()));
+  EXPECT_FALSE(derivable(P, t("Pair(C, D)"), Subst()));
+}
+
+TEST_F(DeclarativeTest, UnusedExistsVariableNotDerivable) {
+  // Following §2.3's requirement (and the machine's checkName), an ∃
+  // variable that never binds makes the match fail.
+  Symbol Y = Symbol::intern("y");
+  const Pattern *P = PA.exists(Y, v("x"));
+  EXPECT_TRUE(enumerate(P, t("C")).Witnesses.empty());
+  EXPECT_FALSE(derivable(P, t("C"), theta({{"x", t("C")}})));
+}
+
+//===----------------------------------------------------------------------===//
+// P-MatchConstr
+//===----------------------------------------------------------------------===//
+
+TEST_F(DeclarativeTest, PMatchConstrPremises) {
+  Symbol X = Symbol::intern("x");
+  const Pattern *P =
+      PA.matchConstraint(v("x"), app("Trans", {v("y")}), X);
+  EXPECT_TRUE(derivable(P, t("Trans(B)"),
+                        theta({{"x", t("Trans(B)")}, {"y", t("B")}})));
+  // Wrong inner binding.
+  EXPECT_FALSE(derivable(P, t("Trans(B)"),
+                         theta({{"x", t("Trans(B)")}, {"y", t("C")}})));
+  // Constraint shape mismatch.
+  EXPECT_TRUE(enumerate(P, t("Softmax1(B)")).Witnesses.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// P-Fun-Var
+//===----------------------------------------------------------------------===//
+
+TEST_F(DeclarativeTest, PFunVarRequiresPhiBinding) {
+  Symbol F = Symbol::intern("F");
+  const Pattern *P = PA.funVarApp(F, {v("x")});
+  FunSubst Phi;
+  Phi.bind(F, Sig.getOrAddOp("Relu", 1));
+  EXPECT_TRUE(derivable(P, t("Relu(C)"), theta({{"x", t("C")}}), Phi));
+  FunSubst Wrong;
+  Wrong.bind(F, Sig.getOrAddOp("Tanh", 1));
+  EXPECT_FALSE(derivable(P, t("Relu(C)"), theta({{"x", t("C")}}), Wrong));
+  // Unbound φ(F) fails the strict premise.
+  EXPECT_FALSE(derivable(P, t("Relu(C)"), theta({{"x", t("C")}})));
+}
+
+TEST_F(DeclarativeTest, EnumeratorBindsFunVars) {
+  Symbol F = Symbol::intern("F");
+  const Pattern *P = PA.funVarApp(F, {PA.funVarApp(F, {v("x")})});
+  EnumResult R = enumerate(P, t("Relu(Relu(C))"));
+  ASSERT_EQ(R.Witnesses.size(), 1u);
+  EXPECT_EQ(R.Witnesses[0].Phi.lookup(F), Sig.lookup("Relu"));
+  EXPECT_TRUE(enumerate(P, t("Relu(Tanh(C))")).Witnesses.empty());
+}
+
+TEST_F(DeclarativeTest, ExistsFunOpensPhi) {
+  Symbol F = Symbol::intern("F");
+  const Pattern *P = PA.existsFun(F, PA.funVarApp(F, {v("x")}));
+  // Strict mode: the ∃F opens F even though the seed φ is empty.
+  EXPECT_TRUE(derivable(P, t("Relu(C)"), theta({{"x", t("C")}})));
+  EnumResult R = enumerate(P, t("Relu(C)"));
+  EXPECT_EQ(R.Witnesses.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// P-Mu
+//===----------------------------------------------------------------------===//
+
+TEST_F(DeclarativeTest, PMuUnfoldsAndDerives) {
+  Symbol U = Symbol::intern("U"), X = Symbol::intern("x"),
+         F = Symbol::intern("f");
+  const Pattern *Body = PA.alt(PA.funVarApp(F, {PA.recCall(U, {X, F})}),
+                               PA.funVarApp(F, {PA.var(X)}));
+  const Pattern *Mu = PA.mu(U, {X, F}, {X, F}, Body);
+  FunSubst Phi;
+  Phi.bind(F, Sig.getOrAddOp("Relu", 1));
+  EXPECT_TRUE(
+      derivable(Mu, t("Relu(Relu(Relu(C)))"), theta({{"x", t("C")}}), Phi));
+  EXPECT_FALSE(derivable(Mu, t("C"), theta({{"x", t("C")}}), Phi));
+}
+
+TEST_F(DeclarativeTest, EnumeratorFindsAllChainSuffixWitnesses) {
+  // UnaryChain on Relu(Relu(C)) has exactly one witness per unfolding
+  // depth: x↦Relu(C) (depth 1) and x↦C (depth 2).
+  Symbol U = Symbol::intern("U"), X = Symbol::intern("x"),
+         F = Symbol::intern("f");
+  const Pattern *Body = PA.alt(PA.funVarApp(F, {PA.recCall(U, {X, F})}),
+                               PA.funVarApp(F, {PA.var(X)}));
+  const Pattern *Mu = PA.mu(U, {X, F}, {X, F}, Body);
+  EnumResult R = enumerate(Mu, t("Relu(Relu(C))"));
+  EXPECT_FALSE(R.Incomplete);
+  EXPECT_EQ(R.Witnesses.size(), 2u);
+}
+
+TEST_F(DeclarativeTest, DivergentMuReportsIncomplete) {
+  Symbol P = Symbol::intern("P"), X = Symbol::intern("x");
+  const Pattern *Mu = PA.mu(P, {X}, {X}, PA.recCall(P, {X}));
+  DeclOptions Opts;
+  Opts.MuFuel = 8;
+  EnumResult R = enumerateWitnesses(Mu, t("C"), Arena, Opts);
+  EXPECT_TRUE(R.Witnesses.empty());
+  EXPECT_TRUE(R.Incomplete);
+}
+
+TEST_F(DeclarativeTest, SeededEnumerationRestrictsWitnesses) {
+  const Pattern *P = PA.alt(app("Pair", {v("x"), v("y")}),
+                            app("Pair", {v("y"), v("x")}));
+  Subst Seed;
+  Seed.bind(Symbol::intern("x"), t("C2"));
+  EnumResult R =
+      enumerateWitnesses(P, t("Pair(C1, C2)"), Arena, DeclOptions(), Seed);
+  ASSERT_EQ(R.Witnesses.size(), 1u);
+  EXPECT_EQ(R.Witnesses[0].Theta.lookup(Symbol::intern("y")), t("C1"));
+}
+
+//===----------------------------------------------------------------------===//
+// Substitution utilities
+//===----------------------------------------------------------------------===//
+
+TEST_F(DeclarativeTest, SubstSubsetOf) {
+  Subst Small = theta({{"x", t("C")}});
+  Subst Big = theta({{"x", t("C")}, {"y", t("D")}});
+  EXPECT_TRUE(Small.subsetOf(Big));
+  EXPECT_FALSE(Big.subsetOf(Small));
+  Subst Conflict = theta({{"x", t("D")}});
+  EXPECT_FALSE(Small.subsetOf(Conflict));
+}
+
+TEST_F(DeclarativeTest, SubstRestriction) {
+  Subst Big = theta({{"x", t("C")}, {"y", t("D")}, {"z", t("C")}});
+  Symbol Keys[2] = {Symbol::intern("x"), Symbol::intern("z")};
+  Subst R = Big.restrictedTo(Keys);
+  EXPECT_EQ(R.size(), 2u);
+  EXPECT_FALSE(R.contains(Symbol::intern("y")));
+}
+
+TEST_F(DeclarativeTest, SubstEraseAndToString) {
+  Subst S = theta({{"x", t("C")}});
+  S.erase(Symbol::intern("x"));
+  EXPECT_TRUE(S.empty());
+  S.bind(Symbol::intern("x"), t("Trans(B)"));
+  EXPECT_EQ(toString(S, Sig), "{x -> Trans(B)}");
+}

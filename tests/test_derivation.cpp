@@ -1,0 +1,176 @@
+//===- tests/test_derivation.cpp - Match derivation (proof) trees ---------------===//
+
+#include "TestHelpers.h"
+
+#include "match/Derivation.h"
+
+using namespace pypm;
+using namespace pypm::match;
+using namespace pypm::pattern;
+using pypm::testing::CoreFixture;
+
+namespace {
+
+class DerivationTest : public CoreFixture {
+protected:
+  std::unique_ptr<Derivation> deriveFromMachine(const Pattern *P,
+                                                term::TermRef T) {
+    MatchResult R = matchP(P, T);
+    EXPECT_TRUE(R.matched());
+    if (!R.matched())
+      return nullptr;
+    return deriveMatch(P, T, R.W.Theta, R.W.Phi, Arena);
+  }
+};
+
+} // namespace
+
+TEST_F(DerivationTest, PVarLeaf) {
+  Subst Theta;
+  Theta.bind(Symbol::intern("x"), t("C"));
+  auto D = deriveMatch(v("x"), t("C"), Theta, FunSubst(), Arena);
+  ASSERT_TRUE(D != nullptr);
+  EXPECT_EQ(D->Rule, "P-Var");
+  EXPECT_EQ(D->size(), 1u);
+  EXPECT_TRUE(D->Premises.empty());
+}
+
+TEST_F(DerivationTest, NoDerivationForWrongWitness) {
+  Subst Theta;
+  Theta.bind(Symbol::intern("x"), t("D"));
+  EXPECT_EQ(deriveMatch(v("x"), t("C"), Theta, FunSubst(), Arena), nullptr);
+  EXPECT_EQ(deriveMatch(v("x"), t("C"), Subst(), FunSubst(), Arena),
+            nullptr); // unbound, not ∃-opened
+}
+
+TEST_F(DerivationTest, PFunWithPremisesPerChild) {
+  const Pattern *P = app("Pair", {v("x"), v("y")});
+  auto D = deriveFromMachine(P, t("Pair(C, D)"));
+  ASSERT_TRUE(D != nullptr);
+  EXPECT_EQ(D->Rule, "P-Fun");
+  ASSERT_EQ(D->Premises.size(), 2u);
+  EXPECT_EQ(D->Premises[0]->Rule, "P-Var");
+  EXPECT_EQ(D->Premises[1]->Rule, "P-Var");
+  EXPECT_EQ(D->size(), 3u);
+}
+
+TEST_F(DerivationTest, AltRulesNameTheTakenBranch) {
+  const Pattern *P = PA.alt(app("Trans", {v("x")}), v("y"));
+  auto DLeft = deriveFromMachine(P, t("Trans(B)"));
+  ASSERT_TRUE(DLeft != nullptr);
+  EXPECT_EQ(DLeft->Rule, "P-Alt-1");
+  auto DRight = deriveFromMachine(P, t("C"));
+  ASSERT_TRUE(DRight != nullptr);
+  EXPECT_EQ(DRight->Rule, "P-Alt-2");
+}
+
+TEST_F(DerivationTest, GuardNoteShowsTheCheckedGuard) {
+  const GuardExpr *G = PA.binary(
+      GuardKind::Eq, PA.attr(Symbol::intern("x"), Symbol::intern("rank")),
+      PA.intLit(2));
+  auto D = deriveFromMachine(PA.guarded(v("x"), G), t("A[rank=2]"));
+  ASSERT_TRUE(D != nullptr);
+  EXPECT_EQ(D->Rule, "P-Guard");
+  EXPECT_NE(D->Note.find("x.rank == 2"), std::string::npos);
+}
+
+TEST_F(DerivationTest, ExistsNotesTheInventedWitness) {
+  Symbol Y = Symbol::intern("y");
+  const Pattern *P = PA.exists(Y, app("Pair", {PA.var(Y), PA.var(Y)}));
+  auto D = deriveFromMachine(P, t("Pair(G1(C), G1(C))"));
+  ASSERT_TRUE(D != nullptr);
+  EXPECT_EQ(D->Rule, "P-Exists");
+  EXPECT_NE(D->Note.find("t′ = G1(C)"), std::string::npos);
+}
+
+TEST_F(DerivationTest, ExistsOpensUnboundVariables) {
+  // Even with an empty witness the ∃ rule may invent its t′.
+  Symbol Y = Symbol::intern("y");
+  const Pattern *P = PA.exists(Y, app("Pair", {PA.var(Y), PA.var(Y)}));
+  auto D = deriveMatch(P, t("Pair(C, C)"), Subst(), FunSubst(), Arena);
+  ASSERT_TRUE(D != nullptr);
+  EXPECT_EQ(deriveMatch(P, t("Pair(C, D)"), Subst(), FunSubst(), Arena),
+            nullptr);
+}
+
+TEST_F(DerivationTest, MatchConstraintHasTwoPremises) {
+  Symbol X = Symbol::intern("x");
+  const Pattern *P =
+      PA.matchConstraint(v("x"), app("Trans", {v("y")}), X);
+  auto D = deriveFromMachine(P, t("Trans(B)"));
+  ASSERT_TRUE(D != nullptr);
+  EXPECT_EQ(D->Rule, "P-MatchConstr");
+  ASSERT_EQ(D->Premises.size(), 2u);
+  EXPECT_EQ(D->Premises[1]->Rule, "P-Fun"); // constraint side
+}
+
+TEST_F(DerivationTest, MuDerivationCountsUnfolds) {
+  Symbol U = Symbol::intern("U"), X = Symbol::intern("x"),
+         F = Symbol::intern("f");
+  const Pattern *Body = PA.alt(PA.funVarApp(F, {PA.recCall(U, {X, F})}),
+                               PA.funVarApp(F, {PA.var(X)}));
+  const Pattern *Mu = PA.mu(U, {X, F}, {X, F}, Body);
+  auto D = deriveFromMachine(Mu, t("Relu(Relu(Relu(C)))"));
+  ASSERT_TRUE(D != nullptr);
+  EXPECT_EQ(D->Rule, "P-Mu");
+  // One P-Mu per chain level.
+  size_t Mus = 0;
+  std::function<void(const Derivation &)> Count =
+      [&](const Derivation &Node) {
+        Mus += Node.Rule == "P-Mu";
+        for (const auto &Premise : Node.Premises)
+          Count(*Premise);
+      };
+  Count(*D);
+  EXPECT_EQ(Mus, 3u);
+}
+
+TEST_F(DerivationTest, ExistsFunRule) {
+  Symbol F = Symbol::intern("F");
+  const Pattern *P = PA.existsFun(F, PA.funVarApp(F, {v("x")}));
+  auto D = deriveFromMachine(P, t("Relu(C)"));
+  ASSERT_TRUE(D != nullptr);
+  EXPECT_EQ(D->Rule, "P-Exists-Fun");
+  EXPECT_NE(D->Note.find("f′ = Relu"), std::string::npos);
+}
+
+TEST_F(DerivationTest, RenderShowsTreeStructure) {
+  const Pattern *P = app("MatMul", {v("x"), app("Trans", {v("y")})});
+  auto D = deriveFromMachine(P, t("MatMul(A, Trans(B))"));
+  ASSERT_TRUE(D != nullptr);
+  std::string R = D->render(Sig);
+  EXPECT_NE(R.find("P-Fun: MatMul(x, Trans(y)) ≈ MatMul(A, Trans(B))"),
+            std::string::npos);
+  EXPECT_NE(R.find("├─ P-Var: x ≈ A"), std::string::npos);
+  EXPECT_NE(R.find("└─ P-Fun: Trans(y) ≈ Trans(B)"), std::string::npos);
+}
+
+TEST_F(DerivationTest, EveryMachineSuccessHasADerivation) {
+  // Mirror of the differential SuccessSound property, through the
+  // proof-tree builder (a derivation is a constructive certificate).
+  const Pattern *Cases[] = {
+      PA.alt(app("Pair", {v("x"), v("y")}), app("Pair", {v("y"), v("x")})),
+      PA.guarded(v("x"), PA.binary(GuardKind::Le,
+                                   PA.attr(Symbol::intern("x"),
+                                           Symbol::intern("size")),
+                                   PA.intLit(10))),
+      PA.exists(Symbol::intern("w"),
+                PA.matchConstraint(v("x"), app("Pair", {PA.var(
+                                               Symbol::intern("w")),
+                                                        v("y")}),
+                                   Symbol::intern("x"))),
+  };
+  const char *Terms[] = {"Pair(C, D)", "Pair(G1(C), G1(C))", "C",
+                         "Trans(Pair(C, D))"};
+  for (const Pattern *P : Cases)
+    for (const char *Term : Terms) {
+      term::TermRef T = t(Term);
+      MatchResult R = matchP(P, T);
+      if (!R.matched())
+        continue;
+      auto D = deriveMatch(P, T, R.W.Theta, R.W.Phi, Arena);
+      ASSERT_TRUE(D != nullptr)
+          << P->toString(Sig) << " against " << Term;
+      EXPECT_GE(D->size(), 1u);
+    }
+}

@@ -1,0 +1,293 @@
+//===- tests/test_differential.cpp - VM vs declarative semantics ---------------===//
+///
+/// Randomized differential testing of the algorithmic semantics against the
+/// declarative semantics — the executable counterpart of the paper's Coq
+/// development (Theorems 1 and 2, `succ_sound` / `fail_sound`):
+///
+///   SuccessSound   success(θ, φ)  ⇒  p @ ⟨θ, φ⟩ ≈ t derivable
+///   FailureSound   failure        ⇒  no witness exists (bounded-complete
+///                                    enumeration finds none)
+///   FirstComplete  a witness exists ⇒ the machine finds one
+///   Weakening      p @ θ ≈ t ∧ θ ⊆ θ′  ⇒  p @ θ′ ≈ t  (Theorem 1)
+///   SolutionsAgree the machine's solution stream ⊆ the declarative
+///                  witness set (compared on user-visible variables)
+///
+/// Patterns are generated over every core construct (variables, nonlinear
+/// uses, applications, alternates, guards, ∃/∃F, match constraints,
+/// function variables, μ-recursion with a structurally decreasing step) so
+/// the properties cover the full calculus. Each parameterized instance
+/// fixes a seed and checks a few hundred random (pattern, term) pairs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "support/Random.h"
+
+using namespace pypm;
+using namespace pypm::match;
+using namespace pypm::pattern;
+
+namespace {
+
+class Generator {
+public:
+  Generator(uint64_t Seed, term::Signature &Sig, term::TermArena &Arena,
+            PatternArena &PA)
+      : R(Seed), Sig(Sig), Arena(Arena), PA(PA) {
+    Consts = {Sig.getOrAddOp("c0", 0), Sig.getOrAddOp("c1", 0),
+              Sig.getOrAddOp("c2", 0)};
+    Unaries = {Sig.getOrAddOp("u0", 1, 1, "unary_pointwise"),
+               Sig.getOrAddOp("u1", 1, 1, "unary_pointwise")};
+    Binaries = {Sig.getOrAddOp("b0", 2), Sig.getOrAddOp("b1", 2)};
+  }
+
+  term::TermRef term(unsigned Depth) {
+    if (Depth == 0 || R.chance(1, 3))
+      return Arena.leaf(pick(Consts));
+    if (R.chance(1, 2)) {
+      term::TermRef C = term(Depth - 1);
+      return Arena.make(pick(Unaries), {C});
+    }
+    term::TermRef A = term(Depth - 1);
+    term::TermRef B = term(Depth - 1);
+    return Arena.make(pick(Binaries), {A, B});
+  }
+
+  struct Scope {
+    std::vector<Symbol> Vars{Symbol::intern("x"), Symbol::intern("y")};
+    std::vector<Symbol> FunVars{Symbol::intern("f")};
+  };
+
+  const Pattern *pattern(unsigned Depth) {
+    Scope S;
+    return gen(Depth, S);
+  }
+
+private:
+  Rng R;
+  term::Signature &Sig;
+  term::TermArena &Arena;
+  PatternArena &PA;
+  std::vector<term::OpId> Consts, Unaries, Binaries;
+  uint64_t FreshCounter = 0;
+
+  template <typename T> T pick(const std::vector<T> &V) {
+    return V[R.below(V.size())];
+  }
+
+  Symbol freshName(const char *Base) {
+    return Symbol::intern(std::string(Base) + "_g" +
+                          std::to_string(FreshCounter++));
+  }
+
+  const GuardExpr *guard(const Scope &S) {
+    Symbol Var = pick(S.Vars);
+    static const Symbol Attrs[3] = {Symbol::intern("size"),
+                                    Symbol::intern("depth"),
+                                    Symbol::intern("arity")};
+    const GuardExpr *Lhs = PA.attr(Var, Attrs[R.below(3)]);
+    GuardKind Cmp = R.chance(1, 2) ? GuardKind::Le : GuardKind::Eq;
+    const GuardExpr *Base = PA.binary(Cmp, Lhs, PA.intLit(R.range(0, 4)));
+    if (R.chance(1, 4))
+      return PA.notExpr(Base);
+    if (R.chance(1, 4))
+      return PA.binary(R.chance(1, 2) ? GuardKind::And : GuardKind::Or,
+                       Base, guard(S));
+    return Base;
+  }
+
+  const Pattern *gen(unsigned Depth, Scope &S) {
+    if (Depth == 0)
+      return R.chance(1, 2) ? PA.var(pick(S.Vars))
+                            : PA.app(pick(Consts), {});
+    switch (R.below(9)) {
+    case 0:
+      return PA.var(pick(S.Vars));
+    case 1:
+      return PA.app(pick(Unaries), {gen(Depth - 1, S)});
+    case 2:
+      return PA.app(pick(Binaries), {gen(Depth - 1, S), gen(Depth - 1, S)});
+    case 3:
+      return PA.alt(gen(Depth - 1, S), gen(Depth - 1, S));
+    case 4:
+      return PA.guarded(gen(Depth - 1, S), guard(S));
+    case 5: {
+      Symbol V = freshName("e");
+      Scope Inner = S;
+      Inner.Vars.push_back(V);
+      return PA.exists(V, gen(Depth - 1, Inner));
+    }
+    case 6: {
+      // p ; (p′ ≈ v) with v guaranteed to occur in p.
+      Symbol V = pick(S.Vars);
+      const Pattern *Sub = R.chance(1, 2)
+                               ? PA.var(V)
+                               : PA.app(pick(Unaries), {PA.var(V)});
+      return PA.matchConstraint(Sub, gen(Depth - 1, S), V);
+    }
+    case 7: {
+      unsigned Arity = R.chance(1, 2) ? 1 : 2;
+      Symbol F = R.chance(1, 2) ? pick(S.FunVars) : freshName("F");
+      std::vector<const Pattern *> Children;
+      for (unsigned I = 0; I != Arity; ++I)
+        Children.push_back(gen(Depth - 1, S));
+      const Pattern *App = PA.funVarApp(F, std::move(Children));
+      if (R.chance(1, 2))
+        return PA.existsFun(F, App);
+      return App;
+    }
+    case 8: {
+      // Structurally decreasing μ: each unfold consumes one constructor,
+      // so a fuel of term-depth + slack decides the match.
+      Symbol Self = freshName("P");
+      Symbol Param = freshName("r");
+      Scope Inner = S;
+      Inner.Vars.push_back(Param);
+      const Pattern *Step =
+          R.chance(1, 2)
+              ? PA.app(pick(Unaries), {PA.recCall(Self, {Param})})
+              : PA.app(pick(Binaries), {PA.recCall(Self, {Param}),
+                                        gen(Depth - 1, Inner)});
+      const Pattern *Base = gen(Depth - 1, Inner);
+      return PA.mu(Self, {Param}, {pick(S.Vars)}, PA.alt(Step, Base));
+    }
+    }
+    return PA.var(pick(S.Vars));
+  }
+};
+
+/// Restriction of a witness to "user-visible" variables: generated fresh
+/// binder names (from the generator or from μ-unfolding) contain marker
+/// characters; witnesses are compared modulo those.
+bool isUserVisible(Symbol S) {
+  std::string_view Str = S.str();
+  return Str.find('$') == std::string_view::npos &&
+         Str.find("_g") == std::string_view::npos;
+}
+
+Witness restrict(const Witness &W) {
+  Witness Out;
+  for (const auto &[K, V] : W.Theta)
+    if (isUserVisible(K))
+      Out.Theta.bind(K, V);
+  for (const auto &[K, V] : W.Phi)
+    if (isUserVisible(K))
+      Out.Phi.bind(K, V);
+  return Out;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(DifferentialTest, MachineAgreesWithDeclarativeSemantics) {
+  term::Signature Sig;
+  term::TermArena Arena(Sig);
+  PatternArena PA;
+  Generator Gen(GetParam() * 7919 + 13, Sig, Arena, PA);
+
+  DeclOptions DOpts;
+  DOpts.MuFuel = 48;
+  Machine::Options MOpts;
+  MOpts.MaxMuUnfolds = 4096;
+
+  unsigned Successes = 0, Failures = 0;
+  for (int Iter = 0; Iter != 250; ++Iter) {
+    term::TermRef T = Gen.term(4);
+    const Pattern *P = Gen.pattern(3);
+    MatchResult VM = matchPattern(P, T, Arena, MOpts);
+    EnumResult Decl = enumerateWitnesses(P, T, Arena, DOpts);
+
+    if (VM.Status == MachineStatus::Success) {
+      ++Successes;
+      // Theorem 2 (success soundness): the machine's witness derives the
+      // declarative judgment.
+      EXPECT_TRUE(checkDerivable(P, T, VM.W.Theta, VM.W.Phi, Arena, DOpts))
+          << "VM witness not derivable for pattern "
+          << P->toString(Sig) << " against " << Arena.toString(T)
+          << " with " << toString(VM.W, Sig);
+
+      // Theorem 1 (weakening): extending θ preserves derivability.
+      Subst Bigger = VM.W.Theta;
+      Bigger.bind(Symbol::intern("zzz_extra"), T);
+      EXPECT_TRUE(checkDerivable(P, T, Bigger, VM.W.Phi, Arena, DOpts));
+
+      // The machine's witness appears in the declarative witness set
+      // (modulo generated binder names).
+      if (!Decl.Incomplete) {
+        Witness VMVisible = restrict(VM.W);
+        bool Found = false;
+        for (const Witness &W : Decl.Witnesses)
+          Found |= restrict(W) == VMVisible;
+        EXPECT_TRUE(Found)
+            << "VM witness missing from enumeration for "
+            << P->toString(Sig) << " against " << Arena.toString(T);
+      }
+    } else if (VM.Status == MachineStatus::Failure) {
+      ++Failures;
+      // Theorem 2 (failure soundness): no witness exists.
+      if (!Decl.Incomplete) {
+        EXPECT_TRUE(Decl.Witnesses.empty())
+            << "VM failed but witnesses exist for " << P->toString(Sig)
+            << " against " << Arena.toString(T) << ", e.g. "
+            << toString(Decl.Witnesses.front(), Sig);
+      }
+    }
+
+    // Completeness of the search: if the bounded-complete enumeration
+    // found a witness, the machine must find one too.
+    if (!Decl.Incomplete && !Decl.Witnesses.empty()) {
+      EXPECT_EQ(VM.Status, MachineStatus::Success)
+          << P->toString(Sig) << " against " << Arena.toString(T);
+    }
+  }
+  // The generator should produce a healthy mix, not all-fail or all-match.
+  EXPECT_GT(Successes, 5u);
+  EXPECT_GT(Failures, 5u);
+}
+
+TEST_P(DifferentialTest, SolutionStreamIsSoundAndDeduplicated) {
+  term::Signature Sig;
+  term::TermArena Arena(Sig);
+  PatternArena PA;
+  Generator Gen(GetParam() * 104729 + 7, Sig, Arena, PA);
+
+  DeclOptions DOpts;
+  DOpts.MuFuel = 48;
+
+  for (int Iter = 0; Iter != 80; ++Iter) {
+    term::TermRef T = Gen.term(3);
+    const Pattern *P = Gen.pattern(3);
+    std::vector<Witness> Stream = allSolutions(P, T, Arena, 64);
+    EnumResult Decl = enumerateWitnesses(P, T, Arena, DOpts);
+    for (const Witness &W : Stream) {
+      // Every streamed solution is declaratively derivable.
+      EXPECT_TRUE(checkDerivable(P, T, W.Theta, W.Phi, Arena, DOpts))
+          << P->toString(Sig) << " against " << Arena.toString(T);
+      if (!Decl.Incomplete) {
+        bool Found = false;
+        for (const Witness &D : Decl.Witnesses)
+          Found |= restrict(D) == restrict(W);
+        EXPECT_TRUE(Found);
+      }
+    }
+    // And the machine cannot stream more distinct restricted witnesses
+    // than the declarative relation contains.
+    if (!Decl.Incomplete && Stream.size() < 64) {
+      std::vector<Witness> Restricted;
+      for (const Witness &W : Stream) {
+        Witness RW = restrict(W);
+        bool Dup = false;
+        for (const Witness &Seen : Restricted)
+          Dup |= Seen == RW;
+        if (!Dup)
+          Restricted.push_back(RW);
+      }
+      EXPECT_LE(Restricted.size(), Decl.Witnesses.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Range<uint64_t>(0, 12));

@@ -1,0 +1,542 @@
+//===- tests/test_dsl.cpp - Lexer, parser, and lowering ------------------------===//
+
+#include "TestHelpers.h"
+
+#include "dsl/Sema.h"
+
+using namespace pypm;
+using namespace pypm::dsl;
+using namespace pypm::pattern;
+
+namespace {
+
+class DslTest : public pypm::testing::CoreFixture {
+protected:
+  std::unique_ptr<Library> compileOk(std::string_view Src) {
+    DiagnosticEngine Diags;
+    auto Lib = dsl::compile(Src, Sig, Diags);
+    EXPECT_TRUE(Lib != nullptr) << Diags.renderAll();
+    return Lib;
+  }
+  std::string compileErr(std::string_view Src) {
+    DiagnosticEngine Diags;
+    auto Lib = dsl::compile(Src, Sig, Diags);
+    EXPECT_EQ(Lib, nullptr) << "compilation unexpectedly succeeded";
+    return Diags.renderAll();
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, TokenizesPunctuationAndKeywords) {
+  DiagnosticEngine Diags;
+  auto Toks = tokenize("pattern P(x) { assert x.rank <= 2; }", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  std::vector<TokKind> Kinds;
+  for (const Token &T : Toks)
+    Kinds.push_back(T.Kind);
+  std::vector<TokKind> Expected = {
+      TokKind::KwPattern, TokKind::Ident,  TokKind::LParen, TokKind::Ident,
+      TokKind::RParen,    TokKind::LBrace, TokKind::KwAssert, TokKind::Ident,
+      TokKind::Dot,       TokKind::Ident,  TokKind::LessEq, TokKind::IntLit,
+      TokKind::Semi,      TokKind::RBrace, TokKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, FloatLiteralsAreMicroScaled) {
+  DiagnosticEngine Diags;
+  auto Toks = tokenize("0.5 1.414214 2.0", Diags);
+  EXPECT_EQ(Toks[0].IntValue, 500000);
+  EXPECT_EQ(Toks[1].IntValue, 1414214);
+  EXPECT_EQ(Toks[2].IntValue, 2000000);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  DiagnosticEngine Diags;
+  auto Toks = tokenize("x // comment\n# another\ny", Diags);
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Text, "x");
+  EXPECT_EQ(Toks[1].Text, "y");
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  DiagnosticEngine Diags;
+  auto Toks = tokenize("a\n  b", Diags);
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[1].Loc.Col, 3u);
+}
+
+TEST(Lexer, ReportsBadCharacters) {
+  DiagnosticEngine Diags;
+  tokenize("a @ b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, ReportsUnterminatedString) {
+  DiagnosticEngine Diags;
+  tokenize("class(\"oops", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, StringsAndArrows) {
+  DiagnosticEngine Diags;
+  auto Toks = tokenize("op F(2) -> 1 class(\"conv\");", Diags);
+  EXPECT_EQ(Toks[5].Kind, TokKind::Arrow);
+  EXPECT_EQ(Toks[9].Kind, TokKind::StringLit);
+  EXPECT_EQ(Toks[9].Text, "conv");
+}
+
+//===----------------------------------------------------------------------===//
+// Figures from the paper
+//===----------------------------------------------------------------------===//
+
+TEST_F(DslTest, Figure1CublasCompilesAndDispatches) {
+  auto Lib = compileOk(R"(
+    op MatMul(2); op Trans(1);
+    op cublasMM_xyT_f32(2); op cublasMM_xyT_i8(2);
+    pattern MMxyT(x, y) {
+      assert x.shape.rank == 2;
+      assert y.shape.rank == 2;
+      yt = Trans(y);
+      return MatMul(x, yt);
+    }
+    rule cublasrule for MMxyT(x, y) {
+      assert (x.eltType == f32 && y.eltType == f32)
+          || (x.eltType == i8 && y.eltType == i8);
+      if x.eltType == f32 && y.eltType == f32 {
+        return cublasMM_xyT_f32(x, y);
+      } elif x.eltType == i8 && y.eltType == i8 {
+        return cublasMM_xyT_i8(x, y);
+      }
+    }
+  )");
+  ASSERT_EQ(Lib->PatternDefs.size(), 1u);
+  // if/elif lowered to one rule per path, in order.
+  ASSERT_EQ(Lib->Rules.size(), 2u);
+  EXPECT_NE(Lib->Rules[0].Guard, nullptr);
+  EXPECT_NE(Lib->Rules[1].Guard, nullptr);
+  EXPECT_EQ(Lib->Rules[0].Rhs->op(), Sig.lookup("cublasMM_xyT_f32"));
+  EXPECT_EQ(Lib->Rules[1].Rhs->op(), Sig.lookup("cublasMM_xyT_i8"));
+  // The else-path guard includes the negated then-condition.
+  EXPECT_NE(Lib->Rules[1].Guard->toString().find("!("), std::string::npos);
+
+  // Matching behavior: only rank-2 × rank-2.
+  const NamedPattern *NP = Lib->findPattern("MMxyT");
+  EXPECT_TRUE(
+      matchP(NP->Pat, t("MatMul(A[rank=2], Trans(B[rank=2]))")).matched());
+  EXPECT_FALSE(
+      matchP(NP->Pat, t("MatMul(A[rank=3], Trans(B[rank=2]))")).matched());
+  EXPECT_FALSE(matchP(NP->Pat, t("MatMul(A[rank=2], B[rank=2])")).matched());
+}
+
+TEST_F(DslTest, Figure2GeluAlternates) {
+  auto Lib = compileOk(R"(
+    op Div(2); op Mul(2); op Add(2); op Erf(1);
+    pattern Half(x) { return Div(x, 2); }
+    pattern Half(x) { return Mul(x, 0.5); }
+    pattern Gelu(x) { return Mul(Half(x), Add(1, Erf(Div(x, 1.414214)))); }
+  )");
+  const NamedPattern *NP = Lib->findPattern("Gelu");
+  ASSERT_NE(NP, nullptr);
+  // Both Half spellings are accepted for the same x.
+  auto TD = t("Mul(Div(X, Const[value_u6=2000000]), "
+              "Add(Const[value_u6=1000000], Erf(Div(X, "
+              "Const[value_u6=1414214]))))");
+  auto TM = t("Mul(Mul(X, Const[value_u6=500000]), "
+              "Add(Const[value_u6=1000000], Erf(Div(X, "
+              "Const[value_u6=1414214]))))");
+  EXPECT_TRUE(matchP(NP->Pat, TD).matched());
+  EXPECT_TRUE(matchP(NP->Pat, TM).matched());
+  // A wrong constant must not match.
+  auto TWrong = t("Mul(Div(X, Const[value_u6=3000000]), "
+                  "Add(Const[value_u6=1000000], Erf(Div(X, "
+                  "Const[value_u6=1414214]))))");
+  EXPECT_FALSE(matchP(NP->Pat, TWrong).matched());
+  // Nonlinearity: both x occurrences must be the same subgraph.
+  auto TMixed = t("Mul(Div(X, Const[value_u6=2000000]), "
+                  "Add(Const[value_u6=1000000], Erf(Div(Y, "
+                  "Const[value_u6=1414214]))))");
+  EXPECT_FALSE(matchP(NP->Pat, TMixed).matched());
+}
+
+TEST_F(DslTest, Figure3UnaryChainRecursion) {
+  auto Lib = compileOk(R"(
+    pattern UnaryChain(x, f) { return f(UnaryChain(x, f)); }
+    pattern UnaryChain(x, f) { return f(x); }
+  )");
+  const NamedPattern *NP = Lib->findPattern("UnaryChain");
+  ASSERT_NE(NP, nullptr);
+  EXPECT_EQ(NP->FunParams.size(), 1u); // f classified by use
+  EXPECT_EQ(NP->Pat->kind(), PatternKind::Mu);
+  auto R = matchP(NP->Pat, t("Relu(Relu(Relu(Relu(C))))"));
+  ASSERT_TRUE(R.matched());
+  EXPECT_EQ(bound(R.W, "x"), t("C"));
+}
+
+TEST_F(DslTest, Figure4LocalVarsAndConstraints) {
+  auto Lib = compileOk(R"(
+    pattern P(x, f, g) {
+      y = var();
+      x <= f(P(y, f, g));
+      return x;
+    }
+    pattern P(x, f, g) {
+      y = var();
+      z = var();
+      x <= g(P(y, f, g), P(z, f, g));
+      return x;
+    }
+    pattern P(x, f, g) { return x; }
+  )");
+  const NamedPattern *NP = Lib->findPattern("P");
+  ASSERT_NE(NP, nullptr);
+  EXPECT_EQ(NP->FunParams.size(), 2u);
+  auto R = matchP(NP->Pat, t("Add(Relu(C), Add(Relu(D), C))"));
+  ASSERT_TRUE(R.matched());
+  EXPECT_EQ(bound(R.W, "x"), t("Add(Relu(C), Add(Relu(D), C))"));
+}
+
+TEST_F(DslTest, Figure14PartitionPatterns) {
+  auto Lib = compileOk(R"(
+    op MatMul(2);
+    op Relu(1) class("unary_pointwise");
+    op Gelu(1) class("unary_pointwise");
+    op Trans(1) class("movement");
+    pattern PwSubgraph(x) {
+      UnaryOp = opvar(1);
+      assert UnaryOp.op_class == opclass("unary_pointwise");
+      return UnaryOp(PwSubgraph(x));
+    }
+    pattern PwSubgraph(x) { return x; }
+    pattern MatMulEpilog(x) {
+      a = var();
+      b = var();
+      x <= PwSubgraph(MatMul(a, b));
+      return x;
+    }
+  )");
+  const NamedPattern *NP = Lib->findPattern("MatMulEpilog");
+  // Towers of *different* unary pointwise ops over a matmul.
+  auto R = matchP(NP->Pat, t("Gelu(Relu(MatMul(A, B)))"));
+  ASSERT_TRUE(R.matched());
+  EXPECT_EQ(bound(R.W, "a"), t("A"));
+  EXPECT_EQ(bound(R.W, "b"), t("B"));
+  EXPECT_EQ(bound(R.W, "x"), t("Gelu(Relu(MatMul(A, B)))"));
+  // Bare matmul (height-0 tower) also matches.
+  EXPECT_TRUE(matchP(NP->Pat, t("MatMul(A, B)")).matched());
+  // A movement op breaks the tower.
+  EXPECT_FALSE(matchP(NP->Pat, t("Gelu(Trans(MatMul(A, B)))")).matched());
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering details
+//===----------------------------------------------------------------------===//
+
+TEST_F(DslTest, AliasesExpandPerUse) {
+  auto Lib = compileOk(R"(
+    op Pair(2); op Trans(1);
+    pattern Both(y) {
+      yt = Trans(y);
+      return Pair(yt, yt);
+    }
+  )");
+  const NamedPattern *NP = Lib->findPattern("Both");
+  EXPECT_TRUE(matchP(NP->Pat, t("Pair(Trans(B), Trans(B))")).matched());
+  EXPECT_FALSE(matchP(NP->Pat, t("Pair(Trans(B), Trans(C))")).matched());
+}
+
+TEST_F(DslTest, PatternCallWithComplexArgument) {
+  auto Lib = compileOk(R"(
+    op Trans(1); op Wrap(1);
+    pattern TransOf(x) { return Trans(x); }
+    pattern Outer(y) { return Wrap(TransOf(Wrap(y))); }
+  )");
+  const NamedPattern *NP = Lib->findPattern("Outer");
+  auto R = matchP(NP->Pat, t("Wrap(Trans(Wrap(C)))"));
+  ASSERT_TRUE(R.matched());
+  EXPECT_EQ(bound(R.W, "y"), t("C"));
+  EXPECT_FALSE(matchP(NP->Pat, t("Wrap(Trans(Trans(C)))")).matched());
+}
+
+TEST_F(DslTest, ConcreteOpForFunParamPinsOperator) {
+  auto Lib = compileOk(R"(
+    op Relu(1); op Tanh(1);
+    pattern Twice(x, f) { return f(f(x)); }
+    pattern ReluTwice(x) { return Twice(x, Relu); }
+  )");
+  const NamedPattern *NP = Lib->findPattern("ReluTwice");
+  EXPECT_TRUE(matchP(NP->Pat, t("Relu(Relu(C))")).matched());
+  EXPECT_FALSE(matchP(NP->Pat, t("Tanh(Tanh(C))")).matched());
+}
+
+TEST_F(DslTest, ZeroArityOperatorsAsBareRefs) {
+  auto Lib = compileOk(R"(
+    op Zero(0); op Wrap(1);
+    pattern IsZero(x) {
+      x <= Wrap(Zero);
+      return x;
+    }
+  )");
+  EXPECT_TRUE(
+      matchP(Lib->findPattern("IsZero")->Pat, t("Wrap(Zero)")).matched());
+  EXPECT_FALSE(
+      matchP(Lib->findPattern("IsZero")->Pat, t("Wrap(C)")).matched());
+}
+
+TEST_F(DslTest, AssertOrderIsPreserved) {
+  auto Lib = compileOk(R"(
+    pattern Guarded(x) {
+      assert x.rank == 2;
+      assert x.size == 1;
+      return x;
+    }
+  )");
+  std::string S = Lib->findPattern("Guarded")->Pat->toString(Sig);
+  // Earlier statements wrap outermost (so ∃ binders enclose later uses);
+  // guard nesting order is irrelevant to the conjunction's meaning.
+  EXPECT_EQ(S, "((x ; guard((x.size == 1))) ; guard((x.rank == 2)))");
+}
+
+TEST_F(DslTest, RuleWithoutGuardHasNullGuard) {
+  auto Lib = compileOk(R"(
+    op F(1); op G(1);
+    pattern P(x) { return F(x); }
+    rule r for P(x) { return G(x); }
+  )");
+  ASSERT_EQ(Lib->Rules.size(), 1u);
+  EXPECT_EQ(Lib->Rules[0].Guard, nullptr);
+}
+
+TEST_F(DslTest, RuleAttrTemplates) {
+  auto Lib = compileOk(R"(
+    op F(1); op Fused(1) attrs(act);
+    pattern P(x, f) { return f(F(x)); }
+    rule r for P(x, f) { return Fused[act = f.op_id](x); }
+  )");
+  ASSERT_EQ(Lib->Rules.size(), 1u);
+  const RhsExpr *Rhs = Lib->Rules[0].Rhs;
+  ASSERT_EQ(Rhs->attrTemplates().size(), 1u);
+  EXPECT_EQ(Rhs->attrTemplates()[0].Key.str(), "act");
+  EXPECT_EQ(Rhs->attrTemplates()[0].Value->kind(), GuardKind::FunAttr);
+}
+
+TEST_F(DslTest, RuleRhsFunVarApplication) {
+  auto Lib = compileOk(R"(
+    pattern Chain(x, f) { return f(Chain(x, f)); }
+    pattern Chain(x, f) { return f(x); }
+    rule collapse for Chain(x, f) { return f(x); }
+  )");
+  ASSERT_EQ(Lib->Rules.size(), 1u);
+  EXPECT_EQ(Lib->Rules[0].Rhs->kind(), RhsKind::FunVarApp);
+}
+
+TEST_F(DslTest, AttrPathNormalization) {
+  auto Lib = compileOk(R"(
+    pattern P(x) {
+      assert x.shape.rank == 2 && x.shape.dim0 == 64 && x.eltType == f32;
+      return x;
+    }
+  )");
+  std::string S = Lib->findPattern("P")->Pat->toString(Sig);
+  EXPECT_NE(S.find("x.rank"), std::string::npos);
+  EXPECT_NE(S.find("x.dim0"), std::string::npos);
+  EXPECT_NE(S.find("x.elt_type == 3"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST_F(DslTest, RejectsUnknownIdentifier) {
+  std::string E = compileErr("pattern P(x) { return nosuch; }");
+  EXPECT_NE(E.find("unknown identifier 'nosuch'"), std::string::npos);
+}
+
+TEST_F(DslTest, RejectsOperatorArityMismatch) {
+  std::string E = compileErr(R"(
+    op F(2);
+    pattern P(x) { return F(x); }
+  )");
+  EXPECT_NE(E.find("expects 2 arguments"), std::string::npos);
+}
+
+TEST_F(DslTest, RejectsMutualRecursion) {
+  std::string E = compileErr(R"(
+    op F(1);
+    pattern A(x) { return F(B(x)); }
+    pattern B(x) { return F(A(x)); }
+  )");
+  EXPECT_NE(E.find("mutual recursion"), std::string::npos);
+}
+
+TEST_F(DslTest, RejectsAlternateParamMismatch) {
+  std::string E = compileErr(R"(
+    pattern P(x) { return x; }
+    pattern P(y) { return y; }
+  )");
+  EXPECT_NE(E.find("different parameter list"), std::string::npos);
+}
+
+TEST_F(DslTest, RejectsRuleParamMismatch) {
+  std::string E = compileErr(R"(
+    op F(1); op G(1);
+    pattern P(x) { return F(x); }
+    rule r for P(y) { return G(y); }
+  )");
+  EXPECT_NE(E.find("must bind exactly"), std::string::npos);
+}
+
+TEST_F(DslTest, RejectsRuleForUnknownPattern) {
+  std::string E = compileErr(R"(
+    op G(1);
+    rule r for Nothing(x) { return G(x); }
+  )");
+  EXPECT_NE(E.find("unknown pattern"), std::string::npos);
+}
+
+TEST_F(DslTest, RejectsRuleWithNoReturn) {
+  std::string E = compileErr(R"(
+    op F(1);
+    pattern P(x) { return F(x); }
+    rule r for P(x) { assert x.rank == 2; }
+  )");
+  EXPECT_NE(E.find("no reachable 'return'"), std::string::npos);
+}
+
+TEST_F(DslTest, RejectsIfInPatternBody) {
+  std::string E = compileErr(R"(
+    pattern P(x) {
+      if x.rank == 2 { return x; }
+      return x;
+    }
+  )");
+  EXPECT_NE(E.find("only allowed in rule bodies"), std::string::npos);
+}
+
+TEST_F(DslTest, RejectsRecursiveCallWithComplexArgument) {
+  std::string E = compileErr(R"(
+    op F(1);
+    pattern P(x) { return F(P(F(x))); }
+    pattern P(x) { return x; }
+  )");
+  EXPECT_NE(E.find("must be variables"), std::string::npos);
+}
+
+TEST_F(DslTest, RejectsPatternShadowingOperator) {
+  std::string E = compileErr(R"(
+    op F(1);
+    pattern F(x) { return x; }
+  )");
+  EXPECT_NE(E.find("shadows an operator"), std::string::npos);
+}
+
+TEST_F(DslTest, RejectsStatementAfterReturn) {
+  std::string E = compileErr(R"(
+    pattern P(x) {
+      return x;
+      assert x.rank == 2;
+    }
+  )");
+  EXPECT_NE(E.find("after 'return'"), std::string::npos);
+}
+
+TEST_F(DslTest, RejectsFunVarInTermPosition) {
+  std::string E = compileErr(R"(
+    op Pair(2);
+    pattern P(x, f) { return Pair(f(x), f); }
+  )");
+  EXPECT_NE(E.find("term position"), std::string::npos);
+}
+
+TEST_F(DslTest, RejectsRedeclaredLocal) {
+  std::string E = compileErr(R"(
+    pattern P(x) {
+      y = var();
+      y = var();
+      return x;
+    }
+  )");
+  EXPECT_NE(E.find("redeclaration"), std::string::npos);
+}
+
+TEST_F(DslTest, IncludeMergesLibraries) {
+  CompileOptions Opts;
+  Opts.Resolver = [](const std::string &Path)
+      -> std::optional<std::string> {
+    if (Path == "half.pypm")
+      return std::string(R"(
+        op Div(2); op Mul(2);
+        pattern Half(x) { return Div(x, 2); }
+        pattern Half(x) { return Mul(x, 0.5); }
+      )");
+    return std::nullopt;
+  };
+  DiagnosticEngine Diags;
+  auto Lib = dsl::compile(R"(
+    include "half.pypm";
+    op Add(2); op Erf(1);
+    pattern Gelu(x) { return Mul(Half(x), Add(1, Erf(Div(x, 1.414214)))); }
+  )",
+                          Sig, Diags, Opts);
+  ASSERT_TRUE(Lib != nullptr) << Diags.renderAll();
+  EXPECT_NE(Lib->findPattern("Half"), nullptr);
+  EXPECT_NE(Lib->findPattern("Gelu"), nullptr);
+  EXPECT_TRUE(matchP(Lib->findPattern("Gelu")->Pat,
+                     t("Mul(Div(X, Const[value_u6=2000000]), "
+                       "Add(Const[value_u6=1000000], Erf(Div(X, "
+                       "Const[value_u6=1414214]))))"))
+                  .matched());
+}
+
+TEST_F(DslTest, IncludeOnceAndCycleSafe) {
+  CompileOptions Opts;
+  Opts.Resolver = [](const std::string &Path)
+      -> std::optional<std::string> {
+    if (Path == "a.pypm")
+      return std::string("include \"b.pypm\";\n"
+                         "pattern PA(x) { return FOp(x); }\n");
+    if (Path == "b.pypm")
+      return std::string("include \"a.pypm\";\n"
+                         "op FOp(1);\n"
+                         "pattern PB(x) { return FOp(x); }\n");
+    return std::nullopt;
+  };
+  Opts.RootName = "a.pypm";
+  DiagnosticEngine Diags;
+  auto Lib = dsl::compile(*Opts.Resolver("a.pypm"), Sig, Diags, Opts);
+  ASSERT_TRUE(Lib != nullptr) << Diags.renderAll();
+  EXPECT_NE(Lib->findPattern("PA"), nullptr);
+  EXPECT_NE(Lib->findPattern("PB"), nullptr);
+  EXPECT_EQ(Lib->PatternDefs.size(), 2u); // no duplicates from the cycle
+}
+
+TEST_F(DslTest, IncludeWithoutResolverErrors) {
+  DiagnosticEngine Diags;
+  auto Lib = dsl::compile("include \"x.pypm\";", Sig, Diags);
+  EXPECT_EQ(Lib, nullptr);
+  EXPECT_NE(Diags.renderAll().find("no resolver"), std::string::npos);
+}
+
+TEST_F(DslTest, IncludeUnresolvedErrors) {
+  CompileOptions Opts;
+  Opts.Resolver = [](const std::string &) -> std::optional<std::string> {
+    return std::nullopt;
+  };
+  DiagnosticEngine Diags;
+  auto Lib = dsl::compile("include \"missing.pypm\";", Sig, Diags, Opts);
+  EXPECT_EQ(Lib, nullptr);
+  EXPECT_NE(Diags.renderAll().find("cannot resolve"), std::string::npos);
+}
+
+TEST_F(DslTest, SyntaxErrorsAreReportedWithLocations) {
+  DiagnosticEngine Diags;
+  auto Lib = dsl::compile("pattern P(x { return x; }", Sig, Diags);
+  EXPECT_EQ(Lib, nullptr);
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.diagnostics()[0].Loc.isValid());
+}

@@ -1,0 +1,198 @@
+//===- tests/test_graph.cpp - Computation graph IR -----------------------------===//
+
+#include "graph/Dot.h"
+#include "graph/Graph.h"
+
+#include <gtest/gtest.h>
+
+using namespace pypm;
+using namespace pypm::graph;
+
+namespace {
+
+class GraphTest : public ::testing::Test {
+protected:
+  GraphTest() : G(Sig) {
+    MatMul = Sig.addOp("MatMul", 2);
+    Relu = Sig.addOp("Relu", 1);
+  }
+
+  NodeId leaf(std::initializer_list<int64_t> Dims) {
+    TensorType T;
+    T.Dims.assign(Dims.begin(), Dims.end());
+    return G.addLeaf("Input", std::move(T));
+  }
+
+  term::Signature Sig;
+  Graph G;
+  term::OpId MatMul, Relu;
+};
+
+} // namespace
+
+TEST_F(GraphTest, TensorTypeBasics) {
+  TensorType T = TensorType::make(term::DType::F32, {8, 128, 768});
+  EXPECT_EQ(T.rank(), 3u);
+  EXPECT_EQ(T.numElements(), 8 * 128 * 768);
+  EXPECT_EQ(T.bytes(), 8 * 128 * 768 * 4);
+  EXPECT_EQ(T.str(), "f32[8x128x768]");
+  EXPECT_EQ(T, TensorType::make(term::DType::F32, {8, 128, 768}));
+  EXPECT_FALSE(T == TensorType::make(term::DType::F16, {8, 128, 768}));
+}
+
+TEST_F(GraphTest, AddNodeTracksUsers) {
+  NodeId A = leaf({4, 4});
+  NodeId B = leaf({4, 4});
+  NodeId M = G.addNode(MatMul, {A, B});
+  NodeId R = G.addNode(Relu, {M});
+  EXPECT_EQ(G.users(A).size(), 1u);
+  EXPECT_EQ(G.users(M).size(), 1u);
+  EXPECT_EQ(G.users(M)[0], R);
+  EXPECT_EQ(G.inputs(M)[0], A);
+  EXPECT_EQ(G.numLiveNodes(), 4u);
+}
+
+TEST_F(GraphTest, UsersHaveMultiplicity) {
+  NodeId A = leaf({4, 4});
+  NodeId M = G.addNode(MatMul, {A, A});
+  EXPECT_EQ(G.users(A).size(), 2u);
+  EXPECT_EQ(G.users(A)[0], M);
+}
+
+TEST_F(GraphTest, ReplaceAllUsesRedirects) {
+  NodeId A = leaf({4, 4});
+  NodeId B = leaf({4, 4});
+  NodeId M = G.addNode(MatMul, {A, B});
+  NodeId R = G.addNode(Relu, {M});
+  G.addOutput(R);
+  NodeId M2 = G.addNode(MatMul, {B, A});
+  G.replaceAllUses(M, M2);
+  EXPECT_EQ(G.inputs(R)[0], M2);
+  EXPECT_TRUE(G.users(M).empty());
+  EXPECT_EQ(G.users(M2).size(), 1u);
+}
+
+TEST_F(GraphTest, ReplaceAllUsesUpdatesOutputs) {
+  NodeId A = leaf({4});
+  NodeId R = G.addNode(Relu, {A});
+  G.addOutput(R);
+  NodeId R2 = G.addNode(Relu, {A});
+  G.replaceAllUses(R, R2);
+  EXPECT_EQ(G.outputs()[0], R2);
+}
+
+TEST_F(GraphTest, ReplaceAllUsesSkipsReplacementNodes) {
+  // A replacement that references the replaced value must keep that
+  // reference (no self-loop).
+  NodeId A = leaf({4});
+  NodeId R = G.addNode(Relu, {A});
+  G.addOutput(R);
+  NodeId FirstNew = static_cast<NodeId>(G.numNodes());
+  NodeId Wrap = G.addNode(Relu, {R}); // the "replacement" uses R
+  G.replaceAllUses(R, Wrap, FirstNew);
+  EXPECT_EQ(G.inputs(Wrap)[0], R); // untouched
+  EXPECT_EQ(G.outputs()[0], Wrap);
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(G.verify(Diags)) << Diags.renderAll();
+}
+
+TEST_F(GraphTest, RemoveUnreachableSweeps) {
+  NodeId A = leaf({4});
+  NodeId Dead1 = G.addNode(Relu, {A});
+  NodeId Dead2 = G.addNode(Relu, {Dead1});
+  NodeId Live = G.addNode(Relu, {A});
+  G.addOutput(Live);
+  size_t Swept = G.removeUnreachable();
+  EXPECT_EQ(Swept, 2u);
+  EXPECT_TRUE(G.isDead(Dead1));
+  EXPECT_TRUE(G.isDead(Dead2));
+  EXPECT_FALSE(G.isDead(A));
+  EXPECT_FALSE(G.isDead(Live));
+  // A's use list no longer mentions the dead user.
+  EXPECT_EQ(G.users(A).size(), 1u);
+}
+
+TEST_F(GraphTest, TopoOrderAfterRewiring) {
+  // replaceAllUses can point low-id nodes at high-id nodes; topoOrder must
+  // still put inputs first.
+  NodeId A = leaf({4});
+  NodeId R1 = G.addNode(Relu, {A});
+  NodeId R2 = G.addNode(Relu, {R1});
+  G.addOutput(R2);
+  NodeId R3 = G.addNode(Relu, {A}); // replacement for R1
+  G.replaceAllUses(R1, R3);
+  G.removeUnreachable();
+  std::vector<NodeId> Order = G.topoOrder();
+  std::vector<size_t> Pos(G.numNodes(), ~size_t(0));
+  for (size_t I = 0; I != Order.size(); ++I)
+    Pos[Order[I]] = I;
+  EXPECT_LT(Pos[R3], Pos[R2]);
+  EXPECT_LT(Pos[A], Pos[R3]);
+}
+
+TEST_F(GraphTest, VerifyAcceptsWellFormedGraph) {
+  NodeId A = leaf({4, 4});
+  NodeId M = G.addNode(MatMul, {A, A});
+  G.addOutput(M);
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(G.verify(Diags)) << Diags.renderAll();
+}
+
+TEST_F(GraphTest, VerifyFlagsDeadOutput) {
+  NodeId A = leaf({4});
+  NodeId R = G.addNode(Relu, {A});
+  G.addOutput(R);
+  NodeId R2 = G.addNode(Relu, {A});
+  G.replaceAllUses(R, R2);
+  G.removeUnreachable();
+  // Force a dead output.
+  G.outputs()[0] = R;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(G.verify(Diags));
+  EXPECT_NE(Diags.renderAll().find("is dead"), std::string::npos);
+}
+
+TEST_F(GraphTest, AttrsAreSortedAndQueryable) {
+  term::OpId Conv = Sig.addOp("Conv2D", 1);
+  NodeId A = leaf({1, 3, 8, 8});
+  NodeId C = G.addNode(Conv, {A},
+                       {{Symbol::intern("stride"), 2},
+                        {Symbol::intern("pad"), 1}});
+  EXPECT_EQ(G.attr(C, Symbol::intern("stride")), 2);
+  EXPECT_EQ(G.attr(C, Symbol::intern("pad")), 1);
+  EXPECT_FALSE(G.attr(C, Symbol::intern("nope")));
+}
+
+TEST_F(GraphTest, AddConstStoresMicroValue) {
+  NodeId C = G.addConst(0.5);
+  EXPECT_EQ(G.attr(C, Symbol::intern("value_u6")), 500000);
+  EXPECT_EQ(Sig.name(G.op(C)).str(), "Const");
+  NodeId C2 = G.addConst(-1.25);
+  EXPECT_EQ(G.attr(C2, Symbol::intern("value_u6")), -1250000);
+}
+
+TEST_F(GraphTest, LeavesGetUniqueIds) {
+  NodeId A = leaf({4, 4});
+  NodeId B = leaf({4, 4});
+  EXPECT_NE(G.attr(A, Symbol::intern("uid")),
+            G.attr(B, Symbol::intern("uid")));
+}
+
+TEST_F(GraphTest, CountOps) {
+  NodeId A = leaf({4});
+  NodeId R1 = G.addNode(Relu, {A});
+  G.addNode(Relu, {R1});
+  EXPECT_EQ(G.countOps("Relu"), 2u);
+  EXPECT_EQ(G.countOps("MatMul"), 0u);
+  EXPECT_EQ(G.countOps("NoSuchOp"), 0u);
+}
+
+TEST_F(GraphTest, DotExportContainsNodesAndEdges) {
+  NodeId A = leaf({4, 4});
+  NodeId M = G.addNode(MatMul, {A, A});
+  G.addOutput(M);
+  std::string Dot = toDot(G, "test");
+  EXPECT_NE(Dot.find("digraph \"test\""), std::string::npos);
+  EXPECT_NE(Dot.find("MatMul"), std::string::npos);
+  EXPECT_NE(Dot.find("->"), std::string::npos);
+}

@@ -1,0 +1,193 @@
+//===- tests/test_guard.cpp - Guard expression evaluation ---------------------===//
+
+#include "TestHelpers.h"
+
+#include "match/Subst.h"
+
+using namespace pypm;
+using namespace pypm::pattern;
+using pypm::testing::CoreFixture;
+
+class GuardTest : public CoreFixture {
+protected:
+  GuardTest() {
+    X = Symbol::intern("x");
+    F = Symbol::intern("F");
+  }
+
+  match::Subst Theta;
+  match::FunSubst Phi;
+  Symbol X, F;
+
+  GuardEval evalB(const GuardExpr *G) {
+    match::SubstEnv Env(Theta, Phi, Arena);
+    return G->evalBool(Env);
+  }
+  GuardEval evalI(const GuardExpr *G) {
+    match::SubstEnv Env(Theta, Phi, Arena);
+    return G->evalInt(Env);
+  }
+};
+
+TEST_F(GuardTest, Arithmetic) {
+  const GuardExpr *E = PA.binary(
+      GuardKind::Add, PA.intLit(3),
+      PA.binary(GuardKind::Mul, PA.intLit(4), PA.intLit(5)));
+  EXPECT_EQ(evalI(E).Value, 23);
+  EXPECT_EQ(evalI(PA.binary(GuardKind::Sub, PA.intLit(1), PA.intLit(9))).Value,
+            -8);
+  EXPECT_EQ(evalI(PA.binary(GuardKind::Div, PA.intLit(17), PA.intLit(5))).Value,
+            3);
+  EXPECT_EQ(evalI(PA.binary(GuardKind::Mod, PA.intLit(17), PA.intLit(5))).Value,
+            2);
+}
+
+TEST_F(GuardTest, DivByZeroIsStuck) {
+  const GuardExpr *E = PA.binary(GuardKind::Div, PA.intLit(1), PA.intLit(0));
+  GuardEval R = evalI(E);
+  EXPECT_EQ(R.Status, GuardStatus::DivByZero);
+  EXPECT_FALSE(R.ok());
+}
+
+TEST_F(GuardTest, Comparisons) {
+  auto Cmp = [&](GuardKind K, int64_t A, int64_t B) {
+    return evalB(PA.binary(K, PA.intLit(A), PA.intLit(B))).truthy();
+  };
+  EXPECT_TRUE(Cmp(GuardKind::Eq, 2, 2));
+  EXPECT_FALSE(Cmp(GuardKind::Eq, 2, 3));
+  EXPECT_TRUE(Cmp(GuardKind::Ne, 2, 3));
+  EXPECT_TRUE(Cmp(GuardKind::Lt, 2, 3));
+  EXPECT_FALSE(Cmp(GuardKind::Lt, 3, 3));
+  EXPECT_TRUE(Cmp(GuardKind::Le, 3, 3));
+  EXPECT_TRUE(Cmp(GuardKind::Gt, 4, 3));
+  EXPECT_TRUE(Cmp(GuardKind::Ge, 3, 3));
+}
+
+TEST_F(GuardTest, BooleanConnectives) {
+  const GuardExpr *T = PA.binary(GuardKind::Eq, PA.intLit(1), PA.intLit(1));
+  const GuardExpr *Fa = PA.binary(GuardKind::Eq, PA.intLit(1), PA.intLit(2));
+  EXPECT_TRUE(evalB(PA.binary(GuardKind::And, T, T)).truthy());
+  EXPECT_FALSE(evalB(PA.binary(GuardKind::And, T, Fa)).truthy());
+  EXPECT_TRUE(evalB(PA.binary(GuardKind::Or, Fa, T)).truthy());
+  EXPECT_FALSE(evalB(PA.binary(GuardKind::Or, Fa, Fa)).truthy());
+  EXPECT_TRUE(evalB(PA.notExpr(Fa)).truthy());
+  EXPECT_FALSE(evalB(PA.notExpr(T)).truthy());
+}
+
+TEST_F(GuardTest, AttrLookupThroughTheta) {
+  Theta.bind(X, t("A[rank=2,dim0=64]"));
+  EXPECT_EQ(evalI(PA.attr(X, Symbol::intern("rank"))).Value, 2);
+  EXPECT_EQ(evalI(PA.attr(X, Symbol::intern("dim0"))).Value, 64);
+}
+
+TEST_F(GuardTest, AttrOnUnboundVarIsStuck) {
+  GuardEval R = evalI(PA.attr(X, Symbol::intern("rank")));
+  EXPECT_EQ(R.Status, GuardStatus::UnboundVar);
+}
+
+TEST_F(GuardTest, UnknownAttrIsStuck) {
+  Theta.bind(X, t("A[rank=2]"));
+  GuardEval R = evalI(PA.attr(X, Symbol::intern("weird")));
+  EXPECT_EQ(R.Status, GuardStatus::UnknownAttr);
+}
+
+TEST_F(GuardTest, BuiltinAttrsThroughGuard) {
+  Theta.bind(X, t("F2(C, C)"));
+  EXPECT_EQ(evalI(PA.attr(X, Symbol::intern("arity"))).Value, 2);
+  EXPECT_EQ(evalI(PA.attr(X, Symbol::intern("size"))).Value, 3);
+}
+
+TEST_F(GuardTest, FunAttrs) {
+  term::OpId Relu = Sig.addOp("Relu", 1, 1, "unary_pointwise");
+  Phi.bind(F, Relu);
+  EXPECT_EQ(evalI(PA.funAttr(F, Symbol::intern("arity"))).Value, 1);
+  EXPECT_EQ(evalI(PA.funAttr(F, Symbol::intern("op_id"))).Value,
+            static_cast<int64_t>(Relu.index()));
+  EXPECT_EQ(evalI(PA.funAttr(F, Symbol::intern("op_class"))).Value,
+            static_cast<int64_t>(Symbol::intern("unary_pointwise").rawId()));
+  EXPECT_EQ(evalI(PA.funAttr(F, Symbol::intern("results"))).Value, 1);
+  EXPECT_EQ(evalI(PA.funAttr(F, Symbol::intern("nonsense"))).Status,
+            GuardStatus::UnknownAttr);
+}
+
+TEST_F(GuardTest, FunAttrOnUnboundFunVarIsStuck) {
+  EXPECT_EQ(evalI(PA.funAttr(F, Symbol::intern("arity"))).Status,
+            GuardStatus::UnboundVar);
+}
+
+TEST_F(GuardTest, OpClassRefMatchesFunAttr) {
+  term::OpId Relu = Sig.addOp("Relu", 1, 1, "unary_pointwise");
+  Phi.bind(F, Relu);
+  const GuardExpr *G = PA.binary(
+      GuardKind::Eq, PA.funAttr(F, Symbol::intern("op_class")),
+      PA.opClassRef(Symbol::intern("unary_pointwise")));
+  EXPECT_TRUE(evalB(G).truthy());
+  const GuardExpr *G2 = PA.binary(
+      GuardKind::Eq, PA.funAttr(F, Symbol::intern("op_class")),
+      PA.opClassRef(Symbol::intern("binary_pointwise")));
+  EXPECT_FALSE(evalB(G2).truthy());
+}
+
+TEST_F(GuardTest, OpRefResolvesAgainstSignature) {
+  term::OpId Relu = Sig.addOp("Relu", 1);
+  const GuardExpr *G =
+      PA.binary(GuardKind::Eq, PA.opRef(Symbol::intern("Relu")),
+                PA.intLit(static_cast<int64_t>(Relu.index())));
+  EXPECT_TRUE(evalB(G).truthy());
+  EXPECT_EQ(evalI(PA.opRef(Symbol::intern("Missing"))).Status,
+            GuardStatus::UnknownAttr);
+}
+
+TEST_F(GuardTest, AndShortCircuitsPastStuckRight) {
+  // false && <stuck> evaluates to false, mirroring Fig. 1's dispatch style.
+  const GuardExpr *Fa = PA.binary(GuardKind::Eq, PA.intLit(0), PA.intLit(1));
+  const GuardExpr *Stuck =
+      PA.binary(GuardKind::Eq, PA.attr(X, Symbol::intern("rank")),
+                PA.intLit(2));
+  GuardEval R = evalB(PA.binary(GuardKind::And, Fa, Stuck));
+  EXPECT_TRUE(R.ok());
+  EXPECT_FALSE(R.truthy());
+  // true && <stuck> is stuck.
+  const GuardExpr *T = PA.binary(GuardKind::Eq, PA.intLit(1), PA.intLit(1));
+  EXPECT_FALSE(evalB(PA.binary(GuardKind::And, T, Stuck)).ok());
+}
+
+TEST_F(GuardTest, OrShortCircuitsPastStuckRight) {
+  const GuardExpr *T = PA.binary(GuardKind::Eq, PA.intLit(1), PA.intLit(1));
+  const GuardExpr *Stuck =
+      PA.binary(GuardKind::Eq, PA.attr(X, Symbol::intern("rank")),
+                PA.intLit(2));
+  EXPECT_TRUE(evalB(PA.binary(GuardKind::Or, T, Stuck)).truthy());
+  const GuardExpr *Fa = PA.binary(GuardKind::Eq, PA.intLit(0), PA.intLit(1));
+  EXPECT_FALSE(evalB(PA.binary(GuardKind::Or, Fa, Stuck)).ok());
+}
+
+TEST_F(GuardTest, StuckPropagatesThroughComparison) {
+  const GuardExpr *Stuck =
+      PA.binary(GuardKind::Lt, PA.attr(X, Symbol::intern("rank")),
+                PA.intLit(5));
+  EXPECT_EQ(evalB(Stuck).Status, GuardStatus::UnboundVar);
+}
+
+TEST_F(GuardTest, ToStringRendersInfix) {
+  const GuardExpr *G = PA.binary(
+      GuardKind::And,
+      PA.binary(GuardKind::Eq, PA.attr(X, Symbol::intern("rank")),
+                PA.intLit(2)),
+      PA.notExpr(PA.binary(GuardKind::Lt, PA.intLit(1), PA.intLit(2))));
+  EXPECT_EQ(G->toString(), "((x.rank == 2) && !((1 < 2)))");
+}
+
+TEST_F(GuardTest, ToStringRendersRefs) {
+  EXPECT_EQ(PA.opClassRef(Symbol::intern("conv"))->toString(),
+            "opclass(\"conv\")");
+  EXPECT_EQ(PA.opRef(Symbol::intern("MatMul"))->toString(), "op(\"MatMul\")");
+}
+
+TEST_F(GuardTest, IsArithAndBoolKinds) {
+  EXPECT_TRUE(isArithKind(GuardKind::IntLit));
+  EXPECT_TRUE(isArithKind(GuardKind::Mod));
+  EXPECT_FALSE(isArithKind(GuardKind::Eq));
+  EXPECT_TRUE(isBoolKind(GuardKind::And));
+  EXPECT_TRUE(isBoolKind(GuardKind::Not));
+}

@@ -1,0 +1,431 @@
+//===- tests/test_machine.cpp - Algorithmic semantics (backtracking VM) -------===//
+///
+/// One test per transition rule of Figs. 17–18, plus feature-level tests
+/// for every construct of §2 (alternates, recursion, function patterns,
+/// local variables, match constraints) and the soundness-relevant corner
+/// cases (fuel, multi-solution resume, deterministic left-eager order).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+using namespace pypm;
+using namespace pypm::match;
+using namespace pypm::pattern;
+using pypm::testing::CoreFixture;
+
+class MachineTest : public CoreFixture {};
+
+//===----------------------------------------------------------------------===//
+// Variable rules
+//===----------------------------------------------------------------------===//
+
+TEST_F(MachineTest, VarBindsUnboundVariable) {
+  // ST-Match-Var-Bind.
+  auto R = matchP(v("x"), t("F(C, D)"));
+  ASSERT_TRUE(R.matched());
+  EXPECT_EQ(bound(R.W, "x"), t("F(C, D)"));
+  EXPECT_EQ(R.Stats.VarBinds, 1u);
+}
+
+TEST_F(MachineTest, NonlinearVarRequiresEqualTerms) {
+  // ST-Match-Var-Bound: MatMul(x, x) matches only equal operands.
+  const Pattern *P = app("MatMul", {v("x"), v("x")});
+  EXPECT_TRUE(matchP(P, t("MatMul(G(C), G(C))")).matched());
+  EXPECT_FALSE(matchP(P, t("MatMul(G(C), G(D))")).matched());
+}
+
+TEST_F(MachineTest, VarConflictBacktracksToFailure) {
+  // ST-Match-Var-Conflict with an empty stack.
+  const Pattern *P = app("Pair", {v("x"), v("x")});
+  auto R = matchP(P, t("Pair(C, D)"));
+  EXPECT_EQ(R.Status, MachineStatus::Failure);
+  EXPECT_GE(R.Stats.Backtracks, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Function (operator) rules
+//===----------------------------------------------------------------------===//
+
+TEST_F(MachineTest, FunMatchesStructurally) {
+  // ST-Match-Fun.
+  const Pattern *P = app("MatMul", {v("x"), app("Trans", {v("y")})});
+  auto R = matchP(P, t("MatMul(A, Trans(B))"));
+  ASSERT_TRUE(R.matched());
+  EXPECT_EQ(bound(R.W, "x"), t("A"));
+  EXPECT_EQ(bound(R.W, "y"), t("B"));
+}
+
+TEST_F(MachineTest, FunConflictOnDifferentOperator) {
+  // ST-Match-Fun-Conflict (f ≠ g).
+  const Pattern *P = app("Trans", {v("x")});
+  EXPECT_FALSE(matchP(P, t("Softmax1(A)")).matched());
+}
+
+TEST_F(MachineTest, ChildrenMatchLeftToRight) {
+  // The continuation order makes the leftmost child bind first, so the
+  // left occurrence of a nonlinear variable decides the binding.
+  const Pattern *P = app("Pair", {v("x"), v("y")});
+  auto R = matchP(P, t("Pair(C, D)"));
+  ASSERT_TRUE(R.matched());
+  EXPECT_EQ(bound(R.W, "x"), t("C"));
+  EXPECT_EQ(bound(R.W, "y"), t("D"));
+}
+
+//===----------------------------------------------------------------------===//
+// Alternates
+//===----------------------------------------------------------------------===//
+
+TEST_F(MachineTest, AltTriesLeftFirst) {
+  // ST-Match-Alt: left-eager.
+  const Pattern *P = PA.alt(v("l"), v("r"));
+  auto R = matchP(P, t("C"));
+  ASSERT_TRUE(R.matched());
+  EXPECT_EQ(bound(R.W, "l"), t("C"));
+  EXPECT_EQ(bound(R.W, "r"), nullptr);
+}
+
+TEST_F(MachineTest, AltBacktracksToRightOnLeftFailure) {
+  const Pattern *P =
+      PA.alt(app("Trans", {v("x")}), app("Softmax1", {v("y")}));
+  auto R = matchP(P, t("Softmax1(A)"));
+  ASSERT_TRUE(R.matched());
+  EXPECT_EQ(bound(R.W, "y"), t("A"));
+  EXPECT_GE(R.Stats.Backtracks, 1u);
+}
+
+TEST_F(MachineTest, BacktrackingRestoresSubstitution) {
+  // The left alternate binds x before failing; the right alternate must
+  // not see that binding (the frame snapshot restores θ).
+  op("G", 1);
+  const Pattern *Left = app("Pair", {v("x"), app("G", {v("x")})});
+  const Pattern *Right = app("Pair", {v("x"), v("y")});
+  const Pattern *P = PA.alt(Left, Right);
+  auto R = matchP(P, t("Pair(C, G(D))"));
+  ASSERT_TRUE(R.matched());
+  // Left failed at G(x) vs G(D) with x=C; right bound x=C fresh and y=G(D).
+  EXPECT_EQ(bound(R.W, "x"), t("C"));
+  EXPECT_EQ(bound(R.W, "y"), t("G(D)"));
+}
+
+TEST_F(MachineTest, NestedAlternatesSearchInOrder) {
+  // ((a ; guard(false)) || b) || c — reaches b.
+  const GuardExpr *False =
+      PA.binary(GuardKind::Eq, PA.intLit(0), PA.intLit(1));
+  const Pattern *P = PA.alt(PA.alt(PA.guarded(v("a"), False), v("b")),
+                            v("c"));
+  auto R = matchP(P, t("C"));
+  ASSERT_TRUE(R.matched());
+  EXPECT_EQ(bound(R.W, "b"), t("C"));
+  EXPECT_EQ(bound(R.W, "c"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Guards
+//===----------------------------------------------------------------------===//
+
+TEST_F(MachineTest, GuardPassAndFail) {
+  const GuardExpr *RankIs2 = PA.binary(
+      GuardKind::Eq, PA.attr(Symbol::intern("x"), Symbol::intern("rank")),
+      PA.intLit(2));
+  const Pattern *P = PA.guarded(v("x"), RankIs2);
+  EXPECT_TRUE(matchP(P, t("A[rank=2]")).matched());
+  EXPECT_FALSE(matchP(P, t("A[rank=3]")).matched());
+}
+
+TEST_F(MachineTest, StuckGuardBacktracks) {
+  // Guard over a variable the pattern never binds: stuck → backtrack.
+  const GuardExpr *G = PA.binary(
+      GuardKind::Eq, PA.attr(Symbol::intern("ghost"), Symbol::intern("rank")),
+      PA.intLit(2));
+  const Pattern *P = PA.alt(PA.guarded(v("x"), G), v("y"));
+  auto R = matchP(P, t("C"));
+  ASSERT_TRUE(R.matched());
+  EXPECT_EQ(bound(R.W, "y"), t("C"));
+  EXPECT_EQ(R.Stats.GuardStuck, 1u);
+}
+
+TEST_F(MachineTest, GuardRunsAfterStructuralMatch) {
+  // The guard sees bindings made while matching the subpattern.
+  const GuardExpr *G = PA.binary(
+      GuardKind::Lt, PA.attr(Symbol::intern("x"), Symbol::intern("size")),
+      PA.attr(Symbol::intern("y"), Symbol::intern("size")));
+  const Pattern *P =
+      PA.guarded(app("Pair", {v("x"), v("y")}), G);
+  EXPECT_TRUE(matchP(P, t("Pair(C, G1(C))")).matched());
+  EXPECT_FALSE(matchP(P, t("Pair(G1(C), C)")).matched());
+}
+
+TEST_F(MachineTest, NestedGuardsEvaluateInnermostFirst) {
+  MachineStats S1;
+  const GuardExpr *G1 = PA.binary(GuardKind::Eq, PA.intLit(1), PA.intLit(1));
+  const GuardExpr *G2 = PA.binary(GuardKind::Eq, PA.intLit(0), PA.intLit(1));
+  const Pattern *P = PA.guarded(PA.guarded(v("x"), G1), G2);
+  auto R = matchP(P, t("C"));
+  EXPECT_FALSE(R.matched());
+  EXPECT_EQ(R.Stats.GuardEvals, 2u); // both guards ran (inner passed first)
+}
+
+//===----------------------------------------------------------------------===//
+// Existentials and match constraints
+//===----------------------------------------------------------------------===//
+
+TEST_F(MachineTest, ExistsBindsThroughBody) {
+  // ∃y. Pair(y, y) matches Pair(C, C).
+  Symbol Y = Symbol::intern("y");
+  const Pattern *P = PA.exists(Y, app("Pair", {PA.var(Y), PA.var(Y)}));
+  EXPECT_TRUE(matchP(P, t("Pair(C, C)")).matched());
+  EXPECT_FALSE(matchP(P, t("Pair(C, D)")).matched());
+}
+
+TEST_F(MachineTest, ExistsUnboundVariableBacktracks) {
+  // ∃y. x — y is never bound; checkName fails (§2.3: every fresh variable
+  // must be bound to some subterm).
+  Symbol Y = Symbol::intern("y");
+  const Pattern *P = PA.exists(Y, v("x"));
+  EXPECT_FALSE(matchP(P, t("C")).matched());
+}
+
+TEST_F(MachineTest, MatchConstraintChecksBoundTerm) {
+  // x ; (Trans(y) ≈ x): Fig. 4-style root binding.
+  Symbol X = Symbol::intern("x");
+  const Pattern *P =
+      PA.matchConstraint(v("x"), app("Trans", {v("y")}), X);
+  auto R = matchP(P, t("Trans(B)"));
+  ASSERT_TRUE(R.matched());
+  EXPECT_EQ(bound(R.W, "x"), t("Trans(B)"));
+  EXPECT_EQ(bound(R.W, "y"), t("B"));
+  EXPECT_FALSE(matchP(P, t("Softmax1(B)")).matched());
+}
+
+TEST_F(MachineTest, MatchConstraintOnUnboundVariableBacktracks) {
+  // x ; (p ≈ ghost): ghost never bound → matchConstr backtracks.
+  const Pattern *P = PA.matchConstraint(v("x"), v("y"),
+                                        Symbol::intern("ghost"));
+  EXPECT_FALSE(matchP(P, t("C")).matched());
+}
+
+TEST_F(MachineTest, ChainedConstraintsComposeLikeFig4Root) {
+  // ∃a. ∃b. (x ; (Pair(a, b) ≈ x)) ; (Trans(c) ≈ a)
+  Symbol X = Symbol::intern("x"), A = Symbol::intern("a"),
+         B = Symbol::intern("b");
+  const Pattern *Inner =
+      PA.matchConstraint(v("x"), app("Pair", {PA.var(A), PA.var(B)}), X);
+  const Pattern *P = PA.exists(
+      A, PA.exists(B, PA.matchConstraint(Inner, app("Trans", {v("c")}), A)));
+  auto R = matchP(P, t("Pair(Trans(C), D)"));
+  ASSERT_TRUE(R.matched());
+  EXPECT_EQ(bound(R.W, "c"), t("C"));
+  EXPECT_EQ(bound(R.W, "b"), t("D"));
+}
+
+//===----------------------------------------------------------------------===//
+// Function variables
+//===----------------------------------------------------------------------===//
+
+TEST_F(MachineTest, FunVarBindsOperator) {
+  // F(x, y) matches any binary application.
+  Symbol F = Symbol::intern("F");
+  const Pattern *P = PA.funVarApp(F, {v("x"), v("y")});
+  auto R = matchP(P, t("MatMul(A, B)"));
+  ASSERT_TRUE(R.matched());
+  EXPECT_EQ(R.W.Phi.lookup(F), Sig.lookup("MatMul"));
+}
+
+TEST_F(MachineTest, FunVarArityConflict) {
+  Symbol F = Symbol::intern("F");
+  const Pattern *P = PA.funVarApp(F, {v("x"), v("y")});
+  EXPECT_FALSE(matchP(P, t("Trans(A)")).matched());
+}
+
+TEST_F(MachineTest, NonlinearFunVarRequiresSameOperator) {
+  // F(F(x)) — a unary operator applied to itself twice (§3.4).
+  Symbol F = Symbol::intern("F");
+  const Pattern *P = PA.funVarApp(F, {PA.funVarApp(F, {v("x")})});
+  EXPECT_TRUE(matchP(P, t("Relu(Relu(C))")).matched());
+  EXPECT_FALSE(matchP(P, t("Relu(Tanh(C))")).matched());
+}
+
+TEST_F(MachineTest, ExistsFunRequiresBinding) {
+  Symbol F = Symbol::intern("F");
+  const Pattern *Bound = PA.existsFun(F, PA.funVarApp(F, {v("x")}));
+  EXPECT_TRUE(matchP(Bound, t("Relu(C)")).matched());
+  const Pattern *Unused = PA.existsFun(F, v("x"));
+  EXPECT_FALSE(matchP(Unused, t("C")).matched());
+}
+
+//===----------------------------------------------------------------------===//
+// Recursive patterns
+//===----------------------------------------------------------------------===//
+
+class RecursiveMachineTest : public MachineTest {
+protected:
+  /// μU(x, f)[x, f]. f(U(x, f)) ‖ f(x) — Fig. 3's UnaryChain.
+  const Pattern *unaryChain() {
+    Symbol U = Symbol::intern("U"), X = Symbol::intern("x"),
+           F = Symbol::intern("f");
+    const Pattern *Rec = PA.funVarApp(F, {PA.recCall(U, {X, F})});
+    const Pattern *Base = PA.funVarApp(F, {PA.var(X)});
+    return PA.mu(U, {X, F}, {X, F}, PA.alt(Rec, Base));
+  }
+};
+
+TEST_F(RecursiveMachineTest, MatchesChainsOfAnyDepth) {
+  const Pattern *P = unaryChain();
+  for (std::string Term = "Relu(C)"; Term.size() < 60;
+       Term = "Relu(" + Term + ")") {
+    auto R = matchP(P, t(Term));
+    ASSERT_TRUE(R.matched()) << Term;
+    EXPECT_EQ(bound(R.W, "x"), t("C"));
+    EXPECT_EQ(R.W.Phi.lookup(Symbol::intern("f")), Sig.lookup("Relu"));
+  }
+}
+
+TEST_F(RecursiveMachineTest, MixedChainStopsAtOperatorChange) {
+  // Relu(Tanh(C)) is not a *Relu* chain down to C: the nonlinear function
+  // variable forces every level to use the same operator, so the match
+  // degrades to the 1-level chain with x = Tanh(C).
+  auto R = matchP(unaryChain(), t("Relu(Tanh(C))"));
+  ASSERT_TRUE(R.matched());
+  EXPECT_EQ(bound(R.W, "x"), t("Tanh(C)"));
+  EXPECT_EQ(R.W.Phi.lookup(Symbol::intern("f")), Sig.lookup("Relu"));
+}
+
+TEST_F(RecursiveMachineTest, NonChainFails) {
+  EXPECT_FALSE(matchP(unaryChain(), t("C")).matched());
+}
+
+TEST_F(RecursiveMachineTest, DivergentMuRunsOutOfFuel) {
+  // μP(x)[x]. P(x) never consumes the term (§3.5).
+  Symbol P = Symbol::intern("P"), X = Symbol::intern("x");
+  const Pattern *Mu = PA.mu(P, {X}, {X}, PA.recCall(P, {X}));
+  Machine::Options Opts;
+  Opts.MaxMuUnfolds = 100;
+  auto R = matchPattern(Mu, t("C"), Arena, Opts);
+  EXPECT_EQ(R.Status, MachineStatus::OutOfFuel);
+  EXPECT_EQ(R.Stats.MuUnfolds, 100u);
+}
+
+TEST_F(RecursiveMachineTest, Figure4RootBindingWithFreshLocals) {
+  // μP(x,f,g)[…]: alternates
+  //   ∃y. (x ; (f(P(y,f,g)) ≈ x))
+  //   ∃y.∃z. (x ; (g(P(y,f,g), P(z,f,g)) ≈ x))
+  //   x
+  // matches any f/g tree and binds x to the *root* (§2.3 / Fig. 4).
+  Symbol P = Symbol::intern("P"), X = Symbol::intern("x"),
+         F = Symbol::intern("f"), G = Symbol::intern("g"),
+         Y = Symbol::intern("y"), Z = Symbol::intern("z");
+  const Pattern *Alt1 = PA.exists(
+      Y, PA.matchConstraint(PA.var(X),
+                            PA.funVarApp(F, {PA.recCall(P, {Y, F, G})}), X));
+  const Pattern *Alt2 = PA.exists(
+      Y, PA.exists(Z, PA.matchConstraint(
+                          PA.var(X),
+                          PA.funVarApp(G, {PA.recCall(P, {Y, F, G}),
+                                           PA.recCall(P, {Z, F, G})}),
+                          X)));
+  const Pattern *Base = PA.var(X);
+  const Pattern *Mu = PA.mu(P, {X, F, G}, {X, F, G},
+                            PA.altList(std::vector<const Pattern *>{
+                                Alt1, Alt2, Base}));
+  auto R = matchP(Mu, t("Add(Relu(C), Add(C, D))"));
+  ASSERT_TRUE(R.matched());
+  // Root bound to the whole tree; f=Relu, g=Add.
+  EXPECT_EQ(bound(R.W, "x"), t("Add(Relu(C), Add(C, D))"));
+  EXPECT_EQ(R.W.Phi.lookup(G), Sig.lookup("Add"));
+  EXPECT_EQ(R.W.Phi.lookup(F), Sig.lookup("Relu"));
+}
+
+//===----------------------------------------------------------------------===//
+// Multiple solutions & determinism
+//===----------------------------------------------------------------------===//
+
+TEST_F(MachineTest, LeftEagerIncompletenessExample) {
+  // §3.1.2: matching f(c1, c2) against f(x,y) ‖ f(y,x): the machine's
+  // FIRST answer is always {x↦c1, y↦c2} even though the declarative
+  // relation also contains the swapped witness.
+  const Pattern *P = PA.alt(app("Pair", {v("x"), v("y")}),
+                            app("Pair", {v("y"), v("x")}));
+  auto R = matchP(P, t("Pair(C1, C2)"));
+  ASSERT_TRUE(R.matched());
+  EXPECT_EQ(bound(R.W, "x"), t("C1"));
+  EXPECT_EQ(bound(R.W, "y"), t("C2"));
+  // resume() then finds the second witness.
+  auto All = allSolutions(P, t("Pair(C1, C2)"), Arena);
+  ASSERT_EQ(All.size(), 2u);
+  EXPECT_EQ(All[1].Theta.lookup(Symbol::intern("x")), t("C2"));
+}
+
+TEST_F(MachineTest, AllSolutionsRespectsLimit) {
+  const Pattern *P =
+      PA.altList(std::vector<const Pattern *>{v("a"), v("b"), v("c")});
+  EXPECT_EQ(allSolutions(P, t("C"), Arena, 2).size(), 2u);
+  EXPECT_EQ(allSolutions(P, t("C"), Arena).size(), 3u);
+}
+
+TEST_F(MachineTest, ResumeAfterFailureStaysFailed) {
+  Machine M(Arena);
+  M.start(app("Trans", {v("x")}), t("C"));
+  EXPECT_EQ(M.run(), MachineStatus::Failure);
+  EXPECT_EQ(M.resume(), MachineStatus::Failure);
+}
+
+TEST_F(MachineTest, DeterministicAcrossRuns) {
+  const Pattern *P = PA.alt(app("Pair", {v("x"), v("y")}),
+                            app("Pair", {v("y"), v("x")}));
+  auto R1 = matchP(P, t("Pair(C1, C2)"));
+  auto R2 = matchP(P, t("Pair(C1, C2)"));
+  EXPECT_EQ(R1.W, R2.W);
+  EXPECT_EQ(R1.Stats.Steps, R2.Stats.Steps);
+}
+
+//===----------------------------------------------------------------------===//
+// Machine mechanics
+//===----------------------------------------------------------------------===//
+
+TEST_F(MachineTest, SingleStepObservable) {
+  Machine M(Arena);
+  M.start(app("Trans", {v("x")}), t("Trans(A)"));
+  EXPECT_EQ(M.status(), MachineStatus::Running);
+  EXPECT_EQ(M.step(), MachineStatus::Running); // consume match(Trans(x),…)
+  EXPECT_EQ(M.step(), MachineStatus::Running); // consume match(x, A)
+  EXPECT_EQ(M.step(), MachineStatus::Success); // empty continuation
+  EXPECT_EQ(M.theta().size(), 1u);
+}
+
+TEST_F(MachineTest, DescribeStateShowsPaperNotation) {
+  Machine M(Arena);
+  M.start(app("Trans", {v("x")}), t("Trans(A)"));
+  std::string S0 = M.describeState(Sig);
+  EXPECT_NE(S0.find("running"), std::string::npos);
+  EXPECT_NE(S0.find("match(Trans(x), Trans(A))"), std::string::npos);
+  M.run();
+  EXPECT_NE(M.describeState(Sig).find("success"), std::string::npos);
+}
+
+TEST_F(MachineTest, StepBudgetTerminates) {
+  Symbol P = Symbol::intern("P"), X = Symbol::intern("x");
+  const Pattern *Mu = PA.mu(P, {X}, {X}, PA.recCall(P, {X}));
+  Machine::Options Opts;
+  Opts.MaxSteps = 50;
+  Opts.MaxMuUnfolds = 1'000'000;
+  auto R = matchPattern(Mu, t("C"), Arena, Opts);
+  EXPECT_EQ(R.Status, MachineStatus::OutOfFuel);
+}
+
+TEST_F(MachineTest, StatsTrackDepths) {
+  const Pattern *P = PA.alt(app("Pair", {v("x"), v("x")}),
+                            app("Pair", {v("x"), v("y")}));
+  auto R = matchP(P, t("Pair(C, D)"));
+  ASSERT_TRUE(R.matched());
+  EXPECT_GE(R.Stats.MaxStackDepth, 1u);
+  EXPECT_GE(R.Stats.MaxContDepth, 2u);
+  EXPECT_GE(R.Stats.Steps, 4u);
+}
+
+TEST_F(MachineTest, AttrsDoNotAffectStructuralMatch) {
+  // Structural matching ignores attributes (they only feed guards and
+  // identity): F(x) matches F[extra=1](C).
+  const Pattern *P = app("F1", {v("x")});
+  EXPECT_TRUE(matchP(P, t("F1[extra=1](C)")).matched());
+}

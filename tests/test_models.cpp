@@ -1,0 +1,215 @@
+//===- tests/test_models.cpp - Model zoo generators ----------------------------===//
+
+#include "graph/TermView.h"
+#include "models/Zoo.h"
+
+#include <gtest/gtest.h>
+
+using namespace pypm;
+using namespace pypm::graph;
+using namespace pypm::models;
+
+TEST(Transformers, LayerOpCountsScaleWithDepth) {
+  term::Signature Sig;
+  TransformerConfig C;
+  C.Name = "t";
+  C.Layers = 3;
+  C.Hidden = 64;
+  auto G = buildTransformer(Sig, C);
+  // 6 MatMuls per layer (Q, K, V, scores, attn·V, out) + 2 FFN.
+  EXPECT_EQ(G->countOps("MatMul"), 3u * 8u);
+  EXPECT_EQ(G->countOps("Softmax"), 3u);
+  EXPECT_EQ(G->countOps("Trans"), 3u);
+  EXPECT_EQ(G->countOps("LayerNorm"), 6u);
+}
+
+TEST(Transformers, GraphVerifiesAndIsFullyTyped) {
+  term::Signature Sig;
+  TransformerConfig C;
+  C.Name = "t";
+  C.Layers = 2;
+  C.Hidden = 128;
+  auto G = buildTransformer(Sig, C);
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(G->verify(Diags)) << Diags.renderAll();
+  for (NodeId N : G->topoOrder()) {
+    if (Sig.name(G->op(N)).str() == "Const")
+      continue; // scalar constants are legitimately rank-0
+    EXPECT_GT(G->type(N).rank(), 0u) << "untyped node " << N;
+  }
+  // Output keeps the input embedding shape.
+  EXPECT_EQ(G->type(G->outputs()[0]).Dims,
+            (std::vector<int64_t>{C.Batch, C.SeqLen, C.Hidden}));
+}
+
+TEST(Transformers, HalfStyleChangesGeluSpelling) {
+  term::Signature Sig;
+  TransformerConfig C;
+  C.Name = "t";
+  C.Layers = 1;
+  C.Hidden = 64;
+  C.Half = TransformerConfig::HalfStyle::DivTwo;
+  auto GDiv = buildTransformer(Sig, C);
+  C.Half = TransformerConfig::HalfStyle::MulHalf;
+  auto GMul = buildTransformer(Sig, C);
+  // DivTwo: Div(x,2) and Div(x,√2) → 2 Divs; MulHalf: one Div, extra Mul.
+  EXPECT_EQ(GDiv->countOps("Div"), 3u);  // + scores scaling Div
+  EXPECT_EQ(GMul->countOps("Div"), 2u);
+  EXPECT_GT(GMul->countOps("Mul"), GDiv->countOps("Mul"));
+}
+
+TEST(Transformers, ScaleStyleChangesScoreScaling) {
+  term::Signature Sig;
+  TransformerConfig C;
+  C.Name = "t";
+  C.Layers = 1;
+  C.Hidden = 64;
+  C.Activation = TransformerConfig::Act::Relu;
+  C.Scale = TransformerConfig::ScaleStyle::DivSqrtD;
+  auto GDiv = buildTransformer(Sig, C);
+  C.Scale = TransformerConfig::ScaleStyle::MulInvSqrtD;
+  auto GMul = buildTransformer(Sig, C);
+  EXPECT_EQ(GDiv->countOps("Div"), 1u);
+  EXPECT_EQ(GMul->countOps("Div"), 0u);
+  EXPECT_EQ(GMul->countOps("Mul"), 1u);
+}
+
+TEST(Transformers, ReluModelsHaveNoErf) {
+  term::Signature Sig;
+  TransformerConfig C;
+  C.Name = "t";
+  C.Layers = 2;
+  C.Hidden = 64;
+  C.Activation = TransformerConfig::Act::Relu;
+  auto G = buildTransformer(Sig, C);
+  EXPECT_EQ(G->countOps("Erf"), 0u);
+  EXPECT_EQ(G->countOps("Relu"), 2u);
+}
+
+TEST(Transformers, BiaslessVariantDropsBiasAdds) {
+  term::Signature Sig;
+  TransformerConfig C;
+  C.Name = "t";
+  C.Layers = 2;
+  C.Hidden = 64;
+  C.FfnBias = false;
+  auto G = buildTransformer(Sig, C);
+  EXPECT_EQ(G->countOps("BiasAdd"), 0u);
+}
+
+TEST(Vision, VggStackVerifiesAndCounts) {
+  term::Signature Sig;
+  VisionConfig C;
+  C.Name = "v";
+  C.StageDepths = {1, 1};
+  C.ImageSize = 32;
+  C.Batch = 2;
+  C.ClassifierHidden = 256;
+  auto G = buildVisionModel(Sig, C);
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(G->verify(Diags)) << Diags.renderAll();
+  // Stem + 2 stage convs + 1 widening conv.
+  EXPECT_EQ(G->countOps("Conv2D"), 4u);
+  EXPECT_EQ(G->countOps("MaxPool"), 2u);
+  EXPECT_EQ(G->countOps("Flatten"), 1u);
+  EXPECT_EQ(G->countOps("MatMul"), 2u); // classifier MLP
+  // Classifier output shape.
+  EXPECT_EQ(G->type(G->outputs()[0]).Dims,
+            (std::vector<int64_t>{2, C.Classes}));
+}
+
+TEST(Vision, ResNetHasResidualAddsAndBatchNorm) {
+  term::Signature Sig;
+  VisionConfig C;
+  C.Name = "r";
+  C.Kind = VisionConfig::Family::ResNet;
+  C.StageDepths = {1, 1};
+  C.ImageSize = 32;
+  C.Batch = 2;
+  C.BatchNormAfterConv = true;
+  auto G = buildVisionModel(Sig, C);
+  EXPECT_GT(G->countOps("Add"), 0u);
+  EXPECT_GT(G->countOps("BatchNorm"), 0u);
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(G->verify(Diags)) << Diags.renderAll();
+}
+
+TEST(Vision, NoAttentionInVisionModels) {
+  term::Signature Sig;
+  VisionConfig C;
+  C.Name = "v";
+  C.StageDepths = {1};
+  C.ImageSize = 32;
+  auto G = buildVisionModel(Sig, C);
+  EXPECT_EQ(G->countOps("Softmax"), 0u);
+  EXPECT_EQ(G->countOps("Trans"), 0u);
+}
+
+TEST(Transformers, VitHybridBuildsAndVerifies) {
+  term::Signature Sig;
+  VitConfig C;
+  C.Name = "vit";
+  C.ImageSize = 64;
+  C.PatchSize = 16;
+  C.Batch = 2;
+  C.Encoder.Layers = 2;
+  C.Encoder.Hidden = 96;
+  C.Encoder.FfnHidden = 384;
+  auto G = buildVit(Sig, C);
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(G->verify(Diags)) << Diags.renderAll();
+  EXPECT_EQ(G->countOps("Conv2D"), 1u);  // patch embedding
+  EXPECT_EQ(G->countOps("Softmax"), 2u); // one attention per layer
+  // Sequence length derives from the patch grid: (64/16)² = 16.
+  EXPECT_EQ(G->type(G->outputs()[0]).Dims,
+            (std::vector<int64_t>{2, 16, 96}));
+}
+
+TEST(Zoo, HfSuiteHasDocumentedSizeAndUniqueNames) {
+  auto Suite = hfSuite();
+  EXPECT_GE(Suite.size(), 20u);
+  std::set<std::string> Names;
+  for (const ModelEntry &E : Suite)
+    EXPECT_TRUE(Names.insert(E.Name).second) << "duplicate " << E.Name;
+}
+
+TEST(Zoo, TvSuiteHasDocumentedSizeAndUniqueNames) {
+  auto Suite = tvSuite();
+  EXPECT_GE(Suite.size(), 18u);
+  std::set<std::string> Names;
+  for (const ModelEntry &E : Suite)
+    EXPECT_TRUE(Names.insert(E.Name).second) << "duplicate " << E.Name;
+}
+
+TEST(Zoo, BuildersAreDeterministic) {
+  auto Suite = hfSuite();
+  term::Signature SigA, SigB;
+  auto GA = Suite[0].Build(SigA);
+  auto GB = Suite[0].Build(SigB);
+  ASSERT_EQ(GA->numNodes(), GB->numNodes());
+  for (NodeId N = 0; N != GA->numNodes(); ++N) {
+    EXPECT_EQ(SigA.name(GA->op(N)), SigB.name(GB->op(N)));
+    EXPECT_EQ(GA->type(N).Dims, GB->type(N).Dims);
+  }
+}
+
+TEST(Zoo, EverySuiteModelBuildsAndVerifies) {
+  // A smoke pass over both complete suites (the benchmark prerequisite).
+  for (const auto &Suite : {hfSuite(), tvSuite()}) {
+    for (const ModelEntry &E : Suite) {
+      term::Signature Sig;
+      auto G = E.Build(Sig);
+      DiagnosticEngine Diags;
+      ASSERT_TRUE(G->verify(Diags)) << E.Name << ": " << Diags.renderAll();
+      ASSERT_GT(G->numLiveNodes(), 10u) << E.Name;
+    }
+  }
+}
+
+TEST(Zoo, DeclareModelOpsIsIdempotent) {
+  term::Signature Sig;
+  declareModelOps(Sig);
+  size_t Count = Sig.size();
+  declareModelOps(Sig);
+  EXPECT_EQ(Sig.size(), Count);
+}

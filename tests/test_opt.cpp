@@ -1,0 +1,294 @@
+//===- tests/test_opt.cpp - The paper's optimization library (§4.1) ------------===//
+
+#include "models/Zoo.h"
+#include "opt/StdPatterns.h"
+#include "pattern/Serializer.h"
+#include "rewrite/RewriteEngine.h"
+#include "sim/CostModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace pypm;
+using namespace pypm::graph;
+using namespace pypm::models;
+using namespace pypm::rewrite;
+
+namespace {
+
+struct OptRun {
+  // The graph borrows the signature; keep it alive alongside (declared
+  // first so it outlives the graph on destruction).
+  std::unique_ptr<term::Signature> Sig = std::make_unique<term::Signature>();
+  std::unique_ptr<Graph> G;
+  RewriteStats Stats;
+  double Before = 0, After = 0;
+};
+
+OptRun optimizeTransformer(TransformerConfig TC, opt::OptConfig Config) {
+  OptRun R;
+  R.G = buildTransformer(*R.Sig, TC);
+  sim::CostModel CM;
+  R.Before = CM.graphCost(*R.G).Seconds;
+  opt::Pipeline Pipe = opt::makePipeline(*R.Sig, Config);
+  R.Stats = rewriteToFixpoint(*R.G, Pipe.Rules, ShapeInference());
+  R.After = CM.graphCost(*R.G).Seconds;
+  return R;
+}
+
+TransformerConfig smallBert() {
+  TransformerConfig TC;
+  TC.Name = "bert-small-test";
+  TC.Layers = 2;
+  TC.Hidden = 128;
+  TC.SeqLen = 64;
+  TC.Batch = 2;
+  return TC;
+}
+
+} // namespace
+
+TEST(OptFmha, FusesOneAttentionPerLayer) {
+  OptRun R = optimizeTransformer(smallBert(), opt::OptConfig::FmhaOnly);
+  EXPECT_EQ(R.G->countOps("FMHA"), 2u);
+  EXPECT_EQ(R.G->countOps("Softmax"), 0u);
+  EXPECT_EQ(R.Stats.TotalFired, 2u);
+  EXPECT_LT(R.After, R.Before);
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(R.G->verify(Diags)) << Diags.renderAll();
+}
+
+TEST(OptFmha, MatchesBothScaleSpellings) {
+  for (auto Scale : {TransformerConfig::ScaleStyle::DivSqrtD,
+                     TransformerConfig::ScaleStyle::MulInvSqrtD}) {
+    TransformerConfig TC = smallBert();
+    TC.Scale = Scale;
+    OptRun R = optimizeTransformer(TC, opt::OptConfig::FmhaOnly);
+    EXPECT_EQ(R.G->countOps("FMHA"), 2u);
+  }
+}
+
+TEST(OptFmha, MaskedAttentionUsesTheMaskedKernel) {
+  TransformerConfig TC = smallBert();
+  TC.AttentionMask = true;
+  OptRun R = optimizeTransformer(TC, opt::OptConfig::FmhaOnly);
+  EXPECT_EQ(R.G->countOps("FMHAMasked"), 2u);
+  EXPECT_EQ(R.G->countOps("FMHA"), 0u);
+  EXPECT_EQ(R.G->countOps("Softmax"), 0u);
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(R.G->verify(Diags)) << Diags.renderAll();
+}
+
+TEST(OptFmha, UnmaskedAttentionFallsThroughToUnmaskedKernel) {
+  // The masked rule is tried first; its RHS references the unbound mask,
+  // fails to build, and the engine falls through — the rule-dispatch
+  // semantics of §2 driven by binding presence.
+  OptRun R = optimizeTransformer(smallBert(), opt::OptConfig::FmhaOnly);
+  EXPECT_EQ(R.G->countOps("FMHA"), 2u);
+  EXPECT_EQ(R.G->countOps("FMHAMasked"), 0u);
+}
+
+TEST(OptFmha, AttentionProjectionsSurvive) {
+  // Only the scores→softmax→·V spine fuses; Q/K/V/out matmuls remain.
+  OptRun R = optimizeTransformer(smallBert(), opt::OptConfig::FmhaOnly);
+  EXPECT_EQ(R.G->countOps("MatMul"), 2u * 6u); // 4 proj + 2 FFN per layer
+}
+
+TEST(OptEpilog, ContractsGeluAndFusesFfn) {
+  OptRun R = optimizeTransformer(smallBert(), opt::OptConfig::EpilogOnly);
+  // Per layer: one decomposed GELU contracted, then fused into the
+  // bias-add matmul feeding it.
+  EXPECT_EQ(R.G->countOps("Erf"), 0u);
+  EXPECT_EQ(R.G->countOps("GemmBiasEpilog"), 2u);
+  EXPECT_LT(R.After, R.Before);
+}
+
+TEST(OptEpilog, MatchesBothHalfSpellings) {
+  for (auto Half : {TransformerConfig::HalfStyle::DivTwo,
+                    TransformerConfig::HalfStyle::MulHalf}) {
+    TransformerConfig TC = smallBert();
+    TC.Half = Half;
+    OptRun R = optimizeTransformer(TC, opt::OptConfig::EpilogOnly);
+    EXPECT_EQ(R.G->countOps("Erf"), 0u) << "Half spelling missed";
+  }
+}
+
+TEST(OptEpilog, ReluModelFusesWithoutGeluContraction) {
+  TransformerConfig TC = smallBert();
+  TC.Activation = TransformerConfig::Act::Relu;
+  OptRun R = optimizeTransformer(TC, opt::OptConfig::EpilogOnly);
+  EXPECT_EQ(R.G->countOps("GemmBiasEpilog"), 2u);
+  EXPECT_EQ(R.G->countOps("Relu"), 0u);
+}
+
+TEST(OptEpilog, BiaslessModelUsesPlainGemmEpilog) {
+  TransformerConfig TC = smallBert();
+  TC.FfnBias = false;
+  OptRun R = optimizeTransformer(TC, opt::OptConfig::EpilogOnly);
+  EXPECT_EQ(R.G->countOps("GemmEpilog"), 2u);
+  EXPECT_EQ(R.G->countOps("GemmBiasEpilog"), 0u);
+}
+
+TEST(OptBoth, CombinedBeatsEitherAlone) {
+  OptRun None = optimizeTransformer(smallBert(), opt::OptConfig::None);
+  OptRun Fmha = optimizeTransformer(smallBert(), opt::OptConfig::FmhaOnly);
+  OptRun Epi = optimizeTransformer(smallBert(), opt::OptConfig::EpilogOnly);
+  OptRun Both = optimizeTransformer(smallBert(), opt::OptConfig::Both);
+  EXPECT_EQ(None.Stats.TotalFired, 0u);
+  EXPECT_LT(Both.After, Fmha.After);
+  EXPECT_LT(Both.After, Epi.After);
+  EXPECT_EQ(Both.G->countOps("FMHA"), 2u);
+  EXPECT_EQ(Both.G->countOps("GemmBiasEpilog"), 2u);
+}
+
+TEST(OptBoth, SpeedupsAreWithinPlausibleRange) {
+  OptRun Both = optimizeTransformer(smallBert(), opt::OptConfig::Both);
+  double Speedup = Both.Before / Both.After;
+  EXPECT_GT(Speedup, 1.0);
+  EXPECT_LT(Speedup, 10.0); // sanity: fusion does not fabricate 10×
+}
+
+TEST(OptVision, EpilogFusesConvBlocks) {
+  term::Signature Sig;
+  VisionConfig VC;
+  VC.Name = "v";
+  VC.StageDepths = {1, 1};
+  VC.ImageSize = 32;
+  VC.Batch = 2;
+  VC.ClassifierHidden = 128;
+  auto G = buildVisionModel(Sig, VC);
+  size_t Convs = G->countOps("Conv2D");
+  opt::Pipeline Pipe = opt::makePipeline(Sig, opt::OptConfig::EpilogOnly);
+  rewriteToFixpoint(*G, Pipe.Rules, ShapeInference());
+  EXPECT_EQ(G->countOps("ConvEpilog"), Convs);
+  EXPECT_EQ(G->countOps("Conv2D"), 0u);
+  // Classifier hidden MatMul+BiasAdd+Relu fused too.
+  EXPECT_EQ(G->countOps("GemmBiasEpilog"), 1u);
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(G->verify(Diags)) << Diags.renderAll();
+}
+
+TEST(OptVision, ConvEpilogCarriesStrideAndPad) {
+  term::Signature Sig;
+  VisionConfig VC;
+  VC.Name = "v";
+  VC.StageDepths = {1};
+  VC.ImageSize = 32;
+  VC.Batch = 2;
+  auto G = buildVisionModel(Sig, VC);
+  opt::Pipeline Pipe = opt::makePipeline(Sig, opt::OptConfig::EpilogOnly);
+  rewriteToFixpoint(*G, Pipe.Rules, ShapeInference());
+  bool Found = false;
+  for (NodeId N : G->topoOrder()) {
+    if (Sig.name(G->op(N)).str() != "ConvEpilog")
+      continue;
+    Found = true;
+    EXPECT_EQ(G->attr(N, Symbol::intern("stride")), 1);
+    EXPECT_EQ(G->attr(N, Symbol::intern("pad")), 1);
+    EXPECT_EQ(G->attr(N, Symbol::intern("act")),
+              static_cast<int64_t>(Sig.lookup("Relu").index()));
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(OptVision, FmhaIsANoopOnVisionModels) {
+  // The Fig. 11 observation: no attention in CNNs, FMHA speedup ≈ 1.0.
+  term::Signature Sig;
+  VisionConfig VC;
+  VC.Name = "v";
+  VC.StageDepths = {1, 1};
+  VC.ImageSize = 32;
+  VC.Batch = 2;
+  auto G = buildVisionModel(Sig, VC);
+  opt::Pipeline Pipe = opt::makePipeline(Sig, opt::OptConfig::FmhaOnly);
+  RewriteStats Stats = rewriteToFixpoint(*G, Pipe.Rules, ShapeInference());
+  EXPECT_EQ(Stats.TotalFired, 0u);
+}
+
+TEST(OptBoth, VitHybridFusesAttentionAndConvEpilogs) {
+  // The ViT hybrid is the one suite model where FMHA, ConvEpilog, and
+  // GemmBiasEpilog all fire together.
+  term::Signature Sig;
+  VitConfig C;
+  C.Name = "vit";
+  C.ImageSize = 64;
+  C.PatchSize = 16;
+  C.Batch = 2;
+  C.Encoder.Layers = 2;
+  C.Encoder.Hidden = 96;
+  C.Encoder.FfnHidden = 384;
+  auto G = buildVit(Sig, C);
+  opt::Pipeline Pipe = opt::makePipeline(Sig, opt::OptConfig::Both);
+  rewriteToFixpoint(*G, Pipe.Rules, ShapeInference());
+  EXPECT_EQ(G->countOps("FMHA"), 2u);
+  EXPECT_EQ(G->countOps("ConvEpilog"), 1u);
+  EXPECT_EQ(G->countOps("GemmBiasEpilog"), 2u);
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(G->verify(Diags)) << Diags.renderAll();
+}
+
+TEST(OptCublas, Figure1RuleRewritesRank2Only) {
+  term::Signature Sig;
+  auto Lib = opt::compileCublas(Sig);
+  Graph G(Sig);
+  ShapeInference SI;
+  NodeId A = G.addLeaf("Input", TensorType::make(term::DType::F32, {64, 32}));
+  NodeId B = G.addLeaf("Input", TensorType::make(term::DType::F32, {16, 32}));
+  NodeId T = G.addNode(Sig.lookup("Trans"), {B});
+  SI.inferNode(G, T);
+  NodeId M = G.addNode(Sig.lookup("MatMul"), {A, T});
+  SI.inferNode(G, M);
+  G.addOutput(M);
+  RuleSet RS;
+  RS.addLibrary(*Lib);
+  rewriteToFixpoint(G, RS, SI);
+  EXPECT_EQ(G.countOps("cublasMM_xyT_f32"), 1u);
+}
+
+TEST(OptUnaryChain, CollapsesReluTowers) {
+  term::Signature Sig;
+  auto Lib = opt::compileUnaryChain(Sig);
+  Graph G(Sig);
+  ShapeInference SI;
+  NodeId X = G.addLeaf("Input", TensorType::make(term::DType::F32, {16}));
+  NodeId Cur = X;
+  for (int I = 0; I != 5; ++I) {
+    Cur = G.addNode(Sig.lookup("Relu"), {Cur});
+    SI.inferNode(G, Cur);
+  }
+  G.addOutput(Cur);
+  RuleSet RS;
+  RS.addLibrary(*Lib);
+  rewriteToFixpoint(G, RS, SI);
+  EXPECT_EQ(G.countOps("Relu"), 1u);
+}
+
+TEST(OptUnaryChain, DoesNotCollapseNonIdempotentOps) {
+  term::Signature Sig;
+  auto Lib = opt::compileUnaryChain(Sig);
+  Graph G(Sig);
+  ShapeInference SI;
+  NodeId X = G.addLeaf("Input", TensorType::make(term::DType::F32, {16}));
+  NodeId T = G.addNode(Sig.lookup("Tanh"), {G.addNode(Sig.lookup("Tanh"), {X})});
+  SI.inferAll(G);
+  G.addOutput(T);
+  RuleSet RS;
+  RS.addLibrary(*Lib);
+  RewriteStats Stats = rewriteToFixpoint(G, RS, SI);
+  EXPECT_EQ(Stats.TotalFired, 0u);
+  EXPECT_EQ(G.countOps("Tanh"), 2u);
+}
+
+TEST(OptPipelines, LibrariesSerializeLikeAnyPatternBinary) {
+  // The §2.4 deployment story: the optimization libraries round-trip
+  // through the portable binary format and keep working.
+  term::Signature Sig;
+  auto Fmha = opt::compileFmha(Sig);
+  std::string Bytes = pattern::serializeLibrary(*Fmha, Sig);
+  EXPECT_GT(Bytes.size(), 100u);
+  term::Signature Sig2;
+  DiagnosticEngine Diags;
+  auto Loaded = pattern::deserializeLibrary(Bytes, Sig2, Diags);
+  ASSERT_TRUE(Loaded != nullptr) << Diags.renderAll();
+  EXPECT_NE(Loaded->findPattern("MHA"), nullptr);
+  EXPECT_EQ(Loaded->rulesFor(Symbol::intern("MHA")).size(), 2u);
+}

@@ -1,0 +1,185 @@
+//===- tests/test_partition.cpp - Directed graph partitioning (§4.2) -----------===//
+
+#include "models/Zoo.h"
+#include "opt/StdPatterns.h"
+#include "rewrite/Partition.h"
+#include "sim/CostModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace pypm;
+using namespace pypm::graph;
+using namespace pypm::rewrite;
+
+namespace {
+
+class PartitionTest : public ::testing::Test {
+protected:
+  PartitionTest() : G(Sig) {
+    models::declareModelOps(Sig);
+    Lib = opt::compilePartition(Sig);
+  }
+
+  NodeId input(std::initializer_list<int64_t> Dims) {
+    return G.addLeaf("Input", TensorType::make(term::DType::F32, Dims));
+  }
+
+  NodeId node(std::string_view Op, std::initializer_list<NodeId> In) {
+    NodeId N = G.addNode(Sig.lookup(Op), In);
+    SI.inferNode(G, N);
+    return N;
+  }
+
+  PartitionResult partition(std::string_view PatternName,
+                            std::vector<std::string_view> Frontier,
+                            PartitionOptions Opts = {}) {
+    std::vector<Symbol> Syms;
+    for (std::string_view F : Frontier)
+      Syms.push_back(Symbol::intern(F));
+    return partitionGraph(G, *Lib->findPattern(PatternName), Syms, Opts);
+  }
+
+  term::Signature Sig;
+  Graph G;
+  ShapeInference SI;
+  std::unique_ptr<pattern::Library> Lib;
+};
+
+} // namespace
+
+TEST_F(PartitionTest, FindsUnaryTowerOverMatMul) {
+  NodeId M = node("MatMul", {input({8, 8}), input({8, 8})});
+  NodeId Root = node("Gelu", {node("Relu", {M})});
+  G.addOutput(Root);
+  PartitionResult P = partition("MatMulEpilog", {"a", "b"});
+  ASSERT_EQ(P.Regions.size(), 1u);
+  EXPECT_EQ(P.Regions[0].Root, Root);
+  EXPECT_EQ(P.Regions[0].Interior.size(), 3u); // Gelu, Relu, MatMul
+  EXPECT_EQ(P.Regions[0].Frontier.size(), 2u);
+}
+
+TEST_F(PartitionTest, BareMatMulFilteredByMinSize) {
+  NodeId M = node("MatMul", {input({8, 8}), input({8, 8})});
+  G.addOutput(M);
+  EXPECT_TRUE(partition("MatMulEpilog", {"a", "b"}).Regions.empty());
+  PartitionOptions Opts;
+  Opts.MinInteriorSize = 1;
+  EXPECT_EQ(partition("MatMulEpilog", {"a", "b"}, Opts).Regions.size(), 1u);
+}
+
+TEST_F(PartitionTest, ExtendedChainCapturesBiasAndScalars) {
+  // Relu(BiasAdd(MatMul, b)) — the canonical FFN epilog.
+  NodeId M = node("MatMul", {input({8, 8}), input({8, 8})});
+  NodeId B = node("BiasAdd", {M, input({8})});
+  NodeId Root = node("Relu", {B});
+  G.addOutput(Root);
+  PartitionResult P = partition("MatMulEpilogExt", {"a", "b", "b1"});
+  ASSERT_EQ(P.Regions.size(), 1u);
+  EXPECT_EQ(P.Regions[0].Interior.size(), 3u);
+  EXPECT_EQ(P.Regions[0].Frontier.size(), 3u); // a, b, bias
+}
+
+TEST_F(PartitionTest, ScalarBinaryStepsJoinTheRegion) {
+  // Div(MatMul, Const) — scaling folds into the region; the Const is
+  // interior (an immediate), not a frontier input.
+  NodeId M = node("MatMul", {input({8, 8}), input({8, 8})});
+  NodeId Root = node("Div", {M, G.addConst(8.0)});
+  G.addOutput(Root);
+  PartitionResult P = partition("MatMulEpilogExt", {"a", "b", "b1"});
+  ASSERT_EQ(P.Regions.size(), 1u);
+  EXPECT_EQ(P.Regions[0].Interior.size(), 3u); // Div, Const, MatMul
+  EXPECT_EQ(P.Regions[0].Frontier.size(), 2u); // bias absent
+}
+
+TEST_F(PartitionTest, EscapingInteriorValueRejectsRegion) {
+  // The BiasAdd feeds both the Relu tower AND another consumer; fusing it
+  // away would orphan that consumer.
+  NodeId M = node("MatMul", {input({8, 8}), input({8, 8})});
+  NodeId B = node("BiasAdd", {M, input({8})});
+  NodeId Root = node("Relu", {B});
+  NodeId Other = node("Tanh", {B});
+  NodeId Join = node("Add", {Root, Other});
+  G.addOutput(Join);
+  PartitionResult P = partition("MatMulEpilogExt", {"a", "b", "b1"});
+  EXPECT_GE(P.Stats.EscapeRejects, 1u);
+  // B may legitimately *root* a smaller region (its value survives as the
+  // fused node's output); it must never be a fused-away interior node.
+  for (const Region &R : P.Regions)
+    for (NodeId N : R.Interior)
+      if (N != R.Root) {
+        EXPECT_NE(N, B) << "escaping BiasAdd was fused away";
+      }
+}
+
+TEST_F(PartitionTest, OverlapGoesToOutermostMatch) {
+  // A tower of 2 over a matmul: the outer match claims everything; the
+  // inner sub-tower must not produce a second region.
+  NodeId M = node("MatMul", {input({8, 8}), input({8, 8})});
+  NodeId R1 = node("Relu", {M});
+  NodeId Root = node("Gelu", {R1});
+  G.addOutput(Root);
+  PartitionResult P = partition("MatMulEpilog", {"a", "b"});
+  ASSERT_EQ(P.Regions.size(), 1u);
+  EXPECT_EQ(P.Regions[0].Root, Root);
+}
+
+TEST_F(PartitionTest, DisjointRegionsAreAllFound) {
+  for (int I = 0; I != 3; ++I) {
+    NodeId M = node("MatMul", {input({8, 8}), input({8, 8})});
+    G.addOutput(node("Relu", {node("Relu", {M})}));
+  }
+  PartitionResult P = partition("MatMulEpilog", {"a", "b"});
+  EXPECT_EQ(P.Regions.size(), 3u);
+}
+
+TEST_F(PartitionTest, FuseRegionsReplacesAndStaysValid) {
+  NodeId M = node("MatMul", {input({8, 8}), input({8, 8})});
+  NodeId Root = node("Gelu", {node("Relu", {M})});
+  // Trans is not pointwise, so the tower (and region) ends at Root.
+  NodeId Out = node("Trans", {Root});
+  G.addOutput(Out);
+  PartitionResult P = partition("MatMulEpilog", {"a", "b"});
+  ASSERT_EQ(P.Regions.size(), 1u);
+  TensorType RootType = G.type(Root);
+
+  std::vector<NodeId> Fused = fuseRegions(G, P, SI);
+  ASSERT_EQ(Fused.size(), 1u);
+  EXPECT_EQ(G.type(Fused[0]), RootType);
+  EXPECT_EQ(G.attr(Fused[0], Symbol::intern("fused_ops")), 3);
+  EXPECT_EQ(G.countOps("MatMul"), 0u);
+  EXPECT_EQ(G.countOps("FusedRegion2"), 1u);
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(G.verify(Diags)) << Diags.renderAll();
+}
+
+TEST_F(PartitionTest, PartitioningDoesNotMutateTheGraph) {
+  NodeId M = node("MatMul", {input({8, 8}), input({8, 8})});
+  G.addOutput(node("Relu", {M}));
+  size_t Before = G.numNodes();
+  partition("MatMulEpilog", {"a", "b"});
+  EXPECT_EQ(G.numNodes(), Before);
+}
+
+TEST_F(PartitionTest, TransformerFfnRegionsOnReluModel) {
+  term::Signature Sig2;
+  models::TransformerConfig TC;
+  TC.Name = "relu-tiny";
+  TC.Layers = 2;
+  TC.Hidden = 64;
+  TC.Activation = models::TransformerConfig::Act::Relu;
+  auto G2 = models::buildTransformer(Sig2, TC);
+  auto Lib2 = opt::compilePartition(Sig2);
+  Symbol F[3] = {Symbol::intern("a"), Symbol::intern("b"),
+                 Symbol::intern("b1")};
+  PartitionResult P =
+      partitionGraph(*G2, *Lib2->findPattern("MatMulEpilogExt"), F);
+  // Per layer: Relu(BiasAdd(MatMul)) + BiasAdd(MatMul) + scaled scores.
+  EXPECT_EQ(P.Regions.size(), 6u);
+  sim::CostModel CM;
+  double Before = CM.graphCost(*G2).Seconds;
+  fuseRegions(*G2, P, ShapeInference());
+  double After = CM.graphCost(*G2).Seconds;
+  EXPECT_LT(After, Before); // fusing strictly helps under the cost model
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(G2->verify(Diags)) << Diags.renderAll();
+}

@@ -1,0 +1,268 @@
+//===- tests/test_properties.cpp - Cross-module property tests -----------------===//
+///
+/// Randomized invariants that cut across modules:
+///  - pattern binaries round-trip arbitrary core patterns without changing
+///    matching behavior;
+///  - one μ-unfold step preserves the match relation (the executable
+///    content of P-Mu / ST-Match-Mu);
+///  - the graph↔term adapter is a faithful bijection on random DAGs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "graph/ShapeInference.h"
+#include "graph/TermView.h"
+#include "models/Transformers.h"
+#include "dsl/Sema.h"
+#include "pattern/Serializer.h"
+#include "support/Random.h"
+
+#include <functional>
+
+using namespace pypm;
+using namespace pypm::match;
+using namespace pypm::pattern;
+
+namespace {
+
+/// Compact generator over the full pattern grammar (no μ for the
+/// serializer test's name-sensitive comparisons; μ covered separately).
+struct MiniGen {
+  Rng R;
+  term::Signature &Sig;
+  term::TermArena &Arena;
+  PatternArena &PA;
+  term::OpId C0, C1, U0, B0;
+  uint64_t Fresh = 0;
+
+  MiniGen(uint64_t Seed, term::Signature &Sig, term::TermArena &Arena,
+          PatternArena &PA)
+      : R(Seed), Sig(Sig), Arena(Arena), PA(PA) {
+    C0 = Sig.getOrAddOp("c0", 0);
+    C1 = Sig.getOrAddOp("c1", 0);
+    U0 = Sig.getOrAddOp("u0", 1, 1, "unary_pointwise");
+    B0 = Sig.getOrAddOp("b0", 2);
+  }
+
+  term::TermRef term(unsigned Depth) {
+    if (Depth == 0 || R.chance(1, 3))
+      return Arena.leaf(R.chance(1, 2) ? C0 : C1);
+    if (R.chance(1, 2))
+      return Arena.make(U0, {term(Depth - 1)});
+    return Arena.make(B0, {term(Depth - 1), term(Depth - 1)});
+  }
+
+  Symbol var() {
+    static const char *Pool[3] = {"x", "y", "z"};
+    return Symbol::intern(Pool[R.below(3)]);
+  }
+
+  const GuardExpr *guard() {
+    static const Symbol Attrs[2] = {Symbol::intern("size"),
+                                    Symbol::intern("depth")};
+    return PA.binary(R.chance(1, 2) ? GuardKind::Le : GuardKind::Eq,
+                     PA.attr(var(), Attrs[R.below(2)]),
+                     PA.intLit(R.range(0, 4)));
+  }
+
+  const Pattern *pattern(unsigned Depth) {
+    if (Depth == 0)
+      return PA.var(var());
+    switch (R.below(8)) {
+    case 0:
+      return PA.var(var());
+    case 1:
+      return PA.app(U0, {pattern(Depth - 1)});
+    case 2:
+      return PA.app(B0, {pattern(Depth - 1), pattern(Depth - 1)});
+    case 3:
+      return PA.alt(pattern(Depth - 1), pattern(Depth - 1));
+    case 4:
+      return PA.guarded(pattern(Depth - 1), guard());
+    case 5: {
+      Symbol V = Symbol::intern("e" + std::to_string(Fresh++));
+      return PA.exists(V, PA.app(U0, {PA.var(V)}));
+    }
+    case 6: {
+      Symbol V = var();
+      return PA.matchConstraint(PA.var(V), pattern(Depth - 1), V);
+    }
+    case 7: {
+      Symbol F = Symbol::intern("F" + std::to_string(Fresh++));
+      return PA.existsFun(F, PA.funVarApp(F, {pattern(Depth - 1)}));
+    }
+    }
+    return PA.var(var());
+  }
+};
+
+class PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(PropertyTest, SerializerRoundTripsRandomPatterns) {
+  term::Signature Sig;
+  term::TermArena Arena(Sig);
+  auto Lib = std::make_unique<Library>();
+  MiniGen Gen(GetParam() * 2654435761u + 17, Sig, Arena, Lib->Arena);
+
+  // One library with many random patterns.
+  for (int I = 0; I != 20; ++I) {
+    NamedPattern NP;
+    NP.Name = Symbol::intern("R" + std::to_string(I));
+    NP.Params = {Symbol::intern("x"), Symbol::intern("y"),
+                 Symbol::intern("z")};
+    NP.Pat = Gen.pattern(3);
+    Lib->PatternDefs.push_back(std::move(NP));
+  }
+
+  std::string Bytes = serializeLibrary(*Lib, Sig);
+  term::Signature Sig2;
+  DiagnosticEngine Diags;
+  auto Loaded = deserializeLibrary(Bytes, Sig2, Diags);
+  ASSERT_TRUE(Loaded != nullptr) << Diags.renderAll();
+
+  // Printed forms identical…
+  for (size_t I = 0; I != Lib->PatternDefs.size(); ++I)
+    ASSERT_EQ(Lib->PatternDefs[I].Pat->toString(Sig),
+              Loaded->PatternDefs[I].Pat->toString(Sig2));
+
+  // …and matching behavior identical on random terms.
+  term::TermArena Arena2(Sig2);
+  MiniGen Gen2(GetParam() * 2654435761u + 17, Sig2, Arena2,
+               Loaded->Arena); // same op ids in Sig2 by construction order
+  for (int I = 0; I != 60; ++I) {
+    term::TermRef T1 = Gen.term(4);
+    term::TermRef T2 =
+        term::parseTermOrDie(Arena.toString(T1), Sig2, Arena2);
+    const NamedPattern &P1 = Lib->PatternDefs[I % Lib->PatternDefs.size()];
+    const NamedPattern &P2 =
+        Loaded->PatternDefs[I % Loaded->PatternDefs.size()];
+    MatchResult R1 = matchPattern(P1.Pat, T1, Arena);
+    MatchResult R2 = matchPattern(P2.Pat, T2, Arena2);
+    ASSERT_EQ(R1.Status, R2.Status) << P1.Pat->toString(Sig) << " vs "
+                                    << Arena.toString(T1);
+    if (R1.matched()) {
+      ASSERT_EQ(toString(R1.W, Sig), toString(R2.W, Sig2));
+    }
+  }
+}
+
+TEST_P(PropertyTest, MuUnfoldStepPreservesMatching) {
+  // P-Mu / ST-Match-Mu: match(μP.p, t) ≡ match(p[μP/P][ȳ/x̄], t), for
+  // randomly generated structurally-decreasing recursions.
+  term::Signature Sig;
+  term::TermArena Arena(Sig);
+  PatternArena PA;
+  MiniGen Gen(GetParam() * 40503 + 1, Sig, Arena, PA);
+
+  for (int Iter = 0; Iter != 120; ++Iter) {
+    Symbol Self = Symbol::intern("P" + std::to_string(Iter));
+    Symbol Param = Symbol::intern("r" + std::to_string(Iter));
+    const Pattern *Step = PA.app(Gen.U0, {PA.recCall(Self, {Param})});
+    const Pattern *Base = Gen.pattern(2);
+    const auto *Mu = cast<MuPattern>(
+        PA.mu(Self, {Param}, {Gen.var()}, PA.alt(Step, Base)));
+    const Pattern *Unfolded = PA.unfoldMu(Mu);
+
+    term::TermRef T = Gen.term(4);
+    MatchResult RMu = matchPattern(Mu, T, Arena);
+    MatchResult RUn = matchPattern(Unfolded, T, Arena);
+    ASSERT_EQ(RMu.Status, RUn.Status)
+        << Mu->toString(Sig) << " against " << Arena.toString(T);
+    if (RMu.matched()) {
+      // User-visible bindings agree (fresh binder names may differ).
+      auto Visible = [](const Witness &W) {
+        Witness Out;
+        for (const auto &[K, V] : W.Theta)
+          if (K.str().find('$') == std::string_view::npos)
+            Out.Theta.bind(K, V);
+        return Out;
+      };
+      ASSERT_EQ(Visible(RMu.W), Visible(RUn.W));
+    }
+  }
+}
+
+TEST_P(PropertyTest, TermViewIsFaithfulOnRandomGraphs) {
+  term::Signature Sig;
+  models::declareModelOps(Sig);
+  graph::Graph G(Sig);
+  Rng R(GetParam() * 7 + 5);
+
+  term::OpId Relu = Sig.lookup("Relu");
+  term::OpId Add = Sig.lookup("Add");
+  std::vector<graph::NodeId> Nodes;
+  for (int I = 0; I != 4; ++I)
+    Nodes.push_back(G.addLeaf(
+        "Input", graph::TensorType::make(term::DType::F32, {4, 4})));
+  for (int I = 0; I != 40; ++I) {
+    if (R.chance(1, 2))
+      Nodes.push_back(
+          G.addNode(Relu, {Nodes[R.below(Nodes.size())]}));
+    else
+      Nodes.push_back(G.addNode(Add, {Nodes[R.below(Nodes.size())],
+                                      Nodes[R.below(Nodes.size())]}));
+  }
+  G.addOutput(Nodes.back());
+  graph::ShapeInference SI;
+  SI.inferAll(G);
+
+  term::TermArena Arena(Sig);
+  graph::TermView View(G, Arena);
+  for (graph::NodeId N : G.topoOrder()) {
+    term::TermRef T = View.termFor(N);
+    // The representative node's unrolling is the same term…
+    graph::NodeId Rep = View.nodeFor(T);
+    ASSERT_NE(Rep, graph::InvalidNode);
+    ASSERT_EQ(View.termFor(Rep), T);
+    // …and term tree size is consistent with the unrolled subgraph.
+    ASSERT_GE(T->size(), 1u);
+    // Children align with graph inputs.
+    ASSERT_EQ(T->arity(), G.inputs(N).size());
+    for (unsigned I = 0; I != T->arity(); ++I)
+      ASSERT_EQ(T->child(I), View.termFor(G.inputs(N)[I]));
+  }
+}
+
+TEST_P(PropertyTest, DslFrontendNeverCrashesOnGarbage) {
+  // Robustness fuzz: random character soup and random token soup must
+  // produce diagnostics, never crashes, hangs, or asserts.
+  Rng R(GetParam() * 31337 + 11);
+  const char *Fragments[] = {
+      "pattern", "rule",   "op",    "for",  "assert", "return", "var",
+      "opvar",   "include", "if",   "elif", "else",   "P",      "x",
+      "f",       "MatMul", "(",     ")",    "{",      "}",      "[",
+      "]",       ",",      ";",     "=",    "<=",     "==",     "&&",
+      "||",      "!",      ".",     "+",    "-",      "*",      "/",
+      "%",       "0.5",    "42",    "\"s\"", "opclass", "f32", "shape",
+  };
+  for (int Iter = 0; Iter != 120; ++Iter) {
+    std::string Source;
+    int Len = static_cast<int>(R.range(1, 60));
+    for (int I = 0; I != Len; ++I) {
+      Source += Fragments[R.below(sizeof(Fragments) / sizeof(char *))];
+      Source += ' ';
+    }
+    term::Signature Sig;
+    DiagnosticEngine Diags;
+    auto Lib = dsl::compile(Source, Sig, Diags);
+    // Either it compiled, or it produced at least one diagnostic.
+    EXPECT_TRUE(Lib != nullptr || Diags.hasErrors()) << Source;
+  }
+  // Raw byte soup too.
+  for (int Iter = 0; Iter != 120; ++Iter) {
+    std::string Source;
+    int Len = static_cast<int>(R.range(0, 200));
+    for (int I = 0; I != Len; ++I)
+      Source += static_cast<char>(R.range(1, 126));
+    term::Signature Sig;
+    DiagnosticEngine Diags;
+    (void)dsl::compile(Source, Sig, Diags);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
+                         ::testing::Range<uint64_t>(0, 8));

@@ -1,0 +1,208 @@
+//===- tests/test_serializer.cpp - Pattern binary format -----------------------===//
+
+#include "TestHelpers.h"
+
+#include "dsl/Sema.h"
+#include "pattern/Serializer.h"
+
+using namespace pypm;
+using namespace pypm::pattern;
+
+namespace {
+
+class SerializerTest : public pypm::testing::CoreFixture {
+protected:
+  /// Compiles, serializes, deserializes into a fresh signature, and
+  /// returns both libraries for comparison.
+  struct RoundTrip {
+    std::unique_ptr<Library> Original;
+    std::unique_ptr<Library> Loaded;
+    term::Signature LoadedSig;
+    std::string Bytes;
+  };
+
+  RoundTrip roundTrip(std::string_view Src) {
+    RoundTrip RT;
+    RT.Original = dsl::compileOrDie(Src, Sig);
+    RT.Bytes = serializeLibrary(*RT.Original, Sig);
+    DiagnosticEngine Diags;
+    RT.Loaded = deserializeLibrary(RT.Bytes, RT.LoadedSig, Diags);
+    EXPECT_TRUE(RT.Loaded != nullptr) << Diags.renderAll();
+    return RT;
+  }
+};
+
+constexpr const char *FullFeatureSrc = R"(
+  op MatMul(2); op Trans(1); op Relu(1) class("unary_pointwise");
+  op Fused(2) attrs(act) class("fused_kernel");
+  pattern Chain(x, f) { return f(Chain(x, f)); }
+  pattern Chain(x, f) { return f(x); }
+  pattern Epi(a, b, f) {
+    c = var();
+    assert f.op_class == opclass("unary_pointwise");
+    assert a.shape.rank == 2 || a.shape.rank == 3;
+    c <= MatMul(a, b);
+    return f(c);
+  }
+  rule fuse for Epi(a, b, f) {
+    assert a.eltType == f32 && b.eltType == f32;
+    return Fused[act = f.op_id](a, b);
+  }
+)";
+
+} // namespace
+
+TEST_F(SerializerTest, RoundTripPreservesPatternStructure) {
+  RoundTrip RT = roundTrip(FullFeatureSrc);
+  ASSERT_EQ(RT.Loaded->PatternDefs.size(), RT.Original->PatternDefs.size());
+  for (size_t I = 0; I != RT.Original->PatternDefs.size(); ++I) {
+    const NamedPattern &A = RT.Original->PatternDefs[I];
+    const NamedPattern &B = RT.Loaded->PatternDefs[I];
+    EXPECT_EQ(A.Name, B.Name);
+    EXPECT_EQ(A.Params, B.Params);
+    EXPECT_EQ(A.FunParams, B.FunParams);
+    // The printed form is a faithful structural fingerprint.
+    EXPECT_EQ(A.Pat->toString(Sig), B.Pat->toString(RT.LoadedSig));
+  }
+}
+
+TEST_F(SerializerTest, RoundTripPreservesRules) {
+  RoundTrip RT = roundTrip(FullFeatureSrc);
+  ASSERT_EQ(RT.Loaded->Rules.size(), 1u);
+  const RewriteRule &A = RT.Original->Rules[0];
+  const RewriteRule &B = RT.Loaded->Rules[0];
+  EXPECT_EQ(A.Name, B.Name);
+  EXPECT_EQ(A.PatternName, B.PatternName);
+  EXPECT_EQ(A.Guard->toString(), B.Guard->toString());
+  EXPECT_EQ(A.Rhs->toString(Sig), B.Rhs->toString(RT.LoadedSig));
+}
+
+TEST_F(SerializerTest, RoundTripPreservesSignatureMetadata) {
+  RoundTrip RT = roundTrip(FullFeatureSrc);
+  term::OpId Relu = RT.LoadedSig.lookup("Relu");
+  ASSERT_TRUE(Relu.isValid());
+  EXPECT_EQ(RT.LoadedSig.opClass(Relu).str(), "unary_pointwise");
+  term::OpId Fused = RT.LoadedSig.lookup("Fused");
+  ASSERT_TRUE(Fused.isValid());
+  ASSERT_EQ(RT.LoadedSig.info(Fused).AttrNames.size(), 1u);
+  EXPECT_EQ(RT.LoadedSig.info(Fused).AttrNames[0].str(), "act");
+}
+
+TEST_F(SerializerTest, LoadedPatternsMatchIdentically) {
+  RoundTrip RT = roundTrip(FullFeatureSrc);
+  term::TermArena Arena2(RT.LoadedSig);
+  auto T = term::parseTermOrDie("Relu(Relu(Relu(K)))", RT.LoadedSig, Arena2);
+  auto R = match::matchPattern(RT.Loaded->findPattern("Chain")->Pat, T,
+                               Arena2);
+  ASSERT_TRUE(R.matched());
+  EXPECT_EQ(R.W.Theta.lookup(Symbol::intern("x")),
+            term::parseTermOrDie("K", RT.LoadedSig, Arena2));
+}
+
+TEST_F(SerializerTest, DoubleRoundTripIsStable) {
+  RoundTrip RT = roundTrip(FullFeatureSrc);
+  std::string Bytes2 = serializeLibrary(*RT.Loaded, RT.LoadedSig);
+  term::Signature Sig3;
+  DiagnosticEngine Diags;
+  auto Lib3 = deserializeLibrary(Bytes2, Sig3, Diags);
+  ASSERT_TRUE(Lib3 != nullptr);
+  EXPECT_EQ(Lib3->PatternDefs.size(), RT.Loaded->PatternDefs.size());
+  for (size_t I = 0; I != Lib3->PatternDefs.size(); ++I)
+    EXPECT_EQ(Lib3->PatternDefs[I].Pat->toString(Sig3),
+              RT.Loaded->PatternDefs[I].Pat->toString(RT.LoadedSig));
+}
+
+TEST_F(SerializerTest, MergesIntoCompatibleSignature) {
+  RoundTrip RT = roundTrip("op F(1);\npattern P(x) { return F(x); }");
+  // Load again into a signature that already declares F with arity 1.
+  term::Signature Sig2;
+  Sig2.addOp("F", 1);
+  DiagnosticEngine Diags;
+  auto Lib = deserializeLibrary(RT.Bytes, Sig2, Diags);
+  EXPECT_TRUE(Lib != nullptr) << Diags.renderAll();
+}
+
+TEST_F(SerializerTest, RejectsIncompatibleArity) {
+  RoundTrip RT = roundTrip("op F(1);\npattern P(x) { return F(x); }");
+  term::Signature Sig2;
+  Sig2.addOp("F", 3);
+  DiagnosticEngine Diags;
+  EXPECT_EQ(deserializeLibrary(RT.Bytes, Sig2, Diags), nullptr);
+  EXPECT_NE(Diags.renderAll().find("redeclared with arity"),
+            std::string::npos);
+}
+
+TEST_F(SerializerTest, RejectsBadMagic) {
+  term::Signature Sig2;
+  DiagnosticEngine Diags;
+  EXPECT_EQ(deserializeLibrary("NOPE....", Sig2, Diags), nullptr);
+  EXPECT_NE(Diags.renderAll().find("bad magic"), std::string::npos);
+}
+
+TEST_F(SerializerTest, RejectsWrongVersion) {
+  RoundTrip RT = roundTrip("op F(1);\npattern P(x) { return F(x); }");
+  std::string Corrupt = RT.Bytes;
+  Corrupt[4] = 99; // version byte
+  term::Signature Sig2;
+  DiagnosticEngine Diags;
+  EXPECT_EQ(deserializeLibrary(Corrupt, Sig2, Diags), nullptr);
+  EXPECT_NE(Diags.renderAll().find("version"), std::string::npos);
+}
+
+TEST_F(SerializerTest, RejectsEveryTruncation) {
+  RoundTrip RT = roundTrip(FullFeatureSrc);
+  // Never crashes and always errors, at every truncation point.
+  for (size_t Len = 0; Len < RT.Bytes.size(); Len += 7) {
+    term::Signature Sig2;
+    DiagnosticEngine Diags;
+    EXPECT_EQ(deserializeLibrary(RT.Bytes.substr(0, Len), Sig2, Diags),
+              nullptr)
+        << "truncation at " << Len << " unexpectedly parsed";
+  }
+}
+
+TEST_F(SerializerTest, RejectsTrailingGarbage) {
+  RoundTrip RT = roundTrip("op F(1);\npattern P(x) { return F(x); }");
+  term::Signature Sig2;
+  DiagnosticEngine Diags;
+  EXPECT_EQ(deserializeLibrary(RT.Bytes + "junk", Sig2, Diags), nullptr);
+  EXPECT_NE(Diags.renderAll().find("trailing bytes"), std::string::npos);
+}
+
+TEST_F(SerializerTest, SurvivesRandomByteFlips) {
+  // Fuzz-lite: flipping any single byte must never crash the reader (it
+  // may or may not produce a valid library, but must stay memory-safe).
+  RoundTrip RT = roundTrip(FullFeatureSrc);
+  for (size_t I = 8; I < RT.Bytes.size(); I += 11) {
+    std::string Corrupt = RT.Bytes;
+    Corrupt[I] = static_cast<char>(Corrupt[I] ^ 0x5a);
+    term::Signature Sig2;
+    DiagnosticEngine Diags;
+    (void)deserializeLibrary(Corrupt, Sig2, Diags);
+  }
+  SUCCEED();
+}
+
+TEST_F(SerializerTest, EmptyLibraryRoundTrips) {
+  Library Empty;
+  std::string Bytes = serializeLibrary(Empty, Sig);
+  term::Signature Sig2;
+  DiagnosticEngine Diags;
+  auto Lib = deserializeLibrary(Bytes, Sig2, Diags);
+  ASSERT_TRUE(Lib != nullptr);
+  EXPECT_TRUE(Lib->PatternDefs.empty());
+  EXPECT_TRUE(Lib->Rules.empty());
+}
+
+TEST_F(SerializerTest, StringTableDeduplicates) {
+  // The same identifier used many times is stored once: the binary for a
+  // pattern using x eight times is barely larger than for one use.
+  auto Small = dsl::compileOrDie("op F(1);\npattern P(x) { return F(x); }",
+                                 Sig);
+  term::Signature SigB;
+  auto Big = dsl::compileOrDie(
+      "op G(8);\npattern P(x) { return G(x, x, x, x, x, x, x, x); }", SigB);
+  std::string SmallBytes = serializeLibrary(*Small, Sig);
+  std::string BigBytes = serializeLibrary(*Big, SigB);
+  EXPECT_LT(BigBytes.size(), SmallBytes.size() + 64);
+}

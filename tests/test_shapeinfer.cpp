@@ -1,0 +1,224 @@
+//===- tests/test_shapeinfer.cpp - Shape/dtype inference -----------------------===//
+
+#include "graph/ShapeInference.h"
+#include "models/Transformers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pypm;
+using namespace pypm::graph;
+
+namespace {
+
+class ShapeTest : public ::testing::Test {
+protected:
+  ShapeTest() : G(Sig) { models::declareModelOps(Sig); }
+
+  NodeId input(std::initializer_list<int64_t> Dims,
+               term::DType D = term::DType::F32) {
+    TensorType T;
+    T.Dtype = D;
+    T.Dims.assign(Dims.begin(), Dims.end());
+    return G.addLeaf("Input", std::move(T));
+  }
+
+  NodeId node(std::string_view Op, std::initializer_list<NodeId> In,
+              std::vector<term::Attr> Attrs = {}) {
+    return G.addNode(Sig.lookup(Op), In, std::move(Attrs));
+  }
+
+  /// Infers everything and returns the type of \p N.
+  TensorType typeOf(NodeId N) {
+    SI.inferAll(G);
+    return G.type(N);
+  }
+
+  term::Signature Sig;
+  Graph G;
+  ShapeInference SI;
+};
+
+} // namespace
+
+TEST_F(ShapeTest, MatMulRank2) {
+  NodeId M = node("MatMul", {input({64, 128}), input({128, 32})});
+  EXPECT_EQ(typeOf(M).Dims, (std::vector<int64_t>{64, 32}));
+}
+
+TEST_F(ShapeTest, MatMulBatched3D) {
+  NodeId M = node("MatMul", {input({8, 64, 128}), input({8, 128, 32})});
+  EXPECT_EQ(typeOf(M).Dims, (std::vector<int64_t>{8, 64, 32}));
+}
+
+TEST_F(ShapeTest, MatMulBatchBroadcastWithRank2Rhs) {
+  NodeId M = node("MatMul", {input({8, 64, 128}), input({128, 32})});
+  EXPECT_EQ(typeOf(M).Dims, (std::vector<int64_t>{8, 64, 32}));
+}
+
+TEST_F(ShapeTest, MatMulContractionMismatchFails) {
+  NodeId M = node("MatMul", {input({64, 100}), input({128, 32})});
+  DiagnosticEngine Diags;
+  ShapeInference::Stats S = SI.inferAll(G, &Diags);
+  EXPECT_EQ(S.Errors, 1u);
+  EXPECT_TRUE(Diags.hasErrors());
+  (void)M;
+}
+
+TEST_F(ShapeTest, TransSwapsTrailingDims) {
+  NodeId T = node("Trans", {input({8, 64, 128})});
+  EXPECT_EQ(typeOf(T).Dims, (std::vector<int64_t>{8, 128, 64}));
+}
+
+TEST_F(ShapeTest, CublasXyTContractsAgainstTransposedRhs) {
+  NodeId M = node("cublasMM_xyT_f32", {input({64, 128}), input({32, 128})});
+  EXPECT_EQ(typeOf(M).Dims, (std::vector<int64_t>{64, 32}));
+}
+
+TEST_F(ShapeTest, ElementwiseSameShape) {
+  NodeId A = node("Add", {input({8, 128}), input({8, 128})});
+  EXPECT_EQ(typeOf(A).Dims, (std::vector<int64_t>{8, 128}));
+}
+
+TEST_F(ShapeTest, ElementwiseScalarBroadcast) {
+  NodeId C = G.addConst(2.0);
+  NodeId D = node("Div", {input({8, 128}), C});
+  TensorType T = typeOf(D);
+  EXPECT_EQ(T.Dims, (std::vector<int64_t>{8, 128}));
+  EXPECT_EQ(T.Dtype, term::DType::F32);
+}
+
+TEST_F(ShapeTest, ElementwiseRightAlignedBroadcast) {
+  NodeId A = node("Mul", {input({8, 128, 768}), input({768})});
+  EXPECT_EQ(typeOf(A).Dims, (std::vector<int64_t>{8, 128, 768}));
+}
+
+TEST_F(ShapeTest, ElementwiseIncompatibleFails) {
+  node("Add", {input({8, 128}), input({8, 64})});
+  ShapeInference::Stats S = SI.inferAll(G);
+  EXPECT_EQ(S.Errors, 1u);
+}
+
+TEST_F(ShapeTest, ScalarConstDoesNotDemoteDtype) {
+  NodeId C = G.addConst(1.0, term::DType::F32);
+  NodeId X = input({4, 4}, term::DType::F16);
+  NodeId A = node("Add", {C, X});
+  EXPECT_EQ(typeOf(A).Dtype, term::DType::F16);
+}
+
+TEST_F(ShapeTest, SoftmaxAndLayerNormPreserveShape) {
+  NodeId S = node("Softmax", {input({8, 128, 128})});
+  NodeId L = node("LayerNorm", {input({8, 128, 768})});
+  EXPECT_EQ(typeOf(S).Dims, (std::vector<int64_t>{8, 128, 128}));
+  EXPECT_EQ(G.type(L).Dims, (std::vector<int64_t>{8, 128, 768}));
+}
+
+TEST_F(ShapeTest, Conv2DWithStrideAndPad) {
+  // x [2,3,32,32], w [16,3,3,3], stride 2, pad 1 → [2,16,16,16]
+  NodeId C = node("Conv2D", {input({2, 3, 32, 32}), input({16, 3, 3, 3})},
+                  {{Symbol::intern("stride"), 2}, {Symbol::intern("pad"), 1}});
+  EXPECT_EQ(typeOf(C).Dims, (std::vector<int64_t>{2, 16, 16, 16}));
+}
+
+TEST_F(ShapeTest, ConvEpilogMatchesConvShape) {
+  // The fused kernel must produce exactly the conv's output shape (a
+  // defaulted "same as input" rule would silently corrupt channel counts
+  // downstream).
+  std::vector<term::Attr> Attrs{{Symbol::intern("stride"), 2},
+                                {Symbol::intern("pad"), 1}};
+  NodeId C = node("Conv2D", {input({2, 3, 32, 32}), input({16, 3, 3, 3})},
+                  Attrs);
+  NodeId E = node("ConvEpilog",
+                  {input({2, 3, 32, 32}), input({16, 3, 3, 3}),
+                   input({16, 1, 1})},
+                  Attrs);
+  SI.inferAll(G);
+  EXPECT_EQ(G.type(E).Dims, G.type(C).Dims);
+  EXPECT_EQ(G.type(E).Dims, (std::vector<int64_t>{2, 16, 16, 16}));
+}
+
+TEST_F(ShapeTest, Conv2DChannelMismatchFails) {
+  node("Conv2D", {input({2, 3, 32, 32}), input({16, 4, 3, 3})});
+  EXPECT_EQ(SI.inferAll(G).Errors, 1u);
+}
+
+TEST_F(ShapeTest, MaxPoolHalvesSpatial) {
+  NodeId P = node("MaxPool", {input({2, 16, 32, 32})},
+                  {{Symbol::intern("k"), 2}, {Symbol::intern("stride"), 2}});
+  EXPECT_EQ(typeOf(P).Dims, (std::vector<int64_t>{2, 16, 16, 16}));
+}
+
+TEST_F(ShapeTest, GlobalAvgPoolDropsSpatial) {
+  NodeId P = node("GlobalAvgPool", {input({2, 16, 7, 7})});
+  EXPECT_EQ(typeOf(P).Dims, (std::vector<int64_t>{2, 16}));
+}
+
+TEST_F(ShapeTest, ReshapeUsesTargetAttrs) {
+  NodeId R = node("Reshape", {input({2, 96, 4, 4})},
+                  {{Symbol::intern("d0"), 2},
+                   {Symbol::intern("d1"), 16},
+                   {Symbol::intern("d2"), 96}});
+  EXPECT_EQ(typeOf(R).Dims, (std::vector<int64_t>{2, 16, 96}));
+}
+
+TEST_F(ShapeTest, ReshapeRejectsElementCountMismatch) {
+  node("Reshape", {input({2, 96, 4, 4})},
+       {{Symbol::intern("d0"), 2}, {Symbol::intern("d1"), 17},
+        {Symbol::intern("d2"), 96}});
+  EXPECT_EQ(SI.inferAll(G).Errors, 1u);
+}
+
+TEST_F(ShapeTest, FlattenKeepsBatch) {
+  NodeId F = node("Flatten", {input({2, 16, 7, 7})});
+  EXPECT_EQ(typeOf(F).Dims, (std::vector<int64_t>{2, 16 * 49}));
+}
+
+TEST_F(ShapeTest, FmhaTakesQShapeWithVHeadDim) {
+  NodeId F = node("FMHA", {input({8, 128, 64}), input({8, 128, 64}),
+                           input({8, 128, 32})});
+  EXPECT_EQ(typeOf(F).Dims, (std::vector<int64_t>{8, 128, 32}));
+}
+
+TEST_F(ShapeTest, GemmEpilogLikeMatMul) {
+  NodeId E = node("GemmEpilog", {input({64, 128}), input({128, 32})});
+  NodeId B = node("GemmBiasEpilog",
+                  {input({64, 128}), input({128, 32}), input({32})});
+  EXPECT_EQ(typeOf(E).Dims, (std::vector<int64_t>{64, 32}));
+  EXPECT_EQ(G.type(B).Dims, (std::vector<int64_t>{64, 32}));
+}
+
+TEST_F(ShapeTest, UnknownOpDefaultsToFirstInputType) {
+  Sig.addOp("Mystery", 1);
+  NodeId M = node("Mystery", {input({5, 5})});
+  ShapeInference::Stats S = SI.inferAll(G);
+  EXPECT_EQ(S.DefaultedNodes, 1u);
+  EXPECT_EQ(G.type(M).Dims, (std::vector<int64_t>{5, 5}));
+}
+
+TEST_F(ShapeTest, RegisteredRuleOverridesDefault) {
+  Sig.addOp("Mystery", 1);
+  SI.registerRule("Mystery", [](const Graph &, NodeId,
+                                std::span<const TensorType> In)
+                      -> std::optional<TensorType> {
+    TensorType Out = In[0];
+    Out.Dims.push_back(1);
+    return Out;
+  });
+  NodeId M = node("Mystery", {input({5, 5})});
+  EXPECT_EQ(typeOf(M).Dims, (std::vector<int64_t>{5, 5, 1}));
+}
+
+TEST_F(ShapeTest, InferNodeSingle) {
+  NodeId M = node("MatMul", {input({4, 8}), input({8, 2})});
+  EXPECT_TRUE(SI.inferNode(G, M));
+  EXPECT_EQ(G.type(M).Dims, (std::vector<int64_t>{4, 2}));
+}
+
+TEST_F(ShapeTest, InferAllCountsInferredNodes) {
+  NodeId A = input({4, 8});
+  NodeId B = input({8, 2});
+  NodeId M = node("MatMul", {A, B});
+  node("Relu", {M});
+  ShapeInference::Stats S = SI.inferAll(G);
+  EXPECT_EQ(S.InferredNodes, 2u); // leaves keep preset types
+  EXPECT_EQ(S.Errors, 0u);
+}

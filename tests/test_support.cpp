@@ -1,0 +1,153 @@
+//===- tests/test_support.cpp - Symbols, diagnostics, RNG ---------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/Random.h"
+#include "support/Symbol.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+using namespace pypm;
+
+TEST(Symbol, InterningIsIdempotent) {
+  Symbol A = Symbol::intern("MatMul");
+  Symbol B = Symbol::intern("MatMul");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.rawId(), B.rawId());
+}
+
+TEST(Symbol, DistinctSpellingsDistinctSymbols) {
+  EXPECT_NE(Symbol::intern("x"), Symbol::intern("y"));
+  EXPECT_NE(Symbol::intern("x"), Symbol::intern("X"));
+}
+
+TEST(Symbol, StrRoundTrips) {
+  EXPECT_EQ(Symbol::intern("shape.rank").str(), "shape.rank");
+  EXPECT_EQ(Symbol::intern("").str(), "");
+}
+
+TEST(Symbol, DefaultIsInvalid) {
+  Symbol S;
+  EXPECT_FALSE(S.isValid());
+  EXPECT_EQ(S.str(), "<invalid>");
+  EXPECT_NE(S, Symbol::intern("anything"));
+}
+
+TEST(Symbol, EmptyStringIsValidSymbol) {
+  // The empty spelling interns to a valid (non-sentinel) symbol.
+  EXPECT_TRUE(Symbol::intern("").isValid());
+}
+
+TEST(Symbol, FreshNeverCollides) {
+  Symbol Base = Symbol::intern("y");
+  std::set<uint32_t> Seen{Base.rawId()};
+  for (int I = 0; I != 100; ++I) {
+    Symbol F = Symbol::fresh("y");
+    EXPECT_TRUE(Seen.insert(F.rawId()).second)
+        << "fresh symbol collided: " << F.str();
+  }
+}
+
+TEST(Symbol, FreshAvoidsPreInternedSpellings) {
+  // Intern a spelling fresh() might generate; fresh must skip it.
+  Symbol F1 = Symbol::fresh("z");
+  std::string Taken(F1.str());
+  Symbol F2 = Symbol::fresh("z");
+  EXPECT_NE(F1, F2);
+}
+
+TEST(Symbol, FromRawReconstructs) {
+  Symbol A = Symbol::intern("roundtrip");
+  EXPECT_EQ(Symbol::fromRaw(A.rawId()), A);
+}
+
+TEST(Symbol, OrderingIsStable) {
+  Symbol A = Symbol::intern("a1");
+  Symbol B = Symbol::intern("b1");
+  EXPECT_TRUE(A < B || B < A);
+  EXPECT_FALSE(A < A);
+}
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  DiagnosticEngine D;
+  D.note(SourceLoc(), "n");
+  D.warning(SourceLoc(), "w");
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc{3, 7}, "boom");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, RenderIncludesLocation) {
+  DiagnosticEngine D;
+  D.error(SourceLoc{12, 5}, "unexpected token");
+  EXPECT_EQ(D.diagnostics()[0].render(), "12:5: error: unexpected token");
+}
+
+TEST(Diagnostics, RenderWithoutLocation) {
+  Diagnostic Diag{Severity::Warning, SourceLoc(), "heads up"};
+  EXPECT_EQ(Diag.render(), "warning: heads up");
+}
+
+TEST(Diagnostics, RenderAllOnePerLine) {
+  DiagnosticEngine D;
+  D.error(SourceLoc{1, 1}, "a");
+  D.error(SourceLoc{2, 2}, "b");
+  std::string All = D.renderAll();
+  EXPECT_NE(All.find("1:1: error: a\n"), std::string::npos);
+  EXPECT_NE(All.find("2:2: error: b\n"), std::string::npos);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 1000; ++I)
+    ASSERT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  bool Differs = false;
+  for (int I = 0; I != 16 && !Differs; ++I)
+    Differs = A.next() != B.next();
+  EXPECT_TRUE(Differs);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I)
+    ASSERT_LT(R.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.range(-3, 3);
+    ASSERT_GE(V, -3);
+    ASSERT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng R(11);
+  for (int I = 0; I != 1000; ++I) {
+    double U = R.unit();
+    ASSERT_GE(U, 0.0);
+    ASSERT_LT(U, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng R(13);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_FALSE(R.chance(0, 10));
+    EXPECT_TRUE(R.chance(10, 10));
+  }
+}

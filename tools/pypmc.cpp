@@ -1,0 +1,331 @@
+//===- tools/pypmc.cpp - PyPM pattern compiler driver --------------------------===//
+///
+/// \file
+/// The command-line face of the §2.4 deployment story: compile textual
+/// PyPM programs into portable pattern binaries, inspect binaries, and
+/// test-match patterns against terms.
+///
+///   pypmc compile <file.pypm> -o <file.pypmbin>   serialize a library
+///   pypmc check   <file.pypm>                     compile + report only
+///   pypmc dump    <file.pypmbin>                  list ops/patterns/rules
+///   pypmc match   <file.pypm[bin]> <Pattern> <term> [--trace]
+///                                                 match a textual term
+///
+/// Exit status: 0 on success (for `match`: the pattern matched), 1 on
+/// failure / no match, 2 on usage errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Sema.h"
+#include "graph/GraphIO.h"
+#include "graph/ShapeInference.h"
+#include "match/Derivation.h"
+#include "match/Machine.h"
+#include "pattern/Serializer.h"
+#include "rewrite/RewriteEngine.h"
+#include "sim/CostModel.h"
+#include "term/TermParser.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace pypm;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pypmc compile <file.pypm> -o <file.pypmbin>\n"
+               "       pypmc check   <file.pypm>\n"
+               "       pypmc dump    <file.pypmbin>\n"
+               "       pypmc match   <file.pypm|file.pypmbin> <Pattern> "
+               "<term> [--trace] [--explain]\n"
+               "       pypmc rewrite <patterns> <graph.pypmg> "
+               "[-o <out.pypmg>]\n"
+               "       pypmc cost    <graph.pypmg>\n");
+  return 2;
+}
+
+bool readFile(const char *Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "pypmc: cannot open '%s'\n", Path);
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+bool looksLikeBinary(const std::string &Bytes) {
+  return Bytes.size() >= 4 && Bytes.compare(0, 4, "PYPM") == 0;
+}
+
+/// Loads either a textual .pypm source or a serialized .pypmbin.
+std::unique_ptr<pattern::Library> load(const char *Path,
+                                       term::Signature &Sig) {
+  std::string Bytes;
+  if (!readFile(Path, Bytes))
+    return nullptr;
+  DiagnosticEngine Diags;
+  std::unique_ptr<pattern::Library> Lib =
+      looksLikeBinary(Bytes)
+          ? pattern::deserializeLibrary(Bytes, Sig, Diags)
+          : dsl::compileFile(Path, Sig, Diags); // includes resolved
+  if (!Lib)
+    std::fprintf(stderr, "%s", Diags.renderAll().c_str());
+  return Lib;
+}
+
+int cmdCompile(int Argc, char **Argv) {
+  const char *In = nullptr, *Out = nullptr;
+  for (int I = 0; I != Argc; ++I) {
+    if (std::strcmp(Argv[I], "-o") == 0 && I + 1 != Argc)
+      Out = Argv[++I];
+    else if (!In)
+      In = Argv[I];
+    else
+      return usage();
+  }
+  if (!In || !Out)
+    return usage();
+
+  term::Signature Sig;
+  std::unique_ptr<pattern::Library> Lib = load(In, Sig);
+  if (!Lib)
+    return 1;
+  std::string Bytes = pattern::serializeLibrary(*Lib, Sig);
+  std::ofstream OutFile(Out, std::ios::binary);
+  if (!OutFile || !OutFile.write(Bytes.data(),
+                                 static_cast<std::streamsize>(Bytes.size()))) {
+    std::fprintf(stderr, "pypmc: cannot write '%s'\n", Out);
+    return 1;
+  }
+  std::printf("wrote %s: %zu bytes, %zu pattern(s), %zu rule(s)\n", Out,
+              Bytes.size(), Lib->PatternDefs.size(), Lib->Rules.size());
+  return 0;
+}
+
+int cmdCheck(int Argc, char **Argv) {
+  if (Argc != 1)
+    return usage();
+  term::Signature Sig;
+  std::unique_ptr<pattern::Library> Lib = load(Argv[0], Sig);
+  if (!Lib)
+    return 1;
+  std::printf("%s: OK (%zu pattern(s), %zu rule(s), %zu operator(s))\n",
+              Argv[0], Lib->PatternDefs.size(), Lib->Rules.size(),
+              Sig.size());
+  return 0;
+}
+
+int cmdDump(int Argc, char **Argv) {
+  if (Argc != 1)
+    return usage();
+  term::Signature Sig;
+  std::unique_ptr<pattern::Library> Lib = load(Argv[0], Sig);
+  if (!Lib)
+    return 1;
+
+  std::printf("operators (%zu):\n", Sig.size());
+  for (const term::OpInfo &Info : Sig.ops()) {
+    std::printf("  %s/%u", std::string(Info.Name.str()).c_str(), Info.Arity);
+    if (Info.OpClass.isValid())
+      std::printf(" class=%s", std::string(Info.OpClass.str()).c_str());
+    if (!Info.AttrNames.empty()) {
+      std::printf(" attrs=");
+      for (size_t I = 0; I != Info.AttrNames.size(); ++I)
+        std::printf("%s%s", I ? "," : "",
+                    std::string(Info.AttrNames[I].str()).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\npatterns (%zu):\n", Lib->PatternDefs.size());
+  for (const pattern::NamedPattern &NP : Lib->PatternDefs) {
+    std::printf("  %s(", std::string(NP.Name.str()).c_str());
+    for (size_t I = 0; I != NP.Params.size(); ++I)
+      std::printf("%s%s", I ? ", " : "",
+                  std::string(NP.Params[I].str()).c_str());
+    std::printf(") = %s\n", NP.Pat->toString(Sig).c_str());
+  }
+
+  std::printf("\nrules (%zu):\n", Lib->Rules.size());
+  for (const pattern::RewriteRule &R : Lib->Rules) {
+    std::printf("  %s for %s:", std::string(R.Name.str()).c_str(),
+                std::string(R.PatternName.str()).c_str());
+    if (R.Guard)
+      std::printf(" guard %s", R.Guard->toString().c_str());
+    std::printf(" -> %s\n", R.Rhs->toString(Sig).c_str());
+  }
+  return 0;
+}
+
+int cmdMatch(int Argc, char **Argv) {
+  bool Trace = false, Explain = false;
+  std::vector<const char *> Pos;
+  for (int I = 0; I != Argc; ++I) {
+    if (std::strcmp(Argv[I], "--trace") == 0)
+      Trace = true;
+    else if (std::strcmp(Argv[I], "--explain") == 0)
+      Explain = true;
+    else
+      Pos.push_back(Argv[I]);
+  }
+  if (Pos.size() != 3)
+    return usage();
+
+  term::Signature Sig;
+  std::unique_ptr<pattern::Library> Lib = load(Pos[0], Sig);
+  if (!Lib)
+    return 1;
+  const pattern::NamedPattern *NP = Lib->findPattern(Pos[1]);
+  if (!NP) {
+    std::fprintf(stderr, "pypmc: no pattern named '%s'\n", Pos[1]);
+    return 1;
+  }
+
+  term::TermArena Arena(Sig);
+  term::TermParseResult TR = term::parseTerm(Pos[2], Sig, Arena);
+  if (auto *E = std::get_if<term::TermParseError>(&TR)) {
+    std::fprintf(stderr, "pypmc: term parse error at offset %zu: %s\n",
+                 E->Offset, E->Message.c_str());
+    return 1;
+  }
+  term::TermRef T = std::get<term::TermRef>(TR);
+
+  match::Machine M(Arena);
+  M.start(NP->Pat, T);
+  if (Trace) {
+    std::printf("%s\n", M.describeState(Sig).c_str());
+    while (M.status() == match::MachineStatus::Running) {
+      M.step();
+      std::printf("%s\n", M.describeState(Sig).c_str());
+    }
+  } else {
+    M.run();
+  }
+
+  switch (M.status()) {
+  case match::MachineStatus::Success: {
+    match::Witness W{M.theta(), M.phi()};
+    std::printf("match: %s\n", match::toString(W, Sig).c_str());
+    if (Explain) {
+      auto D = match::deriveMatch(NP->Pat, T, W.Theta, W.Phi, Arena);
+      if (D)
+        std::printf("\nderivation (%zu judgments):\n%s", D->size(),
+                    D->render(Sig).c_str());
+      else
+        std::printf("\n(internal error: no derivation for a machine "
+                    "success — please report)\n");
+    }
+    return 0;
+  }
+  case match::MachineStatus::Failure:
+    std::printf("no match\n");
+    return 1;
+  default:
+    std::printf("undecided (fuel exhausted)\n");
+    return 1;
+  }
+}
+
+std::unique_ptr<graph::Graph> loadGraph(const char *Path,
+                                        term::Signature &Sig) {
+  std::string Text;
+  if (!readFile(Path, Text))
+    return nullptr;
+  DiagnosticEngine Diags;
+  auto G = graph::parseGraphText(Text, Sig, Diags);
+  std::fprintf(stderr, "%s", Diags.renderAll().c_str());
+  return G;
+}
+
+int cmdRewrite(int Argc, char **Argv) {
+  const char *Patterns = nullptr, *GraphPath = nullptr, *Out = nullptr;
+  for (int I = 0; I != Argc; ++I) {
+    if (std::strcmp(Argv[I], "-o") == 0 && I + 1 != Argc)
+      Out = Argv[++I];
+    else if (!Patterns)
+      Patterns = Argv[I];
+    else if (!GraphPath)
+      GraphPath = Argv[I];
+    else
+      return usage();
+  }
+  if (!Patterns || !GraphPath)
+    return usage();
+
+  term::Signature Sig;
+  std::unique_ptr<pattern::Library> Lib = load(Patterns, Sig);
+  if (!Lib)
+    return 1;
+  std::unique_ptr<graph::Graph> G = loadGraph(GraphPath, Sig);
+  if (!G)
+    return 1;
+
+  rewrite::RuleSet Rules;
+  Rules.addLibrary(*Lib);
+  sim::CostModel CM;
+  double Before = CM.graphCost(*G).Seconds;
+  rewrite::RewriteStats Stats =
+      rewrite::rewriteToFixpoint(*G, Rules, graph::ShapeInference());
+  double After = CM.graphCost(*G).Seconds;
+  std::fprintf(stderr, "%s\nsimulated time: %.3fms -> %.3fms (%.3fx)\n",
+               Stats.summary().c_str(), Before * 1e3, After * 1e3,
+               Before / After);
+
+  std::string Text = graph::writeGraphText(*G);
+  if (Out) {
+    std::ofstream OutFile(Out, std::ios::binary);
+    if (!OutFile ||
+        !OutFile.write(Text.data(),
+                       static_cast<std::streamsize>(Text.size()))) {
+      std::fprintf(stderr, "pypmc: cannot write '%s'\n", Out);
+      return 1;
+    }
+  } else {
+    std::fwrite(Text.data(), 1, Text.size(), stdout);
+  }
+  return 0;
+}
+
+int cmdCost(int Argc, char **Argv) {
+  if (Argc != 1)
+    return usage();
+  term::Signature Sig;
+  std::unique_ptr<graph::Graph> G = loadGraph(Argv[0], Sig);
+  if (!G)
+    return 1;
+  sim::CostModel CM;
+  sim::GraphCost C = CM.graphCost(*G);
+  std::printf("nodes=%zu kernels=%u flops=%.3e bytes=%.3e "
+              "simulated-time=%.3fms (%s)\n",
+              G->numLiveNodes(), C.Kernels, C.Flops, C.Bytes,
+              C.Seconds * 1e3, CM.device().Name.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  const char *Cmd = Argv[1];
+  if (std::strcmp(Cmd, "compile") == 0)
+    return cmdCompile(Argc - 2, Argv + 2);
+  if (std::strcmp(Cmd, "check") == 0)
+    return cmdCheck(Argc - 2, Argv + 2);
+  if (std::strcmp(Cmd, "dump") == 0)
+    return cmdDump(Argc - 2, Argv + 2);
+  if (std::strcmp(Cmd, "match") == 0)
+    return cmdMatch(Argc - 2, Argv + 2);
+  if (std::strcmp(Cmd, "rewrite") == 0)
+    return cmdRewrite(Argc - 2, Argv + 2);
+  if (std::strcmp(Cmd, "cost") == 0)
+    return cmdCost(Argc - 2, Argv + 2);
+  return usage();
+}
