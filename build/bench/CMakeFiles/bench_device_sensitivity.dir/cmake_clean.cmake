@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_device_sensitivity.dir/bench_device_sensitivity.cpp.o"
+  "CMakeFiles/bench_device_sensitivity.dir/bench_device_sensitivity.cpp.o.d"
+  "bench_device_sensitivity"
+  "bench_device_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_device_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matcher_micro.dir/bench_matcher_micro.cpp.o"
+  "CMakeFiles/bench_matcher_micro.dir/bench_matcher_micro.cpp.o.d"
+  "bench_matcher_micro"
+  "bench_matcher_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matcher_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

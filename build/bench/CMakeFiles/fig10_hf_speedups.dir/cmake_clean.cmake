@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_hf_speedups.dir/fig10_hf_speedups.cpp.o"
+  "CMakeFiles/fig10_hf_speedups.dir/fig10_hf_speedups.cpp.o.d"
+  "fig10_hf_speedups"
+  "fig10_hf_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_hf_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

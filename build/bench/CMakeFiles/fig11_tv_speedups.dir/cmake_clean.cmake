@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tv_speedups.dir/fig11_tv_speedups.cpp.o"
+  "CMakeFiles/fig11_tv_speedups.dir/fig11_tv_speedups.cpp.o.d"
+  "fig11_tv_speedups"
+  "fig11_tv_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tv_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hf_compile_time.dir/fig12_hf_compile_time.cpp.o"
+  "CMakeFiles/fig12_hf_compile_time.dir/fig12_hf_compile_time.cpp.o.d"
+  "fig12_hf_compile_time"
+  "fig12_hf_compile_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hf_compile_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_hf_compile_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algebra_simplifier.dir/algebra_simplifier.cpp.o"
+  "CMakeFiles/algebra_simplifier.dir/algebra_simplifier.cpp.o.d"
+  "algebra_simplifier"
+  "algebra_simplifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algebra_simplifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for algebra_simplifier.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gelu_fusion.dir/gelu_fusion.cpp.o"
+  "CMakeFiles/gelu_fusion.dir/gelu_fusion.cpp.o.d"
+  "gelu_fusion"
+  "gelu_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gelu_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

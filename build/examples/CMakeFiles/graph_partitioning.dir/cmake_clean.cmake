@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_partitioning.dir/graph_partitioning.cpp.o"
+  "CMakeFiles/graph_partitioning.dir/graph_partitioning.cpp.o.d"
+  "graph_partitioning"
+  "graph_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_fusion.dir/mha_fusion.cpp.o"
+  "CMakeFiles/mha_fusion.dir/mha_fusion.cpp.o.d"
+  "mha_fusion"
+  "mha_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_trace.dir/vm_trace.cpp.o"
+  "CMakeFiles/vm_trace.dir/vm_trace.cpp.o.d"
+  "vm_trace"
+  "vm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

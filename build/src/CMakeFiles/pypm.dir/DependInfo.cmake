@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/Lexer.cpp" "src/CMakeFiles/pypm.dir/dsl/Lexer.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/dsl/Lexer.cpp.o.d"
+  "/root/repo/src/dsl/Parser.cpp" "src/CMakeFiles/pypm.dir/dsl/Parser.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/dsl/Parser.cpp.o.d"
+  "/root/repo/src/dsl/Sema.cpp" "src/CMakeFiles/pypm.dir/dsl/Sema.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/dsl/Sema.cpp.o.d"
+  "/root/repo/src/frontend/Builder.cpp" "src/CMakeFiles/pypm.dir/frontend/Builder.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/frontend/Builder.cpp.o.d"
+  "/root/repo/src/graph/Dot.cpp" "src/CMakeFiles/pypm.dir/graph/Dot.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/graph/Dot.cpp.o.d"
+  "/root/repo/src/graph/Graph.cpp" "src/CMakeFiles/pypm.dir/graph/Graph.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/graph/Graph.cpp.o.d"
+  "/root/repo/src/graph/GraphIO.cpp" "src/CMakeFiles/pypm.dir/graph/GraphIO.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/graph/GraphIO.cpp.o.d"
+  "/root/repo/src/graph/ShapeInference.cpp" "src/CMakeFiles/pypm.dir/graph/ShapeInference.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/graph/ShapeInference.cpp.o.d"
+  "/root/repo/src/graph/TermView.cpp" "src/CMakeFiles/pypm.dir/graph/TermView.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/graph/TermView.cpp.o.d"
+  "/root/repo/src/match/Declarative.cpp" "src/CMakeFiles/pypm.dir/match/Declarative.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/match/Declarative.cpp.o.d"
+  "/root/repo/src/match/Derivation.cpp" "src/CMakeFiles/pypm.dir/match/Derivation.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/match/Derivation.cpp.o.d"
+  "/root/repo/src/match/FastMatcher.cpp" "src/CMakeFiles/pypm.dir/match/FastMatcher.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/match/FastMatcher.cpp.o.d"
+  "/root/repo/src/match/Machine.cpp" "src/CMakeFiles/pypm.dir/match/Machine.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/match/Machine.cpp.o.d"
+  "/root/repo/src/match/Subst.cpp" "src/CMakeFiles/pypm.dir/match/Subst.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/match/Subst.cpp.o.d"
+  "/root/repo/src/models/Transformers.cpp" "src/CMakeFiles/pypm.dir/models/Transformers.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/models/Transformers.cpp.o.d"
+  "/root/repo/src/models/Vision.cpp" "src/CMakeFiles/pypm.dir/models/Vision.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/models/Vision.cpp.o.d"
+  "/root/repo/src/models/Zoo.cpp" "src/CMakeFiles/pypm.dir/models/Zoo.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/models/Zoo.cpp.o.d"
+  "/root/repo/src/opt/StdPatterns.cpp" "src/CMakeFiles/pypm.dir/opt/StdPatterns.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/opt/StdPatterns.cpp.o.d"
+  "/root/repo/src/pattern/Guard.cpp" "src/CMakeFiles/pypm.dir/pattern/Guard.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/pattern/Guard.cpp.o.d"
+  "/root/repo/src/pattern/Pattern.cpp" "src/CMakeFiles/pypm.dir/pattern/Pattern.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/pattern/Pattern.cpp.o.d"
+  "/root/repo/src/pattern/PatternPrinter.cpp" "src/CMakeFiles/pypm.dir/pattern/PatternPrinter.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/pattern/PatternPrinter.cpp.o.d"
+  "/root/repo/src/pattern/Serializer.cpp" "src/CMakeFiles/pypm.dir/pattern/Serializer.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/pattern/Serializer.cpp.o.d"
+  "/root/repo/src/pattern/WellFormed.cpp" "src/CMakeFiles/pypm.dir/pattern/WellFormed.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/pattern/WellFormed.cpp.o.d"
+  "/root/repo/src/rewrite/Partition.cpp" "src/CMakeFiles/pypm.dir/rewrite/Partition.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/rewrite/Partition.cpp.o.d"
+  "/root/repo/src/rewrite/RewriteEngine.cpp" "src/CMakeFiles/pypm.dir/rewrite/RewriteEngine.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/rewrite/RewriteEngine.cpp.o.d"
+  "/root/repo/src/sim/CostModel.cpp" "src/CMakeFiles/pypm.dir/sim/CostModel.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/sim/CostModel.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "src/CMakeFiles/pypm.dir/support/Diagnostics.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/support/Diagnostics.cpp.o.d"
+  "/root/repo/src/support/Random.cpp" "src/CMakeFiles/pypm.dir/support/Random.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/support/Random.cpp.o.d"
+  "/root/repo/src/support/Symbol.cpp" "src/CMakeFiles/pypm.dir/support/Symbol.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/support/Symbol.cpp.o.d"
+  "/root/repo/src/term/Signature.cpp" "src/CMakeFiles/pypm.dir/term/Signature.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/term/Signature.cpp.o.d"
+  "/root/repo/src/term/Term.cpp" "src/CMakeFiles/pypm.dir/term/Term.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/term/Term.cpp.o.d"
+  "/root/repo/src/term/TermParser.cpp" "src/CMakeFiles/pypm.dir/term/TermParser.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/term/TermParser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for pypm.
+# This may be replaced when dependencies are built.

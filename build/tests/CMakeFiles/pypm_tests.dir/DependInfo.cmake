@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_builder.cpp" "tests/CMakeFiles/pypm_tests.dir/test_builder.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_builder.cpp.o.d"
+  "/root/repo/tests/test_costmodel.cpp" "tests/CMakeFiles/pypm_tests.dir/test_costmodel.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_costmodel.cpp.o.d"
+  "/root/repo/tests/test_declarative.cpp" "tests/CMakeFiles/pypm_tests.dir/test_declarative.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_declarative.cpp.o.d"
+  "/root/repo/tests/test_derivation.cpp" "tests/CMakeFiles/pypm_tests.dir/test_derivation.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_derivation.cpp.o.d"
+  "/root/repo/tests/test_differential.cpp" "tests/CMakeFiles/pypm_tests.dir/test_differential.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_differential.cpp.o.d"
+  "/root/repo/tests/test_dsl.cpp" "tests/CMakeFiles/pypm_tests.dir/test_dsl.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_dsl.cpp.o.d"
+  "/root/repo/tests/test_e2e.cpp" "tests/CMakeFiles/pypm_tests.dir/test_e2e.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_e2e.cpp.o.d"
+  "/root/repo/tests/test_fastmatcher.cpp" "tests/CMakeFiles/pypm_tests.dir/test_fastmatcher.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_fastmatcher.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/pypm_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_graphio.cpp" "tests/CMakeFiles/pypm_tests.dir/test_graphio.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_graphio.cpp.o.d"
+  "/root/repo/tests/test_guard.cpp" "tests/CMakeFiles/pypm_tests.dir/test_guard.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_guard.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/pypm_tests.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/pypm_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_opt.cpp" "tests/CMakeFiles/pypm_tests.dir/test_opt.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_opt.cpp.o.d"
+  "/root/repo/tests/test_partition.cpp" "tests/CMakeFiles/pypm_tests.dir/test_partition.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_partition.cpp.o.d"
+  "/root/repo/tests/test_pattern.cpp" "tests/CMakeFiles/pypm_tests.dir/test_pattern.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_pattern.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/pypm_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rewrite.cpp" "tests/CMakeFiles/pypm_tests.dir/test_rewrite.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_rewrite.cpp.o.d"
+  "/root/repo/tests/test_serializer.cpp" "tests/CMakeFiles/pypm_tests.dir/test_serializer.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_serializer.cpp.o.d"
+  "/root/repo/tests/test_shapeinfer.cpp" "tests/CMakeFiles/pypm_tests.dir/test_shapeinfer.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_shapeinfer.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/pypm_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_term.cpp" "tests/CMakeFiles/pypm_tests.dir/test_term.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_term.cpp.o.d"
+  "/root/repo/tests/test_termview.cpp" "tests/CMakeFiles/pypm_tests.dir/test_termview.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_termview.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pypm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pypmc.dir/pypmc.cpp.o"
+  "CMakeFiles/pypmc.dir/pypmc.cpp.o.d"
+  "pypmc"
+  "pypmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pypmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
