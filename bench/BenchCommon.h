@@ -30,15 +30,17 @@ struct ConfigResult {
 };
 
 /// Builds the model fresh, runs the configuration's rewrite pipeline to
-/// fixpoint, and measures with the cost model.
+/// fixpoint, and measures with the cost model. \p Opts selects the engine
+/// variant (the thread-sweep benches pass NumThreads here).
 inline ConfigResult runConfig(const models::ModelEntry &Model,
-                              opt::OptConfig Config) {
+                              opt::OptConfig Config,
+                              rewrite::RewriteOptions Opts = {}) {
   term::Signature Sig;
   auto G = Model.Build(Sig);
   opt::Pipeline Pipe = opt::makePipeline(Sig, Config);
   ConfigResult R;
   R.Stats = rewrite::rewriteToFixpoint(*G, Pipe.Rules,
-                                       graph::ShapeInference());
+                                       graph::ShapeInference(), Opts);
   R.Fired = R.Stats.TotalFired;
   R.MatchSeconds = R.Stats.MatchSeconds;
   sim::GraphCost C = sim::CostModel().graphCost(*G);

@@ -17,6 +17,7 @@
 #include "models/Transformers.h"
 #include "opt/StdPatterns.h"
 #include "pattern/Serializer.h"
+#include "rewrite/RewriteEngine.h"
 
 #include <benchmark/benchmark.h>
 
@@ -301,5 +302,59 @@ void BM_DslCompile(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_DslCompile);
+
+/// Thread sweep for the parallel discovery phase: matchAll is the pure
+/// candidate-discovery workload (no mutation, so the same graph is reused
+/// across iterations). Arg = RewriteOptions::NumThreads; 0 is the serial
+/// legacy engine. On a single-core container the parallel counts only
+/// measure overhead; on real hardware the DiscoverySeconds counter drops
+/// roughly linearly until memory bandwidth saturates.
+void BM_DiscoveryThreadSweep(benchmark::State &State) {
+  term::Signature Sig;
+  models::TransformerConfig Cfg;
+  Cfg.Name = "sweep";
+  Cfg.Layers = 4;
+  Cfg.Hidden = 256;
+  auto G = models::buildTransformer(Sig, Cfg);
+  opt::Pipeline Pipe = opt::makePipeline(Sig, opt::OptConfig::Both);
+  rewrite::RewriteOptions Opts;
+  Opts.NumThreads = static_cast<unsigned>(State.range(0));
+  double Discovery = 0;
+  uint64_t Iters = 0;
+  for (auto _ : State) {
+    rewrite::RewriteStats Stats = rewrite::matchAll(*G, Pipe.Rules, Opts);
+    benchmark::DoNotOptimize(Stats.TotalMatches);
+    Discovery += Stats.DiscoverySeconds;
+    ++Iters;
+  }
+  State.counters["discovery_s"] =
+      benchmark::Counter(Iters ? Discovery / static_cast<double>(Iters) : 0);
+}
+BENCHMARK(BM_DiscoveryThreadSweep)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Same sweep through the full rewrite loop (graph rebuilt per iteration
+/// since rewriting is destructive): end-to-end fixpoint wall-clock per
+/// thread count.
+void BM_RewriteThreadSweep(benchmark::State &State) {
+  rewrite::RewriteOptions Opts;
+  Opts.NumThreads = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    term::Signature Sig;
+    models::TransformerConfig Cfg;
+    Cfg.Name = "sweep";
+    Cfg.Layers = 2;
+    Cfg.Hidden = 256;
+    auto G = models::buildTransformer(Sig, Cfg);
+    opt::Pipeline Pipe = opt::makePipeline(Sig, opt::OptConfig::Both);
+    rewrite::RewriteStats Stats = rewrite::rewriteToFixpoint(
+        *G, Pipe.Rules, graph::ShapeInference(), Opts);
+    benchmark::DoNotOptimize(Stats.TotalFired);
+  }
+}
+BENCHMARK(BM_RewriteThreadSweep)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace

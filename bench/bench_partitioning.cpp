@@ -13,6 +13,8 @@
 
 #include "rewrite/Partition.h"
 
+#include <string_view>
+
 using namespace pypm;
 using namespace pypm::bench;
 using namespace pypm::rewrite;
@@ -60,9 +62,48 @@ void runSuite(const char *Title,
   }
 }
 
+/// `--threads-sweep`: run the full rewrite pipeline over the largest zoo
+/// model at several thread counts and emit machine-readable JSON, one
+/// object per configuration. NumThreads=0 is the serial legacy engine —
+/// the ablation baseline the parallel discovery phase is measured against.
+int runThreadsSweep() {
+  models::ModelEntry Largest;
+  size_t LargestNodes = 0;
+  for (const auto &Suite : {models::hfSuite(), models::tvSuite()})
+    for (const models::ModelEntry &Model : Suite) {
+      term::Signature Sig;
+      auto G = Model.Build(Sig);
+      if (G->numLiveNodes() > LargestNodes) {
+        LargestNodes = G->numLiveNodes();
+        Largest = Model;
+      }
+    }
+
+  std::printf("{\n  \"model\": \"%s\",\n  \"nodes\": %zu,\n  \"sweep\": [\n",
+              Largest.Name.c_str(), LargestNodes);
+  const unsigned Threads[] = {0, 1, 2, 4, 8};
+  constexpr size_t NumConfigs = sizeof(Threads) / sizeof(Threads[0]);
+  for (size_t I = 0; I != NumConfigs; ++I) {
+    rewrite::RewriteOptions Opts;
+    Opts.NumThreads = Threads[I];
+    ConfigResult R = runConfig(Largest, opt::OptConfig::Both, Opts);
+    std::printf("    {\"threads\": %u, \"fired\": %llu, "
+                "\"discovery_seconds\": %.6f, \"match_seconds\": %.6f, "
+                "\"total_seconds\": %.6f}%s\n",
+                Threads[I], (unsigned long long)R.Fired,
+                R.Stats.DiscoverySeconds, R.Stats.MatchSeconds,
+                R.Stats.TotalSeconds, I + 1 == NumConfigs ? "" : ",");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (std::string_view(argv[I]) == "--threads-sweep")
+      return runThreadsSweep();
   std::printf("=== Section 4.2: directed graph partitioning with Fig. 14's "
               "MatMulEpilog family ===\n");
   runSuite("HuggingFace suite", models::hfSuite());

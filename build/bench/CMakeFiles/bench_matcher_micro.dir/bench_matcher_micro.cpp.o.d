@@ -226,11 +226,12 @@ bench/CMakeFiles/bench_matcher_micro.dir/bench_matcher_micro.cpp.o: \
  /root/repo/src/match/FastMatcher.h /root/repo/src/match/Machine.h \
  /root/repo/src/models/Transformers.h /root/repo/src/opt/StdPatterns.h \
  /root/repo/src/rewrite/Rule.h /root/repo/src/pattern/Serializer.h \
+ /root/repo/src/rewrite/RewriteEngine.h \
+ /root/repo/src/graph/ShapeInference.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/benchmark/benchmark.h /usr/include/c++/12/limits \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/benchmark/export.h \
  /usr/include/c++/12/atomic

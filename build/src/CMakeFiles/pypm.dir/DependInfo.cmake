@@ -37,6 +37,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/Diagnostics.cpp" "src/CMakeFiles/pypm.dir/support/Diagnostics.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/support/Diagnostics.cpp.o.d"
   "/root/repo/src/support/Random.cpp" "src/CMakeFiles/pypm.dir/support/Random.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/support/Random.cpp.o.d"
   "/root/repo/src/support/Symbol.cpp" "src/CMakeFiles/pypm.dir/support/Symbol.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/support/Symbol.cpp.o.d"
+  "/root/repo/src/support/ThreadPool.cpp" "src/CMakeFiles/pypm.dir/support/ThreadPool.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/support/ThreadPool.cpp.o.d"
   "/root/repo/src/term/Signature.cpp" "src/CMakeFiles/pypm.dir/term/Signature.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/term/Signature.cpp.o.d"
   "/root/repo/src/term/Term.cpp" "src/CMakeFiles/pypm.dir/term/Term.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/term/Term.cpp.o.d"
   "/root/repo/src/term/TermParser.cpp" "src/CMakeFiles/pypm.dir/term/TermParser.cpp.o" "gcc" "src/CMakeFiles/pypm.dir/term/TermParser.cpp.o.d"

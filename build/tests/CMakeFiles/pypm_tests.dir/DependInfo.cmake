@@ -22,6 +22,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/pypm_tests.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_machine.cpp.o.d"
   "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/pypm_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_models.cpp.o.d"
   "/root/repo/tests/test_opt.cpp" "tests/CMakeFiles/pypm_tests.dir/test_opt.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_opt.cpp.o.d"
+  "/root/repo/tests/test_parallel_rewrite.cpp" "tests/CMakeFiles/pypm_tests.dir/test_parallel_rewrite.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_parallel_rewrite.cpp.o.d"
   "/root/repo/tests/test_partition.cpp" "tests/CMakeFiles/pypm_tests.dir/test_partition.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_partition.cpp.o.d"
   "/root/repo/tests/test_pattern.cpp" "tests/CMakeFiles/pypm_tests.dir/test_pattern.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_pattern.cpp.o.d"
   "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/pypm_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_properties.cpp.o.d"
@@ -31,6 +32,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/pypm_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_support.cpp.o.d"
   "/root/repo/tests/test_term.cpp" "tests/CMakeFiles/pypm_tests.dir/test_term.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_term.cpp.o.d"
   "/root/repo/tests/test_termview.cpp" "tests/CMakeFiles/pypm_tests.dir/test_termview.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_termview.cpp.o.d"
+  "/root/repo/tests/test_threadpool.cpp" "tests/CMakeFiles/pypm_tests.dir/test_threadpool.cpp.o" "gcc" "tests/CMakeFiles/pypm_tests.dir/test_threadpool.cpp.o.d"
   )
 
 # Targets to which this target links.

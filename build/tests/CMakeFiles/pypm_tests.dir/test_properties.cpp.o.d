@@ -301,9 +301,11 @@ tests/CMakeFiles/pypm_tests.dir/test_properties.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/graph/ShapeInference.h /root/repo/src/graph/Graph.h \
+ /root/repo/src/graph/GraphIO.h /root/repo/src/graph/Graph.h \
  /root/repo/src/support/Diagnostics.h /root/repo/src/term/DType.h \
- /root/repo/src/graph/TermView.h /root/repo/src/models/Transformers.h \
- /root/repo/src/dsl/Sema.h /root/repo/src/dsl/Parser.h \
- /root/repo/src/dsl/Lexer.h /root/repo/src/pattern/Serializer.h \
+ /root/repo/src/graph/ShapeInference.h /root/repo/src/graph/TermView.h \
+ /root/repo/src/models/Transformers.h /root/repo/src/dsl/Sema.h \
+ /root/repo/src/dsl/Parser.h /root/repo/src/dsl/Lexer.h \
+ /root/repo/src/pattern/Serializer.h \
+ /root/repo/src/rewrite/RewriteEngine.h /root/repo/src/rewrite/Rule.h \
  /root/repo/src/support/Random.h

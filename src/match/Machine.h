@@ -37,6 +37,7 @@
 #include "match/Subst.h"
 #include "pattern/Pattern.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -109,6 +110,23 @@ struct MachineStats {
   uint64_t GuardStuck = 0;
   size_t MaxStackDepth = 0;
   size_t MaxContDepth = 0;
+
+  /// Aggregates \p O into this. Counters add, depth high-water marks take
+  /// the max; both are associative and commutative, so per-worker stats
+  /// from the parallel rewrite engine merge to the same totals in any
+  /// order.
+  void merge(const MachineStats &O) {
+    Steps += O.Steps;
+    Backtracks += O.Backtracks;
+    MuUnfolds += O.MuUnfolds;
+    VarBinds += O.VarBinds;
+    GuardEvals += O.GuardEvals;
+    GuardStuck += O.GuardStuck;
+    MaxStackDepth = std::max(MaxStackDepth, O.MaxStackDepth);
+    MaxContDepth = std::max(MaxContDepth, O.MaxContDepth);
+  }
+
+  bool operator==(const MachineStats &) const = default;
 };
 
 /// The backtracking pattern-matching machine.

@@ -1,11 +1,32 @@
 //===- rewrite/RewriteEngine.cpp - Greedy fixpoint rewriting ------------------===//
+//
+// Two execution strategies share one Engine:
+//
+//  - NumThreads == 0: the serial legacy loop — visit nodes in canonical
+//    order, try patterns in order, fire the first passing rule (§2.4).
+//
+//  - NumThreads >= 1: per pass, match *discovery* fans out over a
+//    work-stealing pool. Workers only read a frozen snapshot of the graph
+//    (each with a private TermArena + memoized TermView), recording per
+//    (node, pattern) outcomes. The commit phase then replays the serial
+//    traversal: at a node untouched by earlier fires it skips the attempts
+//    discovery proved fruitless (copying their counters) and re-runs only
+//    the matching entry for real; at a node whose unrolling an earlier
+//    fire changed ("dirty") it falls back to the full serial visit. The
+//    rewritten graph and all counting stats are therefore identical to the
+//    serial engine's at any thread count. See DESIGN.md §"Parallel
+//    discovery, serial commit".
+//
+//===----------------------------------------------------------------------===//
 
 #include "rewrite/RewriteEngine.h"
 
 #include "match/Declarative.h"
 #include "match/FastMatcher.h"
+#include "support/ThreadPool.h"
 
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <unordered_set>
 
@@ -59,6 +80,29 @@ std::optional<std::unordered_set<term::OpId>> rootOps(const Pattern *P) {
   return std::nullopt;
 }
 
+/// Outcome of one speculative (node, pattern-entry) attempt on the frozen
+/// snapshot. Only outcomes the commit phase can replay without re-matching
+/// are distinguished; a match on an entry that has rules ends the node's
+/// discovery (the serial logic decides fire-or-continue at commit time).
+enum class AttemptKind : uint8_t {
+  RootSkip,       ///< prefilter skipped the machine entirely
+  NoMatch,        ///< Failure or OutOfFuel: serial would just continue
+  MatchNoRules,   ///< match counted, nothing can fire (match-only entry)
+  MatchWithRules, ///< match with candidate rules: re-run serially at commit
+};
+
+struct Attempt {
+  uint32_t Entry = 0;
+  AttemptKind Kind = AttemptKind::NoMatch;
+  uint64_t Steps = 0;
+  uint64_t Backtracks = 0;
+  double Seconds = 0.0;
+};
+
+/// Per-node discovery record: the attempt sequence the serial engine would
+/// perform, ending at the first entry that might fire (if any).
+using NodeDiscovery = std::vector<Attempt>;
+
 class Engine {
 public:
   Engine(Graph &G, const RuleSet &Rules, const graph::ShapeInference *SI,
@@ -67,6 +111,36 @@ public:
         View(G, Arena) {}
 
   RewriteStats run(bool RewriteMode) {
+    return Opts.NumThreads == 0 ? runSerial(RewriteMode)
+                                : runParallel(RewriteMode);
+  }
+
+private:
+  /// Per-worker discovery state: a private arena and memoized term view
+  /// (conversion caches must not be shared — hash-consing mutates), plus
+  /// speculative per-entry counters merged into RewriteStats::Discovery.
+  struct WorkerCtx {
+    term::TermArena Arena;
+    graph::TermView View;
+    std::vector<PatternStats> Entry;
+
+    WorkerCtx(const Graph &G, size_t NumEntries)
+        : Arena(G.signature()), View(G, Arena), Entry(NumEntries) {}
+  };
+
+  Graph &G;
+  const RuleSet &Rules;
+  const graph::ShapeInference *SI;
+  RewriteOptions Opts;
+  term::TermArena Arena;
+  graph::TermView View;
+  RewriteStats Stats;
+  std::vector<std::optional<std::unordered_set<term::OpId>>> RootFilters;
+  /// Commit-phase invalidation bits over the pass's snapshot ids. Empty in
+  /// the serial engine (tracking disabled).
+  std::vector<uint8_t> Dirty;
+
+  RewriteStats runSerial(bool RewriteMode) {
     double Start = nowSeconds();
     computeRootFilters();
 
@@ -106,20 +180,100 @@ public:
       if (!RewriteMode)
         break; // match-only: a single traversal
     }
-    Stats.NodesSwept += G.removeUnreachable();
-    Stats.TotalSeconds = nowSeconds() - Start;
-    return std::move(Stats);
+    return finish(Start);
   }
 
-private:
-  Graph &G;
-  const RuleSet &Rules;
-  const graph::ShapeInference *SI;
-  RewriteOptions Opts;
-  term::TermArena Arena;
-  graph::TermView View;
-  RewriteStats Stats;
-  std::vector<std::optional<std::unordered_set<term::OpId>>> RootFilters;
+  RewriteStats runParallel(bool RewriteMode) {
+    double Start = nowSeconds();
+    computeRootFilters();
+    ThreadPool Pool(Opts.NumThreads);
+    const size_t NumEntries = Rules.entries().size();
+
+    bool Changed = true;
+    while (Changed && Stats.Passes < Opts.MaxPasses &&
+           !Stats.HitRewriteLimit) {
+      Changed = false;
+      ++Stats.Passes;
+
+      // Freeze the traversal: ids below SnapshotSize in the order the
+      // commit phase will walk them. Workers only ever read the graph as
+      // it is right now.
+      const size_t SnapshotSize = G.numNodes();
+      std::vector<NodeId> Work;
+      std::vector<NodeId> RootsOrder; // RootsFirst commit order
+      if (Opts.Order == Traversal::OperandsFirst) {
+        Work.reserve(SnapshotSize);
+        for (NodeId N = 0; N < SnapshotSize; ++N)
+          if (!G.isDead(N))
+            Work.push_back(N);
+      } else {
+        std::vector<NodeId> Topo = G.topoOrder();
+        RootsOrder.assign(Topo.rbegin(), Topo.rend());
+        Work = RootsOrder;
+      }
+
+      // Parallel discovery over the frozen snapshot.
+      std::vector<std::unique_ptr<WorkerCtx>> Ctxs;
+      Ctxs.reserve(Pool.size());
+      for (unsigned I = 0; I != Pool.size(); ++I)
+        Ctxs.push_back(std::make_unique<WorkerCtx>(G, NumEntries));
+      std::vector<NodeDiscovery> Disc(SnapshotSize);
+      double D0 = nowSeconds();
+      Pool.parallelFor(Work.size(), [&](size_t I, unsigned Worker) {
+        NodeId N = Work[I];
+        discoverNode(N, *Ctxs[Worker], Disc[N], RewriteMode);
+      });
+      double DiscoveryWall = nowSeconds() - D0;
+      Stats.DiscoverySeconds += DiscoveryWall;
+      // Wall-clock, counted once — NOT the per-worker CPU sum — so
+      // MatchSeconds <= TotalSeconds stays true by construction.
+      Stats.MatchSeconds += DiscoveryWall;
+      for (auto &Ctx : Ctxs)
+        for (size_t I = 0; I != NumEntries; ++I)
+          Stats.Discovery[entryName(Rules.entries()[I])].merge(Ctx->Entry[I]);
+
+      // Serial commit in the canonical order; fires invalidate via Dirty.
+      Dirty.assign(SnapshotSize, 0);
+      if (Opts.Order == Traversal::OperandsFirst) {
+        for (NodeId N = 0; N < G.numNodes(); ++N) {
+          if (G.isDead(N))
+            continue;
+          ++Stats.NodesVisited;
+          bool Fired = (N < SnapshotSize && !Dirty[N])
+                           ? commitNode(N, Disc[N], RewriteMode)
+                           : visitNode(N, RewriteMode);
+          if (Fired)
+            Changed = true;
+          if (Stats.HitRewriteLimit)
+            break;
+        }
+      } else {
+        for (NodeId N : RootsOrder) {
+          if (G.isDead(N))
+            continue;
+          ++Stats.NodesVisited;
+          bool Fired = !Dirty[N] ? commitNode(N, Disc[N], RewriteMode)
+                                 : visitNode(N, RewriteMode);
+          if (Fired)
+            Changed = true;
+          if (Stats.HitRewriteLimit)
+            break;
+        }
+      }
+      Dirty.clear();
+      if (!RewriteMode)
+        break; // match-only: a single traversal
+    }
+    return finish(Start);
+  }
+
+  RewriteStats finish(double Start) {
+    Stats.NodesSwept += G.removeUnreachable();
+    Stats.TotalSeconds = nowSeconds() - Start;
+    if (Opts.NumThreads == 0)
+      Stats.DiscoverySeconds = Stats.MatchSeconds;
+    return std::move(Stats);
+  }
 
   void computeRootFilters() {
     RootFilters.reserve(Rules.entries().size());
@@ -127,15 +281,116 @@ private:
       RootFilters.push_back(rootOps(E.Pattern->Pat));
   }
 
-  PatternStats &statsFor(const RewriteEntry &E) {
-    return Stats.PerPattern[std::string(E.Pattern->Name.str())];
+  static std::string entryName(const RewriteEntry &E) {
+    return std::string(E.Pattern->Name.str());
   }
 
-  /// Tries each pattern in order at node N; on a match fires the first rule
-  /// whose guard passes. Returns true if the graph changed.
-  bool visitNode(NodeId N, bool RewriteMode) {
+  PatternStats &statsFor(const RewriteEntry &E) {
+    return Stats.PerPattern[entryName(E)];
+  }
+
+  /// Speculative match attempts for one node against the frozen snapshot,
+  /// mirroring visitNode's entry order exactly. Runs on a worker thread:
+  /// reads G, writes only worker-private state and this node's record.
+  void discoverNode(NodeId N, WorkerCtx &W, NodeDiscovery &D,
+                    bool RewriteMode) const {
     const auto &Entries = Rules.entries();
+    D.reserve(Entries.size());
     for (size_t I = 0; I != Entries.size(); ++I) {
+      const RewriteEntry &E = Entries[I];
+      PatternStats &WS = W.Entry[I];
+      Attempt A;
+      A.Entry = static_cast<uint32_t>(I);
+      if (Opts.UseRootIndex && RootFilters[I] &&
+          !RootFilters[I]->count(G.op(N))) {
+        ++WS.RootSkips;
+        A.Kind = AttemptKind::RootSkip;
+        D.push_back(A);
+        continue;
+      }
+
+      double T0 = nowSeconds();
+      term::TermRef T = W.View.termFor(N);
+      MatchResult MR =
+          Opts.UseFastMatcher
+              ? match::FastMatcher::run(E.Pattern->Pat, T, W.Arena,
+                                        Opts.MachineOpts)
+              : match::matchPattern(E.Pattern->Pat, T, W.Arena,
+                                    Opts.MachineOpts);
+      double Elapsed = nowSeconds() - T0;
+      ++WS.Attempts;
+      WS.MachineSteps += MR.Stats.Steps;
+      WS.Backtracks += MR.Stats.Backtracks;
+      WS.Seconds += Elapsed;
+      A.Steps = MR.Stats.Steps;
+      A.Backtracks = MR.Stats.Backtracks;
+      A.Seconds = Elapsed;
+      if (MR.Status != MachineStatus::Success) {
+        if (!Opts.MemoizeTermView)
+          W.View.invalidate();
+        D.push_back(A);
+        continue;
+      }
+      ++WS.Matches;
+      if (!RewriteMode || E.Rules.empty()) {
+        A.Kind = AttemptKind::MatchNoRules;
+        if (!Opts.MemoizeTermView)
+          W.View.invalidate();
+        D.push_back(A);
+        continue;
+      }
+      // A rule might fire here; whether it does (guards, RHS build) is the
+      // commit phase's call, against the live graph.
+      A.Kind = AttemptKind::MatchWithRules;
+      D.push_back(A);
+      return;
+    }
+  }
+
+  /// Commit-phase replay of one *clean* node: copies the counters of
+  /// attempts discovery proved fruitless and re-runs only a potential
+  /// firing entry for real. Observably identical to visitNode(N), cheaper
+  /// by every failed matcher run. Returns true if the graph changed.
+  bool commitNode(NodeId N, const NodeDiscovery &D, bool RewriteMode) {
+    const auto &Entries = Rules.entries();
+    for (const Attempt &A : D) {
+      const RewriteEntry &E = Entries[A.Entry];
+      PatternStats &PS = statsFor(E);
+      switch (A.Kind) {
+      case AttemptKind::RootSkip:
+        ++PS.RootSkips;
+        break;
+      case AttemptKind::NoMatch:
+        ++PS.Attempts;
+        PS.MachineSteps += A.Steps;
+        PS.Backtracks += A.Backtracks;
+        PS.Seconds += A.Seconds;
+        break;
+      case AttemptKind::MatchNoRules:
+        ++PS.Attempts;
+        PS.MachineSteps += A.Steps;
+        PS.Backtracks += A.Backtracks;
+        PS.Seconds += A.Seconds;
+        ++PS.Matches;
+        ++Stats.TotalMatches;
+        break;
+      case AttemptKind::MatchWithRules:
+        // The node is clean, so the match re-occurs identically on the
+        // live graph; resume the serial logic at this entry — it re-counts
+        // this attempt itself, handles guard dispatch and firing, and
+        // continues with the remaining entries when nothing fires.
+        return visitNode(N, RewriteMode, A.Entry);
+      }
+    }
+    return false;
+  }
+
+  /// Tries each pattern from \p StartEntry in order at node N; on a match
+  /// fires the first rule whose guard passes. Returns true if the graph
+  /// changed.
+  bool visitNode(NodeId N, bool RewriteMode, size_t StartEntry = 0) {
+    const auto &Entries = Rules.entries();
+    for (size_t I = StartEntry; I != Entries.size(); ++I) {
       const RewriteEntry &E = Entries[I];
       PatternStats &PS = statsFor(E);
       if (Opts.UseRootIndex && RootFilters[I] &&
@@ -196,6 +451,10 @@ private:
       NodeId Replacement = buildRhs(G, View, R->Rhs, W, *SI);
       if (Replacement == graph::InvalidNode)
         continue; // RHS build failed (unbound var); try next rule
+      // Invalidate discovery results downstream of this fire *before* the
+      // user edges are redirected away.
+      if (!Dirty.empty())
+        markUsersDirty(N);
       // Destructive replacement (§2): redirect all *existing* uses — the
       // replacement's own references to the matched value stay — then
       // sweep the now-unreachable matched subgraph so it is not matched
@@ -210,6 +469,28 @@ private:
       return true;
     }
     return false;
+  }
+
+  /// Marks every transitive user of \p Root dirty: their tree unrollings
+  /// reach Root, so redirecting Root's uses changes what they match.
+  /// Conservative (already-committed users are marked too, harmlessly);
+  /// traverses through post-snapshot nodes but only snapshot ids carry a
+  /// bit — new nodes always take the serial path anyway.
+  void markUsersDirty(NodeId Root) {
+    std::vector<uint8_t> Seen(G.numNodes(), 0);
+    std::vector<NodeId> Stack{Root};
+    while (!Stack.empty()) {
+      NodeId Cur = Stack.back();
+      Stack.pop_back();
+      for (NodeId U : G.users(Cur)) {
+        if (Seen[U])
+          continue;
+        Seen[U] = 1;
+        if (U < Dirty.size())
+          Dirty[U] = 1;
+        Stack.push_back(U);
+      }
+    }
   }
 };
 
@@ -279,9 +560,11 @@ std::string RewriteStats::summary() const {
   Out += " matches=" + std::to_string(TotalMatches);
   Out += " fired=" + std::to_string(TotalFired);
   Out += " swept=" + std::to_string(NodesSwept);
-  char Buf[64];
-  std::snprintf(Buf, sizeof(Buf), " matchTime=%.3fms totalTime=%.3fms",
-                MatchSeconds * 1e3, TotalSeconds * 1e3);
+  char Buf[80];
+  std::snprintf(Buf, sizeof(Buf),
+                " matchTime=%.3fms discoveryTime=%.3fms totalTime=%.3fms",
+                MatchSeconds * 1e3, DiscoverySeconds * 1e3,
+                TotalSeconds * 1e3);
   Out += Buf;
   for (const auto &[Name, PS] : PerPattern) {
     std::snprintf(Buf, sizeof(Buf), "\n  %-18s", Name.c_str());

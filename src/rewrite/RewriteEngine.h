@@ -9,10 +9,16 @@
 /// substituted into the graph in place of the subgraph the pattern
 /// matched", greedily to fixpoint.
 ///
-/// Engine-level optimizations (both ablatable, for bench_ablation):
+/// Engine-level optimizations (all ablatable, for bench_ablation and the
+/// thread-sweep benches):
 ///  - a root-operator prefilter: patterns whose possible root operators are
 ///    known skip nodes with other roots without starting the machine;
-///  - memoized node→term conversion, invalidated only on rewrites.
+///  - memoized node→term conversion, invalidated only on rewrites;
+///  - parallel match discovery (RewriteOptions::NumThreads): per-pass,
+///    match attempts fan out over a work-stealing pool against a frozen
+///    graph snapshot, then candidates commit serially in canonical order —
+///    see DESIGN.md §"Parallel discovery, serial commit" for the
+///    determinism argument.
 ///
 /// Per-pattern statistics (attempts, matches, fires, machine steps, wall
 /// time) drive the compile-time-cost experiments (Figs. 12–13).
@@ -41,7 +47,26 @@ struct PatternStats {
   uint64_t GuardRejects = 0;  ///< matches where no rule guard passed
   uint64_t MachineSteps = 0;
   uint64_t Backtracks = 0;
-  double Seconds = 0.0;       ///< wall-clock inside the matcher
+  /// CPU-seconds inside the matcher. Under the parallel engine this sums
+  /// across workers, so per-pattern Seconds may exceed the engine's
+  /// wall-clock MatchSeconds.
+  double Seconds = 0.0;
+
+  /// Aggregates \p O into this. All fields are sums, so merging is
+  /// associative and commutative: per-worker counters from the parallel
+  /// discovery phase reach the same totals in any merge order.
+  void merge(const PatternStats &O) {
+    Attempts += O.Attempts;
+    RootSkips += O.RootSkips;
+    Matches += O.Matches;
+    RulesFired += O.RulesFired;
+    GuardRejects += O.GuardRejects;
+    MachineSteps += O.MachineSteps;
+    Backtracks += O.Backtracks;
+    Seconds += O.Seconds;
+  }
+
+  bool operator==(const PatternStats &) const = default;
 };
 
 struct RewriteStats {
@@ -50,10 +75,26 @@ struct RewriteStats {
   uint64_t TotalMatches = 0;
   uint64_t TotalFired = 0;
   uint64_t NodesSwept = 0;
-  double MatchSeconds = 0.0; ///< total wall-clock inside the matcher
-  double TotalSeconds = 0.0; ///< whole pass, including replacement building
+  /// Wall-clock spent matching: per-attempt matcher time in the serial
+  /// engine; discovery-phase wall-clock plus serial re-match time in the
+  /// parallel engine. Always disjoint subintervals of the run, so
+  /// MatchSeconds <= TotalSeconds holds by construction (per-worker CPU
+  /// time is deliberately NOT summed into this field — see
+  /// PatternStats::Seconds for the summed view).
+  double MatchSeconds = 0.0;
+  double TotalSeconds = 0.0; ///< whole run, including replacement building
+  /// Wall-clock of the candidate-discovery work alone: the parallel
+  /// fan-out phases (parallel engine) or, in the serial engine, the same
+  /// value as MatchSeconds. The thread-sweep benches report this.
+  double DiscoverySeconds = 0.0;
   bool HitRewriteLimit = false;
   std::map<std::string, PatternStats> PerPattern;
+  /// Raw speculative matcher work performed by the discovery workers,
+  /// merged across workers with PatternStats::merge (order-independent).
+  /// Differs from PerPattern in both directions: it includes attempts at
+  /// snapshot nodes a fire later invalidated, but not the commit phase's
+  /// re-runs at dirty or newly appended nodes. Empty when NumThreads == 0.
+  std::map<std::string, PatternStats> Discovery;
 
   std::string summary() const;
 };
@@ -81,6 +122,15 @@ struct RewriteOptions {
   /// quantifies it).
   bool UseFastMatcher = true;
   Traversal Order = Traversal::OperandsFirst;
+  /// Worker threads for the parallel match-discovery phase. 0 runs the
+  /// serial legacy engine (kept for the ablation benches); N >= 1 fans
+  /// node→pattern match attempts out over N workers against a frozen
+  /// snapshot of the graph, then commits candidates serially in the
+  /// canonical node/pattern order. The rewritten graph — and every
+  /// per-pattern counter except Seconds — is identical to the serial
+  /// engine's at any thread count, including 1 (tests/test_parallel_rewrite
+  /// proves it differentially).
+  unsigned NumThreads = 0;
   match::Machine::Options MachineOpts;
 };
 

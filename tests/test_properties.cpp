@@ -11,11 +11,13 @@
 
 #include "TestHelpers.h"
 
+#include "graph/GraphIO.h"
 #include "graph/ShapeInference.h"
 #include "graph/TermView.h"
 #include "models/Transformers.h"
 #include "dsl/Sema.h"
 #include "pattern/Serializer.h"
+#include "rewrite/RewriteEngine.h"
 #include "support/Random.h"
 
 #include <functional>
@@ -266,3 +268,137 @@ TEST_P(PropertyTest, DslFrontendNeverCrashesOnGarbage) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
                          ::testing::Range<uint64_t>(0, 8));
+
+//===----------------------------------------------------------------------===//
+// Parallel rewrite stress: random graphs × random rule sets must rewrite
+// identically under the serial engine and the parallel engine.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Rule templates over the model-op vocabulary, chosen to exercise every
+/// commit path: plain collapses, a rule returning a bound variable, a
+/// shape-guarded rule, a ping-pong pair that only terminates via the
+/// rewrite limit, and a match-only pattern (no rule).
+const char *const StressTemplates[] = {
+    "pattern RR(x) { return Relu(Relu(x)); }\n"
+    "rule rr for RR(x) { return Relu(x); }\n",
+    "pattern TT(x) { return Tanh(Tanh(x)); }\n"
+    "rule tt for TT(x) { return Tanh(x); }\n",
+    "pattern SR(x) { return Sigmoid(Relu(x)); }\n"
+    "rule sr for SR(x) { return Gelu(x); }\n",
+    "pattern NN(x) { return Neg(Neg(x)); }\n"
+    "rule nn for NN(x) { return x; }\n",
+    "pattern RS(x) { return Relu(Sigmoid(x)); }\n"
+    "rule rs for RS(x) { return Sigmoid(Relu(x)); }\n",
+    "pattern SRflip(x) { return Sigmoid(Relu(x)); }\n"
+    "rule srflip for SRflip(x) { return Relu(Sigmoid(x)); }\n",
+    "pattern AG(x, y) {\n"
+    "  assert x.shape.rank == 2;\n"
+    "  return Add(Relu(x), Relu(y));\n"
+    "}\n"
+    "rule ag for AG(x, y) { return Relu(Add(x, y)); }\n",
+    "pattern MO(x, y) { return Mul(Tanh(x), y); }\n",
+};
+constexpr size_t NumStressTemplates =
+    sizeof(StressTemplates) / sizeof(StressTemplates[0]);
+
+/// Deterministically derives a DSL source from the seed: each template
+/// joins with probability 1/2 (at least one always does).
+std::string stressRuleSource(uint64_t Seed) {
+  Rng R(Seed * 0x9e3779b9u + 3);
+  std::string Src;
+  for (size_t I = 0; I != NumStressTemplates; ++I)
+    if (R.chance(1, 2))
+      Src += StressTemplates[I];
+  if (Src.empty())
+    Src = StressTemplates[Seed % NumStressTemplates];
+  return Src;
+}
+
+/// Deterministically builds a random DAG over the ops the templates
+/// mention. Uniform {8, 8} f32 shapes keep every guard satisfiable.
+void buildStressGraph(uint64_t Seed, graph::Graph &G,
+                      const term::Signature &Sig) {
+  Rng R(Seed * 0x51ed2701u + 9);
+  const char *Unary[] = {"Relu", "Tanh", "Sigmoid", "Neg"};
+  const char *Binary[] = {"Add", "Mul"};
+  std::vector<graph::NodeId> Nodes;
+  int NumInputs = static_cast<int>(R.range(2, 4));
+  for (int I = 0; I != NumInputs; ++I)
+    Nodes.push_back(G.addLeaf(
+        "Input", graph::TensorType::make(term::DType::F32, {8, 8})));
+  int NumOps = static_cast<int>(R.range(20, 60));
+  for (int I = 0; I != NumOps; ++I) {
+    if (R.chance(2, 3)) {
+      term::OpId Op = Sig.lookup(Unary[R.below(4)]);
+      Nodes.push_back(G.addNode(Op, {Nodes[R.below(Nodes.size())]}));
+    } else {
+      term::OpId Op = Sig.lookup(Binary[R.below(2)]);
+      Nodes.push_back(G.addNode(Op, {Nodes[R.below(Nodes.size())],
+                                     Nodes[R.below(Nodes.size())]}));
+    }
+  }
+  // A couple of outputs so sweeping keeps a non-trivial live set.
+  G.addOutput(Nodes.back());
+  G.addOutput(Nodes[Nodes.size() / 2]);
+}
+
+struct StressRun {
+  std::string GraphText;
+  rewrite::RewriteStats Stats;
+};
+
+StressRun runStress(uint64_t Seed, unsigned Threads) {
+  term::Signature Sig;
+  models::declareModelOps(Sig);
+  auto Lib = dsl::compileOrDie(stressRuleSource(Seed), Sig);
+  graph::Graph G(Sig);
+  buildStressGraph(Seed, G, Sig);
+  graph::ShapeInference SI;
+  SI.inferAll(G);
+
+  rewrite::RuleSet RS;
+  RS.addLibrary(*Lib);
+  rewrite::RewriteOptions Opts;
+  Opts.NumThreads = Threads;
+  // Bound the ping-pong pair; hitting the limit is itself a path both
+  // engines must agree on.
+  Opts.MaxRewrites = 100;
+  StressRun Out;
+  Out.Stats = rewrite::rewriteToFixpoint(G, RS, SI, Opts);
+  Out.GraphText = graph::writeGraphText(G);
+  return Out;
+}
+
+class ParallelStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(ParallelStressTest, RandomGraphsRewriteIdentically) {
+  StressRun Serial = runStress(GetParam(), 0);
+  StressRun Parallel = runStress(GetParam(), 4);
+  EXPECT_EQ(Serial.GraphText, Parallel.GraphText);
+  const rewrite::RewriteStats &S = Serial.Stats;
+  const rewrite::RewriteStats &P = Parallel.Stats;
+  EXPECT_EQ(S.Passes, P.Passes);
+  EXPECT_EQ(S.NodesVisited, P.NodesVisited);
+  EXPECT_EQ(S.TotalMatches, P.TotalMatches);
+  EXPECT_EQ(S.TotalFired, P.TotalFired);
+  EXPECT_EQ(S.NodesSwept, P.NodesSwept);
+  EXPECT_EQ(S.HitRewriteLimit, P.HitRewriteLimit);
+  // Every commutative per-pattern counter agrees; only the wall-clock
+  // field may differ, so compare with Seconds zeroed out.
+  ASSERT_EQ(S.PerPattern.size(), P.PerPattern.size());
+  for (const auto &[Name, SP] : S.PerPattern) {
+    SCOPED_TRACE(Name);
+    auto It = P.PerPattern.find(Name);
+    ASSERT_NE(It, P.PerPattern.end());
+    rewrite::PatternStats A = SP, B = It->second;
+    A.Seconds = B.Seconds = 0.0;
+    EXPECT_EQ(A, B);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelStressTest,
+                         ::testing::Range<uint64_t>(0, 50));

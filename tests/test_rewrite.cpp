@@ -404,3 +404,59 @@ TEST_F(RewriteTest, EmptyRuleSetIsANoop) {
   EXPECT_EQ(Stats.Passes, 1u);
   EXPECT_EQ(G.countOps("Relu"), 1u);
 }
+
+TEST_F(RewriteTest, SummaryReportsCountersAndTimes) {
+  auto Lib = lib(CublasSrc);
+  NodeId A = input({64, 128});
+  NodeId B = input({32, 128});
+  G.addOutput(node("MatMul", {A, node("Trans", {B})}));
+  RuleSet RS;
+  RS.addLibrary(*Lib);
+  RewriteStats Stats = rewriteToFixpoint(G, RS, SI);
+  std::string S = Stats.summary();
+  // Header line carries the engine-level counters…
+  EXPECT_NE(S.find("passes=" + std::to_string(Stats.Passes)),
+            std::string::npos) << S;
+  EXPECT_NE(S.find("matches=" + std::to_string(Stats.TotalMatches)),
+            std::string::npos) << S;
+  EXPECT_NE(S.find("fired=1"), std::string::npos) << S;
+  EXPECT_NE(S.find("matchTime="), std::string::npos) << S;
+  EXPECT_NE(S.find("discoveryTime="), std::string::npos) << S;
+  EXPECT_NE(S.find("totalTime="), std::string::npos) << S;
+  // …and every pattern gets its own row.
+  EXPECT_NE(S.find("MMxyT"), std::string::npos) << S;
+  EXPECT_NE(S.find("attempts="), std::string::npos) << S;
+}
+
+TEST_F(RewriteTest, MatchSecondsBoundedByTotalSeconds) {
+  // Regression for the Seconds accounting: matching wall-clock is a set of
+  // disjoint subintervals of the run in both engines, so the inequality
+  // must hold by construction — even under the parallel engine, where the
+  // per-worker CPU sums (PatternStats::Seconds) may legitimately exceed
+  // wall-clock.
+  auto Lib = lib(R"(
+    pattern RR(x) { return Relu(Relu(x)); }
+    rule rr for RR(x) { return Relu(x); }
+  )");
+  RuleSet RS;
+  RS.addLibrary(*Lib);
+  for (unsigned Threads : {0u, 1u, 4u}) {
+    Graph G2(Sig);
+    NodeId Cur = G2.addLeaf("Input",
+                            TensorType::make(term::DType::F32, {16}));
+    // A tall Relu tower forces several passes, so both the multi-pass
+    // accumulation and the per-pass discovery accounting are exercised.
+    for (int K = 0; K != 32; ++K)
+      Cur = G2.addNode(Sig.lookup("Relu"), {Cur});
+    G2.addOutput(Cur);
+    ShapeInference().inferAll(G2);
+    RewriteOptions Opts;
+    Opts.NumThreads = Threads;
+    RewriteStats Stats = rewriteToFixpoint(G2, RS, SI, Opts);
+    EXPECT_GT(Stats.Passes, 1u) << Threads;
+    EXPECT_GE(Stats.MatchSeconds, 0.0) << Threads;
+    EXPECT_LE(Stats.MatchSeconds, Stats.TotalSeconds) << Threads;
+    EXPECT_GE(Stats.DiscoverySeconds, 0.0) << Threads;
+    EXPECT_LE(Stats.DiscoverySeconds, Stats.MatchSeconds) << Threads;
+  }
+}

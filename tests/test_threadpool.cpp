@@ -1,0 +1,219 @@
+//===- tests/test_threadpool.cpp - ThreadPool + stats-merge tests ---------===//
+///
+/// Unit tests for the work-stealing pool backing the parallel rewrite
+/// engine, and algebraic tests (associativity, commutativity, identity)
+/// for the stats merge operations the engine relies on to make worker
+/// counters order-independent.
+///
+//===----------------------------------------------------------------------===//
+
+#include "match/Machine.h"
+#include "rewrite/RewriteEngine.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+using namespace pypm;
+
+namespace {
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.size(), 1u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&Count](unsigned) { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(N, [&Hits](size_t I, unsigned) { ++Hits[I]; });
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, WorkerIndexInRange) {
+  ThreadPool Pool(3);
+  std::atomic<bool> Bad{false};
+  Pool.parallelFor(500, [&](size_t, unsigned Worker) {
+    if (Worker >= Pool.size())
+      Bad = true;
+  });
+  EXPECT_FALSE(Bad.load());
+}
+
+TEST(ThreadPool, PerWorkerScratchAccumulatesTotal) {
+  // The engine's usage pattern: one scratch slot per worker, summed after
+  // the join. Worker indices must be stable enough for this to be safe.
+  ThreadPool Pool(4);
+  constexpr size_t N = 2000;
+  std::vector<uint64_t> PerWorker(Pool.size(), 0);
+  Pool.parallelFor(N, [&PerWorker](size_t I, unsigned Worker) {
+    PerWorker[Worker] += I;
+  });
+  uint64_t Total = std::accumulate(PerWorker.begin(), PerWorker.end(),
+                                   uint64_t{0});
+  EXPECT_EQ(Total, uint64_t{N} * (N - 1) / 2);
+}
+
+TEST(ThreadPool, PropagatesFirstExceptionAndStaysUsable) {
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I != 20; ++I)
+    Pool.submit([&Ran, I](unsigned) {
+      ++Ran;
+      if (I == 5)
+        throw std::runtime_error("task 5 failed");
+    });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  // Every task still ran; the failure didn't wedge or drain the pool.
+  EXPECT_EQ(Ran.load(), 20);
+  // A later round must not re-throw the stale exception.
+  std::atomic<int> Count{0};
+  Pool.parallelFor(50, [&Count](size_t, unsigned) { ++Count; });
+  EXPECT_EQ(Count.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForRethrows) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelFor(100,
+                                [](size_t I, unsigned) {
+                                  if (I == 42)
+                                    throw std::logic_error("boom");
+                                }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRounds) {
+  // The engine reuses one pool across every pass of every rewrite; a
+  // round-counter leak or missed wakeup shows up as a hang or a miscount.
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  for (int Round = 0; Round != 50; ++Round)
+    Pool.parallelFor(20, [&Count](size_t, unsigned) { ++Count; });
+  EXPECT_EQ(Count.load(), 50 * 20);
+}
+
+TEST(ThreadPool, EmptyParallelForReturnsImmediately) {
+  ThreadPool Pool(2);
+  bool Ran = false;
+  Pool.parallelFor(0, [&Ran](size_t, unsigned) { Ran = true; });
+  EXPECT_FALSE(Ran);
+}
+
+TEST(ThreadPool, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Stats merge algebra
+//===----------------------------------------------------------------------===//
+
+rewrite::PatternStats patternStats(uint64_t Seed) {
+  rewrite::PatternStats S;
+  S.Attempts = Seed * 3 + 1;
+  S.RootSkips = Seed * 5 + 2;
+  S.Matches = Seed * 7 + 3;
+  S.RulesFired = Seed * 11 + 4;
+  S.GuardRejects = Seed * 13 + 5;
+  S.MachineSteps = Seed * 17 + 6;
+  S.Backtracks = Seed * 19 + 7;
+  S.Seconds = static_cast<double>(Seed) * 0.25;
+  return S;
+}
+
+match::MachineStats machineStats(uint64_t Seed) {
+  match::MachineStats S;
+  S.Steps = Seed * 3 + 1;
+  S.Backtracks = Seed * 5 + 2;
+  S.MuUnfolds = Seed * 7 + 3;
+  S.VarBinds = Seed * 11 + 4;
+  S.GuardEvals = Seed * 13 + 5;
+  S.GuardStuck = Seed * 17 + 6;
+  S.MaxStackDepth = (Seed * 19) % 40;
+  S.MaxContDepth = (Seed * 23) % 40;
+  return S;
+}
+
+template <typename Stats>
+Stats merged(const Stats &A, const Stats &B) {
+  Stats R = A;
+  R.merge(B);
+  return R;
+}
+
+TEST(PatternStatsMerge, IdentityElement) {
+  rewrite::PatternStats A = patternStats(9);
+  EXPECT_EQ(merged(A, rewrite::PatternStats{}), A);
+  EXPECT_EQ(merged(rewrite::PatternStats{}, A), A);
+}
+
+TEST(PatternStatsMerge, Commutative) {
+  for (uint64_t I = 0; I != 8; ++I)
+    for (uint64_t J = 0; J != 8; ++J) {
+      rewrite::PatternStats A = patternStats(I), B = patternStats(J);
+      EXPECT_EQ(merged(A, B), merged(B, A)) << I << "," << J;
+    }
+}
+
+TEST(PatternStatsMerge, Associative) {
+  for (uint64_t I = 0; I != 5; ++I)
+    for (uint64_t J = 0; J != 5; ++J)
+      for (uint64_t K = 0; K != 5; ++K) {
+        rewrite::PatternStats A = patternStats(I), B = patternStats(J),
+                              C = patternStats(K);
+        EXPECT_EQ(merged(merged(A, B), C), merged(A, merged(B, C)))
+            << I << "," << J << "," << K;
+      }
+}
+
+TEST(MachineStatsMerge, IdentityElement) {
+  match::MachineStats A = machineStats(9);
+  EXPECT_EQ(merged(A, match::MachineStats{}), A);
+  EXPECT_EQ(merged(match::MachineStats{}, A), A);
+}
+
+TEST(MachineStatsMerge, Commutative) {
+  for (uint64_t I = 0; I != 8; ++I)
+    for (uint64_t J = 0; J != 8; ++J) {
+      match::MachineStats A = machineStats(I), B = machineStats(J);
+      EXPECT_EQ(merged(A, B), merged(B, A)) << I << "," << J;
+    }
+}
+
+TEST(MachineStatsMerge, Associative) {
+  for (uint64_t I = 0; I != 5; ++I)
+    for (uint64_t J = 0; J != 5; ++J)
+      for (uint64_t K = 0; K != 5; ++K) {
+        match::MachineStats A = machineStats(I), B = machineStats(J),
+                            C = machineStats(K);
+        EXPECT_EQ(merged(merged(A, B), C), merged(A, merged(B, C)))
+            << I << "," << J << "," << K;
+      }
+}
+
+TEST(MachineStatsMerge, DepthTakesMaxNotSum) {
+  match::MachineStats A, B;
+  A.MaxStackDepth = 10;
+  B.MaxStackDepth = 4;
+  A.MaxContDepth = 2;
+  B.MaxContDepth = 7;
+  A.merge(B);
+  EXPECT_EQ(A.MaxStackDepth, 10u);
+  EXPECT_EQ(A.MaxContDepth, 7u);
+}
+
+} // namespace

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI driver: build + test the plain configuration, then rebuild everything
+# under ThreadSanitizer and run the full suite again. TSan is what makes
+# the parallel rewrite engine's "race-free at any thread count" claim a
+# checked property instead of a code-review one (see DESIGN.md §"Parallel
+# discovery, serial commit").
+#
+# Usage: tools/ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "=== plain build ==="
+cmake -B build-ci -S . >/dev/null
+cmake --build build-ci -j "$JOBS"
+ctest --test-dir build-ci --output-on-failure
+
+echo "=== thread-sanitizer build ==="
+cmake -B build-ci-tsan -S . -DPYPM_SANITIZE=thread >/dev/null
+cmake --build build-ci-tsan -j "$JOBS"
+ctest --test-dir build-ci-tsan --output-on-failure
+
+echo "=== ci.sh: all green ==="

@@ -43,7 +43,7 @@ int usage() {
                "       pypmc match   <file.pypm|file.pypmbin> <Pattern> "
                "<term> [--trace] [--explain]\n"
                "       pypmc rewrite <patterns> <graph.pypmg> "
-               "[-o <out.pypmg>]\n"
+               "[-o <out.pypmg>] [--threads N]\n"
                "       pypmc cost    <graph.pypmg>\n");
   return 2;
 }
@@ -246,9 +246,12 @@ std::unique_ptr<graph::Graph> loadGraph(const char *Path,
 
 int cmdRewrite(int Argc, char **Argv) {
   const char *Patterns = nullptr, *GraphPath = nullptr, *Out = nullptr;
+  unsigned Threads = 0;
   for (int I = 0; I != Argc; ++I) {
     if (std::strcmp(Argv[I], "-o") == 0 && I + 1 != Argc)
       Out = Argv[++I];
+    else if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 != Argc)
+      Threads = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
     else if (!Patterns)
       Patterns = Argv[I];
     else if (!GraphPath)
@@ -271,8 +274,12 @@ int cmdRewrite(int Argc, char **Argv) {
   Rules.addLibrary(*Lib);
   sim::CostModel CM;
   double Before = CM.graphCost(*G).Seconds;
+  // --threads N selects the parallel-discovery engine; the rewritten
+  // graph is identical to the serial (default) engine's at any N.
+  rewrite::RewriteOptions Opts;
+  Opts.NumThreads = Threads;
   rewrite::RewriteStats Stats =
-      rewrite::rewriteToFixpoint(*G, Rules, graph::ShapeInference());
+      rewrite::rewriteToFixpoint(*G, Rules, graph::ShapeInference(), Opts);
   double After = CM.graphCost(*G).Seconds;
   std::fprintf(stderr, "%s\nsimulated time: %.3fms -> %.3fms (%.3fx)\n",
                Stats.summary().c_str(), Before * 1e3, After * 1e3,
