@@ -18,6 +18,7 @@
 #include "opt/StdPatterns.h"
 #include "pattern/Serializer.h"
 #include "rewrite/RewriteEngine.h"
+#include "support/Budget.h"
 
 #include <benchmark/benchmark.h>
 
@@ -280,6 +281,46 @@ void BM_FastMatcherChain(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_FastMatcherChain)->Arg(16)->Arg(64)->Arg(256);
+
+/// Budget-governance overhead on the matcher hot path: the identical
+/// recursive-chain workload with and without an (unlimited) Budget
+/// attached. The governed run adds one relaxed-load poll every 1024
+/// machine steps, so it must stay within ~2% of the ungoverned twin —
+/// compare these two numbers when touching the poll.
+void BM_MatchChainUngoverned(benchmark::State &State) {
+  Ctx X;
+  term::TermRef T = X.chain(static_cast<int>(State.range(0)));
+  Symbol Self = Symbol::intern("ChainU"), Var = Symbol::intern("x"),
+         F = Symbol::intern("f");
+  const Pattern *Body =
+      X.PA.alt(X.PA.funVarApp(F, {X.PA.recCall(Self, {Var, F})}),
+               X.PA.funVarApp(F, {X.PA.var(Var)}));
+  const Pattern *Mu = X.PA.mu(Self, {Var, F}, {Var, F}, Body);
+  for (auto _ : State) {
+    MatchResult R = matchPattern(Mu, T, X.Arena);
+    benchmark::DoNotOptimize(R.Status);
+  }
+}
+BENCHMARK(BM_MatchChainUngoverned)->Arg(64)->Arg(256);
+
+void BM_MatchChainGoverned(benchmark::State &State) {
+  Ctx X;
+  term::TermRef T = X.chain(static_cast<int>(State.range(0)));
+  Symbol Self = Symbol::intern("ChainG"), Var = Symbol::intern("x"),
+         F = Symbol::intern("f");
+  const Pattern *Body =
+      X.PA.alt(X.PA.funVarApp(F, {X.PA.recCall(Self, {Var, F})}),
+               X.PA.funVarApp(F, {X.PA.var(Var)}));
+  const Pattern *Mu = X.PA.mu(Self, {Var, F}, {Var, F}, Body);
+  Budget Bgt; // no ceilings: pure poll overhead
+  match::Machine::Options Opts;
+  Opts.EngineBudget = &Bgt;
+  for (auto _ : State) {
+    MatchResult R = matchPattern(Mu, T, X.Arena, Opts);
+    benchmark::DoNotOptimize(R.Status);
+  }
+}
+BENCHMARK(BM_MatchChainGoverned)->Arg(64)->Arg(256);
 
 void BM_SerializeRoundTrip(benchmark::State &State) {
   term::Signature Sig;

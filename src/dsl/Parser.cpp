@@ -27,6 +27,12 @@ std::string normalizeAttrPath(std::string_view Path) {
   return S;
 }
 
+/// Recursion ceiling for nested expressions, guards, and statements. Real
+/// rules nest a handful of levels; adversarial input ("((((…", "!!!!…",
+/// deeply nested calls or if-blocks) must fail with a diagnostic instead
+/// of exhausting the parser's stack.
+constexpr unsigned kMaxNestingDepth = 256;
+
 class ParserImpl {
 public:
   ParserImpl(std::string_view Source, DiagnosticEngine &Diags)
@@ -73,6 +79,25 @@ private:
   std::vector<Token> Toks;
   size_t Pos = 0;
   ModuleAst *Mod = nullptr;
+  unsigned Depth = 0;
+
+  /// RAII depth tracker for the recursive-descent entry points. Crossing
+  /// the ceiling emits one diagnostic; callers test \c ok() and return
+  /// nullptr, which propagates like any other parse error.
+  class DepthScope {
+  public:
+    explicit DepthScope(ParserImpl &P) : P(P) {
+      if (++P.Depth == kMaxNestingDepth + 1) {
+        P.error("nesting deeper than " + std::to_string(kMaxNestingDepth) +
+                " levels");
+      }
+    }
+    ~DepthScope() { --P.Depth; }
+    bool ok() const { return P.Depth <= kMaxNestingDepth; }
+
+  private:
+    ParserImpl &P;
+  };
 
   const Token &cur() const { return Toks[Pos]; }
   const Token &peek(size_t Ahead = 1) const {
@@ -233,6 +258,9 @@ private:
   }
 
   Stmt *parseStmt(bool InRule) {
+    DepthScope Scope(*this);
+    if (!Scope.ok())
+      return nullptr;
     SourceLoc Loc = cur().Loc;
 
     if (at(TokKind::KwAssert)) {
@@ -344,6 +372,9 @@ private:
   }
 
   Stmt *parseIf(bool InRule) {
+    DepthScope Scope(*this); // elif chains recurse here, not via parseStmt
+    if (!Scope.ok())
+      return nullptr;
     SourceLoc Loc = cur().Loc;
     advance(); // 'if' or 'elif'
     const GuardExpr *G = parseGuard();
@@ -370,6 +401,9 @@ private:
   //===------------------------------------------------------------------===//
 
   Expr *parsePExpr(bool InRule) {
+    DepthScope Scope(*this);
+    if (!Scope.ok())
+      return nullptr;
     SourceLoc Loc = cur().Loc;
     if (at(TokKind::IntLit) || at(TokKind::FloatLit)) {
       Expr E;
@@ -521,6 +555,9 @@ private:
   }
 
   const GuardExpr *parseUnary() {
+    DepthScope Scope(*this);
+    if (!Scope.ok())
+      return nullptr;
     if (at(TokKind::Bang)) {
       advance();
       const GuardExpr *Sub = parseUnary();

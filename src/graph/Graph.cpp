@@ -39,6 +39,13 @@ NodeId Graph::addNode(term::OpId Op, std::span<const NodeId> Inputs,
     assert(!Nodes[In].Dead && "using a dead node as input");
     Users[In].push_back(Id);
   }
+  // Monotone allocation estimate: node ids are stable and dead nodes stay
+  // allocated, so nothing is ever subtracted. Counted here — in the single
+  // mutation path — so it is a pure function of the committed node
+  // sequence, independent of matcher thread count.
+  ApproxBytes += sizeof(Node) + sizeof(std::vector<NodeId>) +
+                 N.Inputs.size() * 2 * sizeof(NodeId) +
+                 N.Attrs.size() * sizeof(term::Attr);
   Nodes.push_back(std::move(N));
   Users.emplace_back();
   return Id;

@@ -128,6 +128,12 @@ public:
   size_t numNodes() const { return Nodes.size(); }
   size_t numLiveNodes() const;
 
+  /// Monotone estimate of the bytes this graph has allocated (dead nodes
+  /// included — they stay allocated). A deterministic function of the node
+  /// sequence built so far; the rewrite engine polls it against
+  /// BudgetLimits::MaxMemoryBytes.
+  uint64_t approxMemoryBytes() const { return ApproxBytes; }
+
   /// Marks every node unreachable from the outputs as dead; returns the
   /// count swept.
   size_t removeUnreachable();
@@ -148,6 +154,7 @@ private:
   std::vector<Node> Nodes;
   std::vector<std::vector<NodeId>> Users;
   std::vector<NodeId> Outputs;
+  uint64_t ApproxBytes = 0;
 };
 
 } // namespace pypm::graph

@@ -3,6 +3,7 @@
 #include "graph/GraphIO.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <unordered_map>
 
@@ -112,8 +113,11 @@ public:
       ++Pos;
     if (Pos == Start)
       return false;
+    errno = 0;
     Out = std::strtoll(std::string(Line.substr(Start, Pos - Start)).c_str(),
                        nullptr, 10);
+    if (errno == ERANGE)
+      return false; // overflow would silently clamp to INT64_MAX
     return true;
   }
 
@@ -232,10 +236,18 @@ std::unique_ptr<Graph> pypm::graph::parseGraphText(std::string_view Text,
         LP.error("expected dimension");
         return nullptr;
       }
+      if (D < 0) {
+        LP.error("negative dimension " + std::to_string(D));
+        return nullptr;
+      }
       Type.Dims.push_back(D);
       while (LP.eat('x')) {
         if (!LP.integer(D)) {
           LP.error("expected dimension");
+          return nullptr;
+        }
+        if (D < 0) {
+          LP.error("negative dimension " + std::to_string(D));
           return nullptr;
         }
         Type.Dims.push_back(D);

@@ -2,6 +2,8 @@
 
 #include "match/FastMatcher.h"
 
+#include "support/Budget.h"
+
 using namespace pypm;
 using namespace pypm::match;
 using namespace pypm::pattern;
@@ -98,6 +100,11 @@ MachineStatus FastMatcher::runLoop() {
 
   while (Status == MachineStatus::Running) {
     if (++Stats.Steps > Opts.MaxSteps) {
+      Status = MachineStatus::OutOfFuel;
+      break;
+    }
+    if (Opts.EngineBudget && (Stats.Steps & 1023u) == 0 &&
+        Opts.EngineBudget->interrupted()) {
       Status = MachineStatus::OutOfFuel;
       break;
     }

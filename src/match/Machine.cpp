@@ -2,6 +2,8 @@
 
 #include "match/Machine.h"
 
+#include "support/Budget.h"
+
 using namespace pypm;
 using namespace pypm::match;
 using namespace pypm::pattern;
@@ -55,6 +57,11 @@ MachineStatus Machine::step() {
   if (Status != MachineStatus::Running)
     return Status;
   if (++Stats.Steps > Opts.MaxSteps) {
+    Status = MachineStatus::OutOfFuel;
+    return Status;
+  }
+  if (Opts.EngineBudget && (Stats.Steps & 1023u) == 0 &&
+      Opts.EngineBudget->interrupted()) {
     Status = MachineStatus::OutOfFuel;
     return Status;
   }

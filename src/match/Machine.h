@@ -42,6 +42,10 @@
 #include <string>
 #include <vector>
 
+namespace pypm {
+class Budget;
+} // namespace pypm
+
 namespace pypm::match {
 
 enum class ActionKind : uint8_t { Match, Guard, CheckName, CheckFunName, MatchConstr };
@@ -137,6 +141,12 @@ public:
     uint64_t MaxSteps = 10'000'000;
     /// μ-unfold budget; recursion deeper than this is OutOfFuel.
     uint64_t MaxMuUnfolds = 4'096;
+    /// Optional engine-level budget. Polled for deadline/cancellation every
+    /// 1024 steps (Budget::interrupted — safe from any thread); an
+    /// interrupted run terminates in OutOfFuel like any exhausted fuel.
+    /// The budget's step/μ ceilings are deliberately NOT enforced here:
+    /// the engine charges them in committed order for determinism.
+    const pypm::Budget *EngineBudget = nullptr;
   };
 
   explicit Machine(const term::TermArena &Arena) : Machine(Arena, Options()) {}

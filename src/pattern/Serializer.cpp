@@ -2,6 +2,8 @@
 
 #include "pattern/Serializer.h"
 
+#include "pattern/WellFormed.h"
+
 #include <cstring>
 #include <unordered_map>
 
@@ -12,6 +14,12 @@ namespace {
 
 constexpr uint32_t kVersion = 1;
 constexpr uint32_t kNoString = ~0u;
+
+/// Ceiling on pattern/guard/RHS tree nesting while deserializing. Real
+/// libraries are a few dozen levels deep at most; a crafted binary of
+/// nested one-byte tags (Alt, Not) could otherwise recurse once per input
+/// byte and overflow the stack.
+constexpr unsigned kMaxNestingDepth = 1024;
 
 // Tag bytes for pattern trees.
 enum class PTag : uint8_t {
@@ -355,6 +363,8 @@ public:
     uint32_t NumStrings;
     if (!readU32(NumStrings))
       return nullptr;
+    if (NumStrings > Bytes.size()) // each entry needs ≥4 length bytes
+      return fail("implausible string table size");
     Strings.reserve(NumStrings);
     for (uint32_t I = 0; I != NumStrings; ++I) {
       uint32_t Len;
@@ -405,6 +415,15 @@ public:
 
     if (Pos != Bytes.size())
       return fail("trailing bytes after pattern binary payload");
+
+    // Structural validity is an input property here, not an internal
+    // invariant: a byte-wise plausible binary can still encode trees the
+    // match machine asserts on (bare recursive calls, duplicate binders,
+    // unknown rule targets). Run the same checks the DSL pipeline runs.
+    if (!checkWellFormed(*Lib, Sig, Diags)) {
+      Failed = true;
+      return nullptr;
+    }
     return Lib;
   }
 
@@ -415,6 +434,27 @@ private:
   size_t Pos = 0;
   std::vector<std::string> Strings;
   bool Failed = false;
+  unsigned Depth = 0;
+
+  /// RAII depth tracker for the three mutually recursive tree readers.
+  /// Construction past the ceiling marks the reader failed; callers test
+  /// \c ok() and bail before recursing further.
+  class DepthScope {
+  public:
+    explicit DepthScope(Reader &R) : R(R) {
+      if (++R.Depth > kMaxNestingDepth) {
+        R.failB("nesting deeper than " + std::to_string(kMaxNestingDepth) +
+                " levels");
+        Ok = false;
+      }
+    }
+    ~DepthScope() { --R.Depth; }
+    bool ok() const { return Ok; }
+
+  private:
+    Reader &R;
+    bool Ok = true;
+  };
 
   std::unique_ptr<Library> fail(std::string Msg) {
     if (!Failed)
@@ -500,6 +540,10 @@ private:
       uint32_t Arity, Results, ClassId;
       if (!readSym(Name) || !readU32(Arity) || !readU32(Results))
         return false;
+      // App nodes later reserve arity-many children; a corrupt count must
+      // not turn into a multi-gigabyte allocation before EOF is noticed.
+      if (Arity > Bytes.size() || Results > Bytes.size())
+        return failB("implausible operator arity");
       if (!readU32(ClassId))
         return false;
       std::string_view Class;
@@ -525,8 +569,9 @@ private:
   }
 
   const Pattern *readPattern(PatternArena &A) {
+    DepthScope Scope(*this);
     uint8_t TagByte;
-    if (!readU8(TagByte))
+    if (!Scope.ok() || !readU8(TagByte))
       return nullptr;
     switch (static_cast<PTag>(TagByte)) {
     case PTag::Var: {
@@ -652,8 +697,9 @@ private:
   }
 
   const GuardExpr *readGuard(PatternArena &A) {
+    DepthScope Scope(*this);
     uint8_t TagByte;
-    if (!readU8(TagByte))
+    if (!Scope.ok() || !readU8(TagByte))
       return nullptr;
     switch (static_cast<GTag>(TagByte)) {
     case GTag::IntLit: {
@@ -750,8 +796,9 @@ private:
   }
 
   const RhsExpr *readRhs(PatternArena &A) {
+    DepthScope Scope(*this);
     uint8_t TagByte;
-    if (!readU8(TagByte))
+    if (!Scope.ok() || !readU8(TagByte))
       return nullptr;
     switch (static_cast<RTag>(TagByte)) {
     case RTag::VarRef: {

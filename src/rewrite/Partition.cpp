@@ -31,6 +31,12 @@ PartitionResult pypm::rewrite::partitionGraph(Graph &G,
   PartitionResult Result;
   double Start = nowSeconds();
 
+  Budget *Bgt = Opts.EngineBudget;
+  if (Bgt) {
+    Bgt->start();
+    Opts.MachineOpts.EngineBudget = Bgt; // deadline/cancel polls per match
+  }
+
   term::TermArena Arena(G.signature());
   graph::TermView View(G, Arena);
   std::vector<char> Claimed(G.numNodes(), 0);
@@ -44,10 +50,25 @@ PartitionResult pypm::rewrite::partitionGraph(Graph &G,
   for (NodeId N : Order) {
     if (Claimed[N])
       continue;
+    if (Bgt) {
+      BudgetReason R = Bgt->poll(G.approxMemoryBytes());
+      if (R != BudgetReason::None) {
+        Result.Status.raise(R == BudgetReason::Cancelled
+                                ? EngineStatusCode::Cancelled
+                                : EngineStatusCode::BudgetExhausted,
+                            R);
+        break;
+      }
+    }
     ++Result.Stats.Attempts;
     match::Machine M(Arena, Opts.MachineOpts);
     M.start(NP.Pat, View.termFor(N));
-    if (M.run() != match::MachineStatus::Success)
+    bool Matched = M.run() == match::MachineStatus::Success;
+    if (Bgt) {
+      Bgt->chargeSteps(M.stats().Steps);
+      Bgt->chargeMuUnfolds(M.stats().MuUnfolds);
+    }
+    if (!Matched)
       continue;
     ++Result.Stats.Matches;
     match::Witness W{M.theta(), M.phi()};

@@ -30,6 +30,7 @@
 #include "graph/ShapeInference.h"
 #include "match/Machine.h"
 #include "pattern/Pattern.h"
+#include "support/Budget.h"
 
 #include <string>
 #include <vector>
@@ -56,6 +57,11 @@ struct PartitionStats {
 struct PartitionResult {
   std::vector<Region> Regions;
   PartitionStats Stats;
+  /// Completed, or BudgetExhausted / Cancelled when the governing budget
+  /// stopped the scan early (the regions found so far remain valid —
+  /// partitioning never mutates the graph). Step/μ ceilings are charged
+  /// per attempted node in scan order, so exhaustion is deterministic.
+  EngineStatus Status;
 };
 
 struct PartitionOptions {
@@ -63,6 +69,10 @@ struct PartitionOptions {
   /// kernel of one op is not worth a kernel launch).
   size_t MinInteriorSize = 2;
   match::Machine::Options MachineOpts;
+  /// Optional budget governing the scan; borrowed, not owned. Matchers
+  /// poll it for deadline/cancellation; steps/μ-unfolds are charged after
+  /// each attempt.
+  Budget *EngineBudget = nullptr;
 };
 
 /// Partitions \p G with \p NP. \p FrontierVars name the pattern variables

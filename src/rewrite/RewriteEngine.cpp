@@ -17,12 +17,24 @@
 //    serial engine's at any thread count. See DESIGN.md §"Parallel
 //    discovery, serial commit".
 //
+// Resource governance rides on the same invariant: the Budget's step/μ
+// ceilings are charged exclusively in committed order (never by discovery
+// workers), quarantine counters advance in committed order, and absorbed
+// faults are accounted at the committed attempt that observes them — so
+// exhaustion, quarantine sets, and fault counts are bit-identical at any
+// thread count. Faults themselves are transactional: every graph mutation
+// before replaceAllUses is an appended (not yet referenced) node, so an
+// exception mid-build leaves only unreachable orphans, which the rollback
+// sweep removes. See DESIGN.md §"Failure taxonomy, budgets, and
+// transactional commit".
+//
 //===----------------------------------------------------------------------===//
 
 #include "rewrite/RewriteEngine.h"
 
 #include "match/Declarative.h"
 #include "match/FastMatcher.h"
+#include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 
 #include <chrono>
@@ -80,28 +92,90 @@ std::optional<std::unordered_set<term::OpId>> rootOps(const Pattern *P) {
   return std::nullopt;
 }
 
+/// Recursive worker behind rewrite::buildRhs. \p Faults lets the engine
+/// arm the deterministic fault injector *inside* the builder (throwing
+/// after some replacement nodes were already appended is exactly the case
+/// the transactional-commit tests must cover); the public entry point
+/// passes nullptr.
+NodeId buildRhsImpl(Graph &G, graph::TermView &View, const RhsExpr *Rhs,
+                    const match::Witness &W, const graph::ShapeInference &SI,
+                    FaultInjector *Faults) {
+  switch (Rhs->kind()) {
+  case RhsKind::VarRef: {
+    std::optional<term::TermRef> T = W.Theta.lookup(Rhs->var());
+    if (!T)
+      return graph::InvalidNode;
+    return View.nodeFor(*T);
+  }
+  case RhsKind::App:
+  case RhsKind::FunVarApp: {
+    term::OpId Op;
+    if (Rhs->kind() == RhsKind::App) {
+      Op = Rhs->op();
+    } else {
+      std::optional<term::OpId> Bound = W.Phi.lookup(Rhs->funVar());
+      if (!Bound)
+        return graph::InvalidNode;
+      Op = *Bound;
+    }
+    std::vector<NodeId> Children;
+    Children.reserve(Rhs->children().size());
+    for (const RhsExpr *C : Rhs->children()) {
+      NodeId Child = buildRhsImpl(G, View, C, W, SI, Faults);
+      if (Child == graph::InvalidNode)
+        return graph::InvalidNode;
+      Children.push_back(Child);
+    }
+    match::SubstEnv Env(W.Theta, W.Phi, View.arena());
+    std::vector<term::Attr> Attrs;
+    for (const RhsExpr::AttrTemplate &A : Rhs->attrTemplates()) {
+      pattern::GuardEval V = A.Value->evalInt(Env);
+      if (!V.ok())
+        return graph::InvalidNode;
+      Attrs.push_back({A.Key, V.Value});
+    }
+    if (Faults)
+      Faults->onRhsBuild();
+    NodeId N = G.addNode(Op, std::span<const NodeId>(Children),
+                         std::move(Attrs));
+    SI.inferNode(G, N);
+    return N;
+  }
+  }
+  return graph::InvalidNode;
+}
+
 /// Outcome of one speculative (node, pattern-entry) attempt on the frozen
 /// snapshot. Only outcomes the commit phase can replay without re-matching
-/// are distinguished; a match on an entry that has rules ends the node's
-/// discovery (the serial logic decides fire-or-continue at commit time).
+/// are distinguished; a match on an entry that has rules — or an exception
+/// — ends the node's discovery (the serial logic decides what happens at
+/// commit time).
 enum class AttemptKind : uint8_t {
   RootSkip,       ///< prefilter skipped the machine entirely
   NoMatch,        ///< Failure or OutOfFuel: serial would just continue
   MatchNoRules,   ///< match counted, nothing can fire (match-only entry)
   MatchWithRules, ///< match with candidate rules: re-run serially at commit
+  Threw,          ///< the attempt threw: re-run serially, absorb at commit
 };
 
 struct Attempt {
   uint32_t Entry = 0;
   AttemptKind Kind = AttemptKind::NoMatch;
+  bool Fuel = false; ///< the machine ended OutOfFuel (quarantine feed)
   uint64_t Steps = 0;
   uint64_t Backtracks = 0;
+  uint64_t MuUnfolds = 0;
   double Seconds = 0.0;
 };
 
 /// Per-node discovery record: the attempt sequence the serial engine would
-/// perform, ending at the first entry that might fire (if any).
-using NodeDiscovery = std::vector<Attempt>;
+/// perform, ending at the first entry that might fire (if any). Complete
+/// distinguishes a finished record from one truncated by a worker-task
+/// fault — the commit phase recovers the latter with a full serial visit.
+struct NodeDiscovery {
+  std::vector<Attempt> Attempts;
+  bool Complete = false;
+};
 
 class Engine {
 public:
@@ -111,6 +185,17 @@ public:
         View(G, Arena) {}
 
   RewriteStats run(bool RewriteMode) {
+    const size_t NumEntries = Rules.entries().size();
+    Quarantined.assign(NumEntries, 0);
+    FuelExhausts.assign(NumEntries, 0);
+    Bgt = Opts.EngineBudget;
+    if (Bgt) {
+      Bgt->start();
+      // Matchers poll the deadline/cancellation cooperatively; the step/μ
+      // ceilings stay commit-order-only (determinism).
+      Opts.MachineOpts.EngineBudget = Bgt;
+    }
+    Faults = Opts.Faults ? Opts.Faults : FaultInjector::global();
     return Opts.NumThreads == 0 ? runSerial(RewriteMode)
                                 : runParallel(RewriteMode);
   }
@@ -135,18 +220,130 @@ private:
   term::TermArena Arena;
   graph::TermView View;
   RewriteStats Stats;
+  Budget *Bgt = nullptr;
+  FaultInjector *Faults = nullptr;
   std::vector<std::optional<std::unordered_set<term::OpId>>> RootFilters;
   /// Commit-phase invalidation bits over the pass's snapshot ids. Empty in
   /// the serial engine (tracking disabled).
   std::vector<uint8_t> Dirty;
+  /// Sticky per-entry quarantine bits, mutated in commit order only.
+  std::vector<uint8_t> Quarantined;
+  /// Pass-start snapshot of Quarantined, read by discovery workers while
+  /// the commit phase may be quarantining more entries.
+  std::vector<uint8_t> QSnapshot;
+  /// Commit-order OutOfFuel counts per entry (feeds QuarantineThreshold).
+  std::vector<uint32_t> FuelExhausts;
+  /// Set once when the run must halt; sticky. None while running.
+  BudgetReason Stop = BudgetReason::None;
+
+  bool halted() const { return Stop != BudgetReason::None; }
+
+  /// Records the halt cause once and escalates the run status.
+  void halt(BudgetReason R) {
+    if (halted())
+      return;
+    Stop = R;
+    EngineStatusCode C = EngineStatusCode::BudgetExhausted;
+    if (R == BudgetReason::Cancelled)
+      C = EngineStatusCode::Cancelled;
+    else if (R == BudgetReason::Fault)
+      C = EngineStatusCode::FaultInjected;
+    Stats.Status.raise(C, R);
+  }
+
+  /// Node-granularity poll: cancellation, deadline, memory estimate, and
+  /// any ceiling already tripped by committed charges.
+  bool shouldStop() {
+    if (halted())
+      return true;
+    if (!Bgt)
+      return false;
+    BudgetReason R = Bgt->poll(G.approxMemoryBytes());
+    if (R != BudgetReason::None)
+      halt(R);
+    return halted();
+  }
+
+  /// Commit-order accounting for one finished attempt. Identical calls are
+  /// made by the serial visit and the parallel replay, so ceilings trip at
+  /// the identical attempt regardless of thread count.
+  void chargeAttempt(uint64_t Steps, uint64_t MuUnfolds) {
+    if (Faults && Faults->onBudgetCharge()) {
+      // Simulated exhaustion: counted as a fault, reported as the budget
+      // trip it fakes.
+      ++Stats.Status.FaultsAbsorbed;
+      halt(BudgetReason::Steps);
+      return;
+    }
+    if (!Bgt)
+      return;
+    Bgt->chargeSteps(Steps);
+    Bgt->chargeMuUnfolds(MuUnfolds);
+    BudgetReason R = Bgt->exceededCeiling();
+    if (R != BudgetReason::None)
+      halt(R);
+  }
+
+  void quarantineEntry(size_t I, const char *Why) {
+    if (Quarantined[I])
+      return;
+    Quarantined[I] = 1;
+    std::string Name = entryName(Rules.entries()[I]);
+    Stats.Status.QuarantinedPatterns.push_back(Name);
+    Stats.Status.raise(EngineStatusCode::PatternQuarantined);
+    if (Opts.Diags)
+      Opts.Diags->warning({}, "pattern '" + Name + "' quarantined (" + Why +
+                                  "); disabled for the rest of the run");
+  }
+
+  /// An attempt on entry \p I ended OutOfFuel (committed order).
+  void noteFuelExhaust(size_t I) {
+    if (Opts.QuarantineThreshold == 0)
+      return;
+    if (++FuelExhausts[I] >= Opts.QuarantineThreshold)
+      quarantineEntry(I, "fuel exhausted " +
+                             std::to_string(FuelExhausts[I]) + " times");
+  }
+
+  void quarantineEntry(size_t I, const std::string &Why) {
+    quarantineEntry(I, Why.c_str());
+  }
+
+  /// An exception escaped the matcher, a guard, or the RHS builder at the
+  /// committed attempt (entry \p I): absorb it — quarantine the pattern or
+  /// halt, per HaltOnFault — and keep the run alive either way.
+  void onAttemptFault(size_t I, const char *What) {
+    ++Stats.Status.FaultsAbsorbed;
+    Stats.Status.raise(EngineStatusCode::FaultInjected);
+    if (Opts.Diags)
+      Opts.Diags->warning({}, "fault absorbed in pattern '" +
+                                  entryName(Rules.entries()[I]) +
+                                  "': " + What);
+    if (Opts.HaltOnFault)
+      halt(BudgetReason::Fault);
+    else
+      quarantineEntry(I, "fault");
+  }
+
+  /// A discovery task died before recording its node (ThreadPool drained
+  /// the rest and rethrew the first exception). The truncated records are
+  /// !Complete, so commit recovers them serially; nothing else is lost.
+  void onDiscoveryFault(const char *What) {
+    ++Stats.Status.FaultsAbsorbed;
+    Stats.Status.raise(EngineStatusCode::FaultInjected);
+    if (Opts.Diags)
+      Opts.Diags->warning(
+          {}, std::string("fault absorbed in a discovery task: ") + What);
+    if (Opts.HaltOnFault)
+      halt(BudgetReason::Fault);
+  }
 
   RewriteStats runSerial(bool RewriteMode) {
     double Start = nowSeconds();
     computeRootFilters();
 
     bool Changed = true;
-    while (Changed && Stats.Passes < Opts.MaxPasses &&
-           !Stats.HitRewriteLimit) {
+    while (Changed && Stats.Passes < Opts.MaxPasses && !halted()) {
       Changed = false;
       ++Stats.Passes;
       if (Opts.Order == Traversal::OperandsFirst) {
@@ -155,11 +352,11 @@ private:
         for (NodeId N = 0; N < G.numNodes(); ++N) {
           if (G.isDead(N))
             continue;
+          if (shouldStop())
+            break;
           ++Stats.NodesVisited;
           if (visitNode(N, RewriteMode))
             Changed = true;
-          if (Stats.HitRewriteLimit)
-            break;
         }
       } else {
         // RootsFirst: per-pass snapshot of the reverse topological order;
@@ -170,11 +367,11 @@ private:
           NodeId N = *It;
           if (G.isDead(N))
             continue;
+          if (shouldStop())
+            break;
           ++Stats.NodesVisited;
           if (visitNode(N, RewriteMode))
             Changed = true;
-          if (Stats.HitRewriteLimit)
-            break;
         }
       }
       if (!RewriteMode)
@@ -190,15 +387,16 @@ private:
     const size_t NumEntries = Rules.entries().size();
 
     bool Changed = true;
-    while (Changed && Stats.Passes < Opts.MaxPasses &&
-           !Stats.HitRewriteLimit) {
+    while (Changed && Stats.Passes < Opts.MaxPasses && !halted()) {
       Changed = false;
       ++Stats.Passes;
 
       // Freeze the traversal: ids below SnapshotSize in the order the
       // commit phase will walk them. Workers only ever read the graph as
-      // it is right now.
+      // it is right now — including the pass-start quarantine set (commit
+      // may grow the live set mid-pass).
       const size_t SnapshotSize = G.numNodes();
+      QSnapshot = Quarantined;
       std::vector<NodeId> Work;
       std::vector<NodeId> RootsOrder; // RootsFirst commit order
       if (Opts.Order == Traversal::OperandsFirst) {
@@ -212,17 +410,27 @@ private:
         Work = RootsOrder;
       }
 
-      // Parallel discovery over the frozen snapshot.
+      // Parallel discovery over the frozen snapshot. A task that throws
+      // (injected or real) costs only its own node's record — the pool
+      // drains every other task first — and never escapes this block.
       std::vector<std::unique_ptr<WorkerCtx>> Ctxs;
       Ctxs.reserve(Pool.size());
       for (unsigned I = 0; I != Pool.size(); ++I)
         Ctxs.push_back(std::make_unique<WorkerCtx>(G, NumEntries));
       std::vector<NodeDiscovery> Disc(SnapshotSize);
       double D0 = nowSeconds();
-      Pool.parallelFor(Work.size(), [&](size_t I, unsigned Worker) {
-        NodeId N = Work[I];
-        discoverNode(N, *Ctxs[Worker], Disc[N], RewriteMode);
-      });
+      try {
+        Pool.parallelFor(Work.size(), [&](size_t I, unsigned Worker) {
+          if (Faults)
+            Faults->onWorkerTask();
+          NodeId N = Work[I];
+          discoverNode(N, *Ctxs[Worker], Disc[N], RewriteMode);
+        });
+      } catch (const std::exception &Ex) {
+        onDiscoveryFault(Ex.what());
+      } catch (...) {
+        onDiscoveryFault("unknown exception");
+      }
       double DiscoveryWall = nowSeconds() - D0;
       Stats.DiscoverySeconds += DiscoveryWall;
       // Wall-clock, counted once — NOT the per-worker CPU sum — so
@@ -238,26 +446,26 @@ private:
         for (NodeId N = 0; N < G.numNodes(); ++N) {
           if (G.isDead(N))
             continue;
+          if (shouldStop())
+            break;
           ++Stats.NodesVisited;
           bool Fired = (N < SnapshotSize && !Dirty[N])
                            ? commitNode(N, Disc[N], RewriteMode)
                            : visitNode(N, RewriteMode);
           if (Fired)
             Changed = true;
-          if (Stats.HitRewriteLimit)
-            break;
         }
       } else {
         for (NodeId N : RootsOrder) {
           if (G.isDead(N))
             continue;
+          if (shouldStop())
+            break;
           ++Stats.NodesVisited;
           bool Fired = !Dirty[N] ? commitNode(N, Disc[N], RewriteMode)
                                  : visitNode(N, RewriteMode);
           if (Fired)
             Changed = true;
-          if (Stats.HitRewriteLimit)
-            break;
         }
       }
       Dirty.clear();
@@ -291,12 +499,17 @@ private:
 
   /// Speculative match attempts for one node against the frozen snapshot,
   /// mirroring visitNode's entry order exactly. Runs on a worker thread:
-  /// reads G, writes only worker-private state and this node's record.
+  /// reads G, writes only worker-private state and this node's record. An
+  /// attempt that throws ends the record with a Threw terminal — the
+  /// commit phase replays it serially and absorbs the (deterministically
+  /// re-raised) fault there, in committed order.
   void discoverNode(NodeId N, WorkerCtx &W, NodeDiscovery &D,
                     bool RewriteMode) const {
     const auto &Entries = Rules.entries();
-    D.reserve(Entries.size());
+    D.Attempts.reserve(Entries.size());
     for (size_t I = 0; I != Entries.size(); ++I) {
+      if (QSnapshot[I])
+        continue;
       const RewriteEntry &E = Entries[I];
       PatternStats &WS = W.Entry[I];
       Attempt A;
@@ -305,18 +518,28 @@ private:
           !RootFilters[I]->count(G.op(N))) {
         ++WS.RootSkips;
         A.Kind = AttemptKind::RootSkip;
-        D.push_back(A);
+        D.Attempts.push_back(A);
         continue;
       }
 
       double T0 = nowSeconds();
-      term::TermRef T = W.View.termFor(N);
-      MatchResult MR =
-          Opts.UseFastMatcher
-              ? match::FastMatcher::run(E.Pattern->Pat, T, W.Arena,
-                                        Opts.MachineOpts)
-              : match::matchPattern(E.Pattern->Pat, T, W.Arena,
-                                    Opts.MachineOpts);
+      MatchResult MR{};
+      try {
+        if (Faults && Faults->atAttemptSite(Stats.Passes, N, I))
+          throw InjectedFault("injected fault: attempt site");
+        term::TermRef T = W.View.termFor(N);
+        MR = Opts.UseFastMatcher
+                 ? match::FastMatcher::run(E.Pattern->Pat, T, W.Arena,
+                                           Opts.MachineOpts)
+                 : match::matchPattern(E.Pattern->Pat, T, W.Arena,
+                                       Opts.MachineOpts);
+      } catch (...) {
+        W.View.invalidate();
+        A.Kind = AttemptKind::Threw;
+        D.Attempts.push_back(A);
+        D.Complete = true;
+        return;
+      }
       double Elapsed = nowSeconds() - T0;
       ++WS.Attempts;
       WS.MachineSteps += MR.Stats.Steps;
@@ -324,11 +547,16 @@ private:
       WS.Seconds += Elapsed;
       A.Steps = MR.Stats.Steps;
       A.Backtracks = MR.Stats.Backtracks;
+      A.MuUnfolds = MR.Stats.MuUnfolds;
       A.Seconds = Elapsed;
       if (MR.Status != MachineStatus::Success) {
+        if (MR.Status == MachineStatus::OutOfFuel) {
+          A.Fuel = true;
+          ++WS.FuelExhausted;
+        }
         if (!Opts.MemoizeTermView)
           W.View.invalidate();
-        D.push_back(A);
+        D.Attempts.push_back(A);
         continue;
       }
       ++WS.Matches;
@@ -336,24 +564,42 @@ private:
         A.Kind = AttemptKind::MatchNoRules;
         if (!Opts.MemoizeTermView)
           W.View.invalidate();
-        D.push_back(A);
+        D.Attempts.push_back(A);
         continue;
       }
       // A rule might fire here; whether it does (guards, RHS build) is the
       // commit phase's call, against the live graph.
       A.Kind = AttemptKind::MatchWithRules;
-      D.push_back(A);
+      D.Attempts.push_back(A);
+      D.Complete = true;
       return;
     }
+    D.Complete = true;
   }
 
   /// Commit-phase replay of one *clean* node: copies the counters of
-  /// attempts discovery proved fruitless and re-runs only a potential
-  /// firing entry for real. Observably identical to visitNode(N), cheaper
-  /// by every failed matcher run. Returns true if the graph changed.
+  /// attempts discovery proved fruitless — charging the budget and the
+  /// quarantine counters exactly as the serial visit would — and re-runs
+  /// only a potential firing (or faulting) entry for real. Observably
+  /// identical to visitNode(N), cheaper by every failed matcher run.
+  /// Returns true if the graph changed.
   bool commitNode(NodeId N, const NodeDiscovery &D, bool RewriteMode) {
+    if (!D.Complete)
+      return visitNode(N, RewriteMode); // task fault: recover serially
     const auto &Entries = Rules.entries();
-    for (const Attempt &A : D) {
+    for (const Attempt &A : D.Attempts) {
+      if (halted())
+        return false;
+      if (Quarantined[A.Entry]) {
+        // Quarantined since the pass-start snapshot: the serial engine
+        // would skip this entry without counting. A terminal record ends
+        // here, but later entries were never explored — resume the live
+        // visit right after it.
+        if (A.Kind == AttemptKind::MatchWithRules ||
+            A.Kind == AttemptKind::Threw)
+          return visitNode(N, RewriteMode, A.Entry + 1);
+        continue;
+      }
       const RewriteEntry &E = Entries[A.Entry];
       PatternStats &PS = statsFor(E);
       switch (A.Kind) {
@@ -365,19 +611,26 @@ private:
         PS.MachineSteps += A.Steps;
         PS.Backtracks += A.Backtracks;
         PS.Seconds += A.Seconds;
+        chargeAttempt(A.Steps, A.MuUnfolds);
+        if (A.Fuel) {
+          ++PS.FuelExhausted;
+          noteFuelExhaust(A.Entry);
+        }
         break;
       case AttemptKind::MatchNoRules:
         ++PS.Attempts;
         PS.MachineSteps += A.Steps;
         PS.Backtracks += A.Backtracks;
         PS.Seconds += A.Seconds;
+        chargeAttempt(A.Steps, A.MuUnfolds);
         ++PS.Matches;
         ++Stats.TotalMatches;
         break;
       case AttemptKind::MatchWithRules:
-        // The node is clean, so the match re-occurs identically on the
+      case AttemptKind::Threw:
+        // The node is clean, so the outcome re-occurs identically on the
         // live graph; resume the serial logic at this entry — it re-counts
-        // this attempt itself, handles guard dispatch and firing, and
+        // the attempt itself, handles guards/firing/fault absorption, and
         // continues with the remaining entries when nothing fires.
         return visitNode(N, RewriteMode, A.Entry);
       }
@@ -386,11 +639,16 @@ private:
   }
 
   /// Tries each pattern from \p StartEntry in order at node N; on a match
-  /// fires the first rule whose guard passes. Returns true if the graph
-  /// changed.
+  /// fires the first rule whose guard passes. Absorbs any exception thrown
+  /// by the matcher, a guard, or the RHS builder (see onAttemptFault).
+  /// Returns true if the graph changed.
   bool visitNode(NodeId N, bool RewriteMode, size_t StartEntry = 0) {
     const auto &Entries = Rules.entries();
     for (size_t I = StartEntry; I != Entries.size(); ++I) {
+      if (halted())
+        return false;
+      if (Quarantined[I])
+        continue;
       const RewriteEntry &E = Entries[I];
       PatternStats &PS = statsFor(E);
       if (Opts.UseRootIndex && RootFilters[I] &&
@@ -400,13 +658,25 @@ private:
       }
 
       double T0 = nowSeconds();
-      term::TermRef T = View.termFor(N);
-      MatchResult MR =
-          Opts.UseFastMatcher
-              ? match::FastMatcher::run(E.Pattern->Pat, T, Arena,
-                                        Opts.MachineOpts)
-              : match::matchPattern(E.Pattern->Pat, T, Arena,
-                                    Opts.MachineOpts);
+      MatchResult MR{};
+      try {
+        if (Faults && Faults->atAttemptSite(Stats.Passes, N, I))
+          throw InjectedFault("injected fault: attempt site");
+        term::TermRef T = View.termFor(N);
+        MR = Opts.UseFastMatcher
+                 ? match::FastMatcher::run(E.Pattern->Pat, T, Arena,
+                                           Opts.MachineOpts)
+                 : match::matchPattern(E.Pattern->Pat, T, Arena,
+                                       Opts.MachineOpts);
+      } catch (const std::exception &Ex) {
+        View.invalidate();
+        onAttemptFault(I, Ex.what());
+        continue;
+      } catch (...) {
+        View.invalidate();
+        onAttemptFault(I, "unknown exception");
+        continue;
+      }
       MachineStatus S = MR.Status;
       ++PS.Attempts;
       PS.MachineSteps += MR.Stats.Steps;
@@ -414,7 +684,12 @@ private:
       double Elapsed = nowSeconds() - T0;
       PS.Seconds += Elapsed;
       Stats.MatchSeconds += Elapsed;
+      chargeAttempt(MR.Stats.Steps, MR.Stats.MuUnfolds);
       if (S != MachineStatus::Success) {
+        if (S == MachineStatus::OutOfFuel) {
+          ++PS.FuelExhausted;
+          noteFuelExhaust(I);
+        }
         // Ablation: without memoization, drop conversions after every
         // attempt (the witness of a *successful* match still needs the
         // term→node map until its replacement has been built).
@@ -430,8 +705,21 @@ private:
           View.invalidate();
         continue;
       }
+      if (halted())
+        return false; // budget died charging this attempt: don't fire
 
-      bool Fired = fireFirstRule(N, E, MR.W, PS);
+      bool Fired;
+      try {
+        Fired = fireFirstRule(N, E, MR.W, PS);
+      } catch (const std::exception &Ex) {
+        rollbackPartialBuild();
+        onAttemptFault(I, Ex.what());
+        continue;
+      } catch (...) {
+        rollbackPartialBuild();
+        onAttemptFault(I, "unknown exception");
+        continue;
+      }
       if (!Fired && !Opts.MemoizeTermView)
         View.invalidate();
       if (Fired)
@@ -441,14 +729,27 @@ private:
     return false;
   }
 
+  /// Transactional rollback after an exception escaped a guard or the RHS
+  /// builder: every mutation so far appended nodes nothing references, so
+  /// sweeping unreachable nodes restores exactly the last committed state
+  /// (node ids are stable and writeGraphText prints live nodes only).
+  void rollbackPartialBuild() {
+    Stats.NodesSwept += G.removeUnreachable();
+    View.invalidate();
+  }
+
   bool fireFirstRule(NodeId N, const RewriteEntry &E, const match::Witness &W,
                      PatternStats &PS) {
     match::SubstEnv Env(W.Theta, W.Phi, Arena);
     for (const RewriteRule *R : E.Rules) {
-      if (R->Guard && !R->Guard->evalBool(Env).truthy())
-        continue;
+      if (R->Guard) {
+        if (Faults)
+          Faults->onGuardEval();
+        if (!R->Guard->evalBool(Env).truthy())
+          continue;
+      }
       NodeId FirstNewNode = static_cast<NodeId>(G.numNodes());
-      NodeId Replacement = buildRhs(G, View, R->Rhs, W, *SI);
+      NodeId Replacement = buildRhsImpl(G, View, R->Rhs, W, *SI, Faults);
       if (Replacement == graph::InvalidNode)
         continue; // RHS build failed (unbound var); try next rule
       // Invalidate discovery results downstream of this fire *before* the
@@ -465,7 +766,7 @@ private:
       ++PS.RulesFired;
       ++Stats.TotalFired;
       if (Stats.TotalFired >= Opts.MaxRewrites)
-        Stats.HitRewriteLimit = true;
+        halt(BudgetReason::Rewrites);
       return true;
     }
     return false;
@@ -499,47 +800,7 @@ private:
 NodeId pypm::rewrite::buildRhs(Graph &G, graph::TermView &View,
                                const RhsExpr *Rhs, const match::Witness &W,
                                const graph::ShapeInference &SI) {
-  switch (Rhs->kind()) {
-  case RhsKind::VarRef: {
-    std::optional<term::TermRef> T = W.Theta.lookup(Rhs->var());
-    if (!T)
-      return graph::InvalidNode;
-    return View.nodeFor(*T);
-  }
-  case RhsKind::App:
-  case RhsKind::FunVarApp: {
-    term::OpId Op;
-    if (Rhs->kind() == RhsKind::App) {
-      Op = Rhs->op();
-    } else {
-      std::optional<term::OpId> Bound = W.Phi.lookup(Rhs->funVar());
-      if (!Bound)
-        return graph::InvalidNode;
-      Op = *Bound;
-    }
-    std::vector<NodeId> Children;
-    Children.reserve(Rhs->children().size());
-    for (const RhsExpr *C : Rhs->children()) {
-      NodeId Child = buildRhs(G, View, C, W, SI);
-      if (Child == graph::InvalidNode)
-        return graph::InvalidNode;
-      Children.push_back(Child);
-    }
-    match::SubstEnv Env(W.Theta, W.Phi, View.arena());
-    std::vector<term::Attr> Attrs;
-    for (const RhsExpr::AttrTemplate &A : Rhs->attrTemplates()) {
-      pattern::GuardEval V = A.Value->evalInt(Env);
-      if (!V.ok())
-        return graph::InvalidNode;
-      Attrs.push_back({A.Key, V.Value});
-    }
-    NodeId N = G.addNode(Op, std::span<const NodeId>(Children),
-                         std::move(Attrs));
-    SI.inferNode(G, N);
-    return N;
-  }
-  }
-  return graph::InvalidNode;
+  return buildRhsImpl(G, View, Rhs, W, SI, /*Faults=*/nullptr);
 }
 
 RewriteStats pypm::rewrite::rewriteToFixpoint(Graph &G, const RuleSet &Rules,
@@ -555,7 +816,8 @@ RewriteStats pypm::rewrite::matchAll(Graph &G, const RuleSet &Rules,
 
 std::string RewriteStats::summary() const {
   std::string Out;
-  Out += "passes=" + std::to_string(Passes);
+  Out += "status=" + Status.str();
+  Out += " passes=" + std::to_string(Passes);
   Out += " visited=" + std::to_string(NodesVisited);
   Out += " matches=" + std::to_string(TotalMatches);
   Out += " fired=" + std::to_string(TotalFired);
@@ -566,6 +828,8 @@ std::string RewriteStats::summary() const {
                 MatchSeconds * 1e3, DiscoverySeconds * 1e3,
                 TotalSeconds * 1e3);
   Out += Buf;
+  for (const std::string &Q : Status.QuarantinedPatterns)
+    Out += "\n  quarantined: " + Q;
   for (const auto &[Name, PS] : PerPattern) {
     std::snprintf(Buf, sizeof(Buf), "\n  %-18s", Name.c_str());
     Out += Buf;

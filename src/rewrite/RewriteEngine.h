@@ -23,6 +23,16 @@
 /// Per-pattern statistics (attempts, matches, fires, machine steps, wall
 /// time) drive the compile-time-cost experiments (Figs. 12–13).
 ///
+/// Robustness layer (RewriteOptions::EngineBudget et al.): a whole run can
+/// be governed by a Budget (deadline / step / μ-unfold / memory ceilings,
+/// cancellation), patterns that repeatedly exhaust their fuel slice are
+/// quarantined instead of wedging the pass, and exceptions escaping a
+/// guard or RHS builder — injectable deterministically via
+/// support/FaultInjection.h — are absorbed transactionally: the graph
+/// always remains in the last consistent committed state. Outcomes are
+/// reported through RewriteStats::Status (see DESIGN.md §"Failure
+/// taxonomy, budgets, and transactional commit").
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PYPM_REWRITE_REWRITEENGINE_H
@@ -33,9 +43,14 @@
 #include "graph/TermView.h"
 #include "match/Machine.h"
 #include "rewrite/Rule.h"
+#include "support/Budget.h"
 
 #include <map>
 #include <string>
+
+namespace pypm {
+class FaultInjector;
+} // namespace pypm
 
 namespace pypm::rewrite {
 
@@ -47,6 +62,7 @@ struct PatternStats {
   uint64_t GuardRejects = 0;  ///< matches where no rule guard passed
   uint64_t MachineSteps = 0;
   uint64_t Backtracks = 0;
+  uint64_t FuelExhausted = 0; ///< attempts ending OutOfFuel (quarantine feed)
   /// CPU-seconds inside the matcher. Under the parallel engine this sums
   /// across workers, so per-pattern Seconds may exceed the engine's
   /// wall-clock MatchSeconds.
@@ -63,6 +79,7 @@ struct PatternStats {
     GuardRejects += O.GuardRejects;
     MachineSteps += O.MachineSteps;
     Backtracks += O.Backtracks;
+    FuelExhausted += O.FuelExhausted;
     Seconds += O.Seconds;
   }
 
@@ -87,7 +104,12 @@ struct RewriteStats {
   /// fan-out phases (parallel engine) or, in the serial engine, the same
   /// value as MatchSeconds. The thread-sweep benches report this.
   double DiscoverySeconds = 0.0;
-  bool HitRewriteLimit = false;
+  /// Structured outcome of the run: Completed, or the most severe of
+  /// PatternQuarantined / FaultInjected / BudgetExhausted / Cancelled.
+  /// Deterministic wherever the triggering ceilings are (step/μ/rewrite
+  /// counts and the site-scheduled fault injector; deadline and
+  /// cancellation are wall-clock-dependent by nature).
+  EngineStatus Status;
   std::map<std::string, PatternStats> PerPattern;
   /// Raw speculative matcher work performed by the discovery workers,
   /// merged across workers with PatternStats::merge (order-independent).
@@ -95,6 +117,13 @@ struct RewriteStats {
   /// snapshot nodes a fire later invalidated, but not the commit phase's
   /// re-runs at dirty or newly appended nodes. Empty when NumThreads == 0.
   std::map<std::string, PatternStats> Discovery;
+
+  /// MaxRewrites tripped (kept as a helper — the old ad-hoc bool this
+  /// taxonomy replaced; the cap reports as BudgetExhausted(rewrites)).
+  bool hitRewriteLimit() const {
+    return Status.Code == EngineStatusCode::BudgetExhausted &&
+           Status.Reason == BudgetReason::Rewrites;
+  }
 
   std::string summary() const;
 };
@@ -132,6 +161,31 @@ struct RewriteOptions {
   /// proves it differentially).
   unsigned NumThreads = 0;
   match::Machine::Options MachineOpts;
+
+  // --- Resource governance and fault tolerance ---------------------------
+
+  /// Optional budget governing the whole run (deadline, total step/μ
+  /// ceilings, memory estimate, cancellation). Borrowed, not owned; the
+  /// engine calls start() and charges it in committed attempt order, so
+  /// exhaustion is bit-identical at any NumThreads. Also handed to every
+  /// matcher run (serial and workers) for deadline/cancellation polling.
+  Budget *EngineBudget = nullptr;
+  /// After this many OutOfFuel attempts, a pattern entry is quarantined:
+  /// disabled for the rest of the run with a DiagnosticEngine warning, and
+  /// the pass completes on the remaining patterns. Counted in commit order
+  /// (deterministic). 0 disables quarantine.
+  unsigned QuarantineThreshold = 3;
+  /// Sink for quarantine/fault warnings. Optional.
+  DiagnosticEngine *Diags = nullptr;
+  /// Fault-injection harness for the robustness tests. When null, the
+  /// engine falls back to FaultInjector::global() ($PYPM_FAULT), which is
+  /// itself null — and costs nothing on the hot path — unless armed.
+  FaultInjector *Faults = nullptr;
+  /// Stop at the first absorbed fault, leaving the graph in the last
+  /// committed state (the transactional-commit stress tests verify the
+  /// result equals a prefix of the fault-free serial run). When false, the
+  /// faulting pattern is quarantined and the run continues.
+  bool HaltOnFault = false;
 };
 
 /// Runs the rule set over the graph to fixpoint. Replacement nodes are

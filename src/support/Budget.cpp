@@ -1,0 +1,148 @@
+//===- support/Budget.cpp - Resource governance and failure taxonomy ----------===//
+
+#include "support/Budget.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace pypm;
+
+static double nowSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+std::string_view pypm::budgetReasonName(BudgetReason R) {
+  switch (R) {
+  case BudgetReason::None:
+    return "none";
+  case BudgetReason::Deadline:
+    return "deadline";
+  case BudgetReason::Steps:
+    return "steps";
+  case BudgetReason::MuUnfolds:
+    return "mu-unfolds";
+  case BudgetReason::Memory:
+    return "memory";
+  case BudgetReason::Rewrites:
+    return "rewrites";
+  case BudgetReason::Cancelled:
+    return "cancelled";
+  case BudgetReason::Fault:
+    return "fault";
+  }
+  return "none";
+}
+
+void Budget::start() {
+  if (Started)
+    return;
+  Started = true;
+  if (Limits.DeadlineSeconds > 0)
+    DeadlineAt = nowSeconds() + Limits.DeadlineSeconds;
+}
+
+BudgetReason Budget::exceededCeiling() const {
+  if (Limits.MaxTotalSteps && StepsUsed > Limits.MaxTotalSteps)
+    return BudgetReason::Steps;
+  if (Limits.MaxTotalMuUnfolds && MuUnfoldsUsed > Limits.MaxTotalMuUnfolds)
+    return BudgetReason::MuUnfolds;
+  return BudgetReason::None;
+}
+
+BudgetReason Budget::poll(uint64_t MemoryBytes) const {
+  if (Limits.Cancel && Limits.Cancel->isCancelled())
+    return BudgetReason::Cancelled;
+  if (Limits.DeadlineSeconds > 0 && Started && nowSeconds() > DeadlineAt)
+    return BudgetReason::Deadline;
+  if (Limits.MaxMemoryBytes && MemoryBytes > Limits.MaxMemoryBytes)
+    return BudgetReason::Memory;
+  return exceededCeiling();
+}
+
+bool Budget::interrupted() const {
+  if (Limits.Cancel && Limits.Cancel->isCancelled())
+    return true;
+  return Limits.DeadlineSeconds > 0 && Started && nowSeconds() > DeadlineAt;
+}
+
+std::string_view pypm::engineStatusName(EngineStatusCode C) {
+  switch (C) {
+  case EngineStatusCode::Completed:
+    return "completed";
+  case EngineStatusCode::PatternQuarantined:
+    return "pattern-quarantined";
+  case EngineStatusCode::FaultInjected:
+    return "fault-injected";
+  case EngineStatusCode::BudgetExhausted:
+    return "budget-exhausted";
+  case EngineStatusCode::Cancelled:
+    return "cancelled";
+  }
+  return "completed";
+}
+
+void EngineStatus::raise(EngineStatusCode C, BudgetReason R) {
+  if (static_cast<uint8_t>(C) > static_cast<uint8_t>(Code)) {
+    Code = C;
+    Reason = R;
+  } else if (C == Code && Reason == BudgetReason::None) {
+    Reason = R;
+  }
+}
+
+std::string EngineStatus::str() const {
+  std::string Out(engineStatusName(Code));
+  if (Reason != BudgetReason::None) {
+    Out += '(';
+    Out += budgetReasonName(Reason);
+    Out += ')';
+  }
+  return Out;
+}
+
+/// Pattern names come from DSL identifiers, but escape defensively anyway.
+static void appendJsonString(std::string &Out, std::string_view S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+std::string EngineStatus::json() const {
+  std::string Out = "{\"status\":";
+  appendJsonString(Out, engineStatusName(Code));
+  Out += ",\"reason\":";
+  appendJsonString(Out, budgetReasonName(Reason));
+  Out += ",\"quarantined\":[";
+  for (size_t I = 0; I != QuarantinedPatterns.size(); ++I) {
+    if (I)
+      Out += ',';
+    appendJsonString(Out, QuarantinedPatterns[I]);
+  }
+  Out += "],\"faults\":" + std::to_string(FaultsAbsorbed) + "}";
+  return Out;
+}

@@ -1,0 +1,133 @@
+//===- support/FaultInjection.cpp - Deterministic fault injection -------------===//
+
+#include "support/FaultInjection.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+using namespace pypm;
+
+std::optional<FaultInjector::Config>
+FaultInjector::parse(std::string_view Spec, std::string &Err) {
+  Config C;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string_view Field = Spec.substr(
+        Pos, Comma == std::string_view::npos ? std::string_view::npos
+                                             : Comma - Pos);
+    Pos = Comma == std::string_view::npos ? Spec.size() : Comma + 1;
+    if (Field.empty())
+      continue;
+    size_t Eq = Field.find('=');
+    if (Eq == std::string_view::npos) {
+      Err = "expected key=value, got '" + std::string(Field) + "'";
+      return std::nullopt;
+    }
+    std::string_view Key = Field.substr(0, Eq);
+    std::string_view Val = Field.substr(Eq + 1);
+    uint64_t N = 0;
+    if (Val.empty()) {
+      Err = "empty value for '" + std::string(Key) + "'";
+      return std::nullopt;
+    }
+    for (char Ch : Val) {
+      if (Ch < '0' || Ch > '9') {
+        Err = "non-numeric value '" + std::string(Val) + "' for '" +
+              std::string(Key) + "'";
+        return std::nullopt;
+      }
+      N = N * 10 + static_cast<uint64_t>(Ch - '0');
+    }
+    if (Key == "guard")
+      C.NthGuardEval = N;
+    else if (Key == "task")
+      C.NthWorkerTask = N;
+    else if (Key == "rhs")
+      C.NthRhsBuild = N;
+    else if (Key == "budget")
+      C.NthBudgetCharge = N;
+    else if (Key == "site-seed")
+      C.SiteSeed = N;
+    else if (Key == "site-period")
+      C.SitePeriod = N;
+    else {
+      Err = "unknown key '" + std::string(Key) + "'";
+      return std::nullopt;
+    }
+  }
+  return C;
+}
+
+FaultInjector *FaultInjector::global() {
+  static std::unique_ptr<FaultInjector> G = []() -> std::unique_ptr<FaultInjector> {
+    const char *Spec = std::getenv("PYPM_FAULT");
+    if (!Spec || !*Spec)
+      return nullptr;
+    std::string Err;
+    std::optional<Config> C = parse(Spec, Err);
+    if (!C) {
+      std::fprintf(stderr, "pypm: ignoring invalid PYPM_FAULT '%s': %s\n",
+                   Spec, Err.c_str());
+      return nullptr;
+    }
+    return std::make_unique<FaultInjector>(*C);
+  }();
+  return G.get();
+}
+
+void FaultInjector::onGuardEval() {
+  if (Cfg.NthGuardEval &&
+      GuardEvals.fetch_add(1, std::memory_order_relaxed) + 1 ==
+          Cfg.NthGuardEval)
+    throw InjectedFault("injected fault: guard evaluation #" +
+                        std::to_string(Cfg.NthGuardEval));
+}
+
+void FaultInjector::onWorkerTask() {
+  if (Cfg.NthWorkerTask &&
+      WorkerTasks.fetch_add(1, std::memory_order_relaxed) + 1 ==
+          Cfg.NthWorkerTask)
+    throw InjectedFault("injected fault: worker task #" +
+                        std::to_string(Cfg.NthWorkerTask));
+}
+
+void FaultInjector::onRhsBuild() {
+  if (Cfg.NthRhsBuild &&
+      RhsBuilds.fetch_add(1, std::memory_order_relaxed) + 1 ==
+          Cfg.NthRhsBuild)
+    throw InjectedFault("injected fault: RHS build #" +
+                        std::to_string(Cfg.NthRhsBuild));
+}
+
+bool FaultInjector::onBudgetCharge() {
+  return Cfg.NthBudgetCharge &&
+         BudgetCharges.fetch_add(1, std::memory_order_relaxed) + 1 ==
+             Cfg.NthBudgetCharge;
+}
+
+/// splitmix64 finalizer: cheap, well-mixed, and stable across platforms.
+static uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+bool FaultInjector::atAttemptSite(uint64_t Pass, uint64_t Node,
+                                  uint64_t Entry) const {
+  if (!Cfg.SitePeriod)
+    return false;
+  uint64_t H = mix64(Cfg.SiteSeed ^ mix64(Pass));
+  H = mix64(H ^ mix64(Node));
+  H = mix64(H ^ mix64(Entry));
+  return H % Cfg.SitePeriod == 0;
+}
+
+void FaultInjector::reset() {
+  GuardEvals.store(0, std::memory_order_relaxed);
+  WorkerTasks.store(0, std::memory_order_relaxed);
+  RhsBuilds.store(0, std::memory_order_relaxed);
+  BudgetCharges.store(0, std::memory_order_relaxed);
+}

@@ -1,0 +1,95 @@
+//===- support/FaultInjection.h - Deterministic fault injection -*- C++ -*-===//
+///
+/// \file
+/// A seed-driven fault-injection harness for proving the engine's
+/// transactional-commit and quarantine behaviour (the "proven, not
+/// assumed" half of the robustness layer). Two kinds of schedule:
+///
+///  - Counter modes fire at the Nth occurrence of an event anywhere in the
+///    process: the Nth rule-guard evaluation, the Nth discovery task, the
+///    Nth RHS replacement node built, or force the budget to trip at the
+///    Nth charge. Counters are global and thread-safe but — under the
+///    parallel engine — *which* site observes the Nth event depends on
+///    scheduling; they drive env-configured chaos runs (PYPM_FAULT), not
+///    the bit-identical differential tests.
+///
+///  - The site schedule is a pure function of (seed, pass, node, entry):
+///    an attempt site faults iff hash(seed, site) % period == 0. Stateless
+///    and scheduling-independent, so serial and parallel runs fault at
+///    exactly the same committed attempts — this is what the determinism
+///    stress tests use.
+///
+/// Injected faults are ordinary exceptions (InjectedFault); the engine must
+/// absorb them exactly as it would a throwing user guard or builder.
+///
+/// PYPM_FAULT grammar (comma-separated key=value):
+///   guard=N | task=N | rhs=N | budget=N | site-seed=S | site-period=P
+/// e.g. PYPM_FAULT=guard=3  or  PYPM_FAULT=site-seed=42,site-period=97
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_SUPPORT_FAULTINJECTION_H
+#define PYPM_SUPPORT_FAULTINJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pypm {
+
+/// The exception deliberately thrown at an armed fault site.
+class InjectedFault : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+class FaultInjector {
+public:
+  struct Config {
+    uint64_t NthGuardEval = 0;    ///< throw at the Nth guard evaluation
+    uint64_t NthWorkerTask = 0;   ///< throw at the Nth discovery task
+    uint64_t NthRhsBuild = 0;     ///< throw at the Nth RHS node built
+    uint64_t NthBudgetCharge = 0; ///< trip the budget at the Nth charge
+    uint64_t SiteSeed = 0;
+    uint64_t SitePeriod = 0; ///< 0 disables the site schedule
+  };
+
+  FaultInjector() = default;
+  explicit FaultInjector(const Config &C) : Cfg(C) {}
+
+  const Config &config() const { return Cfg; }
+
+  /// Parses a PYPM_FAULT spec. On failure returns nullopt and sets \p Err.
+  static std::optional<Config> parse(std::string_view Spec, std::string &Err);
+
+  /// Process-global injector configured from $PYPM_FAULT; nullptr when the
+  /// variable is unset, empty, or invalid (invalid specs warn on stderr
+  /// once rather than silently arming nothing).
+  static FaultInjector *global();
+
+  // Counter hooks: thread-safe, monotone across the process run.
+  void onGuardEval();  ///< throws InjectedFault at the configured count
+  void onWorkerTask(); ///< throws InjectedFault at the configured count
+  void onRhsBuild();   ///< throws InjectedFault at the configured count
+  bool onBudgetCharge(); ///< true => treat this charge as exhaustion
+
+  /// Pure site schedule: deterministic in (seed, pass, node, entry) alone.
+  bool atAttemptSite(uint64_t Pass, uint64_t Node, uint64_t Entry) const;
+
+  /// Rewinds the counters (tests reuse one injector across runs).
+  void reset();
+
+private:
+  Config Cfg;
+  std::atomic<uint64_t> GuardEvals{0};
+  std::atomic<uint64_t> WorkerTasks{0};
+  std::atomic<uint64_t> RhsBuilds{0};
+  std::atomic<uint64_t> BudgetCharges{0};
+};
+
+} // namespace pypm
+
+#endif // PYPM_SUPPORT_FAULTINJECTION_H

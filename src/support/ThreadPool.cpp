@@ -128,9 +128,19 @@ void ThreadPool::parallelFor(
   size_t ChunkSize = (N + Chunks - 1) / Chunks;
   for (size_t Begin = 0; Begin < N; Begin += ChunkSize) {
     size_t End = std::min(N, Begin + ChunkSize);
-    submit([&Body, Begin, End](unsigned Worker) {
-      for (size_t I = Begin; I != End; ++I)
-        Body(I, Worker);
+    submit([this, &Body, Begin, End](unsigned Worker) {
+      // Per-index fault isolation: a throwing Body(I) must not take the
+      // rest of its chunk down with it — the caller sees every index
+      // attempted, then the first exception from wait().
+      for (size_t I = Begin; I != End; ++I) {
+        try {
+          Body(I, Worker);
+        } catch (...) {
+          std::lock_guard<std::mutex> Lock(ExceptionMutex);
+          if (!FirstException)
+            FirstException = std::current_exception();
+        }
+      }
     });
   }
   wait();

@@ -11,9 +11,12 @@
 ///  - each worker owns a deque: the owner pops from the front, idle workers
 ///    steal from the back of the busiest-looking victim, so cache-warm work
 ///    stays with its producer and stealing moves the largest chunks;
-///  - exceptions thrown by tasks are captured and the *first* one is
-///    rethrown from wait()/parallelFor() on the calling thread (remaining
-///    tasks still run, so the pool is reusable after a failure);
+///  - drain-then-rethrow: exceptions thrown by tasks are captured, every
+///    remaining task still runs to completion, and only then is the *first*
+///    captured exception rethrown from wait()/parallelFor() on the calling
+///    thread. A failure therefore never discards the other workers'
+///    results, and the pool stays reusable afterwards
+///    (tests/test_threadpool.cpp pins this contract down);
 ///  - the pool is reusable across many submit/wait rounds (the engine runs
 ///    one discovery round per rewrite pass against the same pool).
 ///
@@ -56,14 +59,18 @@ public:
   /// Enqueues a task (round-robin across worker deques). Thread-safe.
   void submit(Task T);
 
-  /// Blocks until every submitted task has completed. If any task threw,
+  /// Blocks until every submitted task has completed — tasks are drained,
+  /// never abandoned, even when one of them threw. If any task threw,
   /// rethrows the first captured exception (subsequent wait() calls do not
-  /// rethrow it again).
+  /// rethrow it again, and the pool remains fully usable).
   void wait();
 
   /// Runs Body(I, Worker) for every I in [0, N), chunked across the pool,
   /// and blocks until done. Chunks preserve index locality (worker w's
-  /// initial share is a contiguous range). Rethrows like wait().
+  /// initial share is a contiguous range). Fault isolation is per *index*,
+  /// not per chunk: a Body(I) that throws loses only index I — every other
+  /// index still runs — and the first exception is rethrown after the join,
+  /// like wait().
   void parallelFor(size_t N, const std::function<void(size_t I, unsigned Worker)> &Body);
 
   /// std::thread::hardware_concurrency with a floor of 1.

@@ -37,6 +37,11 @@ private:
   TermParseError errObj(std::string Msg) { return TermParseError{Pos, std::move(Msg)}; }
   TermParseResult err(std::string Msg) { return errObj(std::move(Msg)); }
 
+  /// Nesting ceiling: "A(A(A(…" recurses once per level, so adversarial
+  /// input must fail with a parse error before the stack runs out.
+  static constexpr unsigned kMaxNestingDepth = 1024;
+  unsigned Depth = 0;
+
   void skipWs() {
     while (Pos < Text.size() && std::isspace(static_cast<unsigned char>(Text[Pos])))
       ++Pos;
@@ -78,6 +83,16 @@ private:
   }
 
   TermParseResult parseTerm() {
+    if (Depth >= kMaxNestingDepth)
+      return err("term nesting deeper than " +
+                 std::to_string(kMaxNestingDepth) + " levels");
+    ++Depth;
+    TermParseResult R = parseTermInner();
+    --Depth;
+    return R;
+  }
+
+  TermParseResult parseTermInner() {
     std::string_view Name = ident();
     if (Name.empty())
       return err("expected operator name");

@@ -51,7 +51,7 @@ void expectEquivalent(const RunResult &Serial, const RunResult &Parallel,
   EXPECT_EQ(S.TotalMatches, P.TotalMatches);
   EXPECT_EQ(S.TotalFired, P.TotalFired);
   EXPECT_EQ(S.NodesSwept, P.NodesSwept);
-  EXPECT_EQ(S.HitRewriteLimit, P.HitRewriteLimit);
+  EXPECT_EQ(S.Status, P.Status);
   ASSERT_EQ(S.PerPattern.size(), P.PerPattern.size());
   for (const auto &[Name, SP] : S.PerPattern) {
     SCOPED_TRACE(Name);

@@ -275,7 +275,9 @@ TEST_F(RewriteTest, RewriteLimitStopsEngine) {
   RewriteOptions Opts;
   Opts.MaxRewrites = 10;
   RewriteStats Stats = rewriteToFixpoint(G, RS, SI, Opts);
-  EXPECT_TRUE(Stats.HitRewriteLimit);
+  EXPECT_TRUE(Stats.hitRewriteLimit());
+  EXPECT_EQ(Stats.Status.Code, EngineStatusCode::BudgetExhausted);
+  EXPECT_EQ(Stats.Status.Reason, BudgetReason::Rewrites);
   EXPECT_EQ(Stats.TotalFired, 10u);
   DiagnosticEngine Diags;
   EXPECT_TRUE(G.verify(Diags)) << Diags.renderAll();

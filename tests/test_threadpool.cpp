@@ -97,6 +97,29 @@ TEST(ThreadPool, ParallelForRethrows) {
                std::logic_error);
 }
 
+TEST(ThreadPool, ParallelForIsolatesFaultsPerIndex) {
+  // A throwing Body(I) loses only index I: every other index still runs,
+  // even indices later in the same chunk as the throwing one.
+  ThreadPool Pool(4);
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  EXPECT_THROW(Pool.parallelFor(N,
+                                [&Hits](size_t I, unsigned) {
+                                  if (I == 7 || I == 500 || I == 999)
+                                    throw std::runtime_error("index fault");
+                                  ++Hits[I];
+                                }),
+               std::runtime_error);
+  for (size_t I = 0; I != N; ++I) {
+    bool Faulted = I == 7 || I == 500 || I == 999;
+    EXPECT_EQ(Hits[I].load(), Faulted ? 0 : 1) << "index " << I;
+  }
+  // The pool is immediately reusable and does not replay the exception.
+  std::atomic<int> Count{0};
+  Pool.parallelFor(100, [&Count](size_t, unsigned) { ++Count; });
+  EXPECT_EQ(Count.load(), 100);
+}
+
 TEST(ThreadPool, ReusableAcrossManyRounds) {
   // The engine reuses one pool across every pass of every rewrite; a
   // round-counter leak or missed wakeup shows up as a hang or a miscount.
@@ -131,6 +154,7 @@ rewrite::PatternStats patternStats(uint64_t Seed) {
   S.GuardRejects = Seed * 13 + 5;
   S.MachineSteps = Seed * 17 + 6;
   S.Backtracks = Seed * 19 + 7;
+  S.FuelExhausted = Seed * 23 + 8;
   S.Seconds = static_cast<double>(Seed) * 0.25;
   return S;
 }

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # CI driver: build + test the plain configuration, then rebuild everything
-# under ThreadSanitizer and run the full suite again. TSan is what makes
-# the parallel rewrite engine's "race-free at any thread count" claim a
-# checked property instead of a code-review one (see DESIGN.md §"Parallel
-# discovery, serial commit").
+# under ThreadSanitizer and run the full suite again, then once more under
+# ASan+UBSan. TSan is what makes the parallel rewrite engine's "race-free
+# at any thread count" claim a checked property instead of a code-review
+# one (see DESIGN.md §"Parallel discovery, serial commit"); ASan/UBSan do
+# the same for the hostile-input corpora and the fault-injection stress
+# runs (test_malformed_inputs, test_faults), whose exception-unwind and
+# rollback paths are exactly where leaks and lifetime bugs would hide.
 #
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
@@ -20,5 +23,10 @@ echo "=== thread-sanitizer build ==="
 cmake -B build-ci-tsan -S . -DPYPM_SANITIZE=thread >/dev/null
 cmake --build build-ci-tsan -j "$JOBS"
 ctest --test-dir build-ci-tsan --output-on-failure
+
+echo "=== address+undefined-sanitizer build ==="
+cmake -B build-ci-asan -S . -DPYPM_SANITIZE=address,undefined >/dev/null
+cmake --build build-ci-asan -j "$JOBS"
+ctest --test-dir build-ci-asan --output-on-failure
 
 echo "=== ci.sh: all green ==="

@@ -11,8 +11,12 @@
 ///   pypmc match   <file.pypm[bin]> <Pattern> <term> [--trace]
 ///                                                 match a textual term
 ///
-/// Exit status: 0 on success (for `match`: the pattern matched), 1 on
-/// failure / no match, 2 on usage errors.
+/// Exit status (documented in README.md §"pypmc exit codes"): 0 on success
+/// (for `match`: the pattern matched), 1 on load/parse failure or no
+/// match, 2 on usage errors. `rewrite` additionally distinguishes the
+/// failure taxonomy of a governed run: 3 budget exhausted, 4 cancelled
+/// (SIGINT), 5 completed with quarantined patterns, 6 fault injected
+/// ($PYPM_FAULT).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +30,9 @@
 #include "sim/CostModel.h"
 #include "term/TermParser.h"
 
+#include "support/Budget.h"
+
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -44,9 +51,21 @@ int usage() {
                "<term> [--trace] [--explain]\n"
                "       pypmc rewrite <patterns> <graph.pypmg> "
                "[-o <out.pypmg>] [--threads N]\n"
-               "       pypmc cost    <graph.pypmg>\n");
+               "                     [--budget-ms M] [--max-steps N] "
+               "[--stats-json]\n"
+               "       pypmc cost    <graph.pypmg>\n"
+               "rewrite exit codes: 0 ok, 1 load error, 2 usage, 3 budget "
+               "exhausted,\n"
+               "                    4 cancelled, 5 patterns quarantined, "
+               "6 fault injected\n");
   return 2;
 }
+
+/// ^C requests cooperative cancellation; the engine stops at the next
+/// poll and the graph stays in the last committed state.
+CancellationToken SigintToken;
+
+extern "C" void onSigint(int) { SigintToken.requestCancel(); }
 
 bool readFile(const char *Path, std::string &Out) {
   std::ifstream In(Path, std::ios::binary);
@@ -244,14 +263,40 @@ std::unique_ptr<graph::Graph> loadGraph(const char *Path,
   return G;
 }
 
+/// Maps a governed run's status onto the documented exit codes.
+int exitCodeFor(const EngineStatus &S) {
+  switch (S.Code) {
+  case EngineStatusCode::Completed:
+    return 0;
+  case EngineStatusCode::PatternQuarantined:
+    return 5;
+  case EngineStatusCode::FaultInjected:
+    return 6;
+  case EngineStatusCode::BudgetExhausted:
+    return 3;
+  case EngineStatusCode::Cancelled:
+    return 4;
+  }
+  return 0;
+}
+
 int cmdRewrite(int Argc, char **Argv) {
   const char *Patterns = nullptr, *GraphPath = nullptr, *Out = nullptr;
   unsigned Threads = 0;
+  double BudgetMs = 0;
+  uint64_t MaxSteps = 0;
+  bool StatsJson = false;
   for (int I = 0; I != Argc; ++I) {
     if (std::strcmp(Argv[I], "-o") == 0 && I + 1 != Argc)
       Out = Argv[++I];
     else if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 != Argc)
       Threads = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    else if (std::strcmp(Argv[I], "--budget-ms") == 0 && I + 1 != Argc)
+      BudgetMs = std::strtod(Argv[++I], nullptr);
+    else if (std::strcmp(Argv[I], "--max-steps") == 0 && I + 1 != Argc)
+      MaxSteps = std::strtoull(Argv[++I], nullptr, 10);
+    else if (std::strcmp(Argv[I], "--stats-json") == 0)
+      StatsJson = true;
     else if (!Patterns)
       Patterns = Argv[I];
     else if (!GraphPath)
@@ -278,12 +323,34 @@ int cmdRewrite(int Argc, char **Argv) {
   // graph is identical to the serial (default) engine's at any N.
   rewrite::RewriteOptions Opts;
   Opts.NumThreads = Threads;
+
+  BudgetLimits Limits;
+  Limits.DeadlineSeconds = BudgetMs / 1e3;
+  Limits.MaxTotalSteps = MaxSteps;
+  Limits.Cancel = &SigintToken;
+  Budget Bgt(Limits);
+  Opts.EngineBudget = &Bgt;
+  DiagnosticEngine Diags;
+  Opts.Diags = &Diags;
+  std::signal(SIGINT, onSigint);
+
   rewrite::RewriteStats Stats =
       rewrite::rewriteToFixpoint(*G, Rules, graph::ShapeInference(), Opts);
+  std::signal(SIGINT, SIG_DFL);
   double After = CM.graphCost(*G).Seconds;
+  std::fprintf(stderr, "%s", Diags.renderAll().c_str());
   std::fprintf(stderr, "%s\nsimulated time: %.3fms -> %.3fms (%.3fx)\n",
                Stats.summary().c_str(), Before * 1e3, After * 1e3,
                Before / After);
+  if (StatsJson)
+    std::fprintf(stderr,
+                 "{\"engine\":%s,\"passes\":%llu,\"fired\":%llu,"
+                 "\"matches\":%llu,\"nodes\":%zu}\n",
+                 Stats.Status.json().c_str(),
+                 static_cast<unsigned long long>(Stats.Passes),
+                 static_cast<unsigned long long>(Stats.TotalFired),
+                 static_cast<unsigned long long>(Stats.TotalMatches),
+                 G->numLiveNodes());
 
   std::string Text = graph::writeGraphText(*G);
   if (Out) {
@@ -297,7 +364,7 @@ int cmdRewrite(int Argc, char **Argv) {
   } else {
     std::fwrite(Text.data(), 1, Text.size(), stdout);
   }
-  return 0;
+  return exitCodeFor(Stats.Status);
 }
 
 int cmdCost(int Argc, char **Argv) {
