@@ -17,6 +17,7 @@
 #include "models/Transformers.h"
 #include "opt/StdPatterns.h"
 #include "pattern/Serializer.h"
+#include "plan/PlanBuilder.h"
 #include "rewrite/RewriteEngine.h"
 #include "support/Budget.h"
 
@@ -373,6 +374,77 @@ void BM_DiscoveryThreadSweep(benchmark::State &State) {
 }
 BENCHMARK(BM_DiscoveryThreadSweep)
     ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Rule-set-size sweep: discovery cost of matchAll over a transformer
+/// layer as the rule set grows through the first k StdPatterns entries
+/// (every rule-bearing pattern of every library — 7 in total, the way
+/// the rewrite engine loads them). The fast matcher runs one per-pattern
+/// machine per node, so its cost scales with k; the MatchPlan walks one
+/// shared discrimination tree per node, so common root prefixes are paid
+/// once. The plan is compiled once outside the loop (the
+/// cacheable-artifact configuration) — compare the two discovery_s
+/// counters at equal k for the speedup-vs-|RuleSet| curve.
+struct RuleSweepCtx {
+  term::Signature Sig;
+  std::unique_ptr<graph::Graph> G;
+  std::vector<std::unique_ptr<pattern::Library>> Libs;
+  rewrite::RuleSet All;
+
+  RuleSweepCtx() {
+    models::TransformerConfig Cfg;
+    Cfg.Name = "rulesweep";
+    Cfg.Layers = 2;
+    Cfg.Hidden = 256;
+    G = models::buildTransformer(Sig, Cfg);
+    Libs.push_back(opt::compileFmha(Sig));
+    Libs.push_back(opt::compileEpilog(Sig));
+    Libs.push_back(opt::compileCublas(Sig));
+    Libs.push_back(opt::compileUnaryChain(Sig));
+    for (const auto &Lib : Libs)
+      All.addLibrary(*Lib);
+  }
+
+  rewrite::RuleSet prefix(size_t K) const {
+    rewrite::RuleSet R;
+    for (size_t I = 0; I != K && I != All.entries().size(); ++I)
+      R.addPattern(*All.entries()[I].Pattern, All.entries()[I].Rules);
+    return R;
+  }
+};
+
+void runRuleSweep(benchmark::State &State, rewrite::MatcherKind Kind) {
+  RuleSweepCtx X;
+  rewrite::RuleSet Rules = X.prefix(static_cast<size_t>(State.range(0)));
+  rewrite::RewriteOptions Opts;
+  Opts.Matcher = Kind;
+  plan::Program Plan;
+  if (Kind == rewrite::MatcherKind::Plan) {
+    Plan = plan::PlanBuilder::compile(Rules, X.Sig);
+    Opts.PrecompiledPlan = &Plan;
+  }
+  double Discovery = 0;
+  uint64_t Iters = 0;
+  for (auto _ : State) {
+    rewrite::RewriteStats Stats = rewrite::matchAll(*X.G, Rules, Opts);
+    benchmark::DoNotOptimize(Stats.TotalMatches);
+    Discovery += Stats.DiscoverySeconds;
+    ++Iters;
+  }
+  State.counters["discovery_s"] =
+      benchmark::Counter(Iters ? Discovery / static_cast<double>(Iters) : 0);
+}
+
+void BM_FastMatchAllRuleSweep(benchmark::State &State) {
+  runRuleSweep(State, rewrite::MatcherKind::Fast);
+}
+BENCHMARK(BM_FastMatchAllRuleSweep)->DenseRange(1, 7, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PlanMatchAllRuleSweep(benchmark::State &State) {
+  runRuleSweep(State, rewrite::MatcherKind::Plan);
+}
+BENCHMARK(BM_PlanMatchAllRuleSweep)->DenseRange(1, 7, 2)
     ->Unit(benchmark::kMillisecond);
 
 /// Same sweep through the full rewrite loop (graph rebuilt per iteration

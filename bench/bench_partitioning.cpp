@@ -98,12 +98,90 @@ int runThreadsSweep() {
   return 0;
 }
 
+/// `--ruleset-sweep`: discovery cost as a function of |RuleSet|, fast
+/// matcher vs the shared MatchPlan, over the whole model zoo. For each
+/// prefix of the full StdPatterns rule set (every library, loaded the way
+/// the rewrite engine loads them: rule-bearing entries only) the serial
+/// engine's matchAll runs once per model per matcher; the JSON rows chart
+/// the speedup-vs-|RuleSet| curve. The plan is compiled in-run, so
+/// plan_compile_seconds quantifies what the cacheable .pypmplan artifact
+/// saves; speedup compares discovery alone. Match-only partition
+/// patterns are deliberately excluded: they are driven one at a time by
+/// partitionGraph, not by a RuleSet, and their μ-shaped roots defeat
+/// shape-prefix pruning for the fast matcher and the plan alike.
+int runRulesetSweep() {
+  std::vector<models::ModelEntry> Zoo;
+  for (const auto &Suite : {models::hfSuite(), models::tvSuite()})
+    for (const models::ModelEntry &Model : Suite)
+      Zoo.push_back(Model);
+
+  // Entry count is signature-independent; probe it once.
+  size_t NumEntries = 0;
+  {
+    term::Signature Sig;
+    RuleSet All;
+    for (auto &Lib :
+         {opt::compileFmha(Sig), opt::compileEpilog(Sig),
+          opt::compileCublas(Sig), opt::compileUnaryChain(Sig)})
+      All.addLibrary(*Lib);
+    NumEntries = All.entries().size();
+  }
+
+  std::printf("{\n  \"models\": %zu,\n  \"ruleset_sweep\": [\n", Zoo.size());
+  for (size_t K = 1; K <= NumEntries; ++K) {
+    double FastDiscovery = 0, PlanDiscovery = 0, PlanCompile = 0;
+    uint64_t FastMatches = 0, PlanMatches = 0;
+    for (const models::ModelEntry &Model : Zoo) {
+      term::Signature Sig;
+      auto G = Model.Build(Sig);
+      auto Fmha = opt::compileFmha(Sig);
+      auto Epilog = opt::compileEpilog(Sig);
+      auto Cublas = opt::compileCublas(Sig);
+      auto Unary = opt::compileUnaryChain(Sig);
+      RuleSet All;
+      for (const pattern::Library *Lib :
+           {Fmha.get(), Epilog.get(), Cublas.get(), Unary.get()})
+        All.addLibrary(*Lib);
+      RuleSet Prefix;
+      for (size_t I = 0; I != K && I != All.entries().size(); ++I)
+        Prefix.addPattern(*All.entries()[I].Pattern, All.entries()[I].Rules);
+
+      rewrite::RewriteOptions FastOpts;
+      FastOpts.Matcher = rewrite::MatcherKind::Fast;
+      rewrite::RewriteStats FS = rewrite::matchAll(*G, Prefix, FastOpts);
+      FastDiscovery += FS.DiscoverySeconds;
+      FastMatches += FS.TotalMatches;
+
+      rewrite::RewriteOptions PlanOpts;
+      PlanOpts.Matcher = rewrite::MatcherKind::Plan;
+      rewrite::RewriteStats PS = rewrite::matchAll(*G, Prefix, PlanOpts);
+      PlanDiscovery += PS.DiscoverySeconds;
+      PlanCompile += PS.PlanCompileSeconds;
+      PlanMatches += PS.TotalMatches;
+    }
+    std::printf("    {\"rules\": %zu, \"fast_matches\": %llu, "
+                "\"plan_matches\": %llu, \"fast_discovery_seconds\": %.6f, "
+                "\"plan_discovery_seconds\": %.6f, "
+                "\"plan_compile_seconds\": %.6f, \"speedup\": %.3f}%s\n",
+                K, (unsigned long long)FastMatches,
+                (unsigned long long)PlanMatches, FastDiscovery, PlanDiscovery,
+                PlanCompile,
+                PlanDiscovery > 0 ? FastDiscovery / PlanDiscovery : 0.0,
+                K == NumEntries ? "" : ",");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  for (int I = 1; I < argc; ++I)
+  for (int I = 1; I < argc; ++I) {
     if (std::string_view(argv[I]) == "--threads-sweep")
       return runThreadsSweep();
+    if (std::string_view(argv[I]) == "--ruleset-sweep")
+      return runRulesetSweep();
+  }
   std::printf("=== Section 4.2: directed graph partitioning with Fig. 14's "
               "MatMulEpilog family ===\n");
   runSuite("HuggingFace suite", models::hfSuite());

@@ -1,0 +1,127 @@
+//===- plan/Interpreter.h - Bytecode executor for MatchPlans ----*- C++ -*-===//
+///
+/// \file
+/// Executes one entry of a plan::Program with FastMatcher's trail and
+/// choice-point machinery — persistent cons-list continuation, O(1) choice
+/// points, θ/φ hash maps with undo trails, first-unfold μ memoization.
+/// Control flow is table-driven (program counters instead of pattern-AST
+/// pointers) except where the machines themselves go dynamic: μ-unfold
+/// results are fresh pattern nodes that exist only at run time, so their
+/// match continues over the pattern AST with the exact FastMatcher step
+/// (an "escape" back to the uncompiled representation).
+///
+/// The step sequence — and with it every counter in MachineStats, the
+/// first witness, and the whole resume() stream — is bit-for-bit
+/// FastMatcher's, which is bit-for-bit the reference Machine's. The
+/// differential suite (tests/test_matchplan.cpp) pins all three together.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_PLAN_INTERPRETER_H
+#define PYPM_PLAN_INTERPRETER_H
+
+#include "match/Machine.h"
+#include "plan/Program.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace pypm::plan {
+
+class Interpreter {
+public:
+  Interpreter(const Program &Prog, const term::TermArena &Arena,
+              match::Machine::Options Opts = match::Machine::Options())
+      : Prog(Prog), Arena(Arena), Opts(Opts) {}
+
+  /// Matches entry \p EntryIdx of the program against \p T from the empty
+  /// substitution; returns the terminal status.
+  match::MachineStatus matchEntry(size_t EntryIdx, term::TermRef T);
+
+  /// Continues the search past the previous success.
+  match::MachineStatus resume();
+
+  match::MachineStatus status() const { return Status; }
+  match::Witness witness() const;
+  const match::MachineStats &stats() const { return Stats; }
+
+  /// One-call convenience mirroring FastMatcher::run for one entry.
+  static match::MatchResult
+  run(const Program &Prog, size_t EntryIdx, term::TermRef T,
+      const term::TermArena &Arena,
+      match::Machine::Options Opts = match::Machine::Options());
+
+private:
+  /// Persistent continuation cell: a compiled action. Match targets are a
+  /// PC into the program, or (after a μ unfold) a dynamic pattern node.
+  struct Cell {
+    match::ActionKind Kind = match::ActionKind::Match;
+    uint32_t PC = kNoPC;                   ///< compiled Match/MatchConstr
+    const pattern::Pattern *Pat = nullptr; ///< dynamic Match/MatchConstr
+    term::TermRef T = nullptr;
+    const pattern::GuardExpr *Guard = nullptr;
+    Symbol Var;
+    const Cell *Next = nullptr;
+  };
+
+  struct ChoicePoint {
+    const Cell *Cont;
+    size_t ThetaTrailLen;
+    size_t PhiTrailLen;
+  };
+
+  const Cell *push(Cell C) {
+    Cells.push_back(std::move(C));
+    return &Cells.back();
+  }
+  const Cell *consMatch(uint32_t PC, term::TermRef T, const Cell *Next) {
+    Cell C;
+    C.PC = PC;
+    C.T = T;
+    C.Next = Next;
+    return push(std::move(C));
+  }
+  const Cell *consMatchDyn(const pattern::Pattern *P, term::TermRef T,
+                           const Cell *Next) {
+    Cell C;
+    C.Pat = P;
+    C.T = T;
+    C.Next = Next;
+    return push(std::move(C));
+  }
+
+  match::MachineStatus runLoop();
+  match::MachineStatus backtrack();
+  bool bindVar(Symbol X, term::TermRef T);
+  bool bindFunVar(Symbol F, term::OpId Op);
+  match::MachineStatus stepExec(uint32_t PC, term::TermRef T);
+  match::MachineStatus stepMatchDyn(const pattern::Pattern *P,
+                                    term::TermRef T);
+
+  const Program &Prog;
+  const term::TermArena &Arena;
+  match::Machine::Options Opts;
+
+  pattern::PatternArena Scratch;
+  std::deque<Cell> Cells;
+
+  std::unordered_map<Symbol, term::TermRef> Theta;
+  std::unordered_map<Symbol, term::OpId> Phi;
+  std::vector<Symbol> ThetaTrail;
+  std::vector<Symbol> PhiTrail;
+
+  std::vector<ChoicePoint> Choices;
+  const Cell *Cont = nullptr;
+  uint64_t MuBudget = 0;
+  match::MachineStatus Status = match::MachineStatus::Failure;
+  match::MachineStats Stats;
+
+  std::unordered_map<const pattern::Pattern *, const pattern::Pattern *>
+      UnfoldMemo;
+
+  friend struct InterpreterGuardEnv;
+};
+
+} // namespace pypm::plan
+
+#endif // PYPM_PLAN_INTERPRETER_H

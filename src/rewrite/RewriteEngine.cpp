@@ -34,6 +34,8 @@
 
 #include "match/Declarative.h"
 #include "match/FastMatcher.h"
+#include "plan/Interpreter.h"
+#include "plan/PlanBuilder.h"
 #include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 
@@ -188,6 +190,18 @@ public:
     const size_t NumEntries = Rules.entries().size();
     Quarantined.assign(NumEntries, 0);
     FuelExhausts.assign(NumEntries, 0);
+    MK = Opts.matcher();
+    if (MK == MatcherKind::Plan) {
+      if (Opts.PrecompiledPlan && planMatchesRules(*Opts.PrecompiledPlan)) {
+        Plan = Opts.PrecompiledPlan;
+      } else {
+        double C0 = nowSeconds();
+        OwnedPlan = std::make_unique<plan::Program>(
+            plan::PlanBuilder::compile(Rules, G.signature()));
+        Stats.PlanCompileSeconds = nowSeconds() - C0;
+        Plan = OwnedPlan.get();
+      }
+    }
     Bgt = Opts.EngineBudget;
     if (Bgt) {
       Bgt->start();
@@ -208,6 +222,7 @@ private:
     term::TermArena Arena;
     graph::TermView View;
     std::vector<PatternStats> Entry;
+    std::vector<uint8_t> Cand; ///< per-node plan candidate mask scratch
 
     WorkerCtx(const Graph &G, size_t NumEntries)
         : Arena(G.signature()), View(G, Arena), Entry(NumEntries) {}
@@ -222,6 +237,11 @@ private:
   RewriteStats Stats;
   Budget *Bgt = nullptr;
   FaultInjector *Faults = nullptr;
+  MatcherKind MK = MatcherKind::Fast;
+  /// The compiled MatchPlan when MK == Plan (borrowed or freshly built).
+  const plan::Program *Plan = nullptr;
+  std::unique_ptr<plan::Program> OwnedPlan;
+  std::vector<uint8_t> CandMask; ///< serial-path plan candidate scratch
   std::vector<std::optional<std::unordered_set<term::OpId>>> RootFilters;
   /// Commit-phase invalidation bits over the pass's snapshot ids. Empty in
   /// the serial engine (tracking disabled).
@@ -484,9 +504,62 @@ private:
   }
 
   void computeRootFilters() {
+    if (MK == MatcherKind::Plan)
+      return; // the plan's discrimination tree subsumes the root index
     RootFilters.reserve(Rules.entries().size());
     for (const RewriteEntry &E : Rules.entries())
       RootFilters.push_back(rootOps(E.Pattern->Pat));
+  }
+
+  /// A borrowed precompiled plan is only usable if it was compiled from
+  /// this rule set (same entries, same order).
+  bool planMatchesRules(const plan::Program &P) const {
+    const auto &Entries = Rules.entries();
+    if (P.Entries.size() != Entries.size())
+      return false;
+    for (size_t I = 0; I != Entries.size(); ++I)
+      if (P.Entries[I].PatternName != Entries[I].Pattern->Name)
+        return false;
+    return true;
+  }
+
+  /// Entry-skip decision shared by the serial visit and discovery: true if
+  /// the active prefilter proves entry \p I cannot match at \p N. \p Cand
+  /// is the node's plan candidate mask (empty when the plan prefilter is
+  /// off). Identical inputs on both paths, so skip decisions — and with
+  /// them RootSkips counters — are thread-count-independent.
+  bool prefilteredOut(size_t I, NodeId N,
+                      const std::vector<uint8_t> &Cand) const {
+    if (!Opts.UseRootIndex)
+      return false;
+    if (MK == MatcherKind::Plan)
+      return !Cand.empty() && !Cand[I];
+    return RootFilters[I] && !RootFilters[I]->count(G.op(N));
+  }
+
+  /// Computes the plan candidate mask for one node (no-op unless the plan
+  /// prefilter is active).
+  void planCandidates(NodeId N, std::vector<uint8_t> &Cand) const {
+    if (MK == MatcherKind::Plan && Opts.UseRootIndex)
+      Plan->candidates(G, N, Cand);
+    else
+      Cand.clear();
+  }
+
+  /// One matcher run, dispatched over the active MatcherKind. Per-attempt
+  /// observable behavior (status, witness, stats) is identical across the
+  /// three; only cost differs.
+  MatchResult runMatcher(size_t EntryIdx, const RewriteEntry &E,
+                         term::TermRef T, const term::TermArena &A) const {
+    switch (MK) {
+    case MatcherKind::Plan:
+      return plan::Interpreter::run(*Plan, EntryIdx, T, A, Opts.MachineOpts);
+    case MatcherKind::Fast:
+      return match::FastMatcher::run(E.Pattern->Pat, T, A, Opts.MachineOpts);
+    case MatcherKind::Machine:
+      break;
+    }
+    return match::matchPattern(E.Pattern->Pat, T, A, Opts.MachineOpts);
   }
 
   static std::string entryName(const RewriteEntry &E) {
@@ -507,6 +580,7 @@ private:
                     bool RewriteMode) const {
     const auto &Entries = Rules.entries();
     D.Attempts.reserve(Entries.size());
+    planCandidates(N, W.Cand); // one tree traversal covers every entry
     for (size_t I = 0; I != Entries.size(); ++I) {
       if (QSnapshot[I])
         continue;
@@ -514,8 +588,7 @@ private:
       PatternStats &WS = W.Entry[I];
       Attempt A;
       A.Entry = static_cast<uint32_t>(I);
-      if (Opts.UseRootIndex && RootFilters[I] &&
-          !RootFilters[I]->count(G.op(N))) {
+      if (prefilteredOut(I, N, W.Cand)) {
         ++WS.RootSkips;
         A.Kind = AttemptKind::RootSkip;
         D.Attempts.push_back(A);
@@ -528,11 +601,7 @@ private:
         if (Faults && Faults->atAttemptSite(Stats.Passes, N, I))
           throw InjectedFault("injected fault: attempt site");
         term::TermRef T = W.View.termFor(N);
-        MR = Opts.UseFastMatcher
-                 ? match::FastMatcher::run(E.Pattern->Pat, T, W.Arena,
-                                           Opts.MachineOpts)
-                 : match::matchPattern(E.Pattern->Pat, T, W.Arena,
-                                       Opts.MachineOpts);
+        MR = runMatcher(I, E, T, W.Arena);
       } catch (...) {
         W.View.invalidate();
         A.Kind = AttemptKind::Threw;
@@ -644,6 +713,7 @@ private:
   /// Returns true if the graph changed.
   bool visitNode(NodeId N, bool RewriteMode, size_t StartEntry = 0) {
     const auto &Entries = Rules.entries();
+    planCandidates(N, CandMask); // one tree traversal covers every entry
     for (size_t I = StartEntry; I != Entries.size(); ++I) {
       if (halted())
         return false;
@@ -651,8 +721,7 @@ private:
         continue;
       const RewriteEntry &E = Entries[I];
       PatternStats &PS = statsFor(E);
-      if (Opts.UseRootIndex && RootFilters[I] &&
-          !RootFilters[I]->count(G.op(N))) {
+      if (prefilteredOut(I, N, CandMask)) {
         ++PS.RootSkips;
         continue;
       }
@@ -663,11 +732,7 @@ private:
         if (Faults && Faults->atAttemptSite(Stats.Passes, N, I))
           throw InjectedFault("injected fault: attempt site");
         term::TermRef T = View.termFor(N);
-        MR = Opts.UseFastMatcher
-                 ? match::FastMatcher::run(E.Pattern->Pat, T, Arena,
-                                           Opts.MachineOpts)
-                 : match::matchPattern(E.Pattern->Pat, T, Arena,
-                                       Opts.MachineOpts);
+        MR = runMatcher(I, E, T, Arena);
       } catch (const std::exception &Ex) {
         View.invalidate();
         onAttemptFault(I, Ex.what());

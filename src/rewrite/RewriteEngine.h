@@ -46,11 +46,16 @@
 #include "support/Budget.h"
 
 #include <map>
+#include <optional>
 #include <string>
 
 namespace pypm {
 class FaultInjector;
 } // namespace pypm
+
+namespace pypm::plan {
+struct Program;
+} // namespace pypm::plan
 
 namespace pypm::rewrite {
 
@@ -100,6 +105,11 @@ struct RewriteStats {
   /// PatternStats::Seconds for the summed view).
   double MatchSeconds = 0.0;
   double TotalSeconds = 0.0; ///< whole run, including replacement building
+  /// Wall-clock spent compiling the MatchPlan inside the run (0 when the
+  /// matcher is not Plan or a PrecompiledPlan was supplied). Included in
+  /// TotalSeconds; the bench sweeps report it separately so the
+  /// cacheable-artifact story is quantified.
+  double PlanCompileSeconds = 0.0;
   /// Wall-clock of the candidate-discovery work alone: the parallel
   /// fan-out phases (parallel engine) or, in the serial engine, the same
   /// value as MatchSeconds. The thread-sweep benches report this.
@@ -140,16 +150,45 @@ enum class Traversal : uint8_t {
   RootsFirst,
 };
 
+/// Which matcher executes the per-(node, pattern) attempts. All three are
+/// observably identical per attempt — same status, witness, resume stream,
+/// and step counters (the differential suites assert it); they differ in
+/// cost and in how the engine prefilters:
+///  - Machine: the reference machine of Figs. 17-18;
+///  - Fast: the optimized trail-based FastMatcher (root-op prefilter);
+///  - Plan: the whole rule set compiled into one shared discrimination-tree
+///    bytecode program (plan::Program); one tree traversal per node yields
+///    the candidate set for all patterns at once.
+enum class MatcherKind : uint8_t { Machine, Fast, Plan };
+
 struct RewriteOptions {
   unsigned MaxPasses = 64;
   uint64_t MaxRewrites = 1'000'000;
+  /// Enables match-attempt prefiltering: the per-pattern root-operator
+  /// index (Machine/Fast) or the shared discrimination tree (Plan).
   bool UseRootIndex = true;
   bool MemoizeTermView = true;
   /// Match with the optimized trail-based matcher (FastMatcher). Disable
   /// to run the reference machine of Figs. 17-18 instead; results are
   /// identical (tests assert it), only cost differs (bench_ablation
-  /// quantifies it).
+  /// quantifies it). Subsumed by Matcher when that is set.
   bool UseFastMatcher = true;
+  /// Explicit matcher selection; unset defers to UseFastMatcher (the
+  /// pre-MatchPlan knob, kept so existing ablation configs keep meaning
+  /// what they meant).
+  std::optional<MatcherKind> Matcher;
+  /// With Matcher == Plan: use this already-compiled program instead of
+  /// compiling one per run (e.g. loaded from a .pypmplan). Borrowed, must
+  /// outlive the run, and must have been compiled from an identical rule
+  /// set — the engine verifies entry names and falls back to a fresh
+  /// compile on mismatch.
+  const plan::Program *PrecompiledPlan = nullptr;
+
+  MatcherKind matcher() const {
+    if (Matcher)
+      return *Matcher;
+    return UseFastMatcher ? MatcherKind::Fast : MatcherKind::Machine;
+  }
   Traversal Order = Traversal::OperandsFirst;
   /// Worker threads for the parallel match-discovery phase. 0 runs the
   /// serial legacy engine (kept for the ablation benches); N >= 1 fans

@@ -29,4 +29,14 @@ cmake -B build-ci-asan -S . -DPYPM_SANITIZE=address,undefined >/dev/null
 cmake --build build-ci-asan -j "$JOBS"
 ctest --test-dir build-ci-asan --output-on-failure
 
+# The plan matcher's differential, governance (budget/quarantine), and
+# .pypmplan hostile-input suites get a dedicated ASan/UBSan leg: the
+# bytecode interpreter shares FastMatcher's trail/unwind machinery and
+# the loader's recompile-and-compare path allocates aggressively, so
+# this is where lifetime bugs would hide. (ctest above already ran them
+# once; this re-run keeps the plan legs loud and greppable in CI logs.)
+echo "=== plan-matcher suites under ASan/UBSan ==="
+./build-ci-asan/tests/pypm_tests \
+  --gtest_filter='*MatchPlan*:MalformedPlanBinary.*'
+
 echo "=== ci.sh: all green ==="

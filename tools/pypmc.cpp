@@ -6,6 +6,9 @@
 /// test-match patterns against terms.
 ///
 ///   pypmc compile <file.pypm> -o <file.pypmbin>   serialize a library
+///   pypmc compile-plan <patterns> -o <file.pypmplan> [--emit-plan]
+///                                                 compile the whole rule set
+///                                                 into one MatchPlan artifact
 ///   pypmc check   <file.pypm>                     compile + report only
 ///   pypmc dump    <file.pypmbin>                  list ops/patterns/rules
 ///   pypmc match   <file.pypm[bin]> <Pattern> <term> [--trace]
@@ -26,6 +29,8 @@
 #include "match/Derivation.h"
 #include "match/Machine.h"
 #include "pattern/Serializer.h"
+#include "plan/PlanBuilder.h"
+#include "plan/PlanSerializer.h"
 #include "rewrite/RewriteEngine.h"
 #include "sim/CostModel.h"
 #include "term/TermParser.h"
@@ -45,14 +50,18 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: pypmc compile <file.pypm> -o <file.pypmbin>\n"
+               "       pypmc compile-plan <file.pypm|file.pypmbin> "
+               "-o <file.pypmplan> [--emit-plan]\n"
                "       pypmc check   <file.pypm>\n"
                "       pypmc dump    <file.pypmbin>\n"
                "       pypmc match   <file.pypm|file.pypmbin> <Pattern> "
                "<term> [--trace] [--explain]\n"
-               "       pypmc rewrite <patterns> <graph.pypmg> "
+               "       pypmc rewrite <patterns|file.pypmplan> <graph.pypmg> "
                "[-o <out.pypmg>] [--threads N]\n"
                "                     [--budget-ms M] [--max-steps N] "
                "[--stats-json]\n"
+               "                     [--matcher=machine|fast|plan] "
+               "[--emit-plan]\n"
                "       pypmc cost    <graph.pypmg>\n"
                "rewrite exit codes: 0 ok, 1 load error, 2 usage, 3 budget "
                "exhausted,\n"
@@ -81,6 +90,10 @@ bool readFile(const char *Path, std::string &Out) {
 
 bool looksLikeBinary(const std::string &Bytes) {
   return Bytes.size() >= 4 && Bytes.compare(0, 4, "PYPM") == 0;
+}
+
+bool looksLikePlan(const std::string &Bytes) {
+  return Bytes.size() >= 4 && Bytes.compare(0, 4, "PYPL") == 0;
 }
 
 /// Loads either a textual .pypm source or a serialized .pypmbin.
@@ -125,6 +138,64 @@ int cmdCompile(int Argc, char **Argv) {
   }
   std::printf("wrote %s: %zu bytes, %zu pattern(s), %zu rule(s)\n", Out,
               Bytes.size(), Lib->PatternDefs.size(), Lib->Rules.size());
+  return 0;
+}
+
+int cmdCompilePlan(int Argc, char **Argv) {
+  const char *In = nullptr, *Out = nullptr;
+  bool EmitPlan = false;
+  for (int I = 0; I != Argc; ++I) {
+    if (std::strcmp(Argv[I], "-o") == 0 && I + 1 != Argc)
+      Out = Argv[++I];
+    else if (std::strcmp(Argv[I], "--emit-plan") == 0)
+      EmitPlan = true;
+    else if (!In)
+      In = Argv[I];
+    else
+      return usage();
+  }
+  if (!In || !Out)
+    return usage();
+
+  term::Signature Sig;
+  std::unique_ptr<pattern::Library> Lib = load(In, Sig);
+  if (!Lib)
+    return 1;
+
+  DiagnosticEngine Diags;
+  // RulesOnly mirrors `pypmc rewrite`'s RuleSet::addLibrary default:
+  // match-only patterns are not part of the rewrite rule set.
+  std::string Bytes = plan::serializePlan(*Lib, Sig, /*RulesOnly=*/true, Diags);
+  std::fprintf(stderr, "%s", Diags.renderAll().c_str());
+  if (Bytes.empty())
+    return 1;
+
+  std::ofstream OutFile(Out, std::ios::binary);
+  if (!OutFile || !OutFile.write(Bytes.data(),
+                                 static_cast<std::streamsize>(Bytes.size()))) {
+    std::fprintf(stderr, "pypmc: cannot write '%s'\n", Out);
+    return 1;
+  }
+
+  // Re-load what we just wrote: reports exactly what a consumer will see,
+  // and doubles as an end-to-end check of the artifact.
+  term::Signature CheckSig;
+  DiagnosticEngine CheckDiags;
+  std::unique_ptr<plan::LoadedPlan> LP =
+      plan::deserializePlan(Bytes, CheckSig, CheckDiags);
+  if (!LP) {
+    std::fprintf(stderr, "pypmc: round-trip of '%s' failed:\n%s", Out,
+                 CheckDiags.renderAll().c_str());
+    return 1;
+  }
+  plan::ProgramInfo Info = LP->Prog.info();
+  std::printf("wrote %s: %zu bytes, %zu entr%s, %zu instruction(s), "
+              "%zu tree node(s)\n",
+              Out, Bytes.size(), LP->Prog.Entries.size(),
+              LP->Prog.Entries.size() == 1 ? "y" : "ies", Info.Instrs,
+              Info.TreeNodes);
+  if (EmitPlan)
+    std::printf("%s", LP->Prog.disassemble(CheckSig).c_str());
   return 0;
 }
 
@@ -285,7 +356,8 @@ int cmdRewrite(int Argc, char **Argv) {
   unsigned Threads = 0;
   double BudgetMs = 0;
   uint64_t MaxSteps = 0;
-  bool StatsJson = false;
+  bool StatsJson = false, EmitPlan = false;
+  std::optional<rewrite::MatcherKind> Matcher;
   for (int I = 0; I != Argc; ++I) {
     if (std::strcmp(Argv[I], "-o") == 0 && I + 1 != Argc)
       Out = Argv[++I];
@@ -297,7 +369,19 @@ int cmdRewrite(int Argc, char **Argv) {
       MaxSteps = std::strtoull(Argv[++I], nullptr, 10);
     else if (std::strcmp(Argv[I], "--stats-json") == 0)
       StatsJson = true;
-    else if (!Patterns)
+    else if (std::strcmp(Argv[I], "--emit-plan") == 0)
+      EmitPlan = true;
+    else if (std::strncmp(Argv[I], "--matcher=", 10) == 0) {
+      const char *V = Argv[I] + 10;
+      if (std::strcmp(V, "machine") == 0)
+        Matcher = rewrite::MatcherKind::Machine;
+      else if (std::strcmp(V, "fast") == 0)
+        Matcher = rewrite::MatcherKind::Fast;
+      else if (std::strcmp(V, "plan") == 0)
+        Matcher = rewrite::MatcherKind::Plan;
+      else
+        return usage();
+    } else if (!Patterns)
       Patterns = Argv[I];
     else if (!GraphPath)
       GraphPath = Argv[I];
@@ -308,21 +392,59 @@ int cmdRewrite(int Argc, char **Argv) {
     return usage();
 
   term::Signature Sig;
-  std::unique_ptr<pattern::Library> Lib = load(Patterns, Sig);
-  if (!Lib)
-    return 1;
+  // The patterns operand accepts textual .pypm, a .pypmbin library, or a
+  // precompiled .pypmplan MatchPlan artifact (sniffed by magic). A plan
+  // artifact implies --matcher=plan and skips the in-run compile.
+  std::unique_ptr<pattern::Library> Lib;
+  std::unique_ptr<plan::LoadedPlan> LP;
+  rewrite::RuleSet OwnRules;
+  {
+    std::string Bytes;
+    if (!readFile(Patterns, Bytes))
+      return 1;
+    if (looksLikePlan(Bytes)) {
+      DiagnosticEngine PlanDiags;
+      LP = plan::deserializePlan(Bytes, Sig, PlanDiags);
+      if (!LP) {
+        std::fprintf(stderr, "%s", PlanDiags.renderAll().c_str());
+        return 1;
+      }
+      if (!Matcher)
+        Matcher = rewrite::MatcherKind::Plan;
+    } else {
+      Lib = load(Patterns, Sig);
+      if (!Lib)
+        return 1;
+      OwnRules.addLibrary(*Lib);
+    }
+  }
+  const rewrite::RuleSet &Rules = LP ? LP->Rules : OwnRules;
+
   std::unique_ptr<graph::Graph> G = loadGraph(GraphPath, Sig);
   if (!G)
     return 1;
 
-  rewrite::RuleSet Rules;
-  Rules.addLibrary(*Lib);
   sim::CostModel CM;
   double Before = CM.graphCost(*G).Seconds;
   // --threads N selects the parallel-discovery engine; the rewritten
   // graph is identical to the serial (default) engine's at any N.
   rewrite::RewriteOptions Opts;
   Opts.NumThreads = Threads;
+  Opts.Matcher = Matcher;
+
+  // A plan compiled here (or loaded above) serves both --emit-plan and the
+  // engine's PrecompiledPlan fast path.
+  std::unique_ptr<plan::Program> FreshPlan;
+  const plan::Program *Plan = LP ? &LP->Prog : nullptr;
+  if (!Plan && (EmitPlan || Opts.matcher() == rewrite::MatcherKind::Plan)) {
+    FreshPlan = std::make_unique<plan::Program>(
+        plan::PlanBuilder::compile(Rules, Sig));
+    Plan = FreshPlan.get();
+  }
+  if (Opts.matcher() == rewrite::MatcherKind::Plan)
+    Opts.PrecompiledPlan = Plan;
+  if (EmitPlan)
+    std::fprintf(stderr, "%s", Plan->disassemble(Sig).c_str());
 
   BudgetLimits Limits;
   Limits.DeadlineSeconds = BudgetMs / 1e3;
@@ -391,6 +513,8 @@ int main(int Argc, char **Argv) {
   const char *Cmd = Argv[1];
   if (std::strcmp(Cmd, "compile") == 0)
     return cmdCompile(Argc - 2, Argv + 2);
+  if (std::strcmp(Cmd, "compile-plan") == 0)
+    return cmdCompilePlan(Argc - 2, Argv + 2);
   if (std::strcmp(Cmd, "check") == 0)
     return cmdCheck(Argc - 2, Argv + 2);
   if (std::strcmp(Cmd, "dump") == 0)
