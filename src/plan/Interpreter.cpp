@@ -27,7 +27,15 @@ MachineStatus Interpreter::matchEntry(size_t EntryIdx, term::TermRef T) {
   MuBudget = Opts.MaxMuUnfolds;
   Cont = consMatch(Prog.Entries[EntryIdx].RootPC, T, nullptr);
   Status = MachineStatus::Running;
-  return runLoop();
+  // Profiling is observation-only: counters after the run, never a branch
+  // inside it. Only the first terminal counts as the attempt's outcome;
+  // resume() continuations are part of the same attempt.
+  if (Prof)
+    Prof->noteAttempt(EntryIdx);
+  MachineStatus S = runLoop();
+  if (Prof && S == MachineStatus::Success)
+    Prof->noteMatch(EntryIdx);
+  return S;
 }
 
 MachineStatus Interpreter::resume() {
@@ -372,8 +380,9 @@ MachineStatus Interpreter::stepMatchDyn(const Pattern *P, term::TermRef T) {
 
 MatchResult Interpreter::run(const Program &Prog, size_t EntryIdx,
                              term::TermRef T, const term::TermArena &Arena,
-                             Machine::Options Opts) {
+                             Machine::Options Opts, Profile *Prof) {
   Interpreter M(Prog, Arena, Opts);
+  M.setProfile(Prof);
   MachineStatus S = M.matchEntry(EntryIdx, T);
   MatchResult R;
   R.Status = S;

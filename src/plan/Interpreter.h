@@ -21,6 +21,7 @@
 #define PYPM_PLAN_INTERPRETER_H
 
 #include "match/Machine.h"
+#include "plan/Profile.h"
 #include "plan/Program.h"
 
 #include <deque>
@@ -34,6 +35,14 @@ public:
               match::Machine::Options Opts = match::Machine::Options())
       : Prog(Prog), Arena(Arena), Opts(Opts) {}
 
+  /// Profiling mode: when set, matchEntry() records one committed attempt
+  /// (and, on success, one match) per call into the profile's per-entry
+  /// counters. Observation only — no step, counter, or witness changes.
+  /// The caller owns the profile and its thread-safety: the engine arms
+  /// this on committed-order runs only, never on speculative discovery
+  /// workers (see DESIGN.md §"Profile-guided ordering").
+  void setProfile(Profile *P) { Prof = P; }
+
   /// Matches entry \p EntryIdx of the program against \p T from the empty
   /// substitution; returns the terminal status.
   match::MachineStatus matchEntry(size_t EntryIdx, term::TermRef T);
@@ -46,10 +55,13 @@ public:
   const match::MachineStats &stats() const { return Stats; }
 
   /// One-call convenience mirroring FastMatcher::run for one entry.
+  /// \p Prof, when non-null, receives the per-entry attempt/match counters
+  /// of this one call (profiling mode; see setProfile).
   static match::MatchResult
   run(const Program &Prog, size_t EntryIdx, term::TermRef T,
       const term::TermArena &Arena,
-      match::Machine::Options Opts = match::Machine::Options());
+      match::Machine::Options Opts = match::Machine::Options(),
+      Profile *Prof = nullptr);
 
 private:
   /// Persistent continuation cell: a compiled action. Match targets are a
@@ -101,6 +113,7 @@ private:
   const Program &Prog;
   const term::TermArena &Arena;
   match::Machine::Options Opts;
+  Profile *Prof = nullptr;
 
   pattern::PatternArena Scratch;
   std::deque<Cell> Cells;

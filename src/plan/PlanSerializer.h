@@ -6,7 +6,7 @@
 /// the compiled streams: the entry table, the symbol table, and the
 /// instruction/child-PC arrays.
 ///
-/// Layout (v1, little-endian):
+/// Layout (v2, little-endian):
 ///   magic "PYPL", u32 version
 ///   u32 libLen, libLen bytes of embedded .pypmbin
 ///   entries:  u32 count, per entry: name (u32 len + bytes),
@@ -17,6 +17,8 @@
 ///   code:     u32 count, per instr: u8 opcode, u32 A/B/C/firstChild/
 ///             numChildren
 ///   childPCs: u32 count, u32 each
+///   profile:  u8 hasProfile; if 1: u32 profLen, profLen bytes of a
+///             .pypmprof artifact (v2; optional profile-guided ordering)
 ///
 /// The loader is hardened like the .pypmbin reader (magic/version gates,
 /// count plausibility gates, per-operand bounds checks, trailing-byte
@@ -26,11 +28,19 @@
 /// to the engine is the recompiled one, so a byte-wise plausible but
 /// inconsistent artifact is rejected rather than executed.
 ///
+/// The discrimination tree is still never serialized: an embedded profile
+/// rides along as opaque (checksummed, signature-bound) counters, and the
+/// loader re-derives the ordering by running PlanBuilder::applyProfile on
+/// the recompiled program. A profile that fails its own hardening gates or
+/// does not bind to the recompiled plan rejects the artifact — it cannot
+/// smuggle in a wrong or misordered tree.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PYPM_PLAN_PLANSERIALIZER_H
 #define PYPM_PLAN_PLANSERIALIZER_H
 
+#include "plan/Profile.h"
 #include "plan/Program.h"
 #include "rewrite/Rule.h"
 #include "support/Diagnostics.h"
@@ -46,18 +56,23 @@ namespace pypm::plan {
 /// mirrors RuleSet::addLibrary (skip match-only patterns). Internally
 /// round-trips the library through its binary form first, so the emitted
 /// streams are exactly what the loader's recompilation will produce.
-/// Returns the empty string and emits a diagnostic on failure.
+/// When \p Prof is non-null it is embedded for profile-guided ordering;
+/// it must bind to the compiled plan (signature check) or serialization
+/// fails. Returns the empty string and emits a diagnostic on failure.
 std::string serializePlan(const pattern::Library &Lib,
                           const term::Signature &Sig, bool RulesOnly,
-                          DiagnosticEngine &Diags);
+                          DiagnosticEngine &Diags,
+                          const Profile *Prof = nullptr);
 
 /// A deserialized plan: the embedded library, the rule set reconstructed
-/// from the entry table, and the (recompiled, validated) program. Rules
-/// and Prog borrow Lib; keep the struct alive while they are in use.
+/// from the entry table, and the (recompiled, validated) program — with
+/// the embedded profile (if any) already applied to Prog. Rules and Prog
+/// borrow Lib; keep the struct alive while they are in use.
 struct LoadedPlan {
   std::unique_ptr<pattern::Library> Lib;
   rewrite::RuleSet Rules;
   Program Prog;
+  std::unique_ptr<Profile> Prof; ///< embedded profile, when present
 };
 
 /// Deserializes a .pypmplan. Operator declarations of the embedded library

@@ -1,0 +1,225 @@
+//===- plan/Profile.cpp - Profile recording and the .pypmprof format ------===//
+
+#include "plan/Profile.h"
+
+#include "plan/Program.h"
+#include "support/Hash.h"
+
+#include <cassert>
+
+using namespace pypm;
+using namespace pypm::plan;
+
+bool Profile::boundTo(const Program &P) const {
+  return PlanSignature == P.CanonicalSig &&
+         GroupVisits.size() == P.NumGroups && EdgeHits.size() == P.NumEdges &&
+         EntryAttempts.size() == P.Entries.size() &&
+         EntryMatches.size() == P.Entries.size();
+}
+
+bool Profile::bindTo(const Program &P) {
+  if (empty()) {
+    PlanSignature = P.CanonicalSig;
+    GroupVisits.assign(P.NumGroups, 0);
+    EdgeHits.assign(P.NumEdges, 0);
+    EntryAttempts.assign(P.Entries.size(), 0);
+    EntryMatches.assign(P.Entries.size(), 0);
+    return true;
+  }
+  return boundTo(P);
+}
+
+void Profile::addTrace(const TraversalTrace &T) {
+  ++Traversals;
+  for (uint32_t G : T.Groups)
+    if (G < GroupVisits.size())
+      ++GroupVisits[G];
+  for (uint32_t E : T.Edges)
+    if (E < EdgeHits.size())
+      ++EdgeHits[E];
+}
+
+bool Profile::merge(const Profile &O) {
+  if (O.empty() && O.Traversals == 0)
+    return true;
+  if (empty() && Traversals == 0) {
+    *this = O;
+    return true;
+  }
+  if (PlanSignature != O.PlanSignature ||
+      GroupVisits.size() != O.GroupVisits.size() ||
+      EdgeHits.size() != O.EdgeHits.size() ||
+      EntryAttempts.size() != O.EntryAttempts.size() ||
+      EntryMatches.size() != O.EntryMatches.size())
+    return false;
+  Traversals += O.Traversals;
+  for (size_t I = 0; I < GroupVisits.size(); ++I)
+    GroupVisits[I] += O.GroupVisits[I];
+  for (size_t I = 0; I < EdgeHits.size(); ++I)
+    EdgeHits[I] += O.EdgeHits[I];
+  for (size_t I = 0; I < EntryAttempts.size(); ++I)
+    EntryAttempts[I] += O.EntryAttempts[I];
+  for (size_t I = 0; I < EntryMatches.size(); ++I)
+    EntryMatches[I] += O.EntryMatches[I];
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// .pypmprof serialization
+//
+// Layout (all integers little-endian):
+//   "PYPF"  u32 version
+//   u64 planSignature   u64 traversals
+//   u32 numEntries  then numEntries x (u64 attempts, u64 matches)
+//   u32 numGroups   then numGroups  x u64 visits
+//   u32 numEdges    then numEdges   x u64 hits
+//   u64 checksum    (FNV-1a of every preceding byte)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint32_t kProfileVersion = 1;
+
+void appendU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void appendU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+uint64_t payloadChecksum(std::string_view Payload) {
+  Fnv1aHash H;
+  H.bytes(Payload.data(), Payload.size());
+  return H.value();
+}
+
+class ProfileReader {
+public:
+  ProfileReader(std::string_view Bytes, DiagnosticEngine &Diags)
+      : Bytes(Bytes), Diags(Diags) {}
+
+  std::unique_ptr<Profile> run() {
+    if (Bytes.size() < 8 || Bytes.substr(0, 4) != "PYPF")
+      return fail("not a PyPM match profile (bad magic)");
+    Pos = 4;
+    uint32_t Version = readU32();
+    if (Failed)
+      return nullptr;
+    if (Version != kProfileVersion)
+      return fail("unsupported match profile version " +
+                  std::to_string(Version));
+
+    auto P = std::make_unique<Profile>();
+    P->PlanSignature = readU64();
+    P->Traversals = readU64();
+    if (!readCounterArray(P->EntryAttempts, P->EntryMatches))
+      return nullptr;
+    if (!readCounterArray(P->GroupVisits))
+      return nullptr;
+    if (!readCounterArray(P->EdgeHits))
+      return nullptr;
+    if (Failed)
+      return nullptr;
+
+    // The checksum covers everything before it; with 8 bytes left the
+    // artifact is exactly the declared counters and nothing else.
+    if (Bytes.size() - Pos != 8)
+      return fail("trailing bytes after match profile payload");
+    uint64_t Declared = readU64();
+    if (Failed)
+      return nullptr;
+    if (Declared != payloadChecksum(Bytes.substr(0, Bytes.size() - 8)))
+      return fail("match profile checksum mismatch (corrupt artifact)");
+    return P;
+  }
+
+private:
+  std::unique_ptr<Profile> fail(const std::string &Msg) {
+    if (!Failed)
+      Diags.error(SourceLoc(), "match profile: " + Msg);
+    Failed = true;
+    return nullptr;
+  }
+
+  uint32_t readU32() {
+    if (Bytes.size() - Pos < 4) {
+      fail("unexpected end of input");
+      return 0;
+    }
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= uint32_t(uint8_t(Bytes[Pos + I])) << (8 * I);
+    Pos += 4;
+    return V;
+  }
+
+  uint64_t readU64() {
+    if (Failed || Bytes.size() - Pos < 8) {
+      fail("unexpected end of input");
+      return 0;
+    }
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= uint64_t(uint8_t(Bytes[Pos + I])) << (8 * I);
+    Pos += 8;
+    return V;
+  }
+
+  /// Reads a u32 count followed by one u64 per slot into each destination
+  /// array, gating the count against the remaining byte budget *before*
+  /// allocating — an implausible count is a clean error, not an OOM.
+  template <typename... Vec> bool readCounterArray(Vec &...Dest) {
+    if (Failed)
+      return false;
+    uint32_t N = readU32();
+    if (Failed)
+      return false;
+    constexpr size_t PerSlot = sizeof...(Dest) * 8;
+    if (N > (Bytes.size() - Pos) / PerSlot) {
+      fail("implausible counter count");
+      return false;
+    }
+    (Dest.assign(N, 0), ...);
+    for (uint32_t I = 0; I < N && !Failed; ++I)
+      ((Dest[I] = readU64()), ...);
+    return !Failed;
+  }
+
+  std::string_view Bytes;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace
+
+std::string pypm::plan::serializeProfile(const Profile &P) {
+  assert(P.EntryAttempts.size() == P.EntryMatches.size() &&
+         "entry counter arrays out of sync");
+  std::string Out = "PYPF";
+  appendU32(Out, kProfileVersion);
+  appendU64(Out, P.PlanSignature);
+  appendU64(Out, P.Traversals);
+  appendU32(Out, static_cast<uint32_t>(P.EntryAttempts.size()));
+  for (size_t I = 0; I < P.EntryAttempts.size(); ++I) {
+    appendU64(Out, P.EntryAttempts[I]);
+    appendU64(Out, P.EntryMatches[I]);
+  }
+  appendU32(Out, static_cast<uint32_t>(P.GroupVisits.size()));
+  for (uint64_t V : P.GroupVisits)
+    appendU64(Out, V);
+  appendU32(Out, static_cast<uint32_t>(P.EdgeHits.size()));
+  for (uint64_t V : P.EdgeHits)
+    appendU64(Out, V);
+  appendU64(Out, payloadChecksum(Out));
+  return Out;
+}
+
+std::unique_ptr<Profile>
+pypm::plan::deserializeProfile(std::string_view Bytes,
+                               DiagnosticEngine &Diags) {
+  return ProfileReader(Bytes, Diags).run();
+}

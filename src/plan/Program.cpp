@@ -2,6 +2,8 @@
 
 #include "plan/Program.h"
 
+#include "plan/Profile.h"
+
 #include <sstream>
 
 namespace pypm::plan {
@@ -28,11 +30,14 @@ struct TermAdapter {
 
 template <typename Adapter>
 void visitTree(const Program &P, const Adapter &A, typename Adapter::Node Root,
-               uint32_t NodeIdx, std::vector<uint8_t> &Mask) {
+               uint32_t NodeIdx, std::vector<uint8_t> &Mask,
+               TraversalTrace *Trace) {
   const TreeNode &TN = P.Tree[NodeIdx];
   for (uint32_t E : TN.Accept)
     Mask[E] = 1;
   for (const TreeGroup &Gp : TN.Groups) {
+    if (Trace)
+      Trace->Groups.push_back(Gp.Id);
     // Resolve the tested position; ancestors were constrained on the way
     // down, so this only fails defensively.
     typename Adapter::Node Cur = Root;
@@ -48,34 +53,57 @@ void visitTree(const Program &P, const Adapter &A, typename Adapter::Node Root,
     if (!Ok)
       continue;
     uint32_t Op = A.op(Cur), Ar = A.arity(Cur);
+    // Keys are unique per list, so the first hit is the only hit: stop
+    // scanning. Profile-guided ordering puts hot keys first, which makes
+    // this break the payoff (cold keys are never compared on hot paths).
     for (const TreeEdge &E : Gp.OpEdges)
-      if (E.Key == Op)
-        visitTree(P, A, Root, E.Child, Mask);
+      if (E.Key == Op) {
+        if (Trace)
+          Trace->Edges.push_back(E.Id);
+        visitTree(P, A, Root, E.Child, Mask, Trace);
+        break;
+      }
     for (const TreeEdge &E : Gp.ArityEdges)
-      if (E.Key == Ar)
-        visitTree(P, A, Root, E.Child, Mask);
+      if (E.Key == Ar) {
+        if (Trace)
+          Trace->Edges.push_back(E.Id);
+        visitTree(P, A, Root, E.Child, Mask, Trace);
+        break;
+      }
   }
 }
 
 template <typename Adapter>
 void candidatesImpl(const Program &P, const Adapter &A,
-                    typename Adapter::Node Root, std::vector<uint8_t> &Mask) {
-  Mask.assign(P.Entries.size(), 0);
-  for (uint32_t W : P.Wildcards)
-    Mask[W] = 1;
+                    typename Adapter::Node Root, std::vector<uint8_t> &Mask,
+                    TraversalTrace *Trace) {
+  if (Trace)
+    Trace->clear();
+  // The wildcard bits are hoisted out of the per-node work entirely: one
+  // bulk copy of the precomputed base mask (empty-tree programs and
+  // hand-assembled Programs without a base fall back to the loop).
+  if (P.WildcardBase.size() == P.Entries.size()) {
+    Mask = P.WildcardBase;
+  } else {
+    Mask.assign(P.Entries.size(), 0);
+    for (uint32_t W : P.Wildcards)
+      Mask[W] = 1;
+  }
   if (!P.Tree.empty())
-    visitTree(P, A, Root, 0, Mask);
+    visitTree(P, A, Root, 0, Mask, Trace);
 }
 
 } // namespace
 
 void Program::candidates(const graph::Graph &G, graph::NodeId N,
-                         std::vector<uint8_t> &Mask) const {
-  candidatesImpl(*this, GraphAdapter{G}, N, Mask);
+                         std::vector<uint8_t> &Mask,
+                         TraversalTrace *Trace) const {
+  candidatesImpl(*this, GraphAdapter{G}, N, Mask, Trace);
 }
 
-void Program::candidates(term::TermRef T, std::vector<uint8_t> &Mask) const {
-  candidatesImpl(*this, TermAdapter{}, T, Mask);
+void Program::candidates(term::TermRef T, std::vector<uint8_t> &Mask,
+                         TraversalTrace *Trace) const {
+  candidatesImpl(*this, TermAdapter{}, T, Mask, Trace);
 }
 
 ProgramInfo Program::info() const {
@@ -153,7 +181,8 @@ std::string Program::disassemble(const term::Signature &Sig) const {
   OS << "matchplan: " << Entries.size() << " entries, " << PI.Instrs
      << " instrs, " << PI.Shapes << " shapes, " << PI.TreeNodes
      << " tree nodes, " << PI.TreeEdges << " tree edges, "
-     << PI.WildcardEntries << " wildcard entries\n";
+     << PI.WildcardEntries << " wildcard entries"
+     << (ProfileApplied ? ", profile-ordered" : "") << "\n";
   OS << "\ndiscrimination tree:\n";
   if (Tree.empty())
     OS << "  <empty>\n";

@@ -42,6 +42,8 @@
 
 namespace pypm::plan {
 
+struct TraversalTrace;
+
 /// One opcode per pattern construct (Fig. 15). The continuation-only
 /// actions of the machine (guard, checkName, checkFunName, matchConstr)
 /// are not instructions: the interpreter materializes them as continuation
@@ -84,10 +86,16 @@ struct EntryCode {
 };
 
 /// A discrimination-tree edge: take it when the tested value (operator id
-/// or arity) equals Key.
+/// or arity) equals Key. Keys are unique within each edge list of a group
+/// (TreeInserter finds-or-creates by key), so at most one edge per list
+/// can hit for a given subterm — the traversal may stop at the first hit,
+/// and reordering a list never changes which edge hits.
 struct TreeEdge {
   uint32_t Key = 0;
   uint32_t Child = 0;
+  /// Canonical id, assigned in build order and stable under profile-driven
+  /// permutation: the index into Profile::EdgeHits.
+  uint32_t Id = 0;
 };
 
 /// All edges of one tree node that test the *same* subterm position: the
@@ -97,6 +105,9 @@ struct TreeGroup {
   uint32_t PathLen = 0;
   std::vector<TreeEdge> OpEdges;    ///< subterm operator == Key
   std::vector<TreeEdge> ArityEdges; ///< subterm arity == Key
+  /// Canonical id (build order, permutation-stable): the index into
+  /// Profile::GroupVisits.
+  uint32_t Id = 0;
 };
 
 /// A discrimination-tree node: entries whose shape is fully tested here,
@@ -133,17 +144,40 @@ struct Program {
   std::vector<uint8_t> PathPool;
   std::vector<uint32_t> Wildcards; ///< entries that are always candidates
 
+  /// Precomputed base mask with exactly the Wildcards bits set: the
+  /// traversal starts from one bulk copy instead of re-running the
+  /// per-node wildcard loop (the "hoisted cold tail" of profile-guided
+  /// ordering — wildcard entries never participate in the hot tree walk).
+  std::vector<uint8_t> WildcardBase;
+
+  /// Canonical group/edge counts (== the id spaces of Profile's counter
+  /// arrays). Assigned by PlanBuilder in build order.
+  uint32_t NumGroups = 0;
+  uint32_t NumEdges = 0;
+
+  /// Operator-id-independent fingerprint of the compiled plan
+  /// (PlanBuilder::signature): binds a Profile to this plan.
+  uint64_t CanonicalSig = 0;
+
+  /// True once PlanBuilder::applyProfile reordered this plan.
+  bool ProfileApplied = false;
+
   size_t numEntries() const { return Entries.size(); }
 
   /// One traversal of the discrimination tree at graph node \p N: sets
   /// Mask[I] = 1 for every entry I that can possibly match the tree
   /// unrolling rooted at N (and 0 for every entry that provably cannot).
-  /// Mask is resized to numEntries().
+  /// Mask is resized to numEntries(). When \p Trace is non-null the
+  /// traversal additionally records the canonical ids of every group it
+  /// scanned and every edge whose key test hit (profiling mode — the
+  /// result mask is identical either way).
   void candidates(const graph::Graph &G, graph::NodeId N,
-                  std::vector<uint8_t> &Mask) const;
+                  std::vector<uint8_t> &Mask,
+                  TraversalTrace *Trace = nullptr) const;
 
   /// Same prefilter over an explicit term (tests and the CLI).
-  void candidates(term::TermRef T, std::vector<uint8_t> &Mask) const;
+  void candidates(term::TermRef T, std::vector<uint8_t> &Mask,
+                  TraversalTrace *Trace = nullptr) const;
 
   ProgramInfo info() const;
 

@@ -36,6 +36,7 @@
 #include "match/FastMatcher.h"
 #include "plan/Interpreter.h"
 #include "plan/PlanBuilder.h"
+#include "plan/Profile.h"
 #include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 
@@ -177,6 +178,12 @@ struct Attempt {
 struct NodeDiscovery {
   std::vector<Attempt> Attempts;
   bool Complete = false;
+  /// When profiling, the worker's tree-traversal trace for this node. For a
+  /// clean node it is byte-for-byte the trace the serial visit would have
+  /// produced (same frozen snapshot, same tree), so the commit phase merges
+  /// it instead of re-traversing — keeping profiles thread-count-invariant.
+  plan::TraversalTrace Trace;
+  bool Traced = false;
 };
 
 class Engine {
@@ -201,6 +208,18 @@ public:
         Stats.PlanCompileSeconds = nowSeconds() - C0;
         Plan = OwnedPlan.get();
       }
+    }
+    if (MK == MatcherKind::Plan && Opts.PlanProfile) {
+      // Arm committed-order profile recording. A populated profile that was
+      // recorded against a different plan (stale ruleset) must not be mixed
+      // in: skip recording, warn, and run unprofiled — outcomes are
+      // unaffected either way.
+      if (Opts.PlanProfile->bindTo(*Plan))
+        Prof = Opts.PlanProfile;
+      else if (Opts.Diags)
+        Opts.Diags->warning({}, "plan profile ignored: it was recorded "
+                                "against a different match plan (stale "
+                                "ruleset?); recording disabled for this run");
     }
     Bgt = Opts.EngineBudget;
     if (Bgt) {
@@ -241,6 +260,12 @@ private:
   /// The compiled MatchPlan when MK == Plan (borrowed or freshly built).
   const plan::Program *Plan = nullptr;
   std::unique_ptr<plan::Program> OwnedPlan;
+  /// Armed (non-null) when Opts.PlanProfile bound to the run's plan. All
+  /// counter updates happen in committed order — serial visits, commit-time
+  /// trace merges, and commit-time replays — never on worker threads, so
+  /// the recorded profile is bit-identical at any thread count.
+  plan::Profile *Prof = nullptr;
+  plan::TraversalTrace ScratchTrace; ///< serial-path traversal scratch
   std::vector<uint8_t> CandMask; ///< serial-path plan candidate scratch
   std::vector<std::optional<std::unordered_set<term::OpId>>> RootFilters;
   /// Commit-phase invalidation bits over the pass's snapshot ids. Empty in
@@ -538,22 +563,29 @@ private:
   }
 
   /// Computes the plan candidate mask for one node (no-op unless the plan
-  /// prefilter is active).
-  void planCandidates(NodeId N, std::vector<uint8_t> &Cand) const {
+  /// prefilter is active). \p Trace, when non-null, receives the tree
+  /// traversal trace (profiling).
+  void planCandidates(NodeId N, std::vector<uint8_t> &Cand,
+                      plan::TraversalTrace *Trace = nullptr) const {
     if (MK == MatcherKind::Plan && Opts.UseRootIndex)
-      Plan->candidates(G, N, Cand);
+      Plan->candidates(G, N, Cand, Trace);
     else
       Cand.clear();
   }
 
   /// One matcher run, dispatched over the active MatcherKind. Per-attempt
   /// observable behavior (status, witness, stats) is identical across the
-  /// three; only cost differs.
+  /// three; only cost differs. \p RecProf is the profile to record entry
+  /// attempt/match counters into: the serial visit passes the armed
+  /// profile, discovery workers always pass nullptr (committed order only
+  /// — commitNode replays the counters from the attempt records instead).
   MatchResult runMatcher(size_t EntryIdx, const RewriteEntry &E,
-                         term::TermRef T, const term::TermArena &A) const {
+                         term::TermRef T, const term::TermArena &A,
+                         plan::Profile *RecProf = nullptr) const {
     switch (MK) {
     case MatcherKind::Plan:
-      return plan::Interpreter::run(*Plan, EntryIdx, T, A, Opts.MachineOpts);
+      return plan::Interpreter::run(*Plan, EntryIdx, T, A, Opts.MachineOpts,
+                                    RecProf);
     case MatcherKind::Fast:
       return match::FastMatcher::run(E.Pattern->Pat, T, A, Opts.MachineOpts);
     case MatcherKind::Machine:
@@ -580,7 +612,12 @@ private:
                     bool RewriteMode) const {
     const auto &Entries = Rules.entries();
     D.Attempts.reserve(Entries.size());
-    planCandidates(N, W.Cand); // one tree traversal covers every entry
+    // One tree traversal covers every entry. When profiling, capture its
+    // trace in the node record: the commit phase merges it (clean nodes)
+    // or discards it (dirty nodes re-traverse live) — never this thread.
+    const bool TraceIt = Prof && Opts.UseRootIndex;
+    planCandidates(N, W.Cand, TraceIt ? &D.Trace : nullptr);
+    D.Traced = TraceIt;
     for (size_t I = 0; I != Entries.size(); ++I) {
       if (QSnapshot[I])
         continue;
@@ -653,8 +690,16 @@ private:
   /// identical to visitNode(N), cheaper by every failed matcher run.
   /// Returns true if the graph changed.
   bool commitNode(NodeId N, const NodeDiscovery &D, bool RewriteMode) {
+    // Committed-order profiling: the worker's traversal of this clean node
+    // is identical to the one the serial visit would perform, so merge its
+    // trace exactly once, here, and tell any fallback live visit below not
+    // to record a second traversal.
+    if (Prof && D.Traced)
+      Prof->addTrace(D.Trace);
+    const bool RecordTraversal = !D.Traced;
     if (!D.Complete)
-      return visitNode(N, RewriteMode); // task fault: recover serially
+      // task fault: recover serially
+      return visitNode(N, RewriteMode, 0, RecordTraversal);
     const auto &Entries = Rules.entries();
     for (const Attempt &A : D.Attempts) {
       if (halted())
@@ -666,7 +711,7 @@ private:
         // visit right after it.
         if (A.Kind == AttemptKind::MatchWithRules ||
             A.Kind == AttemptKind::Threw)
-          return visitNode(N, RewriteMode, A.Entry + 1);
+          return visitNode(N, RewriteMode, A.Entry + 1, RecordTraversal);
         continue;
       }
       const RewriteEntry &E = Entries[A.Entry];
@@ -681,6 +726,8 @@ private:
         PS.Backtracks += A.Backtracks;
         PS.Seconds += A.Seconds;
         chargeAttempt(A.Steps, A.MuUnfolds);
+        if (Prof)
+          Prof->noteAttempt(A.Entry); // replay of the interpreter's counter
         if (A.Fuel) {
           ++PS.FuelExhausted;
           noteFuelExhaust(A.Entry);
@@ -692,6 +739,10 @@ private:
         PS.Backtracks += A.Backtracks;
         PS.Seconds += A.Seconds;
         chargeAttempt(A.Steps, A.MuUnfolds);
+        if (Prof) {
+          Prof->noteAttempt(A.Entry);
+          Prof->noteMatch(A.Entry);
+        }
         ++PS.Matches;
         ++Stats.TotalMatches;
         break;
@@ -699,9 +750,10 @@ private:
       case AttemptKind::Threw:
         // The node is clean, so the outcome re-occurs identically on the
         // live graph; resume the serial logic at this entry — it re-counts
-        // the attempt itself, handles guards/firing/fault absorption, and
-        // continues with the remaining entries when nothing fires.
-        return visitNode(N, RewriteMode, A.Entry);
+        // the attempt itself (profile counters included), handles guards/
+        // firing/fault absorption, and continues with the remaining
+        // entries when nothing fires.
+        return visitNode(N, RewriteMode, A.Entry, RecordTraversal);
       }
     }
     return false;
@@ -710,10 +762,20 @@ private:
   /// Tries each pattern from \p StartEntry in order at node N; on a match
   /// fires the first rule whose guard passes. Absorbs any exception thrown
   /// by the matcher, a guard, or the RHS builder (see onAttemptFault).
+  /// \p RecordTraversal is false only when commitNode already merged this
+  /// node's worker-recorded traversal trace (never record it twice).
   /// Returns true if the graph changed.
-  bool visitNode(NodeId N, bool RewriteMode, size_t StartEntry = 0) {
+  bool visitNode(NodeId N, bool RewriteMode, size_t StartEntry = 0,
+                 bool RecordTraversal = true) {
     const auto &Entries = Rules.entries();
-    planCandidates(N, CandMask); // one tree traversal covers every entry
+    // One tree traversal covers every entry; when profiling, it is also
+    // one committed-order sample of group visits and edge hits.
+    if (Prof && Opts.UseRootIndex && RecordTraversal) {
+      planCandidates(N, CandMask, &ScratchTrace);
+      Prof->addTrace(ScratchTrace);
+    } else {
+      planCandidates(N, CandMask);
+    }
     for (size_t I = StartEntry; I != Entries.size(); ++I) {
       if (halted())
         return false;
@@ -732,7 +794,7 @@ private:
         if (Faults && Faults->atAttemptSite(Stats.Passes, N, I))
           throw InjectedFault("injected fault: attempt site");
         term::TermRef T = View.termFor(N);
-        MR = runMatcher(I, E, T, Arena);
+        MR = runMatcher(I, E, T, Arena, Prof);
       } catch (const std::exception &Ex) {
         View.invalidate();
         onAttemptFault(I, Ex.what());

@@ -54,6 +54,7 @@ class FaultInjector;
 } // namespace pypm
 
 namespace pypm::plan {
+struct Profile;
 struct Program;
 } // namespace pypm::plan
 
@@ -183,6 +184,15 @@ struct RewriteOptions {
   /// set — the engine verifies entry names and falls back to a fresh
   /// compile on mismatch.
   const plan::Program *PrecompiledPlan = nullptr;
+  /// With Matcher == Plan: record a discrimination-tree/interpreter
+  /// profile of the run into this profile (see plan/Profile.h). Borrowed,
+  /// must outlive the run. An empty profile is bound to the run's plan; a
+  /// populated one keeps accumulating if it is bound to the same plan,
+  /// otherwise recording is skipped with a warning (stale profile).
+  /// Counters are recorded strictly in committed order — per-worker
+  /// traversal traces merge at commit — so the recorded profile is
+  /// bit-identical at any NumThreads (tests/test_planprofile.cpp).
+  plan::Profile *PlanProfile = nullptr;
 
   MatcherKind matcher() const {
     if (Matcher)

@@ -39,4 +39,18 @@ echo "=== plan-matcher suites under ASan/UBSan ==="
 ./build-ci-asan/tests/pypm_tests \
   --gtest_filter='*MatchPlan*:MalformedPlanBinary.*'
 
+# Profile-guided ordering gets the same treatment: the differential
+# profiling suite plus the .pypmprof hostile-input corpus under
+# ASan/UBSan (serializer + applyProfile allocate and permute), and the
+# differential suite alone under TSan — per-worker traversal traces are
+# recorded during parallel discovery and merged at commit, which is
+# exactly the cross-thread handoff a race would corrupt.
+echo "=== profiled-plan suites under ASan/UBSan ==="
+./build-ci-asan/tests/pypm_tests \
+  --gtest_filter='*PlanProfile*:MalformedProfileBinary.*'
+
+echo "=== profiled-plan suites under TSan ==="
+./build-ci-tsan/tests/pypm_tests \
+  --gtest_filter='*PlanProfile*'
+
 echo "=== ci.sh: all green ==="

@@ -31,6 +31,7 @@
 #include "pattern/Serializer.h"
 #include "plan/PlanBuilder.h"
 #include "plan/PlanSerializer.h"
+#include "plan/Profile.h"
 #include "rewrite/RewriteEngine.h"
 #include "sim/CostModel.h"
 #include "term/TermParser.h"
@@ -52,6 +53,7 @@ int usage() {
                "usage: pypmc compile <file.pypm> -o <file.pypmbin>\n"
                "       pypmc compile-plan <file.pypm|file.pypmbin> "
                "-o <file.pypmplan> [--emit-plan]\n"
+               "                     [--profile=<file.pypmprof>]\n"
                "       pypmc check   <file.pypm>\n"
                "       pypmc dump    <file.pypmbin>\n"
                "       pypmc match   <file.pypm|file.pypmbin> <Pattern> "
@@ -62,6 +64,7 @@ int usage() {
                "[--stats-json]\n"
                "                     [--matcher=machine|fast|plan] "
                "[--emit-plan]\n"
+               "                     [--profile-out=<file.pypmprof>]\n"
                "       pypmc cost    <graph.pypmg>\n"
                "rewrite exit codes: 0 ok, 1 load error, 2 usage, 3 budget "
                "exhausted,\n"
@@ -142,13 +145,15 @@ int cmdCompile(int Argc, char **Argv) {
 }
 
 int cmdCompilePlan(int Argc, char **Argv) {
-  const char *In = nullptr, *Out = nullptr;
+  const char *In = nullptr, *Out = nullptr, *ProfilePath = nullptr;
   bool EmitPlan = false;
   for (int I = 0; I != Argc; ++I) {
     if (std::strcmp(Argv[I], "-o") == 0 && I + 1 != Argc)
       Out = Argv[++I];
     else if (std::strcmp(Argv[I], "--emit-plan") == 0)
       EmitPlan = true;
+    else if (std::strncmp(Argv[I], "--profile=", 10) == 0)
+      ProfilePath = Argv[I] + 10;
     else if (!In)
       In = Argv[I];
     else
@@ -162,10 +167,28 @@ int cmdCompilePlan(int Argc, char **Argv) {
   if (!Lib)
     return 1;
 
+  // An offline-recorded .pypmprof (see `pypmc rewrite --profile-out=`) is
+  // embedded into the artifact; the loader re-derives the profile-guided
+  // ordering from it. The hardened reader and the signature check against
+  // the compiled plan both run before anything is written.
+  std::unique_ptr<plan::Profile> Prof;
+  if (ProfilePath) {
+    std::string ProfBytes;
+    if (!readFile(ProfilePath, ProfBytes))
+      return 1;
+    DiagnosticEngine ProfDiags;
+    Prof = plan::deserializeProfile(ProfBytes, ProfDiags);
+    if (!Prof) {
+      std::fprintf(stderr, "%s", ProfDiags.renderAll().c_str());
+      return 1;
+    }
+  }
+
   DiagnosticEngine Diags;
   // RulesOnly mirrors `pypmc rewrite`'s RuleSet::addLibrary default:
   // match-only patterns are not part of the rewrite rule set.
-  std::string Bytes = plan::serializePlan(*Lib, Sig, /*RulesOnly=*/true, Diags);
+  std::string Bytes = plan::serializePlan(*Lib, Sig, /*RulesOnly=*/true, Diags,
+                                          Prof.get());
   std::fprintf(stderr, "%s", Diags.renderAll().c_str());
   if (Bytes.empty())
     return 1;
@@ -190,10 +213,10 @@ int cmdCompilePlan(int Argc, char **Argv) {
   }
   plan::ProgramInfo Info = LP->Prog.info();
   std::printf("wrote %s: %zu bytes, %zu entr%s, %zu instruction(s), "
-              "%zu tree node(s)\n",
+              "%zu tree node(s)%s\n",
               Out, Bytes.size(), LP->Prog.Entries.size(),
               LP->Prog.Entries.size() == 1 ? "y" : "ies", Info.Instrs,
-              Info.TreeNodes);
+              Info.TreeNodes, LP->Prof ? ", profile-ordered" : "");
   if (EmitPlan)
     std::printf("%s", LP->Prog.disassemble(CheckSig).c_str());
   return 0;
@@ -353,6 +376,7 @@ int exitCodeFor(const EngineStatus &S) {
 
 int cmdRewrite(int Argc, char **Argv) {
   const char *Patterns = nullptr, *GraphPath = nullptr, *Out = nullptr;
+  const char *ProfileOut = nullptr;
   unsigned Threads = 0;
   double BudgetMs = 0;
   uint64_t MaxSteps = 0;
@@ -361,6 +385,8 @@ int cmdRewrite(int Argc, char **Argv) {
   for (int I = 0; I != Argc; ++I) {
     if (std::strcmp(Argv[I], "-o") == 0 && I + 1 != Argc)
       Out = Argv[++I];
+    else if (std::strncmp(Argv[I], "--profile-out=", 14) == 0)
+      ProfileOut = Argv[I] + 14;
     else if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 != Argc)
       Threads = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
     else if (std::strcmp(Argv[I], "--budget-ms") == 0 && I + 1 != Argc)
@@ -418,6 +444,10 @@ int cmdRewrite(int Argc, char **Argv) {
       OwnRules.addLibrary(*Lib);
     }
   }
+  // Recording a profile only makes sense against the plan matcher; the
+  // flag implies it rather than silently recording nothing.
+  if (ProfileOut && !Matcher)
+    Matcher = rewrite::MatcherKind::Plan;
   const rewrite::RuleSet &Rules = LP ? LP->Rules : OwnRules;
 
   std::unique_ptr<graph::Graph> G = loadGraph(GraphPath, Sig);
@@ -446,6 +476,13 @@ int cmdRewrite(int Argc, char **Argv) {
   if (EmitPlan)
     std::fprintf(stderr, "%s", Plan->disassemble(Sig).c_str());
 
+  // --profile-out: record committed-order traversal/attempt counters into
+  // an empty profile (it binds to whatever plan the run uses) and write
+  // the hardened .pypmprof artifact after the run.
+  plan::Profile RecordedProf;
+  if (ProfileOut)
+    Opts.PlanProfile = &RecordedProf;
+
   BudgetLimits Limits;
   Limits.DeadlineSeconds = BudgetMs / 1e3;
   Limits.MaxTotalSteps = MaxSteps;
@@ -461,6 +498,28 @@ int cmdRewrite(int Argc, char **Argv) {
   std::signal(SIGINT, SIG_DFL);
   double After = CM.graphCost(*G).Seconds;
   std::fprintf(stderr, "%s", Diags.renderAll().c_str());
+
+  if (ProfileOut) {
+    if (RecordedProf.empty()) {
+      std::fprintf(stderr,
+                   "pypmc: no profile recorded (plan matcher not active, or "
+                   "the run halted before the plan was used); not writing "
+                   "'%s'\n",
+                   ProfileOut);
+      return 1;
+    }
+    std::string ProfBytes = plan::serializeProfile(RecordedProf);
+    std::ofstream ProfFile(ProfileOut, std::ios::binary);
+    if (!ProfFile ||
+        !ProfFile.write(ProfBytes.data(),
+                        static_cast<std::streamsize>(ProfBytes.size()))) {
+      std::fprintf(stderr, "pypmc: cannot write '%s'\n", ProfileOut);
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s: %zu bytes, %llu traversal(s)\n",
+                 ProfileOut, ProfBytes.size(),
+                 static_cast<unsigned long long>(RecordedProf.Traversals));
+  }
   std::fprintf(stderr, "%s\nsimulated time: %.3fms -> %.3fms (%.3fx)\n",
                Stats.summary().c_str(), Before * 1e3, After * 1e3,
                Before / After);
