@@ -1,0 +1,731 @@
+//===- analysis/Analysis.cpp - Static rule-set linter ------------------------===//
+
+#include "analysis/Analysis.h"
+
+#include "analysis/GuardSolver.h"
+#include "analysis/Skeleton.h"
+#include "graph/ShapeInference.h"
+#include "sim/CostModel.h"
+#include "support/Hash.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <unordered_set>
+
+using namespace pypm;
+using namespace pypm::analysis;
+using namespace pypm::pattern;
+using rewrite::RewriteEntry;
+using rewrite::RuleSet;
+
+//===----------------------------------------------------------------------===//
+// Finding / LintReport plumbing
+//===----------------------------------------------------------------------===//
+
+std::string Finding::render() const {
+  Diagnostic D{Sev, Loc, Code, Message};
+  return D.render();
+}
+
+bool LintReport::hasCode(std::string_view Code) const {
+  return countCode(Code) != 0;
+}
+
+unsigned LintReport::countCode(std::string_view Code) const {
+  unsigned N = 0;
+  for (const Finding &F : Findings)
+    N += F.Code == Code;
+  return N;
+}
+
+std::string LintReport::renderAll() const {
+  std::string Out;
+  for (const Finding &F : Findings) {
+    Out += F.render();
+    Out += '\n';
+  }
+  Out += std::to_string(Errors) + " error(s), " + std::to_string(Warnings) +
+         " warning(s), " + std::to_string(Notes) + " note(s)\n";
+  return Out;
+}
+
+static void appendJsonString(std::string &Out, std::string_view S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+static std::string_view severityName(Severity S) {
+  switch (S) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  return "note";
+}
+
+std::string LintReport::json() const {
+  std::string Out = "{\"findings\":[";
+  for (size_t I = 0; I != Findings.size(); ++I) {
+    const Finding &F = Findings[I];
+    if (I)
+      Out += ',';
+    Out += "{\"severity\":";
+    appendJsonString(Out, severityName(F.Sev));
+    Out += ",\"code\":";
+    appendJsonString(Out, F.Code);
+    Out += ",\"line\":" + std::to_string(F.Loc.Line);
+    Out += ",\"col\":" + std::to_string(F.Loc.Col);
+    Out += ",\"pattern\":";
+    appendJsonString(Out, F.PatternName);
+    Out += ",\"rule\":";
+    appendJsonString(Out, F.RuleName);
+    Out += ",\"alternate\":" + std::to_string(F.Alternate);
+    Out += ",\"message\":";
+    appendJsonString(Out, F.Message);
+    Out += '}';
+  }
+  Out += "],\"errors\":" + std::to_string(Errors) +
+         ",\"warnings\":" + std::to_string(Warnings) +
+         ",\"notes\":" + std::to_string(Notes) + "}";
+  return Out;
+}
+
+void LintReport::toDiagnostics(DiagnosticEngine &DE) const {
+  for (const Finding &F : Findings)
+    DE.report(F.Sev, F.Loc, F.Code, F.Message);
+}
+
+//===----------------------------------------------------------------------===//
+// Lint context
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct EntryInfo {
+  const RewriteEntry *E = nullptr;
+  std::vector<AltShape> Alts;
+  /// Variables bound by every successful match (intersection over
+  /// alternates — computed on the full pattern, μ included).
+  std::unordered_set<Symbol> Bound;
+  /// First rule that provably fires on every match (unconditional or
+  /// vacuous guard, RHS over guaranteed-bound variables); null if none.
+  const RewriteRule *AlwaysFires = nullptr;
+};
+
+class Linter {
+public:
+  Linter(const term::Signature &Sig, const LintOptions &Opts)
+      : Sig(Sig), Opts(Opts) {}
+
+  LintReport run(const RuleSet &RS) {
+    for (const RewriteEntry &E : RS.entries())
+      Entries.push_back(analyzeEntry(E));
+    checkEntryShadowing();
+    checkRewriteCycles();
+    checkOpaqueRhsOps();
+    return std::move(Report);
+  }
+
+private:
+  const term::Signature &Sig;
+  const LintOptions &Opts;
+  SkelArena Arena;
+  LintReport Report;
+  std::vector<EntryInfo> Entries;
+  std::unordered_set<uint64_t> Seen; // finding dedup fingerprints
+
+  void add(Severity Sev, std::string Code, SourceLoc Loc,
+           std::string PatternName, std::string RuleName, int Alternate,
+           std::string Message) {
+    Fnv1aHash H;
+    H.str(Code);
+    H.str(PatternName);
+    H.str(RuleName);
+    H.u32(static_cast<uint32_t>(Alternate + 1));
+    H.str(Message);
+    if (!Seen.insert(H.value()).second)
+      return;
+    switch (Sev) {
+    case Severity::Error:
+      ++Report.Errors;
+      break;
+    case Severity::Warning:
+      ++Report.Warnings;
+      break;
+    case Severity::Note:
+      ++Report.Notes;
+      break;
+    }
+    Report.Findings.push_back(Finding{Sev, std::move(Code), Loc,
+                                      std::move(PatternName),
+                                      std::move(RuleName), Alternate,
+                                      std::move(Message)});
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Per-entry analyses
+  //===--------------------------------------------------------------------===//
+
+  EntryInfo analyzeEntry(const RewriteEntry &E) {
+    EntryInfo Info;
+    Info.E = &E;
+    const NamedPattern &NP = *E.Pattern;
+    std::string PName(NP.Name.str());
+
+    Info.Alts = extractAlternates(NP, Arena);
+    Info.Bound = guaranteedBound(NP.Pat);
+
+    checkDeadAlternates(PName, Info);
+    checkGuards(PName, Info);
+    checkMuProductivity(PName, NP);
+    checkRules(PName, NP, E, Info);
+    return Info;
+  }
+
+  void checkDeadAlternates(const std::string &PName, const EntryInfo &Info) {
+    const std::vector<AltShape> &Alts = Info.Alts;
+    for (size_t J = 1; J < Alts.size(); ++J) {
+      for (size_t I = 0; I < J; ++I) {
+        if (!Alts[I].exact())
+          continue;
+        bool Covered = !Alts[J].Disj.empty();
+        for (const Skel *S : Alts[J].Disj) {
+          bool Sub = false;
+          for (const Skel *T : Alts[I].Disj)
+            Sub = Sub || subsumes(T, S);
+          Covered = Covered && Sub;
+        }
+        if (Covered) {
+          add(Severity::Warning, "analysis.unreachable-alternate",
+              Alts[J].Loc, PName, {}, static_cast<int>(J),
+              "alternate " + std::to_string(J + 1) + " of pattern '" + PName +
+                  "' is unreachable: alternate " + std::to_string(I + 1) +
+                  " matches every term it matches and is tried first");
+          break;
+        }
+      }
+    }
+  }
+
+  /// Guards on the wrapper spine of an alternate hold conjointly on any
+  /// successful match through it; check the conjunction, then every deeper
+  /// guard individually.
+  void checkGuards(const std::string &PName, const EntryInfo &Info) {
+    for (size_t I = 0; I != Info.Alts.size(); ++I) {
+      const AltShape &Alt = Info.Alts[I];
+      std::vector<const GuardExpr *> Spine;
+      const Pattern *P = Alt.Pat;
+      for (bool Walk = true; Walk && P;) {
+        switch (P->kind()) {
+        case PatternKind::Guarded:
+          Spine.push_back(cast<GuardedPattern>(P)->guard());
+          P = cast<GuardedPattern>(P)->sub();
+          break;
+        case PatternKind::Exists:
+          P = cast<ExistsPattern>(P)->sub();
+          break;
+        case PatternKind::ExistsFun:
+          P = cast<ExistsFunPattern>(P)->sub();
+          break;
+        case PatternKind::MatchConstraint:
+          P = cast<MatchConstraintPattern>(P)->sub();
+          break;
+        default:
+          Walk = false;
+          break;
+        }
+      }
+      int AltIdx = static_cast<int>(I);
+      GuardVerdict V = analyzeConjunction(Spine);
+      if (V.Unsatisfiable)
+        add(Severity::Error, "analysis.unsat-guard", Alt.Loc, PName, {},
+            AltIdx,
+            "the guards of alternate " + std::to_string(I + 1) +
+                " of pattern '" + PName +
+                "' are contradictory: no term can ever match it");
+      else if (V.Vacuous)
+        add(Severity::Warning, "analysis.vacuous-guard", Alt.Loc, PName, {},
+            AltIdx,
+            "the guards of alternate " + std::to_string(I + 1) +
+                " of pattern '" + PName + "' are always true");
+
+      // Deeper guards (inside applications, constraints, inner alternates):
+      // each must at least be individually satisfiable.
+      std::unordered_set<const GuardExpr *> InSpine(Spine.begin(),
+                                                    Spine.end());
+      std::unordered_set<const Pattern *> Visited;
+      std::function<void(const Pattern *)> Deep = [&](const Pattern *Q) {
+        if (!Q || !Visited.insert(Q).second)
+          return;
+        switch (Q->kind()) {
+        case PatternKind::Guarded: {
+          const auto *G = cast<GuardedPattern>(Q);
+          if (!InSpine.count(G->guard())) {
+            GuardVerdict GV = analyzeGuard(G->guard());
+            if (GV.Unsatisfiable)
+              add(Severity::Error, "analysis.unsat-guard", Alt.Loc, PName, {},
+                  AltIdx,
+                  "a guard inside alternate " + std::to_string(I + 1) +
+                      " of pattern '" + PName +
+                      "' is contradictory: guard(" + G->guard()->toString() +
+                      ") can never be true");
+            else if (GV.Vacuous)
+              add(Severity::Warning, "analysis.vacuous-guard", Alt.Loc, PName,
+                  {}, AltIdx,
+                  "a guard inside alternate " + std::to_string(I + 1) +
+                      " of pattern '" + PName + "' is always true: guard(" +
+                      G->guard()->toString() + ")");
+          }
+          Deep(G->sub());
+          return;
+        }
+        case PatternKind::App:
+          for (const Pattern *C : cast<AppPattern>(Q)->children())
+            Deep(C);
+          return;
+        case PatternKind::FunVarApp:
+          for (const Pattern *C : cast<FunVarAppPattern>(Q)->children())
+            Deep(C);
+          return;
+        case PatternKind::Alt:
+          Deep(cast<AltPattern>(Q)->left());
+          Deep(cast<AltPattern>(Q)->right());
+          return;
+        case PatternKind::Exists:
+          Deep(cast<ExistsPattern>(Q)->sub());
+          return;
+        case PatternKind::ExistsFun:
+          Deep(cast<ExistsFunPattern>(Q)->sub());
+          return;
+        case PatternKind::MatchConstraint:
+          Deep(cast<MatchConstraintPattern>(Q)->sub());
+          Deep(cast<MatchConstraintPattern>(Q)->constraint());
+          return;
+        case PatternKind::Mu:
+          Deep(cast<MuPattern>(Q)->body());
+          return;
+        case PatternKind::Var:
+        case PatternKind::RecCall:
+          return;
+        }
+      };
+      Deep(Alt.Pat);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // μ-recursion productivity
+  //===--------------------------------------------------------------------===//
+
+  /// A recursive occurrence is productive iff the term it re-matches is a
+  /// strict subterm of the μ's subject — i.e. the occurrence sits under at
+  /// least one operator consumption. We track, along each alternate path,
+  /// which variables alias the subject (bound at the same position) and
+  /// flag recursive calls whose own position still aliases the subject.
+  void checkMuProductivity(const std::string &PName, const NamedPattern &NP) {
+    if (!NP.Pat)
+      return;
+    std::unordered_set<const Pattern *> Visited;
+    std::function<void(const Pattern *)> FindMus = [&](const Pattern *P) {
+      if (!P || !Visited.insert(P).second)
+        return;
+      switch (P->kind()) {
+      case PatternKind::Mu: {
+        const auto *Mu = cast<MuPattern>(P);
+        checkOneMu(PName, NP, Mu);
+        FindMus(Mu->body());
+        return;
+      }
+      case PatternKind::App:
+        for (const Pattern *C : cast<AppPattern>(P)->children())
+          FindMus(C);
+        return;
+      case PatternKind::FunVarApp:
+        for (const Pattern *C : cast<FunVarAppPattern>(P)->children())
+          FindMus(C);
+        return;
+      case PatternKind::Alt:
+        FindMus(cast<AltPattern>(P)->left());
+        FindMus(cast<AltPattern>(P)->right());
+        return;
+      case PatternKind::Guarded:
+        FindMus(cast<GuardedPattern>(P)->sub());
+        return;
+      case PatternKind::Exists:
+        FindMus(cast<ExistsPattern>(P)->sub());
+        return;
+      case PatternKind::ExistsFun:
+        FindMus(cast<ExistsFunPattern>(P)->sub());
+        return;
+      case PatternKind::MatchConstraint:
+        FindMus(cast<MatchConstraintPattern>(P)->sub());
+        FindMus(cast<MatchConstraintPattern>(P)->constraint());
+        return;
+      case PatternKind::Var:
+      case PatternKind::RecCall:
+        return;
+      }
+    };
+    FindMus(NP.Pat);
+  }
+
+  void checkOneMu(const std::string &PName, const NamedPattern &NP,
+                  const MuPattern *Mu) {
+    bool Reported = false;
+    std::unordered_set<Symbol> Aliases;
+    std::function<void(const Pattern *, bool)> Walk = [&](const Pattern *P,
+                                                          bool SamePos) {
+      if (!P || Reported)
+        return;
+      switch (P->kind()) {
+      case PatternKind::Var:
+        if (SamePos)
+          Aliases.insert(cast<VarPattern>(P)->name());
+        return;
+      case PatternKind::App:
+        for (const Pattern *C : cast<AppPattern>(P)->children())
+          Walk(C, /*SamePos=*/false); // an operator was consumed
+        return;
+      case PatternKind::FunVarApp:
+        for (const Pattern *C : cast<FunVarAppPattern>(P)->children())
+          Walk(C, /*SamePos=*/false);
+        return;
+      case PatternKind::Alt: {
+        // Branches diverge: aliases discovered inside one branch must not
+        // leak into the other (or past the alternate).
+        std::unordered_set<Symbol> Snapshot = Aliases;
+        Walk(cast<AltPattern>(P)->left(), SamePos);
+        Aliases = Snapshot;
+        Walk(cast<AltPattern>(P)->right(), SamePos);
+        Aliases = std::move(Snapshot);
+        return;
+      }
+      case PatternKind::Guarded:
+        Walk(cast<GuardedPattern>(P)->sub(), SamePos);
+        return;
+      case PatternKind::Exists:
+        Walk(cast<ExistsPattern>(P)->sub(), SamePos);
+        return;
+      case PatternKind::ExistsFun:
+        Walk(cast<ExistsFunPattern>(P)->sub(), SamePos);
+        return;
+      case PatternKind::MatchConstraint: {
+        const auto *M = cast<MatchConstraintPattern>(P);
+        Walk(M->sub(), SamePos);
+        // The constraint re-matches the term bound to M->var(): it is at
+        // the subject's position exactly when that variable aliases it.
+        Walk(M->constraint(), Aliases.count(M->var()) != 0);
+        return;
+      }
+      case PatternKind::Mu: {
+        const auto *Inner = cast<MuPattern>(P);
+        if (Inner->self() == Mu->self())
+          return; // inner binder shadows; its own check runs separately
+        // Unfolding matches the body at the same position.
+        Walk(Inner->body(), SamePos);
+        return;
+      }
+      case PatternKind::RecCall:
+        if (cast<RecCallPattern>(P)->self() == Mu->self() && SamePos &&
+            !Reported) {
+          Reported = true;
+          add(Severity::Error, "analysis.unproductive-mu", NP.Loc, PName, {},
+              -1,
+              "recursive pattern '" + std::string(Mu->self().str()) +
+                  "' (in pattern '" + PName +
+                  "') has a recursive occurrence that can re-match its "
+                  "entire subject without consuming an operator: unfolding "
+                  "need not terminate");
+        }
+        return;
+      }
+    };
+    Walk(Mu->body(), /*SamePos=*/true);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Rule-level analyses
+  //===--------------------------------------------------------------------===//
+
+  void checkRules(const std::string &PName, const NamedPattern &NP,
+                  const RewriteEntry &E, EntryInfo &Info) {
+    for (const RewriteRule *R : E.Rules) {
+      if (!R)
+        continue;
+      std::string RName(R->Name.str());
+      bool GuardAlwaysTrue = R->Guard == nullptr;
+      if (R->Guard) {
+        GuardVerdict V = analyzeGuard(R->Guard);
+        if (V.Unsatisfiable)
+          add(Severity::Error, "analysis.unsat-guard", R->Loc, PName, RName,
+              -1,
+              "the guard of rule '" + RName +
+                  "' (pattern '" + PName +
+                  "') is contradictory: the rule can never fire");
+        else if (V.Vacuous) {
+          GuardAlwaysTrue = true;
+          add(Severity::Warning, "analysis.vacuous-guard", R->Loc, PName,
+              RName, -1,
+              "the guard of rule '" + RName + "' (pattern '" + PName +
+                  "') is always true");
+        }
+      }
+      if (Info.AlwaysFires) {
+        add(Severity::Warning, "analysis.shadowed-rule", R->Loc, PName, RName,
+            -1,
+            "rule '" + RName + "' (pattern '" + PName +
+                "') can never fire: earlier rule '" +
+                std::string(Info.AlwaysFires->Name.str()) +
+                "' always fires on every match of the pattern");
+        continue;
+      }
+      if (GuardAlwaysTrue && R->Rhs) {
+        std::unordered_set<Symbol> Used;
+        rhsVariables(R->Rhs, Used);
+        bool AllBound = true;
+        for (Symbol S : Used)
+          AllBound = AllBound && Info.Bound.count(S) != 0;
+        if (AllBound)
+          Info.AlwaysFires = R;
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Cross-entry shadowing (committed order)
+  //===--------------------------------------------------------------------===//
+
+  void checkEntryShadowing() {
+    for (size_t I = 0; I != Entries.size(); ++I) {
+      const EntryInfo &A = Entries[I];
+      if (!A.AlwaysFires)
+        continue;
+      // Pool the skeletons of A's exact alternates: its provable coverage.
+      std::vector<const Skel *> Cover;
+      for (const AltShape &Alt : A.Alts)
+        if (Alt.exact())
+          Cover.insert(Cover.end(), Alt.Disj.begin(), Alt.Disj.end());
+      if (Cover.empty())
+        continue;
+      for (size_t J = I + 1; J != Entries.size(); ++J) {
+        const EntryInfo &B = Entries[J];
+        if (B.E->Rules.empty() || B.Alts.empty())
+          continue;
+        bool Subsumed = true;
+        for (const AltShape &Alt : B.Alts)
+          for (const Skel *S : Alt.Disj) {
+            bool Sub = false;
+            for (const Skel *T : Cover)
+              Sub = Sub || subsumes(T, S);
+            Subsumed = Subsumed && Sub;
+          }
+        if (!Subsumed)
+          continue;
+        std::string AName(A.E->Pattern->Name.str());
+        std::string BName(B.E->Pattern->Name.str());
+        for (const RewriteRule *R : B.E->Rules)
+          add(Severity::Warning, "analysis.shadowed-rule",
+              R ? R->Loc : B.E->Pattern->Loc, BName,
+              R ? std::string(R->Name.str()) : std::string(), -1,
+              "rule '" + (R ? std::string(R->Name.str()) : BName) +
+                  "' (pattern '" + BName +
+                  "') is shadowed: every term pattern '" + BName +
+                  "' matches is matched first by pattern '" + AName +
+                  "', whose rule '" +
+                  std::string(A.AlwaysFires->Name.str()) + "' always fires");
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Rewrite-cycle detection
+  //===--------------------------------------------------------------------===//
+
+  void checkRewriteCycles() {
+    struct RuleNode {
+      const RewriteRule *R;
+      size_t Entry;
+      const Skel *Rhs;
+    };
+    std::vector<RuleNode> Nodes;
+    for (size_t I = 0; I != Entries.size(); ++I)
+      for (const RewriteRule *R : Entries[I].E->Rules)
+        if (R && R->Rhs)
+          Nodes.push_back({R, I, rhsSkeleton(R->Rhs, Arena)});
+
+    // Per-entry LHS coverage (over-approximate union of every alternate).
+    std::vector<std::vector<const Skel *>> Lhs(Entries.size());
+    for (size_t I = 0; I != Entries.size(); ++I)
+      for (const AltShape &Alt : Entries[I].Alts)
+        Lhs[I].insert(Lhs[I].end(), Alt.Disj.begin(), Alt.Disj.end());
+
+    // Edge u → v: the term u's RHS builds may match v's pattern again. A
+    // bare-variable RHS (`return x;` — shrinking rewrites) can be anything,
+    // but it strictly shrinks the term, so it cannot drive an infinite
+    // rewrite chain by itself; skip Any RHS roots to avoid flooding.
+    size_t N = Nodes.size();
+    std::vector<std::vector<uint32_t>> Adj(N);
+    for (size_t U = 0; U != N; ++U) {
+      if (Nodes[U].Rhs->Kind == Skel::K::Any)
+        continue;
+      for (size_t V = 0; V != N; ++V) {
+        bool Hits = false;
+        for (const Skel *L : Lhs[Nodes[V].Entry])
+          Hits = Hits || mayUnify(Nodes[U].Rhs, L);
+        if (Hits)
+          Adj[U].push_back(static_cast<uint32_t>(V));
+      }
+    }
+
+    // Tarjan SCC (recursive; rule counts are small).
+    std::vector<int> Index(N, -1), Low(N, 0);
+    std::vector<bool> OnStack(N, false);
+    std::vector<uint32_t> Stack;
+    int Next = 0;
+    std::function<void(uint32_t)> Strong = [&](uint32_t U) {
+      Index[U] = Low[U] = Next++;
+      Stack.push_back(U);
+      OnStack[U] = true;
+      for (uint32_t V : Adj[U]) {
+        if (Index[V] < 0) {
+          Strong(V);
+          Low[U] = std::min(Low[U], Low[V]);
+        } else if (OnStack[V]) {
+          Low[U] = std::min(Low[U], Index[V]);
+        }
+      }
+      if (Low[U] != Index[U])
+        return;
+      std::vector<uint32_t> Comp;
+      for (;;) {
+        uint32_t V = Stack.back();
+        Stack.pop_back();
+        OnStack[V] = false;
+        Comp.push_back(V);
+        if (V == U)
+          break;
+      }
+      bool SelfLoop =
+          Comp.size() == 1 &&
+          std::find(Adj[Comp[0]].begin(), Adj[Comp[0]].end(), Comp[0]) !=
+              Adj[Comp[0]].end();
+      if (Comp.size() < 2 && !SelfLoop)
+        return;
+      std::sort(Comp.begin(), Comp.end()); // report in committed order
+      std::string Names;
+      for (uint32_t V : Comp) {
+        if (!Names.empty())
+          Names += "' -> '";
+        Names += std::string(Nodes[V].R->Name.str());
+      }
+      const RuleNode &First = Nodes[Comp.front()];
+      std::string Msg =
+          Comp.size() == 1
+              ? "rule '" + Names +
+                    "' can rewrite its own result indefinitely (the "
+                    "replacement shape unifies with the rule's own pattern)"
+              : "rules '" + Names +
+                    "' can rewrite each other's results indefinitely "
+                    "(replacement shapes unify with the cycle's patterns)";
+      add(Severity::Warning, "analysis.rewrite-cycle", First.R->Loc,
+          std::string(Entries[First.Entry].E->Pattern->Name.str()),
+          std::string(First.R->Name.str()), -1,
+          Msg + "; termination relies on the engine's pass/rewrite caps");
+    };
+    for (uint32_t U = 0; U != N; ++U)
+      if (Index[U] < 0)
+        Strong(U);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Opaque RHS operators
+  //===--------------------------------------------------------------------===//
+
+  void checkOpaqueRhsOps() {
+    if (!Opts.Shapes && !Opts.CostModelNotes)
+      return;
+    std::unordered_set<Symbol> Reported;
+    for (const EntryInfo &Info : Entries)
+      for (const RewriteRule *R : Info.E->Rules) {
+        if (!R || !R->Rhs)
+          continue;
+        std::function<void(const RhsExpr *)> Walk = [&](const RhsExpr *Rhs) {
+          if (Rhs->kind() == RhsKind::App) {
+            term::OpId Op = Rhs->op();
+            Symbol Name = Sig.name(Op);
+            if (Reported.insert(Name).second) {
+              Symbol Cls = Sig.opClass(Op);
+              std::string_view ClsStr =
+                  Cls.isValid() ? Cls.str() : std::string_view();
+              if (Opts.Shapes && !Opts.Shapes->hasRule(Name))
+                add(Severity::Note, "analysis.opaque-rhs-op", R->Loc,
+                    std::string(R->PatternName.str()),
+                    std::string(R->Name.str()), -1,
+                    "rule '" + std::string(R->Name.str()) +
+                        "' introduces operator '" + std::string(Name.str()) +
+                        "' with no shape-inference rule: replacement nodes "
+                        "will be typed by the first-input fallback");
+              if (Opts.CostModelNotes &&
+                  !sim::CostModel::hasSpecializedCost(Name.str(), ClsStr))
+                add(Severity::Note, "analysis.generic-cost", R->Loc,
+                    std::string(R->PatternName.str()),
+                    std::string(R->Name.str()), -1,
+                    "rule '" + std::string(R->Name.str()) +
+                        "' introduces operator '" + std::string(Name.str()) +
+                        "' priced by the generic cost-model fallback");
+            }
+          }
+          for (const RhsExpr *C : Rhs->children())
+            Walk(C);
+        };
+        Walk(R->Rhs);
+      }
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+LintReport analysis::lintRuleSet(const RuleSet &RS, const term::Signature &Sig,
+                                 const LintOptions &Opts) {
+  return Linter(Sig, Opts).run(RS);
+}
+
+LintReport analysis::lintLibrary(const Library &Lib,
+                                 const term::Signature &Sig,
+                                 const LintOptions &Opts) {
+  RuleSet RS;
+  RS.addLibrary(Lib, /*RulesOnly=*/false);
+  return Linter(Sig, Opts).run(RS);
+}

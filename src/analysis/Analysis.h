@@ -1,0 +1,103 @@
+//===- analysis/Analysis.h - Static rule-set linter -------------*- C++ -*-===//
+///
+/// \file
+/// pypm::analysis — static analysis over compiled CorePyPM rule sets,
+/// producing structured, severity-ranked findings *before any match runs*:
+///
+///   analysis.shadowed-rule        W  a rule can never fire because an
+///                                    earlier rule (in committed order)
+///                                    always fires on a superset of terms
+///   analysis.unreachable-alternate W an alternate is subsumed by an
+///                                    earlier alternate of the same pattern
+///   analysis.unsat-guard          E  a guard (or one rule path's guard
+///                                    conjunction) is provably never true
+///   analysis.vacuous-guard        W  a guard is provably always true
+///   analysis.unproductive-mu      E  a μ-body recursive occurrence not
+///                                    guarded by operator consumption — a
+///                                    non-terminating unfold
+///   analysis.rewrite-cycle        W  rules whose RHSes re-produce each
+///                                    other's LHS shapes (SCC in the
+///                                    RHS-unifies-with-LHS digraph)
+///   analysis.opaque-rhs-op        N  an RHS operator no ShapeInference
+///                                    rule covers (typed by the opaque
+///                                    fallback)
+///   analysis.generic-cost         N  an RHS operator the cost model
+///                                    prices with the generic fallback
+///
+/// Error-severity findings are facts (the conservative analyses only
+/// report what they can prove); warnings can over-report in the documented
+/// heuristic corners. Consumed three ways: `pypmc lint`, the
+/// RewriteOptions::Lint engine preflight, and the CI lint leg.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_ANALYSIS_ANALYSIS_H
+#define PYPM_ANALYSIS_ANALYSIS_H
+
+#include "rewrite/Rule.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pypm::graph {
+class ShapeInference;
+} // namespace pypm::graph
+
+namespace pypm::analysis {
+
+struct Finding {
+  Severity Sev = Severity::Warning;
+  std::string Code;        ///< e.g. "analysis.shadowed-rule"
+  SourceLoc Loc;           ///< DSL location when the library carries one
+  std::string PatternName; ///< empty when not pattern-scoped
+  std::string RuleName;    ///< empty when not rule-scoped
+  int Alternate = -1;      ///< 0-based top-level alternate index, or -1
+  std::string Message;
+
+  /// "<line>:<col>: warning[analysis.x]: message" (location omitted when
+  /// unknown — builder-API rule sets fall back to the names in Message).
+  std::string render() const;
+};
+
+struct LintOptions {
+  /// When set, RHS operators without a dedicated inference rule are
+  /// reported as analysis.opaque-rhs-op notes.
+  const graph::ShapeInference *Shapes = nullptr;
+  /// Also report RHS operators the analytic cost model prices generically
+  /// (analysis.generic-cost notes).
+  bool CostModelNotes = false;
+};
+
+struct LintReport {
+  std::vector<Finding> Findings;
+  unsigned Errors = 0, Warnings = 0, Notes = 0;
+
+  bool clean() const { return Errors == 0; }
+  bool hasCode(std::string_view Code) const;
+  unsigned countCode(std::string_view Code) const;
+
+  /// One rendered finding per line, followed by a summary line.
+  std::string renderAll() const;
+  /// {"findings":[...],"errors":N,"warnings":N,"notes":N}
+  std::string json() const;
+  /// Forwards every finding into \p DE with its code (the engine preflight
+  /// path; Sema-style rendering falls out of Diagnostic::render).
+  void toDiagnostics(DiagnosticEngine &DE) const;
+};
+
+/// Lints a rule set in committed order — the exact order the engine would
+/// try patterns and rules.
+LintReport lintRuleSet(const rewrite::RuleSet &RS, const term::Signature &Sig,
+                       const LintOptions &Opts = {});
+
+/// Lints a whole compiled library: every pattern (match-only ones too) gets
+/// the per-pattern analyses; ordering/cycle analyses run over the
+/// rule-bearing entries in definition order.
+LintReport lintLibrary(const pattern::Library &Lib, const term::Signature &Sig,
+                       const LintOptions &Opts = {});
+
+} // namespace pypm::analysis
+
+#endif // PYPM_ANALYSIS_ANALYSIS_H

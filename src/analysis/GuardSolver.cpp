@@ -1,0 +1,425 @@
+//===- analysis/GuardSolver.cpp - Guard satisfiability analysis --------------===//
+
+#include "analysis/GuardSolver.h"
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+using namespace pypm;
+using namespace pypm::analysis;
+using namespace pypm::pattern;
+
+namespace {
+
+constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+
+int64_t satAdd(int64_t A, int64_t B) {
+  __int128 R = static_cast<__int128>(A) + B;
+  if (R > kMax)
+    return kMax;
+  if (R < kMin)
+    return kMin;
+  return static_cast<int64_t>(R);
+}
+int64_t satSub(int64_t A, int64_t B) {
+  __int128 R = static_cast<__int128>(A) - B;
+  if (R > kMax)
+    return kMax;
+  if (R < kMin)
+    return kMin;
+  return static_cast<int64_t>(R);
+}
+int64_t satMul(int64_t A, int64_t B) {
+  __int128 R = static_cast<__int128>(A) * B;
+  if (R > kMax)
+    return kMax;
+  if (R < kMin)
+    return kMin;
+  return static_cast<int64_t>(R);
+}
+
+/// Abstract value: an interval, or a symbolic operator / op-class identity.
+/// Symbolic values are integers at runtime (operator indices, class symbol
+/// ids), but the analysis never assumes *which* integers — only that two
+/// distinct names of the same kind denote distinct values.
+struct AbsVal {
+  int64_t Lo = kMin, Hi = kMax;
+  enum class SymK : uint8_t { None, Op, Class } Sym = SymK::None;
+  Symbol SymName;
+
+  bool isTop() const { return Lo == kMin && Hi == kMax && Sym == SymK::None; }
+  bool isConst() const { return Sym == SymK::None && Lo == Hi; }
+  bool isSymbolic() const { return Sym != SymK::None; }
+  bool empty() const { return Sym == SymK::None && Lo > Hi; }
+
+  static AbsVal top() { return {}; }
+  static AbsVal constant(int64_t V) {
+    AbsVal A;
+    A.Lo = A.Hi = V;
+    return A;
+  }
+  static AbsVal symbolic(SymK K, Symbol Name) {
+    AbsVal A;
+    A.Sym = K;
+    A.SymName = Name;
+    return A;
+  }
+};
+
+/// Key for one attribute term: (term-or-fun, variable, attribute).
+using AttrKey = std::tuple<bool, uint32_t, uint32_t>;
+
+AttrKey keyFor(const GuardExpr *G) {
+  return {G->kind() == GuardKind::FunAttr, G->varName().rawId(),
+          G->attrName().rawId()};
+}
+
+using Env = std::map<AttrKey, AbsVal>;
+
+AbsVal evalArith(const GuardExpr *G, const Env &E) {
+  switch (G->kind()) {
+  case GuardKind::IntLit:
+    return AbsVal::constant(G->intValue());
+  case GuardKind::Attr:
+  case GuardKind::FunAttr: {
+    auto It = E.find(keyFor(G));
+    return It == E.end() ? AbsVal::top() : It->second;
+  }
+  case GuardKind::OpClassRef:
+    return AbsVal::symbolic(AbsVal::SymK::Class, G->refName());
+  case GuardKind::OpRef:
+    return AbsVal::symbolic(AbsVal::SymK::Op, G->refName());
+  case GuardKind::Add:
+  case GuardKind::Sub:
+  case GuardKind::Mul:
+  case GuardKind::Div:
+  case GuardKind::Mod: {
+    AbsVal L = evalArith(G->lhs(), E);
+    AbsVal R = evalArith(G->rhs(), E);
+    if (L.isSymbolic() || R.isSymbolic() || L.empty() || R.empty())
+      return AbsVal::top(); // arithmetic over opaque identities: no info
+    switch (G->kind()) {
+    case GuardKind::Add:
+      return {satAdd(L.Lo, R.Lo), satAdd(L.Hi, R.Hi), AbsVal::SymK::None, {}};
+    case GuardKind::Sub:
+      return {satSub(L.Lo, R.Hi), satSub(L.Hi, R.Lo), AbsVal::SymK::None, {}};
+    case GuardKind::Mul:
+      if (L.isConst() && R.isConst())
+        return AbsVal::constant(satMul(L.Lo, R.Lo));
+      return AbsVal::top();
+    case GuardKind::Div:
+      if (L.isConst() && R.isConst() && R.Lo != 0 &&
+          !(L.Lo == kMin && R.Lo == -1))
+        return AbsVal::constant(L.Lo / R.Lo);
+      return AbsVal::top(); // div-by-zero sticks the guard; stay silent
+    case GuardKind::Mod:
+      if (L.isConst() && R.isConst() && R.Lo != 0 &&
+          !(L.Lo == kMin && R.Lo == -1))
+        return AbsVal::constant(L.Lo % R.Lo);
+      return AbsVal::top();
+    default:
+      return AbsVal::top();
+    }
+  }
+  default:
+    return AbsVal::top(); // boolean kind in arith position: malformed
+  }
+}
+
+/// Structural equality of two *total* arithmetic expressions (no Div/Mod,
+/// which can stick): e ⋈ e shortcuts rely on the expression denoting the
+/// same value on both sides whenever it denotes at all.
+bool isTotal(const GuardExpr *G) {
+  switch (G->kind()) {
+  case GuardKind::Div:
+  case GuardKind::Mod:
+    return false;
+  default:
+    break;
+  }
+  if (G->lhs() && !isTotal(G->lhs()))
+    return false;
+  if (G->rhs() && !isTotal(G->rhs()))
+    return false;
+  return true;
+}
+
+bool structEq(const GuardExpr *A, const GuardExpr *B) {
+  if (A == B)
+    return true;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case GuardKind::IntLit:
+    return A->intValue() == B->intValue();
+  case GuardKind::Attr:
+  case GuardKind::FunAttr:
+    return A->varName() == B->varName() && A->attrName() == B->attrName();
+  case GuardKind::OpClassRef:
+  case GuardKind::OpRef:
+    return A->refName() == B->refName();
+  default:
+    break;
+  }
+  if ((A->lhs() != nullptr) != (B->lhs() != nullptr) ||
+      (A->rhs() != nullptr) != (B->rhs() != nullptr))
+    return false;
+  if (A->lhs() && !structEq(A->lhs(), B->lhs()))
+    return false;
+  if (A->rhs() && !structEq(A->rhs(), B->rhs()))
+    return false;
+  return true;
+}
+
+Tri triNot(Tri T) {
+  if (T == Tri::True)
+    return Tri::False;
+  if (T == Tri::False)
+    return Tri::True;
+  return Tri::Unknown;
+}
+
+Tri evalBool(const GuardExpr *G, const Env &E) {
+  switch (G->kind()) {
+  case GuardKind::And: {
+    Tri L = evalBool(G->lhs(), E);
+    Tri R = evalBool(G->rhs(), E);
+    if (L == Tri::False || R == Tri::False)
+      return Tri::False;
+    if (L == Tri::True && R == Tri::True)
+      return Tri::True;
+    return Tri::Unknown;
+  }
+  case GuardKind::Or: {
+    Tri L = evalBool(G->lhs(), E);
+    Tri R = evalBool(G->rhs(), E);
+    if (L == Tri::True || R == Tri::True)
+      return Tri::True;
+    if (L == Tri::False && R == Tri::False)
+      return Tri::False;
+    return Tri::Unknown;
+  }
+  case GuardKind::Not:
+    return triNot(evalBool(G->lhs(), E));
+  case GuardKind::Eq:
+  case GuardKind::Ne:
+  case GuardKind::Lt:
+  case GuardKind::Le:
+  case GuardKind::Gt:
+  case GuardKind::Ge: {
+    const GuardExpr *L = G->lhs(), *R = G->rhs();
+    if (structEq(L, R) && isTotal(L)) {
+      switch (G->kind()) {
+      case GuardKind::Eq:
+      case GuardKind::Le:
+      case GuardKind::Ge:
+        return Tri::True;
+      default:
+        return Tri::False; // e ≠ e, e < e, e > e
+      }
+    }
+    AbsVal A = evalArith(L, E);
+    AbsVal B = evalArith(R, E);
+    if (A.empty() || B.empty())
+      return Tri::Unknown; // refuted env: conjunction already dead
+    if (A.isSymbolic() || B.isSymbolic()) {
+      // Two identities of the same kind compare by name; anything else
+      // (symbolic vs numeric, op vs class) could collide numerically.
+      if (A.isSymbolic() && B.isSymbolic() && A.Sym == B.Sym) {
+        bool Same = A.SymName == B.SymName;
+        if (G->kind() == GuardKind::Eq)
+          return Same ? Tri::True : Tri::False;
+        if (G->kind() == GuardKind::Ne)
+          return Same ? Tri::False : Tri::True;
+      }
+      return Tri::Unknown;
+    }
+    switch (G->kind()) {
+    case GuardKind::Eq:
+      if (A.Hi < B.Lo || B.Hi < A.Lo)
+        return Tri::False;
+      if (A.isConst() && B.isConst())
+        return Tri::True; // equal constants (disjointness ruled out above)
+      return Tri::Unknown;
+    case GuardKind::Ne:
+      if (A.Hi < B.Lo || B.Hi < A.Lo)
+        return Tri::True;
+      if (A.isConst() && B.isConst())
+        return Tri::False;
+      return Tri::Unknown;
+    case GuardKind::Lt:
+      if (A.Hi < B.Lo)
+        return Tri::True;
+      if (A.Lo >= B.Hi)
+        return Tri::False;
+      return Tri::Unknown;
+    case GuardKind::Le:
+      if (A.Hi <= B.Lo)
+        return Tri::True;
+      if (A.Lo > B.Hi)
+        return Tri::False;
+      return Tri::Unknown;
+    case GuardKind::Gt:
+      if (A.Lo > B.Hi)
+        return Tri::True;
+      if (A.Hi <= B.Lo)
+        return Tri::False;
+      return Tri::Unknown;
+    case GuardKind::Ge:
+      if (A.Lo >= B.Hi)
+        return Tri::True;
+      if (A.Hi < B.Lo)
+        return Tri::False;
+      return Tri::Unknown;
+    default:
+      return Tri::Unknown;
+    }
+  }
+  default:
+    return Tri::Unknown; // arith kind in bool position: malformed
+  }
+}
+
+void splitConj(const GuardExpr *G, std::vector<const GuardExpr *> &Out) {
+  if (G->kind() == GuardKind::And) {
+    splitConj(G->lhs(), Out);
+    splitConj(G->rhs(), Out);
+    return;
+  }
+  Out.push_back(G);
+}
+
+/// Narrows \p E with one comparison conjunct of shape `attr ⋈ e` or
+/// `e ⋈ attr`. Returns false on a contradiction (empty interval or
+/// clashing symbolic identity).
+bool narrowWith(const GuardExpr *Leaf, Env &E) {
+  GuardKind K = Leaf->kind();
+  if (K != GuardKind::Eq && K != GuardKind::Lt && K != GuardKind::Le &&
+      K != GuardKind::Gt && K != GuardKind::Ge)
+    return true; // Ne and non-comparisons don't narrow intervals
+
+  const GuardExpr *L = Leaf->lhs(), *R = Leaf->rhs();
+  auto isAttrTerm = [](const GuardExpr *G) {
+    return G->kind() == GuardKind::Attr || G->kind() == GuardKind::FunAttr;
+  };
+  // Normalize to attr ⋈ value, flipping the comparison when mirrored.
+  if (!isAttrTerm(L)) {
+    if (!isAttrTerm(R))
+      return true;
+    std::swap(L, R);
+    switch (K) {
+    case GuardKind::Lt:
+      K = GuardKind::Gt;
+      break;
+    case GuardKind::Le:
+      K = GuardKind::Ge;
+      break;
+    case GuardKind::Gt:
+      K = GuardKind::Lt;
+      break;
+    case GuardKind::Ge:
+      K = GuardKind::Le;
+      break;
+    default:
+      break;
+    }
+  }
+  AbsVal V = evalArith(R, E);
+  AbsVal &Cur = E[keyFor(L)];
+
+  if (V.isSymbolic()) {
+    if (K != GuardKind::Eq)
+      return true; // ordered comparisons on identities: no info
+    if (Cur.isSymbolic())
+      return Cur.Sym == V.Sym ? Cur.SymName == V.SymName : true;
+    if (!Cur.isTop())
+      return true; // mixed numeric/symbolic facts: stay conservative
+    Cur = V;
+    return true;
+  }
+  if (Cur.isSymbolic())
+    return true;
+
+  switch (K) {
+  case GuardKind::Eq:
+    if (!V.isConst())
+      return true;
+    Cur.Lo = std::max(Cur.Lo, V.Lo);
+    Cur.Hi = std::min(Cur.Hi, V.Lo);
+    break;
+  case GuardKind::Lt:
+    if (V.Hi == kMin)
+      return false; // attr < INT64_MIN is unsatisfiable outright
+    Cur.Hi = std::min(Cur.Hi, V.Hi - 1);
+    break;
+  case GuardKind::Le:
+    Cur.Hi = std::min(Cur.Hi, V.Hi);
+    break;
+  case GuardKind::Gt:
+    if (V.Lo == kMax)
+      return false;
+    Cur.Lo = std::max(Cur.Lo, V.Lo + 1);
+    break;
+  case GuardKind::Ge:
+    Cur.Lo = std::max(Cur.Lo, V.Lo);
+    break;
+  default:
+    break;
+  }
+  return !Cur.empty();
+}
+
+GuardVerdict analyzeLeaves(std::span<const GuardExpr *const> Conj) {
+  GuardVerdict V;
+  if (Conj.empty())
+    return V;
+
+  // Vacuity: every conjunct provably true under the *top* environment.
+  Env Top;
+  bool AllTrue = true;
+  for (const GuardExpr *G : Conj)
+    AllTrue = AllTrue && evalBool(G, Top) == Tri::True;
+  if (AllTrue) {
+    V.Vacuous = true;
+    return V;
+  }
+
+  // Unsatisfiability: narrow a shared environment with every comparison
+  // conjunct (two rounds, so `x.a == y.b`-style chains see later facts),
+  // then re-evaluate the whole conjunction under the narrowed environment.
+  Env E;
+  for (int Round = 0; Round != 2; ++Round)
+    for (const GuardExpr *G : Conj)
+      if (!narrowWith(G, E)) {
+        V.Unsatisfiable = true;
+        return V;
+      }
+  for (const GuardExpr *G : Conj)
+    if (evalBool(G, E) == Tri::False) {
+      V.Unsatisfiable = true;
+      return V;
+    }
+  return V;
+}
+
+} // namespace
+
+GuardVerdict analysis::analyzeGuard(const GuardExpr *G) {
+  if (!G || !isBoolKind(G->kind()))
+    return {};
+  std::vector<const GuardExpr *> Leaves;
+  splitConj(G, Leaves);
+  return analyzeLeaves(Leaves);
+}
+
+GuardVerdict
+analysis::analyzeConjunction(std::span<const GuardExpr *const> Conj) {
+  std::vector<const GuardExpr *> Leaves;
+  for (const GuardExpr *G : Conj)
+    if (G && isBoolKind(G->kind()))
+      splitConj(G, Leaves);
+  return analyzeLeaves(Leaves);
+}

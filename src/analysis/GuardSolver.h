@@ -1,0 +1,53 @@
+//===- analysis/GuardSolver.h - Guard satisfiability analysis ---*- C++ -*-===//
+///
+/// \file
+/// Constant folding and interval reasoning over pattern::GuardExpr for the
+/// rule-set linter: decides, conservatively, whether a guard (or a
+/// conjunction of guards accumulated along one match path) is *provably
+/// unsatisfiable* (never true — the guarded alternate or rule is dead) or
+/// *provably vacuous* (true under every environment — the guard is noise).
+///
+/// The abstract domain is one interval [Lo, Hi] over int64 per attribute
+/// term `x.α` / `F.α`, extended with symbolic operator/op-class identities
+/// so `s.op_id == op("Const") && s.op_id == op("Relu")` refutes without
+/// knowing the process-local operator indices. Conjunctions are narrowed:
+/// each `attr ⋈ const` conjunct refines the attribute's interval, an empty
+/// intersection (or clashing symbolic identity) proves unsatisfiability,
+/// and the final three-valued evaluation under the narrowed environment
+/// catches contradictions the narrowing itself cannot (e.g. `a||b` with
+/// both arms refuted). Everything else evaluates to Unknown, so the
+/// analysis can have false negatives but no false positives — see
+/// DESIGN.md §"Static rule-set analysis".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_ANALYSIS_GUARDSOLVER_H
+#define PYPM_ANALYSIS_GUARDSOLVER_H
+
+#include "pattern/Guard.h"
+
+#include <span>
+
+namespace pypm::analysis {
+
+/// Three-valued logic for abstract guard evaluation.
+enum class Tri : uint8_t { False, True, Unknown };
+
+struct GuardVerdict {
+  bool Unsatisfiable = false; ///< provably false under every environment
+  bool Vacuous = false;       ///< provably true under every environment
+};
+
+/// Analyzes a single boolean guard expression.
+GuardVerdict analyzeGuard(const pattern::GuardExpr *G);
+
+/// Analyzes the conjunction of \p Conj (e.g. every guard on one alternate's
+/// wrapper spine, or a lowered rule path's accumulated asserts): narrows a
+/// shared environment across all conjuncts, then evaluates. Empty input is
+/// trivially satisfiable and not vacuous.
+GuardVerdict
+analyzeConjunction(std::span<const pattern::GuardExpr *const> Conj);
+
+} // namespace pypm::analysis
+
+#endif // PYPM_ANALYSIS_GUARDSOLVER_H

@@ -1,0 +1,359 @@
+//===- analysis/Skeleton.cpp - Pattern skeletons for overlap checks ----------===//
+
+#include "analysis/Skeleton.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace pypm;
+using namespace pypm::analysis;
+using namespace pypm::pattern;
+
+const Skel *SkelArena::op(term::OpId Op, std::vector<const Skel *> Kids) {
+  auto N = std::make_unique<Skel>();
+  N->Kind = Skel::K::Op;
+  N->Op = Op;
+  N->Kids = std::move(Kids);
+  Storage.push_back(std::move(N));
+  return Storage.back().get();
+}
+
+const Skel *SkelArena::anyOp(std::vector<const Skel *> Kids) {
+  auto N = std::make_unique<Skel>();
+  N->Kind = Skel::K::AnyOp;
+  N->Kids = std::move(Kids);
+  Storage.push_back(std::move(N));
+  return Storage.back().get();
+}
+
+namespace {
+
+/// Caps keeping the disjunction expansion linear-ish. A pattern deeper or
+/// wider than these is widened to Any and the alternate marked Truncated,
+/// which keeps the over-approximation sound (wider set) and merely costs
+/// precision.
+constexpr unsigned kMaxDepth = 8;
+constexpr size_t kMaxDisj = 24;
+
+struct Extractor {
+  SkelArena &A;
+  AltShape &F;
+  /// Term-variable and function-variable occurrence counts (linearity).
+  std::unordered_map<Symbol, unsigned> Occ;
+
+  Extractor(SkelArena &A, AltShape &F) : A(A), F(F) {}
+
+  std::vector<const Skel *> widen() {
+    F.Truncated = true;
+    return {A.any()};
+  }
+
+  /// Cartesian product of per-child disjunctions into app-shaped nodes.
+  std::vector<const Skel *>
+  product(const std::vector<std::vector<const Skel *>> &PerChild,
+          const std::function<const Skel *(std::vector<const Skel *>)> &Make) {
+    size_t Count = 1;
+    for (const auto &C : PerChild) {
+      Count *= C.size();
+      if (Count > kMaxDisj) {
+        // Widen each child to the union-of-anything instead of truncating
+        // the disjunction list (dropping disjuncts would shrink the set —
+        // the wrong direction for an over-approximation).
+        std::vector<const Skel *> AnyKids(PerChild.size(), A.any());
+        F.Truncated = true;
+        return {Make(std::move(AnyKids))};
+      }
+    }
+    std::vector<const Skel *> Out;
+    std::vector<size_t> Idx(PerChild.size(), 0);
+    for (;;) {
+      std::vector<const Skel *> Kids;
+      Kids.reserve(PerChild.size());
+      for (size_t I = 0; I != PerChild.size(); ++I)
+        Kids.push_back(PerChild[I][Idx[I]]);
+      Out.push_back(Make(std::move(Kids)));
+      size_t I = PerChild.size();
+      while (I > 0) {
+        --I;
+        if (++Idx[I] != PerChild[I].size())
+          break;
+        Idx[I] = 0;
+        if (I == 0)
+          return Out;
+      }
+      if (PerChild.empty())
+        return Out;
+    }
+  }
+
+  std::vector<const Skel *> visit(const Pattern *P, unsigned Depth) {
+    switch (P->kind()) {
+    case PatternKind::Var:
+      ++Occ[cast<VarPattern>(P)->name()];
+      return {A.any()};
+    case PatternKind::App: {
+      const auto *App = cast<AppPattern>(P);
+      if (Depth >= kMaxDepth)
+        return widen();
+      std::vector<std::vector<const Skel *>> PerChild;
+      for (const Pattern *C : App->children())
+        PerChild.push_back(visit(C, Depth + 1));
+      term::OpId Op = App->op();
+      return product(PerChild, [&](std::vector<const Skel *> Kids) {
+        return A.op(Op, std::move(Kids));
+      });
+    }
+    case PatternKind::FunVarApp: {
+      const auto *FApp = cast<FunVarAppPattern>(P);
+      ++Occ[FApp->funVar()];
+      if (Depth >= kMaxDepth)
+        return widen();
+      std::vector<std::vector<const Skel *>> PerChild;
+      for (const Pattern *C : FApp->children())
+        PerChild.push_back(visit(C, Depth + 1));
+      return product(PerChild, [&](std::vector<const Skel *> Kids) {
+        return A.anyOp(std::move(Kids));
+      });
+    }
+    case PatternKind::Alt: {
+      const auto *Alt = cast<AltPattern>(P);
+      std::vector<const Skel *> L = visit(Alt->left(), Depth);
+      std::vector<const Skel *> R = visit(Alt->right(), Depth);
+      if (L.size() + R.size() > kMaxDisj)
+        return widen();
+      L.insert(L.end(), R.begin(), R.end());
+      return L;
+    }
+    case PatternKind::Guarded:
+      F.Guarded = true;
+      return visit(cast<GuardedPattern>(P)->sub(), Depth);
+    case PatternKind::Exists: {
+      const auto *E = cast<ExistsPattern>(P);
+      unsigned Before = Occ[E->var()];
+      std::vector<const Skel *> S = visit(E->sub(), Depth);
+      // ∃x with x never occurring in term position can only be satisfied
+      // by a guard binding-check failure — treat as an (always-false)
+      // guard so the alternate never acts as a subsumer.
+      if (Occ[E->var()] == Before)
+        F.Guarded = true;
+      return S;
+    }
+    case PatternKind::ExistsFun: {
+      const auto *E = cast<ExistsFunPattern>(P);
+      unsigned Before = Occ[E->funVar()];
+      std::vector<const Skel *> S = visit(E->sub(), Depth);
+      if (Occ[E->funVar()] == Before)
+        F.Guarded = true;
+      return S;
+    }
+    case PatternKind::MatchConstraint:
+      F.Constrained = true;
+      // The constraint restricts (a subterm of) the match; dropping it
+      // only enlarges the set. Sub carries the root shape.
+      return visit(cast<MatchConstraintPattern>(P)->sub(), Depth);
+    case PatternKind::Mu:
+      F.Recursive = true;
+      // One-step approximation: the μ matches whatever its body matches
+      // with recursive occurrences erased to Any (below).
+      return visit(cast<MuPattern>(P)->body(), Depth);
+    case PatternKind::RecCall:
+      F.Recursive = true;
+      return {A.any()};
+    }
+    return {A.any()};
+  }
+};
+
+/// Flattens the top-level ‖-list (right-associatively folded by the
+/// frontend) into definition-ordered alternates.
+void flattenAlts(const Pattern *P, std::vector<const Pattern *> &Out) {
+  if (const auto *Alt = dyn_cast<AltPattern>(P)) {
+    flattenAlts(Alt->left(), Out);
+    flattenAlts(Alt->right(), Out);
+    return;
+  }
+  Out.push_back(P);
+}
+
+} // namespace
+
+std::vector<AltShape> analysis::extractAlternates(const NamedPattern &NP,
+                                                  SkelArena &A) {
+  std::vector<AltShape> Out;
+  if (!NP.Pat)
+    return Out;
+  const Pattern *Top = NP.Pat;
+  bool TopMu = false;
+  if (const auto *Mu = dyn_cast<MuPattern>(Top)) {
+    // A self-recursive group: the ‖-list lives inside the μ. Alternates
+    // extracted from inside are still over-approximations of the whole
+    // pattern's per-alternate sets, but each is Recursive by construction.
+    Top = Mu->body();
+    TopMu = true;
+  }
+  std::vector<const Pattern *> Alts;
+  flattenAlts(Top, Alts);
+  for (size_t I = 0; I != Alts.size(); ++I) {
+    AltShape F;
+    F.Pat = Alts[I];
+    Extractor E(A, F);
+    F.Disj = E.visit(Alts[I], 0);
+    if (TopMu)
+      F.Recursive = true;
+    for (const auto &[Sym, Count] : E.Occ)
+      if (Count > 1)
+        F.NonLinear = true;
+    F.Loc = I < NP.AltLocs.size() ? NP.AltLocs[I] : NP.Loc;
+    Out.push_back(std::move(F));
+  }
+  return Out;
+}
+
+const Skel *analysis::rhsSkeleton(const RhsExpr *Rhs, SkelArena &A) {
+  switch (Rhs->kind()) {
+  case RhsKind::VarRef:
+    return A.any();
+  case RhsKind::App: {
+    std::vector<const Skel *> Kids;
+    for (const RhsExpr *C : Rhs->children())
+      Kids.push_back(rhsSkeleton(C, A));
+    return A.op(Rhs->op(), std::move(Kids));
+  }
+  case RhsKind::FunVarApp: {
+    std::vector<const Skel *> Kids;
+    for (const RhsExpr *C : Rhs->children())
+      Kids.push_back(rhsSkeleton(C, A));
+    return A.anyOp(std::move(Kids));
+  }
+  }
+  return A.any();
+}
+
+bool analysis::subsumes(const Skel *A, const Skel *B) {
+  if (A->Kind == Skel::K::Any)
+    return true;
+  if (B->Kind == Skel::K::Any)
+    return false; // B's set is everything; only Any covers it
+  if (A->arity() != B->arity())
+    return false;
+  if (A->Kind == Skel::K::Op &&
+      (B->Kind != Skel::K::Op || A->Op != B->Op))
+    return false; // a concrete op only covers the same op (AnyOp B is wider)
+  for (unsigned I = 0; I != A->arity(); ++I)
+    if (!subsumes(A->Kids[I], B->Kids[I]))
+      return false;
+  return true;
+}
+
+bool analysis::mayUnify(const Skel *A, const Skel *B) {
+  if (A->Kind == Skel::K::Any || B->Kind == Skel::K::Any)
+    return true;
+  if (A->arity() != B->arity())
+    return false;
+  if (A->Kind == Skel::K::Op && B->Kind == Skel::K::Op && A->Op != B->Op)
+    return false;
+  for (unsigned I = 0; I != A->arity(); ++I)
+    if (!mayUnify(A->Kids[I], B->Kids[I]))
+      return false;
+  return true;
+}
+
+namespace {
+
+void boundVarsInto(const Pattern *P, std::unordered_set<Symbol> &Out) {
+  switch (P->kind()) {
+  case PatternKind::Var:
+    Out.insert(cast<VarPattern>(P)->name());
+    return;
+  case PatternKind::App:
+    for (const Pattern *C : cast<AppPattern>(P)->children())
+      boundVarsInto(C, Out);
+    return;
+  case PatternKind::FunVarApp: {
+    const auto *F = cast<FunVarAppPattern>(P);
+    Out.insert(F->funVar());
+    for (const Pattern *C : F->children())
+      boundVarsInto(C, Out);
+    return;
+  }
+  case PatternKind::Alt: {
+    const auto *Alt = cast<AltPattern>(P);
+    std::unordered_set<Symbol> L, R;
+    boundVarsInto(Alt->left(), L);
+    boundVarsInto(Alt->right(), R);
+    for (Symbol S : L)
+      if (R.count(S))
+        Out.insert(S);
+    return;
+  }
+  case PatternKind::Guarded:
+    boundVarsInto(cast<GuardedPattern>(P)->sub(), Out);
+    return;
+  case PatternKind::Exists: {
+    // checkName semantics: a successful match implies the binder is bound.
+    const auto *E = cast<ExistsPattern>(P);
+    boundVarsInto(E->sub(), Out);
+    Out.insert(E->var());
+    return;
+  }
+  case PatternKind::ExistsFun: {
+    const auto *E = cast<ExistsFunPattern>(P);
+    boundVarsInto(E->sub(), Out);
+    Out.insert(E->funVar());
+    return;
+  }
+  case PatternKind::MatchConstraint: {
+    const auto *M = cast<MatchConstraintPattern>(P);
+    boundVarsInto(M->sub(), Out);
+    boundVarsInto(M->constraint(), Out);
+    Out.insert(M->var());
+    return;
+  }
+  case PatternKind::Mu:
+  case PatternKind::RecCall:
+    // Conservative: μ matches contribute no guaranteed bindings (what the
+    // unfolding binds depends on which body alternate fired).
+    return;
+  }
+}
+
+} // namespace
+
+std::unordered_set<Symbol> analysis::guaranteedBound(const Pattern *P) {
+  std::unordered_set<Symbol> Out;
+  if (P)
+    boundVarsInto(P, Out);
+  return Out;
+}
+
+void analysis::rhsVariables(const RhsExpr *Rhs,
+                            std::unordered_set<Symbol> &Out) {
+  switch (Rhs->kind()) {
+  case RhsKind::VarRef:
+    Out.insert(Rhs->var());
+    break;
+  case RhsKind::FunVarApp:
+    Out.insert(Rhs->funVar());
+    [[fallthrough]];
+  case RhsKind::App:
+    for (const RhsExpr *C : Rhs->children())
+      rhsVariables(C, Out);
+    break;
+  }
+  // Attribute templates are guard expressions over matched variables; an
+  // unbound one also aborts the RHS build, so collect them too.
+  std::function<void(const pattern::GuardExpr *)> Walk =
+      [&](const pattern::GuardExpr *G) {
+        if (!G)
+          return;
+        if (G->kind() == pattern::GuardKind::Attr ||
+            G->kind() == pattern::GuardKind::FunAttr)
+          Out.insert(G->varName());
+        if (G->lhs())
+          Walk(G->lhs());
+        if (G->rhs())
+          Walk(G->rhs());
+      };
+  for (const RhsExpr::AttrTemplate &T : Rhs->attrTemplates())
+    Walk(T.Value);
+}

@@ -1,0 +1,114 @@
+//===- analysis/Skeleton.h - Pattern skeletons for overlap checks -*- C++ -*-===//
+///
+/// \file
+/// The abstract domain of the rule-set linter's overlap/subsumption and
+/// rewrite-cycle analyses: a pattern *skeleton* is the guard-free,
+/// constraint-free tree shape a CorePyPM pattern requires of a term —
+/// concrete-operator applications, function-variable applications (any
+/// operator of a given arity), and wildcards. The same idea as
+/// plan::PlanBuilder's per-entry shape constraints, but kept as trees so
+/// two skeletons can be compared structurally (subsumption) or unified
+/// (overlap), not just indexed.
+///
+/// Every skeleton set is an OVER-approximation of a pattern's match set
+/// (guards, match constraints, non-linear variables, and μ-recursion are
+/// erased, which only enlarges the set). That direction is exactly right
+/// for the *subsumee* side of a shadowing query and for overlap edges; the
+/// *subsumer* side needs the opposite bound, so AltShape records which
+/// erasures happened and exact() gates what may act as a subsumer. See
+/// DESIGN.md §"Static rule-set analysis" for the soundness argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_ANALYSIS_SKELETON_H
+#define PYPM_ANALYSIS_SKELETON_H
+
+#include "pattern/Pattern.h"
+
+#include <deque>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+namespace pypm::analysis {
+
+/// One node of a pattern/RHS skeleton.
+struct Skel {
+  enum class K : uint8_t {
+    Any,   ///< matches every term (variable / erased subpattern)
+    Op,    ///< concrete operator application
+    AnyOp, ///< any operator of this arity (function-variable application)
+  };
+  K Kind = K::Any;
+  term::OpId Op; ///< valid iff Kind == Op
+  std::vector<const Skel *> Kids;
+
+  unsigned arity() const { return static_cast<unsigned>(Kids.size()); }
+};
+
+/// Owns skeleton nodes for one lint run.
+class SkelArena {
+public:
+  const Skel *any() { return &AnyNode; }
+  const Skel *op(term::OpId Op, std::vector<const Skel *> Kids);
+  const Skel *anyOp(std::vector<const Skel *> Kids);
+
+private:
+  Skel AnyNode; // shared wildcard
+  std::deque<std::unique_ptr<Skel>> Storage;
+};
+
+/// One top-level alternate of a named pattern, abstracted: a disjunction of
+/// skeletons over-approximating its match set, plus flags recording every
+/// precision loss that would make the over-approximation unusable as a
+/// subsumer.
+struct AltShape {
+  std::vector<const Skel *> Disj;
+  bool Guarded = false;     ///< a guard (or degenerate ∃) somewhere inside
+  bool Constrained = false; ///< a match constraint somewhere inside
+  bool NonLinear = false;   ///< a term/function variable occurs twice
+  bool Recursive = false;   ///< contains μ or a recursive call (erased)
+  bool Truncated = false;   ///< hit a size cap; skeleton widened to Any
+  SourceLoc Loc;            ///< DSL location of the alternate when known
+  const pattern::Pattern *Pat = nullptr; ///< the alternate subpattern
+
+  /// Whether a skeleton match implies a full pattern match: nothing was
+  /// erased, so this alternate's Disj is its exact match set and it may
+  /// act as a subsumer in shadowing queries.
+  bool exact() const {
+    return !Guarded && !Constrained && !NonLinear && !Recursive && !Truncated;
+  }
+};
+
+/// Splits \p NP's top-level ‖-list (looking through a top-level μ) and
+/// abstracts each alternate. AltShape::Loc is taken from NP.AltLocs when
+/// the lengths line up (DSL-compiled libraries), else from NP.Loc.
+std::vector<AltShape> extractAlternates(const pattern::NamedPattern &NP,
+                                        SkelArena &A);
+
+/// Skeleton of a rule's replacement template: attributes are ignored,
+/// variable references widen to Any, function-variable applications to
+/// AnyOp. Over-approximates the set of terms the RHS can build.
+const Skel *rhsSkeleton(const pattern::RhsExpr *Rhs, SkelArena &A);
+
+/// Whether every term matching \p B also matches \p A (sound only when A
+/// came from an exact() alternate).
+bool subsumes(const Skel *A, const Skel *B);
+
+/// Whether some term can match both skeletons (over-approximate overlap).
+bool mayUnify(const Skel *A, const Skel *B);
+
+/// Term and function variables bound in *every* successful match of \p P
+/// (intersection over alternates; μ and recursive calls contribute
+/// nothing). A rule whose RHS only references guaranteed-bound variables
+/// can never fall through on a failed RHS build — the property the
+/// shadowing analysis needs before it may call a rule "always fires".
+std::unordered_set<Symbol> guaranteedBound(const pattern::Pattern *P);
+
+/// All variables (term and function) referenced by a replacement template.
+void rhsVariables(const pattern::RhsExpr *Rhs,
+                  std::unordered_set<Symbol> &Out);
+
+} // namespace pypm::analysis
+
+#endif // PYPM_ANALYSIS_SKELETON_H

@@ -35,13 +35,13 @@ bool resolveIncludes(ModuleAst &Root, const CompileOptions &Opts,
     if (!Seen.insert(Inc.Path).second)
       continue; // include-once
     if (!Opts.Resolver) {
-      Diags.error(Inc.Loc, "includes are not available in this context "
+      Diags.error(Inc.Loc, "sema.include", "includes are not available in this context "
                            "(no resolver configured)");
       return false;
     }
     std::optional<std::string> Source = Opts.Resolver(Inc.Path);
     if (!Source) {
-      Diags.error(Inc.Loc, "cannot resolve include \"" + Inc.Path + "\"");
+      Diags.error(Inc.Loc, "sema", "cannot resolve include \"" + Inc.Path + "\"");
       return false;
     }
     std::unique_ptr<ModuleAst> Sub = parseModule(*Source, Diags);
@@ -115,6 +115,9 @@ private:
   void error(SourceLoc Loc, std::string Msg) {
     Diags.error(Loc, std::move(Msg));
   }
+  void error(SourceLoc Loc, std::string Code, std::string Msg) {
+    Diags.error(Loc, std::move(Code), std::move(Msg));
+  }
 
   //===------------------------------------------------------------------===//
   // Declarations
@@ -125,7 +128,7 @@ private:
       term::OpId Existing = Sig.lookup(D.Name);
       if (Existing.isValid()) {
         if (Sig.arity(Existing) != D.Arity)
-          error(D.Loc, "operator '" + std::string(D.Name.str()) +
+          error(D.Loc, "sema.operator", "operator '" + std::string(D.Name.str()) +
                            "' already declared with arity " +
                            std::to_string(Sig.arity(Existing)));
         continue;
@@ -154,13 +157,13 @@ private:
         Groups.back().Params = D.Params;
         Groups.back().Defs.push_back(&D);
         if (Sig.lookup(D.Name).isValid())
-          error(D.Loc, "pattern '" + std::string(D.Name.str()) +
+          error(D.Loc, "sema.pattern", "pattern '" + std::string(D.Name.str()) +
                            "' shadows an operator of the same name");
         continue;
       }
       Group &G = Groups[It->second];
       if (D.Params != G.Params)
-        error(D.Loc, "alternate of pattern '" + std::string(D.Name.str()) +
+        error(D.Loc, "sema.pattern", "alternate of pattern '" + std::string(D.Name.str()) +
                          "' has a different parameter list than the first "
                          "definition");
       G.Defs.push_back(&D);
@@ -293,7 +296,7 @@ private:
     if (G.Compiled)
       return G.Result;
     if (G.Compiling) {
-      error(G.Defs.front()->Loc,
+      error(G.Defs.front()->Loc, "sema.recursion",
             "mutual recursion between named patterns is not supported "
             "(pattern '" +
                 std::string(G.Name.str()) +
@@ -313,9 +316,12 @@ private:
     classifyFunParams(G);
 
     std::vector<const Pattern *> Alts;
+    std::vector<SourceLoc> AltLocs;
     for (const PatternDefAst *D : G.Defs)
-      if (const Pattern *P = lowerDef(G, *D))
+      if (const Pattern *P = lowerDef(G, *D)) {
         Alts.push_back(P);
+        AltLocs.push_back(D->Loc);
+      }
     G.Compiling = false;
     G.Compiled = true;
     if (Alts.empty() || Diags.hasErrors())
@@ -333,6 +339,8 @@ private:
       if (G.FunParams.count(P))
         G.OwnNP.FunParams.push_back(P);
     G.OwnNP.Pat = Combined;
+    G.OwnNP.Loc = G.Defs.front()->Loc;
+    G.OwnNP.AltLocs = std::move(AltLocs);
     Lib->PatternDefs.push_back(G.OwnNP);
     G.Result = &G.OwnNP;
     return G.Result;
@@ -383,7 +391,7 @@ private:
 
     for (const Stmt *S : D.Body) {
       if (ReturnExpr) {
-        error(S->Loc, "statement after 'return' in pattern body");
+        error(S->Loc, "sema.body", "statement after 'return' in pattern body");
         break;
       }
       switch (S->K) {
@@ -394,7 +402,7 @@ private:
         break;
       case Stmt::Kind::VarDecl:
         if (Env.lookup(S->Name))
-          error(S->Loc, "redeclaration of '" + std::string(S->Name.str()) +
+          error(S->Loc, "sema.redeclaration", "redeclaration of '" + std::string(S->Name.str()) +
                             "'");
         Env.Locals[S->Name] = LocalInfo{LocalInfo::Kind::LocalVar, 0, nullptr};
         Wrappers.push_back(
@@ -402,7 +410,7 @@ private:
         break;
       case Stmt::Kind::OpVarDecl:
         if (Env.lookup(S->Name))
-          error(S->Loc, "redeclaration of '" + std::string(S->Name.str()) +
+          error(S->Loc, "sema.redeclaration", "redeclaration of '" + std::string(S->Name.str()) +
                             "'");
         Env.Locals[S->Name] =
             LocalInfo{LocalInfo::Kind::LocalOpVar, S->Arity, nullptr};
@@ -411,14 +419,14 @@ private:
         break;
       case Stmt::Kind::Alias:
         if (Env.lookup(S->Name))
-          error(S->Loc, "redeclaration of '" + std::string(S->Name.str()) +
+          error(S->Loc, "sema.redeclaration", "redeclaration of '" + std::string(S->Name.str()) +
                             "'");
         Env.Locals[S->Name] =
             LocalInfo{LocalInfo::Kind::Alias, 0, S->E};
         break;
       case Stmt::Kind::Constraint: {
         if (!Env.isTermVar(S->Name)) {
-          error(S->Loc, "match constraint target '" +
+          error(S->Loc, "sema.constraint", "match constraint target '" +
                             std::string(S->Name.str()) +
                             "' is not a pattern variable");
           break;
@@ -433,13 +441,13 @@ private:
         ReturnExpr = S->E;
         break;
       case Stmt::Kind::If:
-        error(S->Loc, "'if' is not allowed in pattern bodies");
+        error(S->Loc, "sema.body", "'if' is not allowed in pattern bodies");
         break;
       }
     }
 
     if (!ReturnExpr) {
-      error(D.Loc, "pattern body must end with 'return'");
+      error(D.Loc, "sema", "pattern body must end with 'return'");
       return nullptr;
     }
     const Pattern *P = lowerExpr(G, Env, ReturnExpr);
@@ -501,13 +509,13 @@ private:
         case LocalInfo::Kind::Param:
         case LocalInfo::Kind::LocalVar:
           if (Env.isFunVar(E->Name)) {
-            error(E->Loc, "function variable '" + std::string(E->Name.str()) +
+            error(E->Loc, "sema.funvar", "function variable '" + std::string(E->Name.str()) +
                               "' used in term position");
             return nullptr;
           }
           return Lib->Arena.var(E->Name);
         case LocalInfo::Kind::LocalOpVar:
-          error(E->Loc, "function variable '" + std::string(E->Name.str()) +
+          error(E->Loc, "sema.funvar", "function variable '" + std::string(E->Name.str()) +
                             "' used in term position");
           return nullptr;
         case LocalInfo::Kind::Alias:
@@ -516,7 +524,7 @@ private:
       }
       if (term::OpId Op = Sig.lookup(E->Name); Op.isValid()) {
         if (Sig.arity(Op) != 0) {
-          error(E->Loc, "operator '" + std::string(E->Name.str()) +
+          error(E->Loc, "sema.operator", "operator '" + std::string(E->Name.str()) +
                             "' requires arguments");
           return nullptr;
         }
@@ -524,7 +532,7 @@ private:
       }
       if (GroupIndex.count(E->Name))
         return lowerPatternCall(G, Env, E);
-      error(E->Loc, "unknown identifier '" + std::string(E->Name.str()) +
+      error(E->Loc, "sema.unknown-identifier", "unknown identifier '" + std::string(E->Name.str()) +
                         "' (parameters and var() locals are the only free "
                         "variables)");
       return nullptr;
@@ -534,7 +542,7 @@ private:
       Symbol Head = E->Name;
       if (term::OpId Op = Sig.lookup(Head); Op.isValid()) {
         if (Sig.arity(Op) != E->Args.size()) {
-          error(E->Loc, "operator '" + std::string(Head.str()) +
+          error(E->Loc, "sema.operator", "operator '" + std::string(Head.str()) +
                             "' expects " + std::to_string(Sig.arity(Op)) +
                             " arguments, got " +
                             std::to_string(E->Args.size()));
@@ -555,7 +563,7 @@ private:
         if (const LocalInfo *L = Env.lookup(Head);
             L && L->K == LocalInfo::Kind::LocalOpVar &&
             L->OpVarArity != E->Args.size()) {
-          error(E->Loc, "function variable '" + std::string(Head.str()) +
+          error(E->Loc, "sema.funvar", "function variable '" + std::string(Head.str()) +
                             "' declared with arity " +
                             std::to_string(L->OpVarArity) + ", applied to " +
                             std::to_string(E->Args.size()) + " arguments");
@@ -570,7 +578,7 @@ private:
         }
         return Lib->Arena.funVarApp(Head, std::move(Children));
       }
-      error(E->Loc, "unknown operator or pattern '" +
+      error(E->Loc, "sema.unknown-identifier", "unknown operator or pattern '" +
                         std::string(Head.str()) + "'");
       return nullptr;
     }
@@ -586,7 +594,7 @@ private:
 
     const std::vector<Symbol> &TargetParams = Target.Params;
     if (E->Args.size() != TargetParams.size()) {
-      error(E->Loc, "pattern '" + std::string(E->Name.str()) + "' expects " +
+      error(E->Loc, "sema.pattern", "pattern '" + std::string(E->Name.str()) + "' expects " +
                         std::to_string(TargetParams.size()) +
                         " arguments, got " + std::to_string(E->Args.size()));
       return nullptr;
@@ -599,7 +607,7 @@ private:
       std::vector<Symbol> Args;
       for (const Expr *Arg : E->Args) {
         if (Arg->K != Expr::Kind::Ref || !Env.lookup(Arg->Name)) {
-          error(Arg->Loc,
+          error(Arg->Loc, "sema",
                 "recursive pattern call arguments must be variables");
           return nullptr;
         }
@@ -640,7 +648,7 @@ private:
               Lib->Arena.opRef(Arg->Name)));
           continue;
         }
-        error(Arg->Loc, "argument for function parameter '" +
+        error(Arg->Loc, "sema.funvar", "argument for function parameter '" +
                             std::string(Param.str()) +
                             "' must be a function variable or operator name");
         return nullptr;
@@ -674,7 +682,7 @@ private:
   void lowerRule(const RuleDefAst &R) {
     auto It = GroupIndex.find(R.PatternName);
     if (It == GroupIndex.end()) {
-      error(R.Loc, "rule '" + std::string(R.Name.str()) +
+      error(R.Loc, "sema.rule", "rule '" + std::string(R.Name.str()) +
                        "' references unknown pattern '" +
                        std::string(R.PatternName.str()) + "'");
       return;
@@ -683,7 +691,7 @@ private:
     if (!compileGroup(G))
       return;
     if (R.Params != G.Params) {
-      error(R.Loc, "rule '" + std::string(R.Name.str()) +
+      error(R.Loc, "sema.rule", "rule '" + std::string(R.Name.str()) +
                        "' must bind exactly the pattern's parameters (in "
                        "order)");
       return;
@@ -700,7 +708,7 @@ private:
     lowerRulePath(R, G, Env, std::span<Stmt *const>(R.Body), Conj, Aliases,
                   EmittedRules);
     if (EmittedRules == 0)
-      error(R.Loc, "rule '" + std::string(R.Name.str()) +
+      error(R.Loc, "sema.rule", "rule '" + std::string(R.Name.str()) +
                        "' has no reachable 'return'");
   }
 
@@ -730,6 +738,7 @@ private:
         Rule.PatternName = R.PatternName;
         Rule.Guard = foldConj(Conj);
         Rule.Rhs = Rhs;
+        Rule.Loc = S->Loc.isValid() ? S->Loc : R.Loc;
         Lib->Rules.push_back(Rule);
         ++EmittedRules;
         return; // statements after return are unreachable on this path
@@ -760,7 +769,7 @@ private:
       case Stmt::Kind::VarDecl:
       case Stmt::Kind::OpVarDecl:
       case Stmt::Kind::Constraint:
-        error(S->Loc, "this statement is not allowed in a rule body");
+        error(S->Loc, "sema.body", "this statement is not allowed in a rule body");
         return;
       }
     }
@@ -792,7 +801,7 @@ private:
         return lowerRhs(G, Env, Aliases, It->second);
       if (Env.lookup(E->Name)) {
         if (Env.isFunVar(E->Name)) {
-          error(E->Loc, "function variable '" + std::string(E->Name.str()) +
+          error(E->Loc, "sema.funvar", "function variable '" + std::string(E->Name.str()) +
                             "' cannot be returned bare from a rule");
           return nullptr;
         }
@@ -801,7 +810,7 @@ private:
       if (term::OpId Op = Sig.lookup(E->Name);
           Op.isValid() && Sig.arity(Op) == 0)
         return Lib->Arena.rhsApp(Op, {});
-      error(E->Loc, "unknown identifier '" + std::string(E->Name.str()) +
+      error(E->Loc, "sema.unknown-identifier", "unknown identifier '" + std::string(E->Name.str()) +
                         "' in rule right-hand side");
       return nullptr;
     }
@@ -818,7 +827,7 @@ private:
       }
       if (term::OpId Op = Sig.lookup(E->Name); Op.isValid()) {
         if (Sig.arity(Op) != Children.size()) {
-          error(E->Loc, "operator '" + std::string(E->Name.str()) +
+          error(E->Loc, "sema.operator", "operator '" + std::string(E->Name.str()) +
                             "' expects " + std::to_string(Sig.arity(Op)) +
                             " arguments, got " +
                             std::to_string(Children.size()));
@@ -829,7 +838,7 @@ private:
       if (Env.isFunVar(E->Name))
         return Lib->Arena.rhsFunVarApp(E->Name, std::move(Children),
                                        std::move(Attrs));
-      error(E->Loc, "rule right-hand sides must apply operators or matched "
+      error(E->Loc, "sema.rule", "rule right-hand sides must apply operators or matched "
                     "function variables; '" +
                         std::string(E->Name.str()) + "' is neither");
       return nullptr;
@@ -868,7 +877,7 @@ pypm::dsl::compileFile(const std::string &Path, term::Signature &Sig,
   };
   std::optional<std::string> Source = ReadFile(Path);
   if (!Source) {
-    Diags.error(SourceLoc(), "cannot open '" + Path + "'");
+    Diags.error(SourceLoc(), "sema.io", "cannot open '" + Path + "'");
     return nullptr;
   }
   std::string Dir;

@@ -38,6 +38,14 @@ public:
   /// Registers/overrides the rule for an operator name.
   void registerRule(std::string_view OpName, InferFn Fn);
 
+  /// Whether a dedicated rule exists for \p OpName (as opposed to the
+  /// "same type as first input" default). The rule-set linter uses this to
+  /// flag RHS operators that would be typed by the opaque fallback.
+  bool hasRule(Symbol OpName) const { return Rules.count(OpName) != 0; }
+  bool hasRule(std::string_view OpName) const {
+    return hasRule(Symbol::intern(OpName));
+  }
+
   struct Stats {
     size_t InferredNodes = 0;
     size_t DefaultedNodes = 0;

@@ -25,6 +25,7 @@
 #define PYPM_PATTERN_PATTERN_H
 
 #include "pattern/Guard.h"
+#include "support/Diagnostics.h"
 #include "term/Signature.h"
 
 #include <deque>
@@ -422,6 +423,14 @@ struct NamedPattern {
   /// `opvar` in the DSL). Kept for rule binding and reporting.
   std::vector<Symbol> FunParams;
   const Pattern *Pat = nullptr;
+  /// DSL location of the first @pattern alternate, when compiled from
+  /// source. Invalid (Line 0) for builder-API patterns — diagnostics then
+  /// fall back to the pattern name.
+  SourceLoc Loc;
+  /// Per-alternate DSL locations, parallel to the top-level ‖-list of Pat
+  /// (empty for builder-API patterns or single-alternate groups compiled
+  /// before locations existed).
+  std::vector<SourceLoc> AltLocs;
 };
 
 /// A compiled rewrite rule: when `PatternName` matches with ⟨θ, φ⟩ and
@@ -431,6 +440,9 @@ struct RewriteRule {
   Symbol PatternName;
   const GuardExpr *Guard = nullptr; ///< nullable
   const RhsExpr *Rhs = nullptr;
+  /// DSL location of the rule path's `return` (or the @rule header for
+  /// single-path rules). Invalid for builder-API rules.
+  SourceLoc Loc;
 };
 
 /// A compiled PyPM "pattern binary" in memory: owns the nodes of its

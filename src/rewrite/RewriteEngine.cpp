@@ -32,6 +32,7 @@
 
 #include "rewrite/RewriteEngine.h"
 
+#include "analysis/Analysis.h"
 #include "match/Declarative.h"
 #include "match/FastMatcher.h"
 #include "plan/Interpreter.h"
@@ -933,6 +934,22 @@ NodeId pypm::rewrite::buildRhs(Graph &G, graph::TermView &View,
 RewriteStats pypm::rewrite::rewriteToFixpoint(Graph &G, const RuleSet &Rules,
                                               const graph::ShapeInference &SI,
                                               RewriteOptions Opts) {
+  if (Opts.Lint) {
+    // Preflight: a read-only analysis of the rule set. Findings go to the
+    // diagnostic sink; only *error*-severity findings (provable facts —
+    // unsatisfiable guards, unproductive μ) refuse the run. The graph is
+    // untouched on refusal, and on acceptance the run below is byte-for-byte
+    // the run a lint-free invocation would have performed.
+    analysis::LintReport Report =
+        analysis::lintRuleSet(Rules, G.signature(), {.Shapes = &SI});
+    if (Opts.Diags)
+      Report.toDiagnostics(*Opts.Diags);
+    if (!Report.clean()) {
+      RewriteStats Stats;
+      Stats.Status.raise(EngineStatusCode::LintRejected);
+      return Stats;
+    }
+  }
   return Engine(G, Rules, &SI, Opts).run(/*RewriteMode=*/true);
 }
 

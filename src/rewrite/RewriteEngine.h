@@ -230,6 +230,13 @@ struct RewriteOptions {
   /// engine falls back to FaultInjector::global() ($PYPM_FAULT), which is
   /// itself null — and costs nothing on the hot path — unless armed.
   FaultInjector *Faults = nullptr;
+  /// Preflight the rule set through analysis::lintRuleSet before the first
+  /// pass. Every finding is forwarded to Diags (when set); error-severity
+  /// findings refuse the run — the graph is left untouched, zero passes
+  /// run, and Stats.Status reports LintRejected. Warnings and notes never
+  /// change engine behavior (the lint-on ≡ lint-off differential test
+  /// asserts bit-identical results on lint-clean rule sets).
+  bool Lint = false;
   /// Stop at the first absorbed fault, leaving the graph in the last
   /// committed state (the transactional-commit stress tests verify the
   /// result equals a prefix of the fault-free serial run). When false, the
@@ -246,6 +253,8 @@ RewriteStats rewriteToFixpoint(graph::Graph &G, const RuleSet &Rules,
 /// Match-only traversal: one pass over the live nodes counting matches per
 /// pattern without mutating the graph. (Used by benches that want pure
 /// matcher cost; rewriteToFixpoint reports the with-rewriting numbers.)
+/// RewriteOptions::Lint is ignored here: the traversal cannot mutate the
+/// graph, so there is nothing for a preflight to protect.
 RewriteStats matchAll(graph::Graph &G, const RuleSet &Rules,
                       RewriteOptions Opts = {});
 

@@ -34,6 +34,21 @@ double CostModel::roofline(double Flops, double Bytes,
   return std::max(Compute, Memory) + Device.LaunchOverhead;
 }
 
+bool CostModel::hasSpecializedCost(std::string_view OpName,
+                                   std::string_view OpClass) {
+  // Mirrors the branch chain in nodeCost below; keep the two in sync.
+  static constexpr std::string_view Known[] = {
+      "MatMul",  "GemmEpilog", "GemmBiasEpilog", "cublasMM_xyT_f32",
+      "cublasMM_xyT_i8", "FMHA", "FMHAMasked",   "Conv2D",
+      "ConvEpilog", "Softmax",  "LayerNorm",     "BatchNorm",
+      "Trans",   "Gelu",       "Erf",            "MaxPool",
+      "AvgPool", "GlobalAvgPool", "Flatten",     "Reshape"};
+  for (std::string_view K : Known)
+    if (OpName == K)
+      return true;
+  return OpClass == "fused";
+}
+
 KernelCost CostModel::nodeCost(const Graph &G, NodeId N) const {
   KernelCost C;
   if (G.inputs(N).empty())

@@ -68,6 +68,12 @@ public:
   /// Cost of the kernel implementing one node. Leaves cost nothing.
   KernelCost nodeCost(const graph::Graph &G, graph::NodeId N) const;
 
+  /// Whether nodeCost prices operator \p OpName (of class \p OpClass) with
+  /// a dedicated branch, as opposed to the generic untuned-elementwise
+  /// fallback. The rule-set linter flags RHS operators priced generically.
+  static bool hasSpecializedCost(std::string_view OpName,
+                                 std::string_view OpClass);
+
   /// Whole-graph inference time: sequential kernel launches over the live
   /// nodes (the per-iteration wall-clock the paper's benchmark scripts
   /// report).

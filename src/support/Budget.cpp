@@ -79,6 +79,8 @@ std::string_view pypm::engineStatusName(EngineStatusCode C) {
     return "budget-exhausted";
   case EngineStatusCode::Cancelled:
     return "cancelled";
+  case EngineStatusCode::LintRejected:
+    return "lint-rejected";
   }
   return "completed";
 }

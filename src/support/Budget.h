@@ -106,15 +106,18 @@ private:
 };
 
 /// Structured outcome of a governed engine run, most severe first:
-/// Cancelled > BudgetExhausted > FaultInjected > PatternQuarantined >
-/// Completed. raise() only ever escalates, so any interleaving of events
-/// reports the most severe one.
+/// LintRejected > Cancelled > BudgetExhausted > FaultInjected >
+/// PatternQuarantined > Completed. raise() only ever escalates, so any
+/// interleaving of events reports the most severe one.
 enum class EngineStatusCode : uint8_t {
   Completed,
   PatternQuarantined, ///< completed, but some patterns were disabled
   FaultInjected,      ///< a fault was absorbed (and possibly halted the run)
   BudgetExhausted,
   Cancelled,
+  /// The RewriteOptions::Lint preflight found error-severity findings and
+  /// refused the run; the graph was not touched.
+  LintRejected,
 };
 
 std::string_view engineStatusName(EngineStatusCode C);

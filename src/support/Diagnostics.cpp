@@ -18,15 +18,21 @@ std::string Diagnostic::render() const {
   }
   switch (Sev) {
   case Severity::Note:
-    Out += "note: ";
+    Out += "note";
     break;
   case Severity::Warning:
-    Out += "warning: ";
+    Out += "warning";
     break;
   case Severity::Error:
-    Out += "error: ";
+    Out += "error";
     break;
   }
+  if (!Code.empty()) {
+    Out += '[';
+    Out += Code;
+    Out += ']';
+  }
+  Out += ": ";
   Out += Message;
   return Out;
 }

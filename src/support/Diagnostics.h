@@ -31,6 +31,10 @@ enum class Severity { Note, Warning, Error };
 struct Diagnostic {
   Severity Sev = Severity::Error;
   SourceLoc Loc;
+  /// Stable machine-readable code, e.g. "sema.unknown-identifier" or
+  /// "analysis.shadowed-rule". Empty for legacy emitters; rendering is
+  /// byte-identical to the pre-code format when empty.
+  std::string Code;
   std::string Message;
 
   std::string render() const;
@@ -40,15 +44,29 @@ struct Diagnostic {
 /// per compilation.
 class DiagnosticEngine {
 public:
+  void report(Severity Sev, SourceLoc Loc, std::string Code,
+              std::string Message) {
+    Diags.push_back({Sev, Loc, std::move(Code), std::move(Message)});
+    if (Sev == Severity::Error)
+      ++NumErrors;
+  }
   void error(SourceLoc Loc, std::string Message) {
-    Diags.push_back({Severity::Error, Loc, std::move(Message)});
-    ++NumErrors;
+    report(Severity::Error, Loc, {}, std::move(Message));
+  }
+  void error(SourceLoc Loc, std::string Code, std::string Message) {
+    report(Severity::Error, Loc, std::move(Code), std::move(Message));
   }
   void warning(SourceLoc Loc, std::string Message) {
-    Diags.push_back({Severity::Warning, Loc, std::move(Message)});
+    report(Severity::Warning, Loc, {}, std::move(Message));
+  }
+  void warning(SourceLoc Loc, std::string Code, std::string Message) {
+    report(Severity::Warning, Loc, std::move(Code), std::move(Message));
   }
   void note(SourceLoc Loc, std::string Message) {
-    Diags.push_back({Severity::Note, Loc, std::move(Message)});
+    report(Severity::Note, Loc, {}, std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Code, std::string Message) {
+    report(Severity::Note, Loc, std::move(Code), std::move(Message));
   }
 
   bool hasErrors() const { return NumErrors != 0; }

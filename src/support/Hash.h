@@ -61,6 +61,14 @@ private:
   uint64_t H = kOffsetBasis;
 };
 
+/// boost::hash_combine-style 64-bit mixing. For in-process hash tables
+/// (term hash-consing) where speed matters and the value never crosses a
+/// process boundary; persistent fingerprints use Fnv1aHash above instead.
+inline uint64_t hashCombine(uint64_t Seed, uint64_t V) {
+  Seed ^= V + 0x9e3779b97f4a7c15ULL + (Seed << 12) + (Seed >> 4);
+  return Seed;
+}
+
 } // namespace pypm
 
 #endif // PYPM_SUPPORT_HASH_H

@@ -2,6 +2,8 @@
 
 #include "term/Term.h"
 
+#include "support/Hash.h"
+
 #include <algorithm>
 #include <memory>
 
@@ -16,12 +18,6 @@ std::optional<int64_t> Term::storedAttr(Symbol Key) const {
   if (It != Attrs.end() && It->Key == Key)
     return It->Value;
   return std::nullopt;
-}
-
-static uint64_t hashCombine(uint64_t Seed, uint64_t V) {
-  // boost::hash_combine-style mixing with a 64-bit constant.
-  Seed ^= V + 0x9e3779b97f4a7c15ULL + (Seed << 12) + (Seed >> 4);
-  return Seed;
 }
 
 uint64_t TermArena::hashKey(const Key &K) {

@@ -88,8 +88,15 @@ TEST(Diagnostics, RenderIncludesLocation) {
 }
 
 TEST(Diagnostics, RenderWithoutLocation) {
-  Diagnostic Diag{Severity::Warning, SourceLoc(), "heads up"};
+  Diagnostic Diag{Severity::Warning, SourceLoc(), /*Code=*/{}, "heads up"};
   EXPECT_EQ(Diag.render(), "warning: heads up");
+}
+
+TEST(Diagnostics, RenderWithCode) {
+  Diagnostic Diag{Severity::Warning, SourceLoc{4, 2}, "analysis.vacuous-guard",
+                  "guard is always true"};
+  EXPECT_EQ(Diag.render(),
+            "4:2: warning[analysis.vacuous-guard]: guard is always true");
 }
 
 TEST(Diagnostics, RenderAllOnePerLine) {

@@ -53,4 +53,17 @@ echo "=== profiled-plan suites under TSan ==="
 ./build-ci-tsan/tests/pypm_tests \
   --gtest_filter='*PlanProfile*'
 
+# Static rule-set lint: the §4 std libraries and every shipped example rule
+# set must stay free of error-severity findings (pypmc lint exits 7 on any
+# error finding, failing the leg). Run under the ASan/UBSan build — the
+# guard solver's saturating interval arithmetic and the skeleton arena are
+# exactly where overflow/lifetime bugs would hide. The Analysis* gtest
+# suites re-run here too so the lint-on ≡ lint-off differential stays loud.
+echo "=== rule-set lint (std libraries + examples) under ASan/UBSan ==="
+./build-ci-asan/tools/pypmc lint --std
+for RS in examples/rulesets/*.pypm; do
+  ./build-ci-asan/tools/pypmc lint "$RS"
+done
+./build-ci-asan/tests/pypm_tests --gtest_filter='Analysis*:*LintDifferential*'
+
 echo "=== ci.sh: all green ==="

@@ -23,8 +23,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analysis.h"
 #include "dsl/Sema.h"
 #include "graph/GraphIO.h"
+#include "opt/StdPatterns.h"
 #include "graph/ShapeInference.h"
 #include "match/Derivation.h"
 #include "match/Machine.h"
@@ -55,6 +57,9 @@ int usage() {
                "-o <file.pypmplan> [--emit-plan]\n"
                "                     [--profile=<file.pypmprof>]\n"
                "       pypmc check   <file.pypm>\n"
+               "       pypmc lint    <file.pypm|file.pypmbin|file.pypmplan> "
+               "[--json] [--notes]\n"
+               "       pypmc lint    --std [--json] [--notes]\n"
                "       pypmc dump    <file.pypmbin>\n"
                "       pypmc match   <file.pypm|file.pypmbin> <Pattern> "
                "<term> [--trace] [--explain]\n"
@@ -63,13 +68,16 @@ int usage() {
                "                     [--budget-ms M] [--max-steps N] "
                "[--stats-json]\n"
                "                     [--matcher=machine|fast|plan] "
-               "[--emit-plan]\n"
+               "[--emit-plan] [--lint]\n"
                "                     [--profile-out=<file.pypmprof>]\n"
                "       pypmc cost    <graph.pypmg>\n"
                "rewrite exit codes: 0 ok, 1 load error, 2 usage, 3 budget "
                "exhausted,\n"
                "                    4 cancelled, 5 patterns quarantined, "
-               "6 fault injected\n");
+               "6 fault injected,\n"
+               "                    7 lint rejected (--lint)\n"
+               "lint exit codes:    0 no errors, 1 load error, 2 usage, "
+               "7 error findings\n");
   return 2;
 }
 
@@ -235,6 +243,104 @@ int cmdCheck(int Argc, char **Argv) {
   return 0;
 }
 
+/// Renders one lint report (human or JSON) and folds its error count into
+/// the caller's exit decision.
+void printLintReport(const char *Subject, const analysis::LintReport &Report,
+                     bool Json, unsigned &TotalErrors) {
+  TotalErrors += Report.Errors;
+  if (Json) {
+    std::printf("{\"subject\":\"%s\",\"report\":%s}\n", Subject,
+                Report.json().c_str());
+    return;
+  }
+  std::printf("== %s ==\n%s", Subject, Report.renderAll().c_str());
+}
+
+int cmdLint(int Argc, char **Argv) {
+  bool Json = false, Notes = false, Std = false;
+  const char *In = nullptr;
+  for (int I = 0; I != Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0)
+      Json = true;
+    else if (std::strcmp(Argv[I], "--notes") == 0)
+      Notes = true;
+    else if (std::strcmp(Argv[I], "--std") == 0)
+      Std = true;
+    else if (!In)
+      In = Argv[I];
+    else
+      return usage();
+  }
+  if (Std == (In != nullptr))
+    return usage();
+
+  // --notes additionally reports RHS operators the default shape-inference
+  // rules and the analytic cost model only cover generically.
+  graph::ShapeInference SI;
+  analysis::LintOptions LOpts;
+  if (Notes) {
+    LOpts.Shapes = &SI;
+    LOpts.CostModelNotes = true;
+  }
+
+  unsigned TotalErrors = 0;
+  if (Std) {
+    // The five §4 libraries, each compiled against its own signature, in
+    // the order makePipeline assembles them.
+    struct StdLib {
+      const char *Name;
+      std::unique_ptr<pattern::Library> (*Compile)(term::Signature &);
+    };
+    static const StdLib Libs[] = {
+        {"fmha", opt::compileFmha},         {"epilog", opt::compileEpilog},
+        {"cublas", opt::compileCublas},     {"unarychain", opt::compileUnaryChain},
+        {"partition", opt::compilePartition},
+    };
+    for (const StdLib &L : Libs) {
+      term::Signature Sig;
+      std::unique_ptr<pattern::Library> Lib = L.Compile(Sig);
+      if (!Lib) {
+        std::fprintf(stderr, "pypmc: internal error compiling std library "
+                             "'%s'\n",
+                     L.Name);
+        return 1;
+      }
+      printLintReport(L.Name, analysis::lintLibrary(*Lib, Sig, LOpts), Json,
+                      TotalErrors);
+    }
+    // The assembled Both pipeline adds the cross-library rule order.
+    term::Signature Sig;
+    opt::Pipeline Pipe = opt::makePipeline(Sig, opt::OptConfig::Both);
+    printLintReport("pipeline:both",
+                    analysis::lintRuleSet(Pipe.Rules, Sig, LOpts), Json,
+                    TotalErrors);
+    return TotalErrors ? 7 : 0;
+  }
+
+  term::Signature Sig;
+  std::string Bytes;
+  if (!readFile(In, Bytes))
+    return 1;
+  if (looksLikePlan(Bytes)) {
+    DiagnosticEngine PlanDiags;
+    std::unique_ptr<plan::LoadedPlan> LP =
+        plan::deserializePlan(Bytes, Sig, PlanDiags);
+    if (!LP) {
+      std::fprintf(stderr, "%s", PlanDiags.renderAll().c_str());
+      return 1;
+    }
+    printLintReport(In, analysis::lintRuleSet(LP->Rules, Sig, LOpts), Json,
+                    TotalErrors);
+  } else {
+    std::unique_ptr<pattern::Library> Lib = load(In, Sig);
+    if (!Lib)
+      return 1;
+    printLintReport(In, analysis::lintLibrary(*Lib, Sig, LOpts), Json,
+                    TotalErrors);
+  }
+  return TotalErrors ? 7 : 0;
+}
+
 int cmdDump(int Argc, char **Argv) {
   if (Argc != 1)
     return usage();
@@ -370,6 +476,8 @@ int exitCodeFor(const EngineStatus &S) {
     return 3;
   case EngineStatusCode::Cancelled:
     return 4;
+  case EngineStatusCode::LintRejected:
+    return 7;
   }
   return 0;
 }
@@ -380,7 +488,7 @@ int cmdRewrite(int Argc, char **Argv) {
   unsigned Threads = 0;
   double BudgetMs = 0;
   uint64_t MaxSteps = 0;
-  bool StatsJson = false, EmitPlan = false;
+  bool StatsJson = false, EmitPlan = false, Lint = false;
   std::optional<rewrite::MatcherKind> Matcher;
   for (int I = 0; I != Argc; ++I) {
     if (std::strcmp(Argv[I], "-o") == 0 && I + 1 != Argc)
@@ -397,6 +505,8 @@ int cmdRewrite(int Argc, char **Argv) {
       StatsJson = true;
     else if (std::strcmp(Argv[I], "--emit-plan") == 0)
       EmitPlan = true;
+    else if (std::strcmp(Argv[I], "--lint") == 0)
+      Lint = true;
     else if (std::strncmp(Argv[I], "--matcher=", 10) == 0) {
       const char *V = Argv[I] + 10;
       if (std::strcmp(V, "machine") == 0)
@@ -461,6 +571,7 @@ int cmdRewrite(int Argc, char **Argv) {
   rewrite::RewriteOptions Opts;
   Opts.NumThreads = Threads;
   Opts.Matcher = Matcher;
+  Opts.Lint = Lint;
 
   // A plan compiled here (or loaded above) serves both --emit-plan and the
   // engine's PrecompiledPlan fast path.
@@ -576,6 +687,8 @@ int main(int Argc, char **Argv) {
     return cmdCompilePlan(Argc - 2, Argv + 2);
   if (std::strcmp(Cmd, "check") == 0)
     return cmdCheck(Argc - 2, Argv + 2);
+  if (std::strcmp(Cmd, "lint") == 0)
+    return cmdLint(Argc - 2, Argv + 2);
   if (std::strcmp(Cmd, "dump") == 0)
     return cmdDump(Argc - 2, Argv + 2);
   if (std::strcmp(Cmd, "match") == 0)
