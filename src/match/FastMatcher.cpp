@@ -9,6 +9,10 @@ using namespace pypm::match;
 using namespace pypm::pattern;
 
 MachineStatus FastMatcher::match(const Pattern *P, term::TermRef T) {
+  // Cells from a previous attempt are unreachable once Cont and Choices
+  // reset below; dropping them keeps a reused (batch-mode) matcher's
+  // footprint proportional to one attempt, not the whole batch.
+  Cells.clear();
   Theta.clear();
   Phi.clear();
   ThetaTrail.clear();
@@ -247,6 +251,16 @@ MachineStatus FastMatcher::stepMatch(const Pattern *P, term::TermRef T) {
   }
   assert(false && "unknown pattern kind");
   return MachineStatus::Failure;
+}
+
+MatchResult FastMatcher::matchOne(const Pattern *P, term::TermRef T) {
+  MachineStatus S = match(P, T);
+  MatchResult R;
+  R.Status = S;
+  if (S == MachineStatus::Success)
+    R.W = witness();
+  R.Stats = stats();
+  return R;
 }
 
 MatchResult FastMatcher::run(const Pattern *P, term::TermRef T,

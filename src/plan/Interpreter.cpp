@@ -18,6 +18,10 @@ using namespace pypm::pattern;
 
 MachineStatus Interpreter::matchEntry(size_t EntryIdx, term::TermRef T) {
   assert(EntryIdx < Prog.Entries.size() && "entry index out of range");
+  // Cells from a previous attempt are unreachable once Cont and Choices
+  // reset below; dropping them keeps a reused (batch-mode) interpreter's
+  // footprint proportional to one attempt, not the whole batch.
+  Cells.clear();
   Theta.clear();
   Phi.clear();
   ThetaTrail.clear();
@@ -376,6 +380,16 @@ MachineStatus Interpreter::stepMatchDyn(const Pattern *P, term::TermRef T) {
   }
   assert(false && "unknown pattern kind");
   return MachineStatus::Failure;
+}
+
+MatchResult Interpreter::matchOne(size_t EntryIdx, term::TermRef T) {
+  MachineStatus S = matchEntry(EntryIdx, T);
+  MatchResult R;
+  R.Status = S;
+  if (S == MachineStatus::Success)
+    R.W = witness();
+  R.Stats = stats();
+  return R;
 }
 
 MatchResult Interpreter::run(const Program &Prog, size_t EntryIdx,

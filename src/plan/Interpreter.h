@@ -47,6 +47,18 @@ public:
   /// substitution; returns the terminal status.
   match::MachineStatus matchEntry(size_t EntryIdx, term::TermRef T);
 
+  /// Batch mode: one attempt on a *reused* interpreter, as run() but
+  /// without constructing a fresh instance. Per-attempt state resets;
+  /// what persists — the Scratch pattern arena, the μ-unfold memo keyed on
+  /// the arena-interned μ nodes, and container capacity — is exactly the
+  /// state that cannot change an outcome: a memo hit still pays its
+  /// unfold step and μ-budget decrement, it only skips re-cloning the
+  /// body. Every counter, status, and visible binding is therefore
+  /// bit-identical to a fresh run()'s; only allocation and unfold
+  /// construction are amortized across the batch
+  /// (tests/test_incremental.cpp pins the parity per attempt).
+  match::MatchResult matchOne(size_t EntryIdx, term::TermRef T);
+
   /// Continues the search past the previous success.
   match::MachineStatus resume();
 

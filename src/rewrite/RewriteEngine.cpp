@@ -187,6 +187,21 @@ struct NodeDiscovery {
   bool Traced = false;
 };
 
+/// Reused matcher instances for batch mode (RewriteOptions::Batch), one
+/// set per term arena: the serial/commit path owns one against the
+/// engine arena, each discovery worker owns one against its private
+/// arena. Reuse amortizes matcher construction — the scratch pattern
+/// arena, the μ-unfold memo, container capacity — across every attempt
+/// issued against that arena; see Interpreter::matchOne and
+/// FastMatcher::matchOne for why reuse is observationally identical to
+/// fresh construction (every counter, status, and visible binding
+/// matches). The reference Machine is deliberately left un-batched: it
+/// is the semantic yardstick, not a production path.
+struct BatchMatchers {
+  std::unique_ptr<plan::Interpreter> Interp;
+  std::unique_ptr<match::FastMatcher> Fast;
+};
+
 class Engine {
 public:
   Engine(Graph &G, const RuleSet &Rules, const graph::ShapeInference *SI,
@@ -230,6 +245,10 @@ public:
       Opts.MachineOpts.EngineBudget = Bgt;
     }
     Faults = Opts.Faults ? Opts.Faults : FaultInjector::global();
+    // The batched frontier sweep replaces per-node discrimination-tree
+    // walks; it only exists where those walks exist. Matcher *reuse* (the
+    // other half of batch mode) keys off Opts.Batch alone.
+    BatchActive = Opts.Batch && MK == MatcherKind::Plan && Opts.UseRootIndex;
     return Opts.NumThreads == 0 ? runSerial(RewriteMode)
                                 : runParallel(RewriteMode);
   }
@@ -243,6 +262,7 @@ private:
     graph::TermView View;
     std::vector<PatternStats> Entry;
     std::vector<uint8_t> Cand; ///< per-node plan candidate mask scratch
+    BatchMatchers Batch;       ///< reused matchers (batch mode only)
 
     WorkerCtx(const Graph &G, size_t NumEntries)
         : Arena(G.signature()), View(G, Arena), Entry(NumEntries) {}
@@ -281,6 +301,39 @@ private:
   std::vector<uint32_t> FuelExhausts;
   /// Set once when the run must halt; sticky. None while running.
   BudgetReason Stop = BudgetReason::None;
+
+  // --- Incremental re-discovery (RewriteOptions::Incremental) ---------
+  /// Cross-pass match memo, indexed by node id: the attempt sequence of
+  /// the node's last *fruitless* clean visit. Valid entries are replayed
+  /// (counters copied, budget charged, quarantine advanced — exactly the
+  /// parallel commit's clean-node replay) instead of re-running matchers.
+  /// Invalidation is the dirty region of each fire: markUsersDirty clears
+  /// the bit for every transitive user of the fired node, whose tree
+  /// unrollings are the only ones the fire can change.
+  std::vector<NodeDiscovery> Memo;
+  std::vector<uint8_t> MemoValid;
+  /// Recording target while a visitAndRecord live visit is running (null
+  /// otherwise); RecDead poisons the record the moment the visit does
+  /// anything a replay could not reproduce (guard evaluation, rule fire,
+  /// fault absorption).
+  NodeDiscovery *Rec = nullptr;
+  bool RecDead = false;
+
+  // --- Batched discovery (RewriteOptions::Batch) ----------------------
+  /// True when the per-pass frontier sweep is on (Batch + Plan matcher +
+  /// root index). Masks are per pass: BatchRoots lists the swept nodes,
+  /// BatchRows maps node id -> row (UINT32_MAX when unswept), BatchMasks
+  /// holds one candidates() row per root (stride = numEntries()), and
+  /// BatchRowValid drops rows whose node's unrolling a mid-pass fire
+  /// changed (they fall back to a live per-node walk).
+  bool BatchActive = false;
+  std::vector<NodeId> BatchRoots;
+  std::vector<uint32_t> BatchRows;
+  std::vector<uint8_t> BatchMasks;
+  std::vector<uint8_t> BatchRowValid;
+  std::vector<plan::TraversalTrace> BatchTraces;
+  /// Reused matchers for the serial visit / commit path (batch mode).
+  BatchMatchers SerialBatch;
 
   bool halted() const { return Stop != BudgetReason::None; }
 
@@ -328,6 +381,28 @@ private:
     BudgetReason R = Bgt->exceededCeiling();
     if (R != BudgetReason::None)
       halt(R);
+  }
+
+  /// Memo accounting, committed order only: a hit is a node replayed from
+  /// the memo, a miss is any other committed node while incremental mode
+  /// is on. Mirrored into the budget so governed runs report the matcher
+  /// work the memo replaced next to the work that remained.
+  void noteMemoHit() {
+    ++Stats.MemoHits;
+    if (Bgt)
+      Bgt->chargeMemoHit();
+  }
+  void noteMemoMiss() {
+    ++Stats.MemoMisses;
+    if (Bgt)
+      Bgt->chargeMemoMiss();
+  }
+
+  void ensureMemoSize() {
+    if (Memo.size() < G.numNodes()) {
+      Memo.resize(G.numNodes());
+      MemoValid.resize(G.numNodes(), 0);
+    }
   }
 
   void quarantineEntry(size_t I, const char *Why) {
@@ -392,6 +467,7 @@ private:
     while (Changed && Stats.Passes < Opts.MaxPasses && !halted()) {
       Changed = false;
       ++Stats.Passes;
+      prepareBatchMasks();
       if (Opts.Order == Traversal::OperandsFirst) {
         // Ascending ids visit operands before users; replacement nodes
         // appended mid-pass are picked up within the same pass.
@@ -401,7 +477,7 @@ private:
           if (shouldStop())
             break;
           ++Stats.NodesVisited;
-          if (visitNode(N, RewriteMode))
+          if (processSerialNode(N, RewriteMode))
             Changed = true;
         }
       } else {
@@ -416,7 +492,7 @@ private:
           if (shouldStop())
             break;
           ++Stats.NodesVisited;
-          if (visitNode(N, RewriteMode))
+          if (processSerialNode(N, RewriteMode))
             Changed = true;
         }
       }
@@ -424,6 +500,20 @@ private:
         break; // match-only: a single traversal
     }
     return finish(Start);
+  }
+
+  /// Serial per-node dispatch: replay the cross-pass memo when it is
+  /// valid, otherwise visit live (recording a fresh memo in incremental
+  /// mode). With incremental off this is exactly visitNode.
+  bool processSerialNode(NodeId N, bool RewriteMode) {
+    if (!Opts.Incremental)
+      return visitNode(N, RewriteMode);
+    if (N < MemoValid.size() && MemoValid[N]) {
+      noteMemoHit();
+      return replayMemo(N, RewriteMode);
+    }
+    noteMemoMiss();
+    return visitAndRecord(N, RewriteMode);
   }
 
   RewriteStats runParallel(bool RewriteMode) {
@@ -443,17 +533,28 @@ private:
       // may grow the live set mid-pass).
       const size_t SnapshotSize = G.numNodes();
       QSnapshot = Quarantined;
+      prepareBatchMasks();
+      // Memo-valid nodes need no speculative discovery: the commit phase
+      // replays their recorded attempts directly, so incremental mode
+      // drops them from the work list (the discovery fan-out shrinks to
+      // the dirty region plus new nodes).
+      auto NeedsDiscovery = [&](NodeId N) {
+        return !(Opts.Incremental && N < MemoValid.size() && MemoValid[N]);
+      };
       std::vector<NodeId> Work;
       std::vector<NodeId> RootsOrder; // RootsFirst commit order
       if (Opts.Order == Traversal::OperandsFirst) {
         Work.reserve(SnapshotSize);
         for (NodeId N = 0; N < SnapshotSize; ++N)
-          if (!G.isDead(N))
+          if (!G.isDead(N) && NeedsDiscovery(N))
             Work.push_back(N);
       } else {
         std::vector<NodeId> Topo = G.topoOrder();
         RootsOrder.assign(Topo.rbegin(), Topo.rend());
-        Work = RootsOrder;
+        Work.reserve(RootsOrder.size());
+        for (NodeId N : RootsOrder)
+          if (NeedsDiscovery(N))
+            Work.push_back(N);
       }
 
       // Parallel discovery over the frozen snapshot. A task that throws
@@ -487,7 +588,28 @@ private:
           Stats.Discovery[entryName(Rules.entries()[I])].merge(Ctx->Entry[I]);
 
       // Serial commit in the canonical order; fires invalidate via Dirty.
+      // Per node: a still-valid memo is replayed (incremental hit), a
+      // clean discovered record is replayed via commitNode (and adopted
+      // as the node's memo when it proved the node fruitless), and a
+      // dirty or post-snapshot node is visited live — recording a fresh
+      // memo, exactly as the serial engine would at this point.
       Dirty.assign(SnapshotSize, 0);
+      auto CommitOne = [&](NodeId N, bool Clean) {
+        if (Clean && Opts.Incremental && N < MemoValid.size() &&
+            MemoValid[N]) {
+          noteMemoHit();
+          return replayMemo(N, RewriteMode);
+        }
+        if (Opts.Incremental)
+          noteMemoMiss();
+        if (Clean) {
+          bool Fired = commitNode(N, Disc[N], RewriteMode);
+          maybeStoreMemo(N, Disc[N], Fired);
+          return Fired;
+        }
+        return Opts.Incremental ? visitAndRecord(N, RewriteMode)
+                                : visitNode(N, RewriteMode);
+      };
       if (Opts.Order == Traversal::OperandsFirst) {
         for (NodeId N = 0; N < G.numNodes(); ++N) {
           if (G.isDead(N))
@@ -495,10 +617,7 @@ private:
           if (shouldStop())
             break;
           ++Stats.NodesVisited;
-          bool Fired = (N < SnapshotSize && !Dirty[N])
-                           ? commitNode(N, Disc[N], RewriteMode)
-                           : visitNode(N, RewriteMode);
-          if (Fired)
+          if (CommitOne(N, N < SnapshotSize && !Dirty[N]))
             Changed = true;
         }
       } else {
@@ -508,9 +627,7 @@ private:
           if (shouldStop())
             break;
           ++Stats.NodesVisited;
-          bool Fired = !Dirty[N] ? commitNode(N, Disc[N], RewriteMode)
-                                 : visitNode(N, RewriteMode);
-          if (Fired)
+          if (CommitOne(N, !Dirty[N]))
             Changed = true;
         }
       }
@@ -580,14 +697,31 @@ private:
   /// attempt/match counters into: the serial visit passes the armed
   /// profile, discovery workers always pass nullptr (committed order only
   /// — commitNode replays the counters from the attempt records instead).
+  /// \p BM, when non-null (batch mode), supplies reused matcher instances
+  /// for \p A — constructed on first use, then amortized across every
+  /// attempt against that arena; the reference Machine always runs fresh.
   MatchResult runMatcher(size_t EntryIdx, const RewriteEntry &E,
                          term::TermRef T, const term::TermArena &A,
-                         plan::Profile *RecProf = nullptr) const {
+                         plan::Profile *RecProf = nullptr,
+                         BatchMatchers *BM = nullptr) const {
     switch (MK) {
     case MatcherKind::Plan:
+      if (BM) {
+        if (!BM->Interp)
+          BM->Interp = std::make_unique<plan::Interpreter>(*Plan, A,
+                                                           Opts.MachineOpts);
+        BM->Interp->setProfile(RecProf);
+        return BM->Interp->matchOne(EntryIdx, T);
+      }
       return plan::Interpreter::run(*Plan, EntryIdx, T, A, Opts.MachineOpts,
                                     RecProf);
     case MatcherKind::Fast:
+      if (BM) {
+        if (!BM->Fast)
+          BM->Fast =
+              std::make_unique<match::FastMatcher>(A, Opts.MachineOpts);
+        return BM->Fast->matchOne(E.Pattern->Pat, T);
+      }
       return match::FastMatcher::run(E.Pattern->Pat, T, A, Opts.MachineOpts);
     case MatcherKind::Machine:
       break;
@@ -616,9 +750,18 @@ private:
     // One tree traversal covers every entry. When profiling, capture its
     // trace in the node record: the commit phase merges it (clean nodes)
     // or discards it (dirty nodes re-traverse live) — never this thread.
+    // Batch mode reads the pass-start sweep's row instead (same mask, same
+    // trace sets; rows are immutable during discovery, so concurrent reads
+    // are safe).
     const bool TraceIt = Prof && Opts.UseRootIndex;
-    planCandidates(N, W.Cand, TraceIt ? &D.Trace : nullptr);
-    D.Traced = TraceIt;
+    if (BatchActive && batchMaskFor(N, W.Cand)) {
+      if (TraceIt)
+        D.Trace = BatchTraces[BatchRows[N]];
+      D.Traced = TraceIt;
+    } else {
+      planCandidates(N, W.Cand, TraceIt ? &D.Trace : nullptr);
+      D.Traced = TraceIt;
+    }
     for (size_t I = 0; I != Entries.size(); ++I) {
       if (QSnapshot[I])
         continue;
@@ -639,7 +782,8 @@ private:
         if (Faults && Faults->atAttemptSite(Stats.Passes, N, I))
           throw InjectedFault("injected fault: attempt site");
         term::TermRef T = W.View.termFor(N);
-        MR = runMatcher(I, E, T, W.Arena);
+        MR = runMatcher(I, E, T, W.Arena, nullptr,
+                        Opts.Batch ? &W.Batch : nullptr);
       } catch (...) {
         W.View.invalidate();
         A.Kind = AttemptKind::Threw;
@@ -760,6 +904,172 @@ private:
     return false;
   }
 
+  /// Batch mode, once per pass: one frontier sweep of the discrimination
+  /// tree computes the candidate masks of every live node at once
+  /// (Program::batchCandidates), instead of one depth-first walk per
+  /// node. Row I is byte-for-byte candidates(BatchRoots[I]), so every
+  /// skip decision — and every RootSkips counter — is unchanged; only the
+  /// traversal schedule is. Incremental mode skips memo-valid nodes: a
+  /// replay never consults a candidate mask (and a replay that falls back
+  /// to a live visit walks the tree per-node, as the row-invalid path
+  /// does).
+  void prepareBatchMasks() {
+    if (!BatchActive)
+      return;
+    BatchRoots.clear();
+    const size_t NumNodes = G.numNodes();
+    BatchRows.assign(NumNodes, UINT32_MAX);
+    for (NodeId N = 0; N < NumNodes; ++N) {
+      if (G.isDead(N))
+        continue;
+      if (Opts.Incremental && N < MemoValid.size() && MemoValid[N])
+        continue;
+      BatchRows[N] = static_cast<uint32_t>(BatchRoots.size());
+      BatchRoots.push_back(N);
+    }
+    Plan->batchCandidates(G, BatchRoots, BatchMasks,
+                          Prof ? &BatchTraces : nullptr);
+    BatchRowValid.assign(BatchRoots.size(), 1);
+    Stats.BatchedNodes += BatchRoots.size();
+  }
+
+  /// Copies node \p N's batch-swept candidate row into \p Mask. False when
+  /// the node has no still-valid row (unswept, post-sweep, or dirtied by a
+  /// mid-pass fire) — the caller walks the tree live instead.
+  bool batchMaskFor(NodeId N, std::vector<uint8_t> &Mask) const {
+    if (N >= BatchRows.size())
+      return false;
+    uint32_t Row = BatchRows[N];
+    if (Row == UINT32_MAX || !BatchRowValid[Row])
+      return false;
+    const size_t NE = Plan->numEntries();
+    const uint8_t *Src = BatchMasks.data() + size_t(Row) * NE;
+    Mask.assign(Src, Src + NE);
+    return true;
+  }
+
+  void invalidateBatchRow(NodeId N) {
+    if (N < BatchRows.size()) {
+      uint32_t Row = BatchRows[N];
+      if (Row != UINT32_MAX)
+        BatchRowValid[Row] = 0;
+    }
+  }
+
+  /// Live visit of \p N that records the attempt sequence into the
+  /// cross-pass memo. Only a *fruitless* clean visit is adopted: every
+  /// attempt ended RootSkip / NoMatch / MatchNoRules, no fault was
+  /// absorbed, no guard ran (guard evaluation advances the global
+  /// fault-injection counter, so a replay skipping it would desynchronize
+  /// fault schedules), and the run was not halted mid-visit. Anything
+  /// else leaves the memo invalid and the node is revisited live next
+  /// pass — exactly the full-rescan behavior.
+  bool visitAndRecord(NodeId N, bool RewriteMode) {
+    ensureMemoSize();
+    NodeDiscovery &D = Memo[N];
+    D = NodeDiscovery();
+    MemoValid[N] = 0;
+    Rec = &D;
+    RecDead = false;
+    bool Fired = visitNode(N, RewriteMode);
+    Rec = nullptr;
+    if (!Fired && !RecDead && !halted()) {
+      D.Complete = true;
+      MemoValid[N] = 1;
+    }
+    return Fired;
+  }
+
+  /// Adopts a clean parallel-discovery record as node \p N's cross-pass
+  /// memo when it proves the node fruitless — the same bar
+  /// visitAndRecord applies on the serial path. Terminal records
+  /// (MatchWithRules, Threw) are refused even when nothing fired at
+  /// commit time (a guard rejection or absorbed fault is not replayable).
+  void maybeStoreMemo(NodeId N, NodeDiscovery &D, bool Fired) {
+    if (!Opts.Incremental || Fired || halted() || !D.Complete)
+      return;
+    for (const Attempt &A : D.Attempts)
+      if (A.Kind == AttemptKind::MatchWithRules ||
+          A.Kind == AttemptKind::Threw)
+        return;
+    ensureMemoSize();
+    Memo[N] = std::move(D);
+    MemoValid[N] = 1;
+  }
+
+  /// Replays node \p N's memoized fruitless visit in committed order:
+  /// counters copied, budget charged, quarantine advanced, recorded
+  /// traversal trace re-added — exactly commitNode's clean-node replay,
+  /// plus the one check a *cross-pass* record needs. The site-fault
+  /// schedule depends on the pass number, so every attempt the full
+  /// rescan would run re-consults it; an armed site invalidates the memo
+  /// and falls back to the live visit, which absorbs the fault at the
+  /// identical committed attempt. Entries quarantined since the record
+  /// was taken are skipped without counting (quarantine is sticky, so the
+  /// rescan would skip them at the same point). Replays never fire, so
+  /// the pass fixpoint is reached exactly when full rescanning reaches
+  /// it.
+  bool replayMemo(NodeId N, bool RewriteMode) {
+    const NodeDiscovery &D = Memo[N];
+    if (Prof && D.Traced)
+      Prof->addTrace(D.Trace);
+    const auto &Entries = Rules.entries();
+    for (const Attempt &A : D.Attempts) {
+      if (halted())
+        return false;
+      if (Quarantined[A.Entry])
+        continue;
+      if (A.Kind != AttemptKind::RootSkip && Faults &&
+          Faults->atAttemptSite(Stats.Passes, N, A.Entry)) {
+        MemoValid[N] = 0;
+        return visitNode(N, RewriteMode, A.Entry,
+                         /*RecordTraversal=*/!D.Traced);
+      }
+      const RewriteEntry &E = Entries[A.Entry];
+      PatternStats &PS = statsFor(E);
+      switch (A.Kind) {
+      case AttemptKind::RootSkip:
+        ++PS.RootSkips;
+        break;
+      case AttemptKind::NoMatch:
+        ++PS.Attempts;
+        PS.MachineSteps += A.Steps;
+        PS.Backtracks += A.Backtracks;
+        PS.Seconds += A.Seconds;
+        chargeAttempt(A.Steps, A.MuUnfolds);
+        if (Prof)
+          Prof->noteAttempt(A.Entry);
+        if (A.Fuel) {
+          ++PS.FuelExhausted;
+          noteFuelExhaust(A.Entry);
+        }
+        break;
+      case AttemptKind::MatchNoRules:
+        ++PS.Attempts;
+        PS.MachineSteps += A.Steps;
+        PS.Backtracks += A.Backtracks;
+        PS.Seconds += A.Seconds;
+        chargeAttempt(A.Steps, A.MuUnfolds);
+        if (Prof) {
+          Prof->noteAttempt(A.Entry);
+          Prof->noteMatch(A.Entry);
+        }
+        ++PS.Matches;
+        ++Stats.TotalMatches;
+        break;
+      case AttemptKind::MatchWithRules:
+      case AttemptKind::Threw:
+        // Unreachable: terminal records are never adopted as memos
+        // (visitAndRecord poisons them, maybeStoreMemo refuses them).
+        // Recover with a live visit all the same.
+        MemoValid[N] = 0;
+        return visitNode(N, RewriteMode, A.Entry,
+                         /*RecordTraversal=*/!D.Traced);
+      }
+    }
+    return false;
+  }
+
   /// Tries each pattern from \p StartEntry in order at node N; on a match
   /// fires the first rule whose guard passes. Absorbs any exception thrown
   /// by the matcher, a guard, or the RHS builder (see onAttemptFault).
@@ -770,10 +1080,26 @@ private:
                  bool RecordTraversal = true) {
     const auto &Entries = Rules.entries();
     // One tree traversal covers every entry; when profiling, it is also
-    // one committed-order sample of group visits and edge hits.
-    if (Prof && Opts.UseRootIndex && RecordTraversal) {
+    // one committed-order sample of group visits and edge hits. Batch mode
+    // substitutes the pass-start sweep's row when still valid (identical
+    // mask and trace sets; a dirtied row falls back to the live walk).
+    const bool TraceIt = Prof && Opts.UseRootIndex && RecordTraversal;
+    if (BatchActive && batchMaskFor(N, CandMask)) {
+      if (TraceIt) {
+        const plan::TraversalTrace &BT = BatchTraces[BatchRows[N]];
+        Prof->addTrace(BT);
+        if (Rec) {
+          Rec->Trace = BT;
+          Rec->Traced = true;
+        }
+      }
+    } else if (TraceIt) {
       planCandidates(N, CandMask, &ScratchTrace);
       Prof->addTrace(ScratchTrace);
+      if (Rec) {
+        Rec->Trace = ScratchTrace;
+        Rec->Traced = true;
+      }
     } else {
       planCandidates(N, CandMask);
     }
@@ -786,6 +1112,12 @@ private:
       PatternStats &PS = statsFor(E);
       if (prefilteredOut(I, N, CandMask)) {
         ++PS.RootSkips;
+        if (Rec) {
+          Attempt A;
+          A.Entry = static_cast<uint32_t>(I);
+          A.Kind = AttemptKind::RootSkip;
+          Rec->Attempts.push_back(A);
+        }
         continue;
       }
 
@@ -795,13 +1127,16 @@ private:
         if (Faults && Faults->atAttemptSite(Stats.Passes, N, I))
           throw InjectedFault("injected fault: attempt site");
         term::TermRef T = View.termFor(N);
-        MR = runMatcher(I, E, T, Arena, Prof);
+        MR = runMatcher(I, E, T, Arena, Prof,
+                        Opts.Batch ? &SerialBatch : nullptr);
       } catch (const std::exception &Ex) {
         View.invalidate();
+        RecDead = true; // absorbed fault: not replayable
         onAttemptFault(I, Ex.what());
         continue;
       } catch (...) {
         View.invalidate();
+        RecDead = true;
         onAttemptFault(I, "unknown exception");
         continue;
       }
@@ -814,6 +1149,17 @@ private:
       Stats.MatchSeconds += Elapsed;
       chargeAttempt(MR.Stats.Steps, MR.Stats.MuUnfolds);
       if (S != MachineStatus::Success) {
+        if (Rec) {
+          Attempt A;
+          A.Entry = static_cast<uint32_t>(I);
+          A.Kind = AttemptKind::NoMatch;
+          A.Fuel = (S == MachineStatus::OutOfFuel);
+          A.Steps = MR.Stats.Steps;
+          A.Backtracks = MR.Stats.Backtracks;
+          A.MuUnfolds = MR.Stats.MuUnfolds;
+          A.Seconds = Elapsed;
+          Rec->Attempts.push_back(A);
+        }
         if (S == MachineStatus::OutOfFuel) {
           ++PS.FuelExhausted;
           noteFuelExhaust(I);
@@ -829,12 +1175,27 @@ private:
       ++PS.Matches;
       ++Stats.TotalMatches;
       if (!RewriteMode || E.Rules.empty()) {
+        if (Rec) {
+          Attempt A;
+          A.Entry = static_cast<uint32_t>(I);
+          A.Kind = AttemptKind::MatchNoRules;
+          A.Steps = MR.Stats.Steps;
+          A.Backtracks = MR.Stats.Backtracks;
+          A.MuUnfolds = MR.Stats.MuUnfolds;
+          A.Seconds = Elapsed;
+          Rec->Attempts.push_back(A);
+        }
         if (!Opts.MemoizeTermView)
           View.invalidate();
         continue;
       }
       if (halted())
         return false; // budget died charging this attempt: don't fire
+
+      // Rules are in play: guards and fires from here on are not
+      // replayable (guard evaluation advances the global fault counter),
+      // so the node's record is poisoned whether or not anything fires.
+      RecDead = true;
 
       bool Fired;
       try {
@@ -880,9 +1241,11 @@ private:
       NodeId Replacement = buildRhsImpl(G, View, R->Rhs, W, *SI, Faults);
       if (Replacement == graph::InvalidNode)
         continue; // RHS build failed (unbound var); try next rule
-      // Invalidate discovery results downstream of this fire *before* the
-      // user edges are redirected away.
-      if (!Dirty.empty())
+      // Invalidate discovery results, cross-pass memos, and batch-swept
+      // candidate rows downstream of this fire *before* the user edges
+      // are redirected away (afterwards the old users are unreachable
+      // from N).
+      if (!Dirty.empty() || Opts.Incremental || BatchActive)
         markUsersDirty(N);
       // Destructive replacement (§2): redirect all *existing* uses — the
       // replacement's own references to the matched value stay — then
@@ -901,10 +1264,15 @@ private:
   }
 
   /// Marks every transitive user of \p Root dirty: their tree unrollings
-  /// reach Root, so redirecting Root's uses changes what they match.
-  /// Conservative (already-committed users are marked too, harmlessly);
-  /// traverses through post-snapshot nodes but only snapshot ids carry a
-  /// bit — new nodes always take the serial path anyway.
+  /// reach Root, so redirecting Root's uses changes what they match —
+  /// and nothing else's unrolling changes, which makes this walk the
+  /// *exact* invalidation set for every cached match artifact. Three
+  /// caches honor it: the parallel commit's Dirty bits, the cross-pass
+  /// incremental memo (MemoValid), and the pass's batch-swept candidate
+  /// rows. Conservative (already-committed users are marked too,
+  /// harmlessly); traverses through post-snapshot nodes but only
+  /// snapshot ids carry a Dirty bit — new nodes always take the live
+  /// path anyway.
   void markUsersDirty(NodeId Root) {
     std::vector<uint8_t> Seen(G.numNodes(), 0);
     std::vector<NodeId> Stack{Root};
@@ -917,6 +1285,9 @@ private:
         Seen[U] = 1;
         if (U < Dirty.size())
           Dirty[U] = 1;
+        if (U < MemoValid.size())
+          MemoValid[U] = 0;
+        invalidateBatchRow(U);
         Stack.push_back(U);
       }
     }
@@ -966,6 +1337,11 @@ std::string RewriteStats::summary() const {
   Out += " matches=" + std::to_string(TotalMatches);
   Out += " fired=" + std::to_string(TotalFired);
   Out += " swept=" + std::to_string(NodesSwept);
+  if (MemoHits || MemoMisses)
+    Out += " memoHits=" + std::to_string(MemoHits) +
+           " memoMisses=" + std::to_string(MemoMisses);
+  if (BatchedNodes)
+    Out += " batched=" + std::to_string(BatchedNodes);
   char Buf[80];
   std::snprintf(Buf, sizeof(Buf),
                 " matchTime=%.3fms discoveryTime=%.3fms totalTime=%.3fms",

@@ -115,6 +115,24 @@ struct RewriteStats {
   /// fan-out phases (parallel engine) or, in the serial engine, the same
   /// value as MatchSeconds. The thread-sweep benches report this.
   double DiscoverySeconds = 0.0;
+  /// Incremental re-discovery accounting (RewriteOptions::Incremental;
+  /// both zero otherwise). A hit is one committed node whose fruitless
+  /// visit was replayed from the persistent per-node memo instead of
+  /// re-running the matchers; a miss is one committed node visited live
+  /// (first sight, dirty region, or unmemoizable outcome). Counted in
+  /// committed node order. Mode-descriptive — like DiscoverySeconds,
+  /// excluded from equality comparisons: when quarantine grows mid-pass,
+  /// the parallel engine can adopt a node's memo one pass later than the
+  /// serial engine (a discovery record truncated at a just-quarantined
+  /// entry is refused where the serial visit records past the skip), so
+  /// the hit/miss split may differ across thread counts even though every
+  /// committed outcome is identical.
+  uint64_t MemoHits = 0;
+  uint64_t MemoMisses = 0;
+  /// Nodes whose plan candidate mask came from a pass-start batched
+  /// frontier sweep instead of a per-node tree traversal
+  /// (RewriteOptions::Batch with the Plan matcher; 0 otherwise).
+  uint64_t BatchedNodes = 0;
   /// Structured outcome of the run: Completed, or the most severe of
   /// PatternQuarantined / FaultInjected / BudgetExhausted / Cancelled.
   /// Deterministic wherever the triggering ceilings are (step/μ/rewrite
@@ -200,6 +218,32 @@ struct RewriteOptions {
     return UseFastMatcher ? MatcherKind::Fast : MatcherKind::Machine;
   }
   Traversal Order = Traversal::OperandsFirst;
+  /// Incremental re-discovery: remember each node's complete, fruitless,
+  /// fault-free visit (the per-attempt outcome sequence) across passes and
+  /// replay it — copying counters, charging the budget, feeding quarantine
+  /// — instead of re-running the matchers, until a committed fire dirties
+  /// the node's region (the rewritten subtree's transitive users, computed
+  /// before the use edges are redirected) and invalidates the memo. Works
+  /// with every MatcherKind and thread count; results are bit-identical to
+  /// full re-discovery (final graph, witness order, every counter except
+  /// wall-clock and the MemoHits/MemoMisses accounting itself) — the
+  /// site-scheduled fault injector is re-consulted per replayed attempt,
+  /// and any armed site falls back to the live visit, so even injected
+  /// faults land at the identical committed attempt
+  /// (tests/test_incremental.cpp proves all of it differentially).
+  bool Incremental = false;
+  /// Batched discovery: amortize per-attempt setup across the pass. With
+  /// the Plan matcher, one struct-of-arrays frontier sweep of the
+  /// discrimination tree computes every pass-start node's candidate mask
+  /// at once (Program::batchCandidates) and one reused Interpreter — with
+  /// its μ-unfold memo keyed on the hash-consed pattern nodes — serves
+  /// every committed attempt; with the Fast matcher, one reused
+  /// FastMatcher serves every attempt (the parity mode, so differentials
+  /// stay three-way). Bit-identical to per-root discovery: a memo hit
+  /// still pays its unfold step, and a fire invalidates the dirty region's
+  /// precomputed masks exactly like the incremental memo. The reference
+  /// Machine is deliberately left un-batched.
+  bool Batch = false;
   /// Worker threads for the parallel match-discovery phase. 0 runs the
   /// serial legacy engine (kept for the ablation benches); N >= 1 fans
   /// node→pattern match attempts out over N workers against a frozen

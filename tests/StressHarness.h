@@ -119,12 +119,35 @@ inline StressOutcome runStressCase(uint64_t Seed,
   return Out;
 }
 
+/// One-line repro label for a stress comparison: names the seed and the
+/// thread counts (or any other varied knob) so a red assertion in a
+/// 50-seed × 5-thread-count sweep prints exactly which case to re-run,
+/// not just a pair of mismatched numbers.
+inline std::string stressRepro(uint64_t Seed, const std::string &What) {
+  return "seed=" + std::to_string(Seed) + " " + What;
+}
+inline std::string stressRepro(uint64_t Seed, unsigned ThreadsA,
+                               unsigned ThreadsB,
+                               const std::string &What = "") {
+  std::string R = "seed=" + std::to_string(Seed) +
+                  " threads=" + std::to_string(ThreadsA) + " vs " +
+                  std::to_string(ThreadsB);
+  if (!What.empty())
+    R += " " + What;
+  return R;
+}
+
 /// Everything observable must agree except wall-clock fields (and the
-/// parallel-only Discovery map). Status carries the whole failure
-/// taxonomy — code, reason, quarantine list, absorbed-fault count — so
-/// equality here is the bit-identical-governance claim.
+/// parallel-only Discovery map, plus the mode-descriptive memo/batch
+/// counters). Status carries the whole failure taxonomy — code, reason,
+/// quarantine list, absorbed-fault count — so equality here is the
+/// bit-identical-governance claim. \p Repro, when non-empty, scopes every
+/// assertion with the failing case's seed and thread count (see
+/// stressRepro) so sweep failures identify themselves.
 inline void expectOutcomesEqual(const StressOutcome &A,
-                                const StressOutcome &B) {
+                                const StressOutcome &B,
+                                const std::string &Repro = "") {
+  SCOPED_TRACE(Repro.empty() ? "stress-case" : Repro);
   EXPECT_EQ(A.GraphText, B.GraphText);
   const rewrite::RewriteStats &S = A.Stats, &P = B.Stats;
   EXPECT_EQ(S.Passes, P.Passes);

@@ -2,17 +2,24 @@
 ///
 /// \file
 /// Conveniences shared across the test suite: a fixture owning a Signature
-/// + TermArena + PatternArena, term parsing shorthands, and witness
-/// helpers.
+/// + TermArena + PatternArena, term parsing shorthands, witness helpers,
+/// and the zoo-differential scaffolding (runModel + the two engine-run
+/// equality bars) shared by the MatchPlan / PlanProfile / incremental
+/// suites.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PYPM_TESTS_TESTHELPERS_H
 #define PYPM_TESTS_TESTHELPERS_H
 
+#include "graph/GraphIO.h"
+#include "graph/ShapeInference.h"
 #include "match/Declarative.h"
 #include "match/Machine.h"
+#include "models/Zoo.h"
+#include "opt/StdPatterns.h"
 #include "pattern/Pattern.h"
+#include "rewrite/RewriteEngine.h"
 #include "term/TermParser.h"
 
 #include <gtest/gtest.h>
@@ -54,6 +61,95 @@ protected:
   term::TermArena Arena;
   pattern::PatternArena PA;
 };
+
+//===----------------------------------------------------------------------===//
+// Zoo-differential scaffolding (engine-level equivalence suites)
+//===----------------------------------------------------------------------===//
+
+/// One engine run's observables: the committed graph plus the stats.
+struct RunResult {
+  std::string GraphText;
+  rewrite::RewriteStats Stats;
+};
+
+/// Builds \p Model fresh and rewrites it to fixpoint under \p Opts with
+/// the standard pipeline (\p WithUnaryChain additionally loads the
+/// μ-recursive unary-chain library, the stress rule for deep unfolds).
+inline RunResult runModel(const models::ModelEntry &Model,
+                          rewrite::RewriteOptions Opts,
+                          bool WithUnaryChain = false) {
+  term::Signature Sig;
+  auto G = Model.Build(Sig);
+  opt::Pipeline Pipe = opt::makePipeline(Sig, opt::OptConfig::Both);
+  if (WithUnaryChain) {
+    Pipe.Libs.push_back(opt::compileUnaryChain(Sig));
+    Pipe.Rules.addLibrary(*Pipe.Libs.back());
+  }
+  RunResult R;
+  R.Stats = rewrite::rewriteToFixpoint(*G, Pipe.Rules,
+                                       graph::ShapeInference(), Opts);
+  R.GraphText = graph::writeGraphText(*G);
+  return R;
+}
+
+/// What MUST agree across matcher kinds: the committed rewrite sequence
+/// and everything derived from it. Attempt-shaped counters (Attempts,
+/// RootSkips, MachineSteps, Backtracks, FuelExhausted) legitimately differ
+/// — the tree prefilter skips attempts the root-op index would have
+/// started (see DESIGN.md §"MatchPlan").
+inline void expectSameRewrites(const RunResult &A, const RunResult &B,
+                               const std::string &Label) {
+  SCOPED_TRACE(Label);
+  EXPECT_EQ(A.GraphText, B.GraphText);
+  EXPECT_EQ(A.Stats.Passes, B.Stats.Passes);
+  EXPECT_EQ(A.Stats.NodesVisited, B.Stats.NodesVisited);
+  EXPECT_EQ(A.Stats.TotalMatches, B.Stats.TotalMatches);
+  EXPECT_EQ(A.Stats.TotalFired, B.Stats.TotalFired);
+  EXPECT_EQ(A.Stats.NodesSwept, B.Stats.NodesSwept);
+  EXPECT_EQ(A.Stats.Status, B.Stats.Status);
+  ASSERT_EQ(A.Stats.PerPattern.size(), B.Stats.PerPattern.size());
+  for (const auto &[Name, SP] : A.Stats.PerPattern) {
+    SCOPED_TRACE(Name);
+    auto It = B.Stats.PerPattern.find(Name);
+    ASSERT_NE(It, B.Stats.PerPattern.end());
+    EXPECT_EQ(SP.Matches, It->second.Matches);
+    EXPECT_EQ(SP.RulesFired, It->second.RulesFired);
+    EXPECT_EQ(SP.GuardRejects, It->second.GuardRejects);
+  }
+}
+
+/// What must agree between two runs of the *same* matcher kind (across
+/// thread counts, profiled orderings, or the batch/incremental discovery
+/// modes): every observable except wall-clock and the mode-descriptive
+/// memo/batch counters.
+inline void expectFullyEqual(const RunResult &A, const RunResult &B,
+                             const std::string &Label) {
+  SCOPED_TRACE(Label);
+  EXPECT_EQ(A.GraphText, B.GraphText);
+  EXPECT_EQ(A.Stats.Passes, B.Stats.Passes);
+  EXPECT_EQ(A.Stats.NodesVisited, B.Stats.NodesVisited);
+  EXPECT_EQ(A.Stats.TotalMatches, B.Stats.TotalMatches);
+  EXPECT_EQ(A.Stats.TotalFired, B.Stats.TotalFired);
+  EXPECT_EQ(A.Stats.NodesSwept, B.Stats.NodesSwept);
+  EXPECT_EQ(A.Stats.Status, B.Stats.Status);
+  ASSERT_EQ(A.Stats.PerPattern.size(), B.Stats.PerPattern.size());
+  for (const auto &[Name, SP] : A.Stats.PerPattern) {
+    SCOPED_TRACE(Name);
+    auto It = B.Stats.PerPattern.find(Name);
+    ASSERT_NE(It, B.Stats.PerPattern.end());
+    rewrite::PatternStats X = SP, Y = It->second;
+    X.Seconds = Y.Seconds = 0.0;
+    EXPECT_EQ(X, Y);
+  }
+}
+
+/// Plan-matcher options at \p Threads worker threads.
+inline rewrite::RewriteOptions planOpts(unsigned Threads) {
+  rewrite::RewriteOptions O;
+  O.Matcher = rewrite::MatcherKind::Plan;
+  O.NumThreads = Threads;
+  return O;
+}
 
 } // namespace pypm::testing
 

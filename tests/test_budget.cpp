@@ -287,7 +287,8 @@ TEST_P(BudgetDifferentialTest, StepCeilingIdenticalAcrossThreads) {
       ParOpts.NumThreads = Threads;
       StressOutcome Parallel = runStressCase(Seed, ParOpts);
 
-      expectOutcomesEqual(Serial, Parallel);
+      expectOutcomesEqual(Serial, Parallel,
+                          pypm::testing::stressRepro(Seed, 0, Threads));
       EXPECT_EQ(SerialB.stepsUsed(), ParB.stepsUsed());
       EXPECT_EQ(SerialB.muUnfoldsUsed(), ParB.muUnfoldsUsed());
     }
@@ -311,7 +312,8 @@ TEST_P(BudgetDifferentialTest, QuarantineIdenticalAcrossThreads) {
     ParOpts.NumThreads = Threads;
     StressOutcome Parallel = runStressCase(Seed, ParOpts);
 
-    expectOutcomesEqual(Serial, Parallel);
+    expectOutcomesEqual(Serial, Parallel,
+                        pypm::testing::stressRepro(Seed, 0, Threads));
     SawQuarantine |= Serial.Stats.Status.quarantined();
   }
   // The starved configuration must actually have exercised quarantine.
@@ -481,7 +483,9 @@ TEST(EngineBudget, ZooDifferentialUnderStepCeiling) {
     for (unsigned Threads : {1u, 4u, 8u}) {
       SCOPED_TRACE(Model.Name + " @" + std::to_string(Threads));
       StressOutcome Parallel = Run(Threads);
-      expectOutcomesEqual(Serial, Parallel);
+      expectOutcomesEqual(Serial, Parallel,
+                          Model.Name + " threads=0 vs " +
+                              std::to_string(Threads));
     }
   }
 }

@@ -269,7 +269,8 @@ TEST(BudgetFault, NthChargeTripsIdenticallyAcrossThreads) {
     EXPECT_EQ(Serial.Stats.Status.FaultsAbsorbed, 1u);
     for (unsigned Threads : {1u, 4u}) {
       SCOPED_TRACE("threads=" + std::to_string(Threads));
-      expectOutcomesEqual(Serial, Run(Threads));
+      expectOutcomesEqual(Serial, Run(Threads),
+                          pypm::testing::stressRepro(Seed, 0, Threads));
     }
   }
 }
@@ -302,7 +303,8 @@ TEST_P(SiteFaultStressTest, FaultedRunsIdenticalAcrossThreads) {
     StressOutcome Parallel = Run(Threads);
     // expectOutcomesEqual compares Status wholesale: the same faults were
     // absorbed, the same patterns quarantined, in the same order.
-    expectOutcomesEqual(Serial, Parallel);
+    expectOutcomesEqual(Serial, Parallel,
+                        pypm::testing::stressRepro(Seed, 0, Threads));
   }
 }
 

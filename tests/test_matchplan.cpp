@@ -46,6 +46,7 @@ using pypm::testing::CoreFixture;
 using pypm::testing::expectOutcomesEqual;
 using pypm::testing::runStressCase;
 using pypm::testing::StressOutcome;
+using pypm::testing::stressRepro;
 
 namespace {
 
@@ -365,87 +366,13 @@ INSTANTIATE_TEST_SUITE_P(Seeds, MatchPlanRandomTest,
 // Engine-level equivalence
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-struct RunResult {
-  std::string GraphText;
-  rewrite::RewriteStats Stats;
-};
-
-RunResult runModel(const models::ModelEntry &Model,
-                   rewrite::RewriteOptions Opts,
-                   bool WithUnaryChain = false) {
-  term::Signature Sig;
-  auto G = Model.Build(Sig);
-  opt::Pipeline Pipe = opt::makePipeline(Sig, opt::OptConfig::Both);
-  if (WithUnaryChain) {
-    Pipe.Libs.push_back(opt::compileUnaryChain(Sig));
-    Pipe.Rules.addLibrary(*Pipe.Libs.back());
-  }
-  RunResult R;
-  R.Stats = rewrite::rewriteToFixpoint(*G, Pipe.Rules,
-                                       graph::ShapeInference(), Opts);
-  R.GraphText = graph::writeGraphText(*G);
-  return R;
-}
-
-/// What MUST agree across matcher kinds: the committed rewrite sequence
-/// and everything derived from it. Attempt-shaped counters (Attempts,
-/// RootSkips, MachineSteps, Backtracks, FuelExhausted) legitimately differ
-/// — the tree prefilter skips attempts the root-op index would have
-/// started (see DESIGN.md §"MatchPlan").
-void expectSameRewrites(const RunResult &A, const RunResult &B,
-                        const std::string &Label) {
-  SCOPED_TRACE(Label);
-  EXPECT_EQ(A.GraphText, B.GraphText);
-  EXPECT_EQ(A.Stats.Passes, B.Stats.Passes);
-  EXPECT_EQ(A.Stats.NodesVisited, B.Stats.NodesVisited);
-  EXPECT_EQ(A.Stats.TotalMatches, B.Stats.TotalMatches);
-  EXPECT_EQ(A.Stats.TotalFired, B.Stats.TotalFired);
-  EXPECT_EQ(A.Stats.NodesSwept, B.Stats.NodesSwept);
-  EXPECT_EQ(A.Stats.Status, B.Stats.Status);
-  ASSERT_EQ(A.Stats.PerPattern.size(), B.Stats.PerPattern.size());
-  for (const auto &[Name, SP] : A.Stats.PerPattern) {
-    SCOPED_TRACE(Name);
-    auto It = B.Stats.PerPattern.find(Name);
-    ASSERT_NE(It, B.Stats.PerPattern.end());
-    EXPECT_EQ(SP.Matches, It->second.Matches);
-    EXPECT_EQ(SP.RulesFired, It->second.RulesFired);
-    EXPECT_EQ(SP.GuardRejects, It->second.GuardRejects);
-  }
-}
-
-/// What must agree between plan runs at different thread counts: every
-/// observable except wall-clock (same bar as test_parallel_rewrite).
-void expectFullyEqual(const RunResult &A, const RunResult &B,
-                      const std::string &Label) {
-  SCOPED_TRACE(Label);
-  EXPECT_EQ(A.GraphText, B.GraphText);
-  EXPECT_EQ(A.Stats.Passes, B.Stats.Passes);
-  EXPECT_EQ(A.Stats.NodesVisited, B.Stats.NodesVisited);
-  EXPECT_EQ(A.Stats.TotalMatches, B.Stats.TotalMatches);
-  EXPECT_EQ(A.Stats.TotalFired, B.Stats.TotalFired);
-  EXPECT_EQ(A.Stats.NodesSwept, B.Stats.NodesSwept);
-  EXPECT_EQ(A.Stats.Status, B.Stats.Status);
-  ASSERT_EQ(A.Stats.PerPattern.size(), B.Stats.PerPattern.size());
-  for (const auto &[Name, SP] : A.Stats.PerPattern) {
-    SCOPED_TRACE(Name);
-    auto It = B.Stats.PerPattern.find(Name);
-    ASSERT_NE(It, B.Stats.PerPattern.end());
-    rewrite::PatternStats X = SP, Y = It->second;
-    X.Seconds = Y.Seconds = 0.0;
-    EXPECT_EQ(X, Y);
-  }
-}
-
-rewrite::RewriteOptions planOpts(unsigned Threads) {
-  rewrite::RewriteOptions O;
-  O.Matcher = rewrite::MatcherKind::Plan;
-  O.NumThreads = Threads;
-  return O;
-}
-
-} // namespace
+// Zoo-differential scaffolding shared with test_planprofile.cpp and
+// test_incremental.cpp.
+using pypm::testing::expectFullyEqual;
+using pypm::testing::expectSameRewrites;
+using pypm::testing::planOpts;
+using pypm::testing::runModel;
+using pypm::testing::RunResult;
 
 TEST(MatchPlanEngine, ZooRewritesMatchFastMatcherAtEveryThreadCount) {
   for (const auto &Suite : {models::hfSuite(), models::tvSuite()}) {
@@ -562,7 +489,7 @@ TEST_P(MatchPlanGovernanceTest, StressRewritesMatchFastAcrossSeeds) {
     EXPECT_EQ(Fast.Stats.TotalMatches, Plan0.Stats.TotalMatches);
     EXPECT_EQ(Fast.Stats.Status, Plan0.Stats.Status);
     // Full bit-identical determinism across plan thread counts.
-    expectOutcomesEqual(Plan0, PlanN);
+    expectOutcomesEqual(Plan0, PlanN, stressRepro(Seed, 0, Threads));
   }
 }
 
@@ -583,7 +510,7 @@ TEST_P(MatchPlanGovernanceTest, BudgetExhaustionIsDeterministic) {
     ON.EngineBudget = &BN;
     StressOutcome S0 = runStressCase(Seed, O0);
     StressOutcome SN = runStressCase(Seed, ON);
-    expectOutcomesEqual(S0, SN);
+    expectOutcomesEqual(S0, SN, stressRepro(Seed, 0, Threads, "budget"));
     SawExhaustion |=
         S0.Stats.Status.Code == EngineStatusCode::BudgetExhausted;
   }
@@ -602,7 +529,7 @@ TEST_P(MatchPlanGovernanceTest, QuarantineIsDeterministic) {
     ON.NumThreads = Threads;
     StressOutcome S0 = runStressCase(Seed, O0);
     StressOutcome SN = runStressCase(Seed, ON);
-    expectOutcomesEqual(S0, SN);
+    expectOutcomesEqual(S0, SN, stressRepro(Seed, 0, Threads, "quarantine"));
     SawQuarantine |= S0.Stats.Status.quarantined();
   }
   EXPECT_TRUE(SawQuarantine);
@@ -671,8 +598,8 @@ TEST_F(MatchPlanFaultTest, GuardFaultQuarantinesDeterministically) {
   EXPECT_EQ(S0.Stats.Status.FaultsAbsorbed, 1u);
   EXPECT_EQ(S0.Stats.Status.QuarantinedPatterns,
             std::vector<std::string>{"AG"});
-  expectOutcomesEqual(S0, run(2, F2));
-  expectOutcomesEqual(S0, run(4, F4));
+  expectOutcomesEqual(S0, run(2, F2), "guard-fault threads=0 vs 2");
+  expectOutcomesEqual(S0, run(4, F4), "guard-fault threads=0 vs 4");
 }
 
 //===----------------------------------------------------------------------===//

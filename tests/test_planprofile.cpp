@@ -56,6 +56,7 @@ using namespace pypm::pattern;
 using pypm::testing::CoreFixture;
 using pypm::testing::expectOutcomesEqual;
 using pypm::testing::StressOutcome;
+using pypm::testing::stressRepro;
 
 namespace {
 
@@ -353,24 +354,14 @@ TEST_F(PlanProfileAttemptTest, ProfileMergeSumsAndChecks) {
 // Engine-level equivalence over the model zoo
 //===----------------------------------------------------------------------===//
 
+// Zoo-differential scaffolding shared with test_matchplan.cpp and
+// test_incremental.cpp.
+using pypm::testing::expectFullyEqual;
+using pypm::testing::expectSameRewrites;
+using pypm::testing::runModel;
+using pypm::testing::RunResult;
+
 namespace {
-
-struct RunResult {
-  std::string GraphText;
-  rewrite::RewriteStats Stats;
-};
-
-RunResult runModel(const models::ModelEntry &Model,
-                   rewrite::RewriteOptions Opts) {
-  term::Signature Sig;
-  auto G = Model.Build(Sig);
-  opt::Pipeline Pipe = opt::makePipeline(Sig, opt::OptConfig::Both);
-  RunResult R;
-  R.Stats = rewrite::rewriteToFixpoint(*G, Pipe.Rules,
-                                       graph::ShapeInference(), Opts);
-  R.GraphText = graph::writeGraphText(*G);
-  return R;
-}
 
 /// Runs \p Model under the plan matcher with \p Order applied to the plan
 /// first (when non-null) and committed-order recording into \p RecordInto
@@ -397,52 +388,6 @@ RunResult runModelProfiled(const models::ModelEntry &Model, unsigned Threads,
                                        graph::ShapeInference(), Opts);
   R.GraphText = graph::writeGraphText(*G);
   return R;
-}
-
-/// Committed-sequence agreement across matcher kinds (attempt-shaped
-/// counters legitimately differ; see the caveat regression below).
-void expectSameRewrites(const RunResult &A, const RunResult &B,
-                        const std::string &Label) {
-  SCOPED_TRACE(Label);
-  EXPECT_EQ(A.GraphText, B.GraphText);
-  EXPECT_EQ(A.Stats.Passes, B.Stats.Passes);
-  EXPECT_EQ(A.Stats.NodesVisited, B.Stats.NodesVisited);
-  EXPECT_EQ(A.Stats.TotalMatches, B.Stats.TotalMatches);
-  EXPECT_EQ(A.Stats.TotalFired, B.Stats.TotalFired);
-  EXPECT_EQ(A.Stats.NodesSwept, B.Stats.NodesSwept);
-  EXPECT_EQ(A.Stats.Status, B.Stats.Status);
-  ASSERT_EQ(A.Stats.PerPattern.size(), B.Stats.PerPattern.size());
-  for (const auto &[Name, SP] : A.Stats.PerPattern) {
-    SCOPED_TRACE(Name);
-    auto It = B.Stats.PerPattern.find(Name);
-    ASSERT_NE(It, B.Stats.PerPattern.end());
-    EXPECT_EQ(SP.Matches, It->second.Matches);
-    EXPECT_EQ(SP.RulesFired, It->second.RulesFired);
-    EXPECT_EQ(SP.GuardRejects, It->second.GuardRejects);
-  }
-}
-
-/// Everything observable except wall-clock: the bit-identical bar between
-/// plan runs (profiled or not, any thread count).
-void expectFullyEqual(const RunResult &A, const RunResult &B,
-                      const std::string &Label) {
-  SCOPED_TRACE(Label);
-  EXPECT_EQ(A.GraphText, B.GraphText);
-  EXPECT_EQ(A.Stats.Passes, B.Stats.Passes);
-  EXPECT_EQ(A.Stats.NodesVisited, B.Stats.NodesVisited);
-  EXPECT_EQ(A.Stats.TotalMatches, B.Stats.TotalMatches);
-  EXPECT_EQ(A.Stats.TotalFired, B.Stats.TotalFired);
-  EXPECT_EQ(A.Stats.NodesSwept, B.Stats.NodesSwept);
-  EXPECT_EQ(A.Stats.Status, B.Stats.Status);
-  ASSERT_EQ(A.Stats.PerPattern.size(), B.Stats.PerPattern.size());
-  for (const auto &[Name, SP] : A.Stats.PerPattern) {
-    SCOPED_TRACE(Name);
-    auto It = B.Stats.PerPattern.find(Name);
-    ASSERT_NE(It, B.Stats.PerPattern.end());
-    rewrite::PatternStats X = SP, Y = It->second;
-    X.Seconds = Y.Seconds = 0.0;
-    EXPECT_EQ(X, Y);
-  }
 }
 
 /// Records the zoo model's profile with a serial unprofiled plan run.
@@ -613,12 +558,15 @@ TEST_P(PlanProfileStressTest, ProfiledStressRunsBitIdenticalAcrossSeeds) {
     plan::Profile Prof;
     StressOutcome Base = runStressProfiled(Seed, 0, nullptr, &Prof);
     StressOutcome Profiled0 = runStressProfiled(Seed, 0, &Prof, nullptr);
-    expectOutcomesEqual(Base, Profiled0);
+    expectOutcomesEqual(Base, Profiled0,
+                        stressRepro(Seed, "base vs profiled@0"));
     plan::Profile Inv = invertProfile(Prof);
     StressOutcome Inverted = runStressProfiled(Seed, 0, &Inv, nullptr);
-    expectOutcomesEqual(Base, Inverted);
+    expectOutcomesEqual(Base, Inverted,
+                        stressRepro(Seed, "base vs inverted-profile@0"));
     StressOutcome ProfiledN = runStressProfiled(Seed, Threads, &Prof, nullptr);
-    expectOutcomesEqual(Base, ProfiledN);
+    expectOutcomesEqual(Base, ProfiledN,
+                        stressRepro(Seed, 0, Threads, "profiled"));
   }
 }
 

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # CI driver: build + test the plain configuration, then rebuild everything
-# under ThreadSanitizer and run the full suite again, then once more under
+# under ThreadSanitizer and run the suite again, then once more under
 # ASan+UBSan. TSan is what makes the parallel rewrite engine's "race-free
 # at any thread count" claim a checked property instead of a code-review
 # one (see DESIGN.md §"Parallel discovery, serial commit"); ASan/UBSan do
@@ -8,26 +8,45 @@
 # runs (test_malformed_inputs, test_faults), whose exception-unwind and
 # rollback paths are exactly where leaks and lifetime bugs would hide.
 #
-# Usage: tools/ci.sh [jobs]
+# Tests are registered in two ctest tiers (tests/CMakeLists.txt): "tier1"
+# (everything but the 50-seed × thread-count sweeps) and "stress" (suites
+# named *Stress*). The quick default runs tier1 in every build flavor;
+# nightly mode (--nightly, or PYPM_CI_NIGHTLY=1) runs the full suite —
+# both tiers — everywhere, which is where the incremental/batched
+# differential sweeps earn their keep.
+#
+# Usage: tools/ci.sh [--nightly] [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+NIGHTLY="${PYPM_CI_NIGHTLY:-0}"
+if [[ "${1:-}" == "--nightly" ]]; then
+  NIGHTLY=1
+  shift
+fi
 JOBS="${1:-$(nproc)}"
+
+# Quick tier by default; the full two-tier suite nightly.
+CTEST_ARGS=(--output-on-failure)
+if [[ "$NIGHTLY" != "1" ]]; then
+  CTEST_ARGS+=(-L tier1)
+fi
 
 echo "=== plain build ==="
 cmake -B build-ci -S . >/dev/null
 cmake --build build-ci -j "$JOBS"
-ctest --test-dir build-ci --output-on-failure
+ctest --test-dir build-ci "${CTEST_ARGS[@]}"
 
 echo "=== thread-sanitizer build ==="
 cmake -B build-ci-tsan -S . -DPYPM_SANITIZE=thread >/dev/null
 cmake --build build-ci-tsan -j "$JOBS"
-ctest --test-dir build-ci-tsan --output-on-failure
+ctest --test-dir build-ci-tsan "${CTEST_ARGS[@]}"
 
 echo "=== address+undefined-sanitizer build ==="
 cmake -B build-ci-asan -S . -DPYPM_SANITIZE=address,undefined >/dev/null
 cmake --build build-ci-asan -j "$JOBS"
-ctest --test-dir build-ci-asan --output-on-failure
+ctest --test-dir build-ci-asan "${CTEST_ARGS[@]}"
 
 # The plan matcher's differential, governance (budget/quarantine), and
 # .pypmplan hostile-input suites get a dedicated ASan/UBSan leg: the
@@ -53,6 +72,20 @@ echo "=== profiled-plan suites under TSan ==="
 ./build-ci-tsan/tests/pypm_tests \
   --gtest_filter='*PlanProfile*'
 
+# Batched + incremental discovery: the dirty-region memo and the shared
+# batch matchers are per-pass mutable state threaded through the parallel
+# engine, so the differential suite runs under both sanitizers — TSan for
+# the frozen-mask/memo handoff across workers, ASan/UBSan for the memo
+# record/replay lifetime. Tier-1 members ran in ctest above; the quick
+# default re-runs them filtered so the incremental legs stay greppable.
+echo "=== incremental/batched suites under ASan/UBSan ==="
+./build-ci-asan/tests/pypm_tests \
+  --gtest_filter='IncrementalEngine.*:BatchCandidates.*:BatchMatchers.*'
+
+echo "=== incremental/batched suites under TSan ==="
+./build-ci-tsan/tests/pypm_tests \
+  --gtest_filter='IncrementalEngine.*:BatchCandidates.*:BatchMatchers.*'
+
 # Static rule-set lint: the §4 std libraries and every shipped example rule
 # set must stay free of error-severity findings (pypmc lint exits 7 on any
 # error finding, failing the leg). Run under the ASan/UBSan build — the
@@ -65,5 +98,12 @@ for RS in examples/rulesets/*.pypm; do
   ./build-ci-asan/tools/pypmc lint "$RS"
 done
 ./build-ci-asan/tests/pypm_tests --gtest_filter='Analysis*:*LintDifferential*'
+
+# Smoke-sized batched/incremental benchmark: exercises the sweep driver
+# end to end and sanity-checks that the modes actually amortize (the
+# committed BENCH_incremental_sweep.json is produced by a full-size run).
+echo "=== incremental-sweep benchmark (smoke) ==="
+./build-ci/bench/bench_partitioning --incremental-sweep --smoke \
+  >/dev/null
 
 echo "=== ci.sh: all green ==="

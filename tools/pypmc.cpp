@@ -69,7 +69,8 @@ int usage() {
                "[--stats-json]\n"
                "                     [--matcher=machine|fast|plan] "
                "[--emit-plan] [--lint]\n"
-               "                     [--profile-out=<file.pypmprof>]\n"
+               "                     [--incremental] [--batch] "
+               "[--profile-out=<file.pypmprof>]\n"
                "       pypmc cost    <graph.pypmg>\n"
                "rewrite exit codes: 0 ok, 1 load error, 2 usage, 3 budget "
                "exhausted,\n"
@@ -489,6 +490,7 @@ int cmdRewrite(int Argc, char **Argv) {
   double BudgetMs = 0;
   uint64_t MaxSteps = 0;
   bool StatsJson = false, EmitPlan = false, Lint = false;
+  bool Incremental = false, Batch = false;
   std::optional<rewrite::MatcherKind> Matcher;
   for (int I = 0; I != Argc; ++I) {
     if (std::strcmp(Argv[I], "-o") == 0 && I + 1 != Argc)
@@ -507,6 +509,10 @@ int cmdRewrite(int Argc, char **Argv) {
       EmitPlan = true;
     else if (std::strcmp(Argv[I], "--lint") == 0)
       Lint = true;
+    else if (std::strcmp(Argv[I], "--incremental") == 0)
+      Incremental = true;
+    else if (std::strcmp(Argv[I], "--batch") == 0)
+      Batch = true;
     else if (std::strncmp(Argv[I], "--matcher=", 10) == 0) {
       const char *V = Argv[I] + 10;
       if (std::strcmp(V, "machine") == 0)
@@ -572,6 +578,10 @@ int cmdRewrite(int Argc, char **Argv) {
   Opts.NumThreads = Threads;
   Opts.Matcher = Matcher;
   Opts.Lint = Lint;
+  // Both are pure amortization modes: the rewritten graph and all
+  // committed stats are bit-identical with or without them.
+  Opts.Incremental = Incremental;
+  Opts.Batch = Batch;
 
   // A plan compiled here (or loaded above) serves both --emit-plan and the
   // engine's PrecompiledPlan fast path.
@@ -637,12 +647,16 @@ int cmdRewrite(int Argc, char **Argv) {
   if (StatsJson)
     std::fprintf(stderr,
                  "{\"engine\":%s,\"passes\":%llu,\"fired\":%llu,"
-                 "\"matches\":%llu,\"nodes\":%zu}\n",
+                 "\"matches\":%llu,\"nodes\":%zu,\"memoHits\":%llu,"
+                 "\"memoMisses\":%llu,\"batchedNodes\":%llu}\n",
                  Stats.Status.json().c_str(),
                  static_cast<unsigned long long>(Stats.Passes),
                  static_cast<unsigned long long>(Stats.TotalFired),
                  static_cast<unsigned long long>(Stats.TotalMatches),
-                 G->numLiveNodes());
+                 G->numLiveNodes(),
+                 static_cast<unsigned long long>(Stats.MemoHits),
+                 static_cast<unsigned long long>(Stats.MemoMisses),
+                 static_cast<unsigned long long>(Stats.BatchedNodes));
 
   std::string Text = graph::writeGraphText(*G);
   if (Out) {
