@@ -4,6 +4,7 @@
 
 #include "pattern/Serializer.h"
 #include "plan/PlanBuilder.h"
+#include "support/Hash.h"
 
 #include <cstring>
 
@@ -420,4 +421,28 @@ std::unique_ptr<LoadedPlan>
 pypm::plan::deserializePlan(std::string_view Bytes, term::Signature &Sig,
                             DiagnosticEngine &Diags) {
   return PlanReader(Bytes, Sig, Diags).run();
+}
+
+uint64_t pypm::plan::cacheKey(std::string_view LibBytes,
+                              const term::Signature &Sig) {
+  Fnv1aHash H;
+  H.str(LibBytes);
+  // The signature layout: op ids are positional, so hashing in id order
+  // pins the exact id assignment the plan's operand fields refer to.
+  H.u32(static_cast<uint32_t>(Sig.size()));
+  for (const term::OpInfo &Info : Sig.ops()) {
+    H.str(Info.Name.str());
+    H.u32(Info.Arity);
+    H.u32(Info.Results);
+    H.str(Info.OpClass.isValid() ? Info.OpClass.str() : std::string_view());
+    H.u32(static_cast<uint32_t>(Info.AttrNames.size()));
+    for (Symbol A : Info.AttrNames)
+      H.str(A.str());
+  }
+  return H.value();
+}
+
+uint64_t pypm::plan::cacheKey(const pattern::Library &Lib,
+                              const term::Signature &Sig) {
+  return cacheKey(pattern::serializeLibrary(Lib, Sig), Sig);
 }

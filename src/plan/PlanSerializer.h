@@ -82,6 +82,21 @@ std::unique_ptr<LoadedPlan> deserializePlan(std::string_view Bytes,
                                             term::Signature &Sig,
                                             DiagnosticEngine &Diags);
 
+/// Content hash identifying a rule set for plan caching (server::PlanCache,
+/// pypmc --plan-cache-dir=): FNV-1a over the canonical .pypmbin bytes of
+/// the library plus the signature layout it was compiled against (every
+/// declared operator's name/arity/results/class/attributes, in id order).
+/// Two rule sets share a key iff their serialized libraries are
+/// byte-identical AND they were compiled against identically laid-out
+/// signatures — the pair that determines the compiled plan::Program, so
+/// equal keys mean a cached plan is interchangeable with a fresh compile.
+/// (Cache consumers still compare content on hit; the key is an index, not
+/// a proof.)
+uint64_t cacheKey(std::string_view LibBytes, const term::Signature &Sig);
+
+/// Convenience overload: serializes \p Lib first (the canonical bytes).
+uint64_t cacheKey(const pattern::Library &Lib, const term::Signature &Sig);
+
 } // namespace pypm::plan
 
 #endif // PYPM_PLAN_PLANSERIALIZER_H

@@ -213,6 +213,13 @@ public:
     const size_t NumEntries = Rules.entries().size();
     Quarantined.assign(NumEntries, 0);
     FuelExhausts.assign(NumEntries, 0);
+    // Pre-quarantined entries are disabled silently: no status raise, no
+    // QuarantinedPatterns listing — the status describes this run only.
+    if (Opts.PreQuarantined)
+      for (const std::string &Name : *Opts.PreQuarantined)
+        for (size_t I = 0; I != NumEntries; ++I)
+          if (entryName(Rules.entries()[I]) == Name)
+            Quarantined[I] = 1;
     MK = Opts.matcher();
     if (MK == MatcherKind::Plan) {
       if (Opts.PrecompiledPlan && planMatchesRules(*Opts.PrecompiledPlan)) {

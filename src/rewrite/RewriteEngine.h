@@ -286,6 +286,16 @@ struct RewriteOptions {
   /// result equals a prefix of the fault-free serial run). When false, the
   /// faulting pattern is quarantined and the run continues.
   bool HaltOnFault = false;
+  /// Pattern entry names to start the run already quarantined (disabled
+  /// before the first pass). Unlike in-run quarantine, pre-quarantined
+  /// entries do not raise PatternQuarantined and are not listed in
+  /// Status.QuarantinedPatterns — the status taxonomy keeps describing
+  /// what happened in THIS run. The daemon's sticky-quarantine mode
+  /// (server::ServerOptions::StickyQuarantine) uses this to carry one
+  /// request's quarantine decisions into the next without leaking one
+  /// request's failures into another's status. Borrowed; names that match
+  /// no entry are ignored.
+  const std::vector<std::string> *PreQuarantined = nullptr;
 };
 
 /// Runs the rule set over the graph to fixpoint. Replacement nodes are

@@ -1,0 +1,87 @@
+//===- server/RequestQueue.h - Bounded admission queue ---------*- C++ -*-===//
+///
+/// \file
+/// The daemon's admission-control primitive: a bounded MPMC queue whose
+/// push never blocks and never grows the backlog past capacity. When the
+/// queue is full, tryPush refuses — the server turns that refusal into a
+/// machine-readable Overloaded reply (load shedding) instead of queuing
+/// unboundedly and converting overload into latency collapse and OOM.
+///
+/// close() stops admission but lets consumers drain what was admitted:
+/// pop() keeps returning queued items and only starts returning nullopt
+/// once the queue is both closed and empty — exactly the graceful-drain
+/// contract (every admitted request gets a reply, even during shutdown).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_SERVER_REQUESTQUEUE_H
+#define PYPM_SERVER_REQUESTQUEUE_H
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace pypm::server {
+
+template <typename T> class RequestQueue {
+public:
+  explicit RequestQueue(size_t Capacity) : Capacity(Capacity ? Capacity : 1) {}
+
+  /// Admits \p Item unless the queue is full or closed. Never blocks.
+  bool tryPush(T Item) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Closed || Items.size() >= Capacity)
+        return false;
+      Items.push_back(std::move(Item));
+    }
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained
+  /// (then returns nullopt, the consumer's signal to exit).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> Lock(Mu);
+    NotEmpty.wait(Lock, [&] { return Closed || !Items.empty(); });
+    if (Items.empty())
+      return std::nullopt;
+    T Item = std::move(Items.front());
+    Items.pop_front();
+    return Item;
+  }
+
+  /// Stops admission; wakes every blocked consumer. Idempotent. Items
+  /// already admitted stay poppable (drain semantics).
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Closed = true;
+    }
+    NotEmpty.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Closed;
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Items.size();
+  }
+
+  size_t capacity() const { return Capacity; }
+
+private:
+  const size_t Capacity;
+  mutable std::mutex Mu;
+  std::condition_variable NotEmpty;
+  std::deque<T> Items;
+  bool Closed = false;
+};
+
+} // namespace pypm::server
+
+#endif // PYPM_SERVER_REQUESTQUEUE_H

@@ -1,0 +1,152 @@
+//===- server/Server.h - pypmd rewrite-as-a-service core -------*- C++ -*-===//
+///
+/// \file
+/// The daemon core behind tools/pypmd.cpp: a worker pool consuming a
+/// bounded admission queue (RequestQueue), a compile-once PlanCache, and a
+/// per-connection frame loop (serve) that turns every outcome — including
+/// overload, malformed frames, exhausted budgets, injected faults, and
+/// shutdown — into a machine-readable reply rather than a dropped
+/// connection or a dead process.
+///
+/// Failure-domain contract, from the inside out:
+///
+///  - per request: a fresh Budget (deadline/steps/μ/rewrites) and an
+///    optional per-request deterministic FaultInjector govern the run; the
+///    engine's transactional commit keeps faults inside the attempt; the
+///    reply carries the full EngineStatus taxonomy. One request can
+///    exhaust only its own budget — the next request on the same worker
+///    starts clean (tests/test_server.cpp pins the non-poisoning).
+///  - per connection: body-corrupt frames get MalformedRequest and the
+///    loop continues; header-corrupt frames kill only this connection,
+///    cleanly (see Protocol.h for why the split is exactly there).
+///  - per server: the queue bounds memory; overflow is shed with
+///    Overloaded, never queued. SIGTERM or a Shutdown frame stops
+///    admission, drains every admitted request to a real reply, then
+///    exits. Admitted work is never abandoned.
+///
+/// Determinism: requests are processed by a pool, so replies may be
+/// written out of order — Seq correlates them — but each individual reply
+/// is bit-identical to what a single-shot `pypmc rewrite` with the same
+/// inputs would produce: the engine is deterministic, each request runs
+/// against a private Signature copy (so cached plans never leak operator
+/// ids across requests), and cache hits serve byte-identical plans.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_SERVER_SERVER_H
+#define PYPM_SERVER_SERVER_H
+
+#include "server/PlanCache.h"
+#include "server/Protocol.h"
+#include "server/RequestQueue.h"
+#include "support/Shutdown.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pypm::server {
+
+struct ServerOptions {
+  /// Worker threads consuming the admission queue. At least 1.
+  unsigned Workers = 2;
+  /// Admission queue capacity; the (Workers+1)th..(Workers+Capacity)th
+  /// concurrent request queues, the next one is shed Overloaded.
+  size_t QueueCapacity = 16;
+  /// Carry quarantine decisions across requests: patterns one request
+  /// quarantined start subsequent requests on the same rule set already
+  /// disabled (RewriteOptions::PreQuarantined). Off by default — the
+  /// default daemon is stateless per request, so daemon replies stay
+  /// bit-identical to single-shot pypmc runs.
+  bool StickyQuarantine = false;
+  PlanCache::Options Cache;
+  /// Rule sets to load and lint once at startup; requests reference them
+  /// by name (RewriteRequest::NamedRuleSet).
+  std::vector<std::pair<std::string, std::string>> NamedRuleSets;
+  /// Test seam: when set, every worker calls this after popping a request
+  /// and before processing it. Tests park workers here (on a latch) to
+  /// fill the queue deterministically and pin the shedding boundary.
+  std::function<void(const RewriteRequest &)> BeforeProcess;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions O);
+  ~Server();
+
+  /// Loads and lint-preflights every named rule set. False (with \p Err)
+  /// if any path is unreadable or malformed — the daemon refuses to start
+  /// rather than serve a half-configured catalog.
+  bool preload(std::string &Err);
+
+  /// Starts the worker pool. Idempotent.
+  void start();
+
+  /// Closes the queue and joins the workers after they drain every
+  /// admitted request. Idempotent.
+  void stop();
+
+  /// Serves one framed connection (read requests from \p InFd, write
+  /// replies to \p OutFd) until clean EOF, a Shutdown frame, a fatal
+  /// framing error, or \p Shutdown trips between frames. All admitted
+  /// requests are drained to replies before this returns. Returns true
+  /// when the connection ended cleanly (EOF/shutdown), false on a fatal
+  /// framing error.
+  bool serve(int InFd, int OutFd, const ShutdownFlag *Shutdown = nullptr);
+
+  /// Processes one request synchronously, bypassing framing and the
+  /// queue. This is the unit the workers run; tests call it directly.
+  RewriteReply handle(const RewriteRequest &R);
+
+  PlanCache &cache() { return Cache; }
+  uint64_t served() const { return Served.load(); }
+  uint64_t shed() const { return Shed.load(); }
+  const ServerOptions &options() const { return Opts; }
+
+private:
+  /// One framed client connection: replies from multiple workers
+  /// serialize on WriteMu; Pending counts admitted-but-unreplied requests
+  /// so serve() can drain before returning.
+  struct Connection {
+    int OutFd = -1;
+    std::mutex WriteMu;
+    std::mutex PendingMu;
+    std::condition_variable Drained;
+    size_t Pending = 0;
+    bool WriteFailed = false;
+
+    void sendReply(std::string_view Body);
+    void finishOne();
+    void waitDrained();
+  };
+
+  struct Job {
+    RewriteRequest Req;
+    std::shared_ptr<Connection> Conn;
+  };
+
+  void workerLoop();
+
+  ServerOptions Opts;
+  PlanCache Cache;
+  /// Name -> preloaded entry. Written by preload() before start(); read-
+  /// only afterwards.
+  std::vector<std::pair<std::string, std::shared_ptr<const CachedRuleSet>>>
+      Named;
+  RequestQueue<Job> Queue;
+  std::vector<std::thread> Pool;
+  std::mutex LifecycleMu;
+  bool Running = false;
+  std::atomic<bool> ShuttingDown{false};
+  std::atomic<uint64_t> Served{0};
+  std::atomic<uint64_t> Shed{0};
+};
+
+} // namespace pypm::server
+
+#endif // PYPM_SERVER_SERVER_H

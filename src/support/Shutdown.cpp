@@ -1,0 +1,30 @@
+//===- support/Shutdown.cpp - Signal-safe shutdown flag -------------------===//
+
+#include "support/Shutdown.h"
+
+#include <csignal>
+
+using namespace pypm;
+
+ShutdownFlag &ShutdownFlag::global() {
+  static ShutdownFlag F;
+  return F;
+}
+
+namespace {
+
+extern "C" void onShutdownSignal(int) { ShutdownFlag::global().request(); }
+
+} // namespace
+
+bool pypm::installShutdownSignalHandlers() {
+  struct sigaction SA = {};
+  SA.sa_handler = onShutdownSignal;
+  sigemptyset(&SA.sa_mask);
+  // Deliberately no SA_RESTART: a blocking read in the frame loop should
+  // return EINTR so the loop re-polls the flag promptly.
+  SA.sa_flags = 0;
+  bool Ok = sigaction(SIGTERM, &SA, nullptr) == 0;
+  Ok &= sigaction(SIGINT, &SA, nullptr) == 0;
+  return Ok;
+}

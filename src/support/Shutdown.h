@@ -1,0 +1,46 @@
+//===- support/Shutdown.h - Signal-safe shutdown flag ----------*- C++ -*-===//
+///
+/// \file
+/// A process-wide "please drain and exit" flag safe to set from a signal
+/// handler. The daemon (tools/pypmd) installs SIGTERM/SIGINT handlers that
+/// do nothing but request(); the server's frame-read loop polls requested()
+/// between frames and begins a graceful drain — in-flight requests finish,
+/// queued requests finish, new requests are refused — instead of dying
+/// mid-commit.
+///
+/// request() only writes a lock-free std::atomic<bool> (async-signal-safe
+/// per POSIX: atomic stores are not on the forbidden list and take no
+/// locks); everything else — condition variables, queue close, reply
+/// writes — happens on ordinary threads that observe the flag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_SUPPORT_SHUTDOWN_H
+#define PYPM_SUPPORT_SHUTDOWN_H
+
+#include <atomic>
+
+namespace pypm {
+
+/// One writer (a signal handler or a shutdown frame), many polling
+/// readers. Sticky: once requested, stays requested for process life.
+class ShutdownFlag {
+public:
+  void request() { Flag.store(true, std::memory_order_relaxed); }
+  bool requested() const { return Flag.load(std::memory_order_relaxed); }
+
+  /// The process-global instance the signal handlers write.
+  static ShutdownFlag &global();
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+/// Installs handlers for SIGTERM and SIGINT that request() the global
+/// flag. Idempotent. Returns false if sigaction failed (the caller may
+/// still poll the flag; it just will not be signal-driven).
+bool installShutdownSignalHandlers();
+
+} // namespace pypm
+
+#endif // PYPM_SUPPORT_SHUTDOWN_H

@@ -99,11 +99,50 @@ for RS in examples/rulesets/*.pypm; do
 done
 ./build-ci-asan/tests/pypm_tests --gtest_filter='Analysis*:*LintDifferential*'
 
+# The rewrite daemon, end to end over its real wire format, under both
+# sanitizer builds: TSan watches the worker pool / admission queue /
+# per-connection reply serialization, ASan/UBSan the frame codecs and the
+# corrupt-frame recovery path. The scripted connection covers the whole
+# status taxonomy a client must handle: a clean rewrite, an over-budget
+# request (BudgetExhausted without poisoning the request after it), a
+# corrupted frame body (MalformedRequest, connection survives), and a
+# shutdown frame that must drain to exit 0.
+echo "=== pypmd daemon smoke (framed pipeline) under TSan and ASan/UBSan ==="
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+printf 'op Add(2);\nop Zero(0);\npattern AddZero(x) { return Add(x, Zero()); }\nrule elim_add_zero for AddZero(x) { return x; }\n' \
+  > "$SMOKE/rules.pypm"
+printf 'z = Zero() : f32[]\na = Add(z, z) : f32[]\nb = Add(a, z) : f32[]\noutput b\n' \
+  > "$SMOKE/graph.pypmg"
+for B in build-ci-tsan build-ci-asan; do
+  PD="./$B/tools/pypmd"
+  "$PD" selftest
+  {
+    "$PD" emit rewrite "$SMOKE/rules.pypm" "$SMOKE/graph.pypmg" --seq 1
+    "$PD" emit rewrite "$SMOKE/rules.pypm" "$SMOKE/graph.pypmg" --seq 2 \
+      --max-steps 1
+    "$PD" emit corrupt-body "$SMOKE/rules.pypm" "$SMOKE/graph.pypmg"
+    "$PD" emit rewrite "$SMOKE/rules.pypm" "$SMOKE/graph.pypmg" --seq 3
+    "$PD" emit shutdown --seq 9
+  } | "$PD" serve --stdio --workers 2 --plan-cache-dir "$SMOKE/cache.$B" \
+    | "$PD" decode > "$SMOKE/replies.$B.jsonl"
+  grep -q '"status":"malformed-request"' "$SMOKE/replies.$B.jsonl"
+  grep -q '"engine":"budget-exhausted"' "$SMOKE/replies.$B.jsonl"
+  grep -q '"reason":"steps"' "$SMOKE/replies.$B.jsonl"
+  grep -q '"served":3' "$SMOKE/replies.$B.jsonl" # clean drain counted all 3
+done
+
 # Smoke-sized batched/incremental benchmark: exercises the sweep driver
 # end to end and sanity-checks that the modes actually amortize (the
 # committed BENCH_incremental_sweep.json is produced by a full-size run).
 echo "=== incremental-sweep benchmark (smoke) ==="
 ./build-ci/bench/bench_partitioning --incremental-sweep --smoke \
   >/dev/null
+
+# Daemon warm-vs-cold sweep (smoke): the plan-cache tiers must actually
+# pay off, and the sweep driver itself is exercised end to end (the
+# committed BENCH_daemon_sweep.json comes from a full-size run).
+echo "=== daemon-sweep benchmark (smoke) ==="
+./build-ci/bench/bench_partitioning --daemon-sweep --smoke >/dev/null
 
 echo "=== ci.sh: all green ==="

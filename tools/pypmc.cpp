@@ -15,11 +15,13 @@
 ///                                                 match a textual term
 ///
 /// Exit status (documented in README.md §"pypmc exit codes"): 0 on success
-/// (for `match`: the pattern matched), 1 on load/parse failure or no
-/// match, 2 on usage errors. `rewrite` additionally distinguishes the
-/// failure taxonomy of a governed run: 3 budget exhausted, 4 cancelled
-/// (SIGINT), 5 completed with quarantined patterns, 6 fault injected
-/// ($PYPM_FAULT).
+/// (for `match`: the pattern matched), 1 on parse/deserialize failure or
+/// no match, 2 on usage errors, 8 when the rule-set operand cannot be read
+/// at all — automation can tell a deployment problem (wrong path,
+/// permissions) from a malformed artifact without scraping stderr.
+/// `rewrite` additionally distinguishes the failure taxonomy of a governed
+/// run: 3 budget exhausted, 4 cancelled (SIGINT), 5 completed with
+/// quarantined patterns, 6 fault injected ($PYPM_FAULT).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +37,7 @@
 #include "plan/PlanSerializer.h"
 #include "plan/Profile.h"
 #include "rewrite/RewriteEngine.h"
+#include "server/PlanCache.h"
 #include "sim/CostModel.h"
 #include "term/TermParser.h"
 
@@ -71,14 +74,16 @@ int usage() {
                "[--emit-plan] [--lint]\n"
                "                     [--incremental] [--batch] "
                "[--profile-out=<file.pypmprof>]\n"
+               "                     [--plan-cache-dir=<dir>]\n"
                "       pypmc cost    <graph.pypmg>\n"
-               "rewrite exit codes: 0 ok, 1 load error, 2 usage, 3 budget "
-               "exhausted,\n"
+               "rewrite exit codes: 0 ok, 1 rule set malformed, 2 usage, "
+               "3 budget exhausted,\n"
                "                    4 cancelled, 5 patterns quarantined, "
                "6 fault injected,\n"
-               "                    7 lint rejected (--lint)\n"
-               "lint exit codes:    0 no errors, 1 load error, 2 usage, "
-               "7 error findings\n");
+               "                    7 lint rejected (--lint), 8 rule-set "
+               "file unreadable\n"
+               "lint exit codes:    0 no errors, 1 malformed, 2 usage, "
+               "7 error findings, 8 unreadable\n");
   return 2;
 }
 
@@ -108,19 +113,29 @@ bool looksLikePlan(const std::string &Bytes) {
   return Bytes.size() >= 4 && Bytes.compare(0, 4, "PYPL") == 0;
 }
 
-/// Loads either a textual .pypm source or a serialized .pypmbin.
-std::unique_ptr<pattern::Library> load(const char *Path,
-                                       term::Signature &Sig) {
+/// Loads either a textual .pypm source or a serialized .pypmbin. When \p
+/// RC is non-null it receives the documented exit code for the failure:
+/// 8 when the file cannot be read at all, 1 when it was read but is
+/// malformed — so automation can tell a deployment problem (wrong path,
+/// permissions) from a bad artifact without parsing stderr.
+std::unique_ptr<pattern::Library> load(const char *Path, term::Signature &Sig,
+                                       int *RC = nullptr) {
   std::string Bytes;
-  if (!readFile(Path, Bytes))
+  if (!readFile(Path, Bytes)) {
+    if (RC)
+      *RC = 8;
     return nullptr;
+  }
   DiagnosticEngine Diags;
   std::unique_ptr<pattern::Library> Lib =
       looksLikeBinary(Bytes)
           ? pattern::deserializeLibrary(Bytes, Sig, Diags)
           : dsl::compileFile(Path, Sig, Diags); // includes resolved
-  if (!Lib)
+  if (!Lib) {
     std::fprintf(stderr, "%s", Diags.renderAll().c_str());
+    if (RC)
+      *RC = 1;
+  }
   return Lib;
 }
 
@@ -138,9 +153,10 @@ int cmdCompile(int Argc, char **Argv) {
     return usage();
 
   term::Signature Sig;
-  std::unique_ptr<pattern::Library> Lib = load(In, Sig);
+  int RC = 1;
+  std::unique_ptr<pattern::Library> Lib = load(In, Sig, &RC);
   if (!Lib)
-    return 1;
+    return RC;
   std::string Bytes = pattern::serializeLibrary(*Lib, Sig);
   std::ofstream OutFile(Out, std::ios::binary);
   if (!OutFile || !OutFile.write(Bytes.data(),
@@ -172,9 +188,10 @@ int cmdCompilePlan(int Argc, char **Argv) {
     return usage();
 
   term::Signature Sig;
-  std::unique_ptr<pattern::Library> Lib = load(In, Sig);
+  int RC = 1;
+  std::unique_ptr<pattern::Library> Lib = load(In, Sig, &RC);
   if (!Lib)
-    return 1;
+    return RC;
 
   // An offline-recorded .pypmprof (see `pypmc rewrite --profile-out=`) is
   // embedded into the artifact; the loader re-derives the profile-guided
@@ -235,9 +252,10 @@ int cmdCheck(int Argc, char **Argv) {
   if (Argc != 1)
     return usage();
   term::Signature Sig;
-  std::unique_ptr<pattern::Library> Lib = load(Argv[0], Sig);
+  int RC = 1;
+  std::unique_ptr<pattern::Library> Lib = load(Argv[0], Sig, &RC);
   if (!Lib)
-    return 1;
+    return RC;
   std::printf("%s: OK (%zu pattern(s), %zu rule(s), %zu operator(s))\n",
               Argv[0], Lib->PatternDefs.size(), Lib->Rules.size(),
               Sig.size());
@@ -321,7 +339,7 @@ int cmdLint(int Argc, char **Argv) {
   term::Signature Sig;
   std::string Bytes;
   if (!readFile(In, Bytes))
-    return 1;
+    return 8; // unreadable, not malformed
   if (looksLikePlan(Bytes)) {
     DiagnosticEngine PlanDiags;
     std::unique_ptr<plan::LoadedPlan> LP =
@@ -335,7 +353,7 @@ int cmdLint(int Argc, char **Argv) {
   } else {
     std::unique_ptr<pattern::Library> Lib = load(In, Sig);
     if (!Lib)
-      return 1;
+      return 1; // readable (readFile above) but malformed
     printLintReport(In, analysis::lintLibrary(*Lib, Sig, LOpts), Json,
                     TotalErrors);
   }
@@ -346,9 +364,10 @@ int cmdDump(int Argc, char **Argv) {
   if (Argc != 1)
     return usage();
   term::Signature Sig;
-  std::unique_ptr<pattern::Library> Lib = load(Argv[0], Sig);
+  int RC = 1;
+  std::unique_ptr<pattern::Library> Lib = load(Argv[0], Sig, &RC);
   if (!Lib)
-    return 1;
+    return RC;
 
   std::printf("operators (%zu):\n", Sig.size());
   for (const term::OpInfo &Info : Sig.ops()) {
@@ -399,9 +418,10 @@ int cmdMatch(int Argc, char **Argv) {
     return usage();
 
   term::Signature Sig;
-  std::unique_ptr<pattern::Library> Lib = load(Pos[0], Sig);
+  int RC = 1;
+  std::unique_ptr<pattern::Library> Lib = load(Pos[0], Sig, &RC);
   if (!Lib)
-    return 1;
+    return RC;
   const pattern::NamedPattern *NP = Lib->findPattern(Pos[1]);
   if (!NP) {
     std::fprintf(stderr, "pypmc: no pattern named '%s'\n", Pos[1]);
@@ -486,6 +506,7 @@ int exitCodeFor(const EngineStatus &S) {
 int cmdRewrite(int Argc, char **Argv) {
   const char *Patterns = nullptr, *GraphPath = nullptr, *Out = nullptr;
   const char *ProfileOut = nullptr;
+  const char *PlanCacheDir = nullptr;
   unsigned Threads = 0;
   double BudgetMs = 0;
   uint64_t MaxSteps = 0;
@@ -497,6 +518,8 @@ int cmdRewrite(int Argc, char **Argv) {
       Out = Argv[++I];
     else if (std::strncmp(Argv[I], "--profile-out=", 14) == 0)
       ProfileOut = Argv[I] + 14;
+    else if (std::strncmp(Argv[I], "--plan-cache-dir=", 17) == 0)
+      PlanCacheDir = Argv[I] + 17;
     else if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 != Argc)
       Threads = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
     else if (std::strcmp(Argv[I], "--budget-ms") == 0 && I + 1 != Argc)
@@ -540,11 +563,32 @@ int cmdRewrite(int Argc, char **Argv) {
   std::unique_ptr<pattern::Library> Lib;
   std::unique_ptr<plan::LoadedPlan> LP;
   rewrite::RuleSet OwnRules;
+  // --plan-cache-dir=: resolve the rule set through the daemon's
+  // content-hash plan cache instead, so repeated cold CLI starts on the
+  // same rule set reuse the on-disk .pypmplan artifact (written crash-
+  // safely; corrupt or torn entries are detected by the hardened loader
+  // and recompiled). The rewrite itself is bit-identical either way —
+  // the cache serves byte-identical plans.
+  std::shared_ptr<const server::CachedRuleSet> CacheEntry;
   {
     std::string Bytes;
     if (!readFile(Patterns, Bytes))
-      return 1;
-    if (looksLikePlan(Bytes)) {
+      return 8; // unreadable, not malformed
+    if (PlanCacheDir) {
+      server::PlanCache Cache({PlanCacheDir});
+      DiagnosticEngine CacheDiags;
+      server::CacheSource Src;
+      CacheEntry = Cache.acquire(Bytes, CacheDiags, Src);
+      if (!CacheEntry) {
+        std::fprintf(stderr, "%s", CacheDiags.renderAll().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "plan cache: %s\n",
+                   std::string(server::cacheSourceName(Src)).c_str());
+      Sig = CacheEntry->Sig; // private copy; graph parse may extend it
+      if (!Matcher)
+        Matcher = rewrite::MatcherKind::Plan;
+    } else if (looksLikePlan(Bytes)) {
       DiagnosticEngine PlanDiags;
       LP = plan::deserializePlan(Bytes, Sig, PlanDiags);
       if (!LP) {
@@ -554,9 +598,10 @@ int cmdRewrite(int Argc, char **Argv) {
       if (!Matcher)
         Matcher = rewrite::MatcherKind::Plan;
     } else {
-      Lib = load(Patterns, Sig);
+      int RC = 1;
+      Lib = load(Patterns, Sig, &RC);
       if (!Lib)
-        return 1;
+        return RC;
       OwnRules.addLibrary(*Lib);
     }
   }
@@ -564,7 +609,8 @@ int cmdRewrite(int Argc, char **Argv) {
   // flag implies it rather than silently recording nothing.
   if (ProfileOut && !Matcher)
     Matcher = rewrite::MatcherKind::Plan;
-  const rewrite::RuleSet &Rules = LP ? LP->Rules : OwnRules;
+  const rewrite::RuleSet &Rules =
+      CacheEntry ? CacheEntry->rules() : (LP ? LP->Rules : OwnRules);
 
   std::unique_ptr<graph::Graph> G = loadGraph(GraphPath, Sig);
   if (!G)
@@ -586,7 +632,8 @@ int cmdRewrite(int Argc, char **Argv) {
   // A plan compiled here (or loaded above) serves both --emit-plan and the
   // engine's PrecompiledPlan fast path.
   std::unique_ptr<plan::Program> FreshPlan;
-  const plan::Program *Plan = LP ? &LP->Prog : nullptr;
+  const plan::Program *Plan =
+      CacheEntry ? &CacheEntry->prog() : (LP ? &LP->Prog : nullptr);
   if (!Plan && (EmitPlan || Opts.matcher() == rewrite::MatcherKind::Plan)) {
     FreshPlan = std::make_unique<plan::Program>(
         plan::PlanBuilder::compile(Rules, Sig));
