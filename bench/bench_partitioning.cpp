@@ -15,6 +15,7 @@
 #include "pattern/Serializer.h"
 #include "plan/PlanBuilder.h"
 #include "plan/Profile.h"
+#include "plan/aot/Threaded.h"
 #include "rewrite/Partition.h"
 #include "server/Server.h"
 
@@ -176,6 +177,111 @@ int runRulesetSweep() {
                 (unsigned long long)PlanMatches, FastDiscovery, PlanDiscovery,
                 PlanCompile,
                 PlanDiscovery > 0 ? FastDiscovery / PlanDiscovery : 0.0,
+                K == NumEntries ? "" : ",");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
+/// `--aot-sweep`: the plan interpreter vs the threaded-code backend over
+/// the same rule-prefix sweep (and model zoo) as `--ruleset-sweep`. Both
+/// matchers run the SAME compiled Program via PrecompiledPlan, so the
+/// delta is pure execution-loop cost: the interpreter re-decodes operands
+/// and re-dispatches per instruction visit, the threaded tier pays
+/// decoding once per program (decode_seconds, amortized across every
+/// attempt of the run) and then jumps label-to-label. Best-of-R per
+/// (prefix, model); match counts are asserted equal as the numbers are
+/// produced — the bit-identity claim re-checked where the speedup is
+/// measured. `--smoke` shrinks the zoo and repeat count.
+int runAotSweep(bool Smoke) {
+  std::vector<models::ModelEntry> Zoo;
+  for (const auto &Suite : {models::hfSuite(), models::tvSuite()}) {
+    const size_t PerSuite = Smoke ? 3 : SIZE_MAX;
+    size_t N = 0;
+    for (const models::ModelEntry &Model : Suite)
+      if (N++ < PerSuite)
+        Zoo.push_back(Model);
+  }
+  const int Repeats = Smoke ? 3 : 7;
+
+  size_t NumEntries = 0;
+  {
+    term::Signature Sig;
+    RuleSet All;
+    for (auto &Lib :
+         {opt::compileFmha(Sig), opt::compileEpilog(Sig),
+          opt::compileCublas(Sig), opt::compileUnaryChain(Sig)})
+      All.addLibrary(*Lib);
+    NumEntries = All.entries().size();
+  }
+
+  std::printf("{\n  \"models\": %zu,\n  \"repeats\": %d,\n"
+              "  \"smoke\": %s,\n  \"aot_sweep\": [\n",
+              Zoo.size(), Repeats, Smoke ? "true" : "false");
+  for (size_t K = 1; K <= NumEntries; ++K) {
+    double PlanDiscovery = 0, ThrDiscovery = 0, DecodeSeconds = 0;
+    uint64_t Matches = 0;
+    for (const models::ModelEntry &Model : Zoo) {
+      term::Signature Sig;
+      auto G = Model.Build(Sig);
+      auto Fmha = opt::compileFmha(Sig);
+      auto Epilog = opt::compileEpilog(Sig);
+      auto Cublas = opt::compileCublas(Sig);
+      auto Unary = opt::compileUnaryChain(Sig);
+      RuleSet All;
+      for (const pattern::Library *Lib :
+           {Fmha.get(), Epilog.get(), Cublas.get(), Unary.get()})
+        All.addLibrary(*Lib);
+      RuleSet Prefix;
+      for (size_t I = 0; I != K && I != All.entries().size(); ++I)
+        Prefix.addPattern(*All.entries()[I].Pattern, All.entries()[I].Rules);
+
+      plan::Program Prog = plan::PlanBuilder::compile(Prefix, Sig);
+      auto T0 = std::chrono::steady_clock::now();
+      plan::aot::ThreadedProgram TP = plan::aot::ThreadedProgram::decode(Prog);
+      DecodeSeconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+              .count();
+
+      double BestPlan = 0, BestThr = 0;
+      uint64_t PlanM = 0, ThrM = 0;
+      for (int R = 0; R != Repeats; ++R) {
+        rewrite::RewriteOptions PO;
+        PO.Matcher = rewrite::MatcherKind::Plan;
+        PO.PrecompiledPlan = &Prog;
+        rewrite::RewriteStats PS = rewrite::matchAll(*G, Prefix, PO);
+        if (R == 0 || PS.DiscoverySeconds < BestPlan)
+          BestPlan = PS.DiscoverySeconds;
+        PlanM = PS.TotalMatches;
+
+        rewrite::RewriteOptions TO;
+        TO.Matcher = rewrite::MatcherKind::PlanThreaded;
+        TO.PrecompiledPlan = &Prog;
+        TO.PrecompiledThreaded = &TP; // decode paid once, above
+        rewrite::RewriteStats TS = rewrite::matchAll(*G, Prefix, TO);
+        if (R == 0 || TS.DiscoverySeconds < BestThr)
+          BestThr = TS.DiscoverySeconds;
+        ThrM = TS.TotalMatches;
+      }
+      if (PlanM != ThrM) {
+        std::fprintf(stderr,
+                     "aot-sweep: match divergence at rules=%zu model=%s "
+                     "(plan %llu vs threaded %llu)\n",
+                     K, Model.Name.c_str(), (unsigned long long)PlanM,
+                     (unsigned long long)ThrM);
+        return 1;
+      }
+      PlanDiscovery += BestPlan;
+      ThrDiscovery += BestThr;
+      Matches += PlanM;
+    }
+    std::printf("    {\"rules\": %zu, \"matches\": %llu, "
+                "\"plan_discovery_seconds\": %.6f, "
+                "\"threaded_discovery_seconds\": %.6f, "
+                "\"decode_seconds\": %.6f, \"speedup\": %.3f}%s\n",
+                K, (unsigned long long)Matches, PlanDiscovery, ThrDiscovery,
+                DecodeSeconds,
+                ThrDiscovery > 0 ? PlanDiscovery / ThrDiscovery : 0.0,
                 K == NumEntries ? "" : ",");
   }
   std::printf("  ]\n}\n");
@@ -637,6 +743,8 @@ int main(int argc, char **argv) {
       return runThreadsSweep();
     if (std::string_view(argv[I]) == "--ruleset-sweep")
       return runRulesetSweep();
+    if (std::string_view(argv[I]) == "--aot-sweep")
+      return runAotSweep(Smoke);
     if (std::string_view(argv[I]) == "--profiled-sweep")
       return runProfiledSweep();
     if (std::string_view(argv[I]) == "--incremental-sweep")

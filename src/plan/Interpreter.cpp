@@ -1,8 +1,10 @@
 //===- plan/Interpreter.cpp - Bytecode executor for MatchPlans ------------===//
 //
-// Every step here shadows the corresponding FastMatcher step; when editing,
-// keep match/FastMatcher.cpp open next to this file. The differential suite
-// pins the two (and the reference Machine) to identical statuses, witnesses,
+// stepExec shadows the corresponding FastMatcher step over the compiled
+// instruction table; when editing, keep match/FastMatcher.cpp (and
+// plan/ExecState.cpp, which owns the dynamic escape) open next to this
+// file. The differential suites pin this executor, both AOT backends, the
+// FastMatcher, and the reference Machine to identical statuses, witnesses,
 // resume() streams, and step counters.
 //
 //===----------------------------------------------------------------------===//
@@ -18,19 +20,8 @@ using namespace pypm::pattern;
 
 MachineStatus Interpreter::matchEntry(size_t EntryIdx, term::TermRef T) {
   assert(EntryIdx < Prog.Entries.size() && "entry index out of range");
-  // Cells from a previous attempt are unreachable once Cont and Choices
-  // reset below; dropping them keeps a reused (batch-mode) interpreter's
-  // footprint proportional to one attempt, not the whole batch.
-  Cells.clear();
-  Theta.clear();
-  Phi.clear();
-  ThetaTrail.clear();
-  PhiTrail.clear();
-  Choices.clear();
-  Stats = MachineStats();
-  MuBudget = Opts.MaxMuUnfolds;
-  Cont = consMatch(Prog.Entries[EntryIdx].RootPC, T, nullptr);
-  Status = MachineStatus::Running;
+  St.resetAttempt(Opts.MaxMuUnfolds);
+  St.Cont = St.consMatch(Prog.Entries[EntryIdx].RootPC, T, nullptr);
   // Profiling is observation-only: counters after the run, never a branch
   // inside it. Only the first terminal counts as the attempt's outcome;
   // resume() continuations are part of the same attempt.
@@ -43,342 +34,99 @@ MachineStatus Interpreter::matchEntry(size_t EntryIdx, term::TermRef T) {
 }
 
 MachineStatus Interpreter::resume() {
-  if (Status != MachineStatus::Success)
-    return Status;
-  Status = MachineStatus::Running;
-  if (backtrack() != MachineStatus::Running)
-    return Status;
+  if (St.Status != MachineStatus::Success)
+    return St.Status;
+  St.Status = MachineStatus::Running;
+  if (St.backtrack() != MachineStatus::Running)
+    return St.Status;
   return runLoop();
 }
 
-Witness Interpreter::witness() const {
-  Witness W;
-  for (const auto &[K, V] : Theta)
-    W.Theta.bind(K, V);
-  for (const auto &[K, V] : Phi)
-    W.Phi.bind(K, V);
-  return W;
-}
-
-MachineStatus Interpreter::backtrack() {
-  ++Stats.Backtracks;
-  if (Choices.empty()) {
-    Status = MachineStatus::Failure;
-    return Status;
-  }
-  ChoicePoint CP = Choices.back();
-  Choices.pop_back();
-  while (ThetaTrail.size() > CP.ThetaTrailLen) {
-    Theta.erase(ThetaTrail.back());
-    ThetaTrail.pop_back();
-  }
-  while (PhiTrail.size() > CP.PhiTrailLen) {
-    Phi.erase(PhiTrail.back());
-    PhiTrail.pop_back();
-  }
-  Cont = CP.Cont;
-  Status = MachineStatus::Running;
-  return Status;
-}
-
-bool Interpreter::bindVar(Symbol X, term::TermRef T) {
-  auto [It, Inserted] = Theta.emplace(X, T);
-  if (!Inserted)
-    return It->second == T;
-  ThetaTrail.push_back(X);
-  ++Stats.VarBinds;
-  return true;
-}
-
-bool Interpreter::bindFunVar(Symbol F, term::OpId Op) {
-  auto [It, Inserted] = Phi.emplace(F, Op);
-  if (!Inserted)
-    return It->second == Op;
-  PhiTrail.push_back(F);
-  return true;
-}
-
-namespace pypm::plan {
-struct InterpreterGuardEnv final : public GuardEnv {
-  const Interpreter &M;
-  explicit InterpreterGuardEnv(const Interpreter &M) : M(M) {}
-  std::optional<term::TermRef> lookupVar(Symbol Var) const override {
-    auto It = M.Theta.find(Var);
-    if (It == M.Theta.end())
-      return std::nullopt;
-    return It->second;
-  }
-  std::optional<term::OpId> lookupFunVar(Symbol FunVar) const override {
-    auto It = M.Phi.find(FunVar);
-    if (It == M.Phi.end())
-      return std::nullopt;
-    return It->second;
-  }
-  const term::TermArena &arena() const override { return M.Arena; }
-};
-} // namespace pypm::plan
-
 MachineStatus Interpreter::runLoop() {
-  InterpreterGuardEnv Env(*this);
-
-  while (Status == MachineStatus::Running) {
-    if (++Stats.Steps > Opts.MaxSteps) {
-      Status = MachineStatus::OutOfFuel;
-      break;
-    }
-    if (Opts.EngineBudget && (Stats.Steps & 1023u) == 0 &&
-        Opts.EngineBudget->interrupted()) {
-      Status = MachineStatus::OutOfFuel;
-      break;
-    }
-    if (!Cont) {
-      Status = MachineStatus::Success;
-      break;
-    }
-    const Cell &A = *Cont;
-    const Cell *Rest = Cont->Next;
-    switch (A.Kind) {
-    case ActionKind::Match: {
-      Cont = Rest;
-      MachineStatus S =
-          A.PC != kNoPC ? stepExec(A.PC, A.T) : stepMatchDyn(A.Pat, A.T);
-      if (S != MachineStatus::Running)
-        Status = S;
-      break;
-    }
-    case ActionKind::Guard: {
-      ++Stats.GuardEvals;
-      GuardEval E = A.Guard->evalBool(Env);
-      if (!E.ok())
-        ++Stats.GuardStuck;
-      if (E.truthy())
-        Cont = Rest;
-      else
-        backtrack();
-      break;
-    }
-    case ActionKind::CheckName:
-      if (Theta.count(A.Var))
-        Cont = Rest;
-      else
-        backtrack();
-      break;
-    case ActionKind::CheckFunName:
-      if (Phi.count(A.Var))
-        Cont = Rest;
-      else
-        backtrack();
-      break;
-    case ActionKind::MatchConstr: {
-      auto It = Theta.find(A.Var);
-      if (It == Theta.end()) {
-        backtrack();
-        break;
-      }
-      if (A.PC != kNoPC)
-        Cont = consMatch(A.PC, It->second, Rest);
-      else
-        Cont = consMatchDyn(A.Pat, It->second, Rest);
-      break;
-    }
-    }
-  }
-  return Status;
+  ExecGuardEnv Env(St, Arena);
+  return runExecLoop(St, Opts, Env, [this](uint32_t PC, term::TermRef T) {
+    return stepExec(PC, T);
+  });
 }
 
 MachineStatus Interpreter::stepExec(uint32_t PC, term::TermRef T) {
   const Instr &I = Prog.Code[PC];
   switch (I.Op) {
   case OpCode::MatchVar:
-    if (bindVar(Prog.Syms[I.A], T))
+    if (St.bindVar(Prog.Syms[I.A], T))
       return MachineStatus::Running;
-    return backtrack();
+    return St.backtrack();
 
   case OpCode::MatchApp: {
     if (term::OpId(I.A) != T->op())
-      return backtrack();
+      return St.backtrack();
     for (uint32_t C = I.NumChildren; C-- > 0;)
-      Cont = consMatch(Prog.ChildPCs[I.FirstChild + C], T->child(C), Cont);
+      St.Cont =
+          St.consMatch(Prog.ChildPCs[I.FirstChild + C], T->child(C), St.Cont);
     return MachineStatus::Running;
   }
 
   case OpCode::MatchFunVarApp: {
     if (I.NumChildren != T->arity())
-      return backtrack();
-    if (!bindFunVar(Prog.Syms[I.A], T->op()))
-      return backtrack();
+      return St.backtrack();
+    if (!St.bindFunVar(Prog.Syms[I.A], T->op()))
+      return St.backtrack();
     for (uint32_t C = I.NumChildren; C-- > 0;)
-      Cont = consMatch(Prog.ChildPCs[I.FirstChild + C], T->child(C), Cont);
+      St.Cont =
+          St.consMatch(Prog.ChildPCs[I.FirstChild + C], T->child(C), St.Cont);
     return MachineStatus::Running;
   }
 
   case OpCode::MatchAlt: {
-    Choices.push_back(ChoicePoint{consMatch(I.B, T, Cont), ThetaTrail.size(),
-                                  PhiTrail.size()});
-    Stats.MaxStackDepth = std::max(Stats.MaxStackDepth, Choices.size());
-    Cont = consMatch(I.A, T, Cont);
+    St.pushChoice(St.consMatch(I.B, T, St.Cont));
+    St.Cont = St.consMatch(I.A, T, St.Cont);
     return MachineStatus::Running;
   }
 
   case OpCode::MatchGuarded: {
-    Cell G;
+    ExecState::Cell G;
     G.Kind = ActionKind::Guard;
     G.Guard = Prog.Guards[I.B];
-    G.Next = Cont;
-    Cont = consMatch(I.A, T, push(std::move(G)));
+    G.Next = St.Cont;
+    St.Cont = St.consMatch(I.A, T, St.push(std::move(G)));
     return MachineStatus::Running;
   }
 
   case OpCode::MatchExists: {
-    Cell C;
+    ExecState::Cell C;
     C.Kind = ActionKind::CheckName;
     C.Var = Prog.Syms[I.B];
-    C.Next = Cont;
-    Cont = consMatch(I.A, T, push(std::move(C)));
+    C.Next = St.Cont;
+    St.Cont = St.consMatch(I.A, T, St.push(std::move(C)));
     return MachineStatus::Running;
   }
 
   case OpCode::MatchExistsFun: {
-    Cell C;
+    ExecState::Cell C;
     C.Kind = ActionKind::CheckFunName;
     C.Var = Prog.Syms[I.B];
-    C.Next = Cont;
-    Cont = consMatch(I.A, T, push(std::move(C)));
+    C.Next = St.Cont;
+    St.Cont = St.consMatch(I.A, T, St.push(std::move(C)));
     return MachineStatus::Running;
   }
 
   case OpCode::MatchConstraint: {
-    Cell C;
+    ExecState::Cell C;
     C.Kind = ActionKind::MatchConstr;
     C.PC = I.B;
     C.Var = Prog.Syms[I.C];
-    C.Next = Cont;
-    Cont = consMatch(I.A, T, push(std::move(C)));
+    C.Next = St.Cont;
+    St.Cont = St.consMatch(I.A, T, St.push(std::move(C)));
     return MachineStatus::Running;
   }
 
-  case OpCode::MatchMu: {
-    if (MuBudget == 0) {
-      Status = MachineStatus::OutOfFuel;
-      return Status;
-    }
-    --MuBudget;
-    ++Stats.MuUnfolds;
-    // Keyed by the μ pattern node itself, so the dynamic path (nested μ in
-    // an unfolded body) shares the memo with the compiled path.
-    const MuPattern *Mu = Prog.Mus[I.A];
-    const Pattern *&Slot = UnfoldMemo[Mu];
-    if (!Slot)
-      Slot = Scratch.unfoldMu(Mu);
-    Cont = consMatchDyn(Slot, T, Cont);
-    return MachineStatus::Running;
-  }
+  case OpCode::MatchMu:
+    return St.unfoldMu(Prog.Mus[I.A], T);
 
   case OpCode::Fail:
-    return backtrack();
+    return St.backtrack();
   }
   assert(false && "unknown opcode");
-  return MachineStatus::Failure;
-}
-
-// Verbatim FastMatcher::stepMatch: runs the pattern-AST fragments that only
-// exist at run time (μ-unfold clones).
-MachineStatus Interpreter::stepMatchDyn(const Pattern *P, term::TermRef T) {
-  switch (P->kind()) {
-  case PatternKind::Var:
-    if (bindVar(cast<VarPattern>(P)->name(), T))
-      return MachineStatus::Running;
-    return backtrack();
-
-  case PatternKind::App: {
-    const auto *AP = cast<AppPattern>(P);
-    if (AP->op() != T->op())
-      return backtrack();
-    for (unsigned I = AP->arity(); I-- > 0;)
-      Cont = consMatchDyn(AP->children()[I], T->child(I), Cont);
-    return MachineStatus::Running;
-  }
-
-  case PatternKind::FunVarApp: {
-    const auto *FP = cast<FunVarAppPattern>(P);
-    if (FP->arity() != T->arity())
-      return backtrack();
-    if (!bindFunVar(FP->funVar(), T->op()))
-      return backtrack();
-    for (unsigned I = FP->arity(); I-- > 0;)
-      Cont = consMatchDyn(FP->children()[I], T->child(I), Cont);
-    return MachineStatus::Running;
-  }
-
-  case PatternKind::Alt: {
-    const auto *AP = cast<AltPattern>(P);
-    Choices.push_back(ChoicePoint{consMatchDyn(AP->right(), T, Cont),
-                                  ThetaTrail.size(), PhiTrail.size()});
-    Stats.MaxStackDepth = std::max(Stats.MaxStackDepth, Choices.size());
-    Cont = consMatchDyn(AP->left(), T, Cont);
-    return MachineStatus::Running;
-  }
-
-  case PatternKind::Guarded: {
-    const auto *GP = cast<GuardedPattern>(P);
-    Cell G;
-    G.Kind = ActionKind::Guard;
-    G.Guard = GP->guard();
-    G.Next = Cont;
-    Cont = consMatchDyn(GP->sub(), T, push(std::move(G)));
-    return MachineStatus::Running;
-  }
-
-  case PatternKind::Exists: {
-    const auto *EP = cast<ExistsPattern>(P);
-    Cell C;
-    C.Kind = ActionKind::CheckName;
-    C.Var = EP->var();
-    C.Next = Cont;
-    Cont = consMatchDyn(EP->sub(), T, push(std::move(C)));
-    return MachineStatus::Running;
-  }
-
-  case PatternKind::ExistsFun: {
-    const auto *EP = cast<ExistsFunPattern>(P);
-    Cell C;
-    C.Kind = ActionKind::CheckFunName;
-    C.Var = EP->funVar();
-    C.Next = Cont;
-    Cont = consMatchDyn(EP->sub(), T, push(std::move(C)));
-    return MachineStatus::Running;
-  }
-
-  case PatternKind::MatchConstraint: {
-    const auto *MP = cast<MatchConstraintPattern>(P);
-    Cell C;
-    C.Kind = ActionKind::MatchConstr;
-    C.Pat = MP->constraint();
-    C.Var = MP->var();
-    C.Next = Cont;
-    Cont = consMatchDyn(MP->sub(), T, push(std::move(C)));
-    return MachineStatus::Running;
-  }
-
-  case PatternKind::Mu: {
-    if (MuBudget == 0) {
-      Status = MachineStatus::OutOfFuel;
-      return Status;
-    }
-    --MuBudget;
-    ++Stats.MuUnfolds;
-    const Pattern *&Slot = UnfoldMemo[P];
-    if (!Slot)
-      Slot = Scratch.unfoldMu(cast<MuPattern>(P));
-    Cont = consMatchDyn(Slot, T, Cont);
-    return MachineStatus::Running;
-  }
-
-  case PatternKind::RecCall:
-    assert(false && "RecCall reached the matcher (ill-formed pattern)");
-    return backtrack();
-  }
-  assert(false && "unknown pattern kind");
   return MachineStatus::Failure;
 }
 

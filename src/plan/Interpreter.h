@@ -10,22 +10,25 @@
 /// match continues over the pattern AST with the exact FastMatcher step
 /// (an "escape" back to the uncompiled representation).
 ///
+/// All mutable state — and the cell-dispatch loop itself — lives in
+/// plan::ExecState, shared with the AOT backends (src/plan/aot/) so the
+/// executors cannot drift on scratch-state semantics; this class supplies
+/// only the compiled-Match step (stepExec, a switch over the instruction
+/// table).
+///
 /// The step sequence — and with it every counter in MachineStats, the
 /// first witness, and the whole resume() stream — is bit-for-bit
 /// FastMatcher's, which is bit-for-bit the reference Machine's. The
-/// differential suite (tests/test_matchplan.cpp) pins all three together.
+/// differential suites (tests/test_matchplan.cpp, tests/test_aot.cpp) pin
+/// them all together.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PYPM_PLAN_INTERPRETER_H
 #define PYPM_PLAN_INTERPRETER_H
 
-#include "match/Machine.h"
+#include "plan/ExecState.h"
 #include "plan/Profile.h"
-#include "plan/Program.h"
-
-#include <deque>
-#include <unordered_map>
 
 namespace pypm::plan {
 
@@ -48,23 +51,23 @@ public:
   match::MachineStatus matchEntry(size_t EntryIdx, term::TermRef T);
 
   /// Batch mode: one attempt on a *reused* interpreter, as run() but
-  /// without constructing a fresh instance. Per-attempt state resets;
-  /// what persists — the Scratch pattern arena, the μ-unfold memo keyed on
-  /// the arena-interned μ nodes, and container capacity — is exactly the
-  /// state that cannot change an outcome: a memo hit still pays its
-  /// unfold step and μ-budget decrement, it only skips re-cloning the
-  /// body. Every counter, status, and visible binding is therefore
-  /// bit-identical to a fresh run()'s; only allocation and unfold
-  /// construction are amortized across the batch
+  /// without constructing a fresh instance. Per-attempt state resets
+  /// (ExecState::resetAttempt); what persists — the Scratch pattern arena,
+  /// the μ-unfold memo keyed on the arena-interned μ nodes, and container
+  /// capacity — is exactly the state that cannot change an outcome: a memo
+  /// hit still pays its unfold step and μ-budget decrement, it only skips
+  /// re-cloning the body. Every counter, status, and visible binding is
+  /// therefore bit-identical to a fresh run()'s; only allocation and
+  /// unfold construction are amortized across the batch
   /// (tests/test_incremental.cpp pins the parity per attempt).
   match::MatchResult matchOne(size_t EntryIdx, term::TermRef T);
 
   /// Continues the search past the previous success.
   match::MachineStatus resume();
 
-  match::MachineStatus status() const { return Status; }
-  match::Witness witness() const;
-  const match::MachineStats &stats() const { return Stats; }
+  match::MachineStatus status() const { return St.Status; }
+  match::Witness witness() const { return St.witness(); }
+  const match::MachineStats &stats() const { return St.Stats; }
 
   /// One-call convenience mirroring FastMatcher::run for one entry.
   /// \p Prof, when non-null, receives the per-entry attempt/match counters
@@ -76,75 +79,14 @@ public:
       Profile *Prof = nullptr);
 
 private:
-  /// Persistent continuation cell: a compiled action. Match targets are a
-  /// PC into the program, or (after a μ unfold) a dynamic pattern node.
-  struct Cell {
-    match::ActionKind Kind = match::ActionKind::Match;
-    uint32_t PC = kNoPC;                   ///< compiled Match/MatchConstr
-    const pattern::Pattern *Pat = nullptr; ///< dynamic Match/MatchConstr
-    term::TermRef T = nullptr;
-    const pattern::GuardExpr *Guard = nullptr;
-    Symbol Var;
-    const Cell *Next = nullptr;
-  };
-
-  struct ChoicePoint {
-    const Cell *Cont;
-    size_t ThetaTrailLen;
-    size_t PhiTrailLen;
-  };
-
-  const Cell *push(Cell C) {
-    Cells.push_back(std::move(C));
-    return &Cells.back();
-  }
-  const Cell *consMatch(uint32_t PC, term::TermRef T, const Cell *Next) {
-    Cell C;
-    C.PC = PC;
-    C.T = T;
-    C.Next = Next;
-    return push(std::move(C));
-  }
-  const Cell *consMatchDyn(const pattern::Pattern *P, term::TermRef T,
-                           const Cell *Next) {
-    Cell C;
-    C.Pat = P;
-    C.T = T;
-    C.Next = Next;
-    return push(std::move(C));
-  }
-
   match::MachineStatus runLoop();
-  match::MachineStatus backtrack();
-  bool bindVar(Symbol X, term::TermRef T);
-  bool bindFunVar(Symbol F, term::OpId Op);
   match::MachineStatus stepExec(uint32_t PC, term::TermRef T);
-  match::MachineStatus stepMatchDyn(const pattern::Pattern *P,
-                                    term::TermRef T);
 
   const Program &Prog;
   const term::TermArena &Arena;
   match::Machine::Options Opts;
   Profile *Prof = nullptr;
-
-  pattern::PatternArena Scratch;
-  std::deque<Cell> Cells;
-
-  std::unordered_map<Symbol, term::TermRef> Theta;
-  std::unordered_map<Symbol, term::OpId> Phi;
-  std::vector<Symbol> ThetaTrail;
-  std::vector<Symbol> PhiTrail;
-
-  std::vector<ChoicePoint> Choices;
-  const Cell *Cont = nullptr;
-  uint64_t MuBudget = 0;
-  match::MachineStatus Status = match::MachineStatus::Failure;
-  match::MachineStats Stats;
-
-  std::unordered_map<const pattern::Pattern *, const pattern::Pattern *>
-      UnfoldMemo;
-
-  friend struct InterpreterGuardEnv;
+  ExecState St;
 };
 
 } // namespace pypm::plan

@@ -1,0 +1,117 @@
+//===- plan/aot/AotAbi.h - Versioned ABI for emitted plan .so files -*- C++ -*-===//
+///
+/// \file
+/// The contract between the engine and a dlopen'ed emitted plan. The .so
+/// exports exactly one symbol, pypm_aot_plan_v1(), returning a static
+/// PypmAotPlanV1 — magic, ABI version, both plan fingerprints, table
+/// sizes, and the step function. Everything else about the artifact is
+/// private.
+///
+/// Design rule: the emitted code owns *control flow only*. Every state
+/// mutation — binding, backtracking, continuation cells, μ unfolds, the
+/// step/fuel accounting — happens host-side through the PypmAotOpsV1
+/// callback table into the same plan::ExecState the interpreter runs on.
+/// That makes witnesses, stats, budget charging, and quarantine/fault
+/// interaction host code *by construction*: an emitted plan cannot drift
+/// from the interpreter on anything but speed. The cost is a call per
+/// operation, which is why the always-available threaded tier (same
+/// process, no ABI) is the default fast path and the emitted tier is the
+/// cacheable-artifact path (see DESIGN.md §"AOT plan execution").
+///
+/// Versioning and validation ladder (Library.cpp enforces, in order):
+///  1. a marker string ("PYPM-AOT-MARK-v1:<canonical>:<table>;") scanned
+///     from the raw file bytes BEFORE dlopen — truncated, corrupted, or
+///     foreign artifacts are rejected without executing any of their code;
+///  2. dlopen + dlsym of pypm_aot_plan_v1 (the dynamic linker rejects
+///     torn ELF images cleanly);
+///  3. Magic, AbiVersion, and both fingerprints in the returned struct,
+///     re-checked against the plan in hand plus NumEntries/NumInstrs.
+/// Any failure is a machine-readable diagnostic (aot.* codes) and an
+/// interpreter fallback, never UB.
+///
+/// The emitter (Emitter.cpp) embeds a byte-identical copy of these
+/// declarations into every generated translation unit so artifacts build
+/// standalone, with no include path back into this repo;
+/// tests/test_aot.cpp pins the two copies against each other.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_PLAN_AOT_AOTABI_H
+#define PYPM_PLAN_AOT_AOTABI_H
+
+#include <stdint.h>
+
+extern "C" {
+
+/// Little-endian "PYPMAOT1".
+#define PYPM_AOT_MAGIC 0x31544f414d505950ull
+#define PYPM_AOT_ABI_VERSION 1u
+
+/// Machine statuses as the ABI sees them (== match::MachineStatus).
+#define PYPM_AOT_RUNNING 0
+#define PYPM_AOT_SUCCESS 1
+#define PYPM_AOT_FAILURE 2
+#define PYPM_AOT_OUT_OF_FUEL 3
+
+/// Continuation-action kinds for push_action (== match::ActionKind).
+#define PYPM_AOT_ACT_GUARD 1u
+#define PYPM_AOT_ACT_CHECK_NAME 2u
+#define PYPM_AOT_ACT_CHECK_FUNNAME 3u
+#define PYPM_AOT_ACT_MATCH_CONSTR 4u
+
+/// Host callbacks. Ctx is the host's execution context (an ExecState plus
+/// the plan's side tables); T is an opaque term handle. Sym/guard/μ
+/// operands cross the boundary as *indices* into the plan's side tables —
+/// the host resolves them, so the artifact stays valid across processes
+/// (interned Symbol values and arena pointers never leave the host).
+typedef struct PypmAotOpsV1 {
+  uint32_t (*term_op)(const void *T);
+  uint32_t (*term_arity)(const void *T);
+  const void *(*term_child)(const void *T, uint32_t I);
+  /// θ-bind Syms[SymIdx] := T; 0 on clash (caller then backtracks).
+  int (*bind_var)(void *Ctx, uint32_t SymIdx, const void *T);
+  /// φ-bind Syms[SymIdx] := Op; 0 on clash.
+  int (*bind_funvar)(void *Ctx, uint32_t SymIdx, uint32_t Op);
+  /// Pops a choice point (unwinding trails); returns the machine status.
+  int (*backtrack)(void *Ctx);
+  /// Cont = consMatch(PC, T, Cont).
+  void (*push_match)(void *Ctx, uint32_t PC, const void *T);
+  /// Pushes a choice point whose resume continuation is
+  /// consMatch(AltPC, T, Cont).
+  void (*push_choice)(void *Ctx, uint32_t AltPC, const void *T);
+  /// Cont = an action cell (Kind as PYPM_AOT_ACT_*) chained on the old
+  /// Cont. Aux is the guard index (GUARD) or constraint PC (MATCH_CONSTR);
+  /// SymIdx names the θ/φ symbol for the checks and the constraint.
+  void (*push_action)(void *Ctx, uint32_t Kind, uint32_t Aux,
+                      uint32_t SymIdx);
+  /// The whole MatchMu step host-side (fuel, counters, memoized unfold,
+  /// dynamic continuation); returns the machine status.
+  int (*mu_unfold)(void *Ctx, uint32_t MuIdx, const void *T);
+} PypmAotOpsV1;
+
+typedef struct PypmAotPlanV1 {
+  uint64_t Magic;      ///< PYPM_AOT_MAGIC
+  uint32_t AbiVersion; ///< PYPM_AOT_ABI_VERSION
+  uint32_t NumEntries;
+  uint32_t NumInstrs;
+  uint32_t Reserved;
+  uint64_t CanonicalSig;      ///< plan::PlanBuilder::signature (op-id free)
+  uint64_t TableFingerprint;  ///< plan::aot::abiFingerprint (op-id bound)
+  /// Executes the compiled Match step at PC against T. Returns
+  /// PYPM_AOT_RUNNING or the terminal the host callbacks produced.
+  int (*Step)(void *Ctx, const struct PypmAotOpsV1 *Ops, uint32_t PC,
+              const void *T);
+} PypmAotPlanV1;
+
+/// The one exported entry point of an emitted plan .so.
+typedef const PypmAotPlanV1 *(*PypmAotPlanEntryFn)(void);
+
+} // extern "C"
+
+namespace pypm::plan::aot {
+/// Entry symbol name and the pre-dlopen marker prefix (see Library.cpp).
+inline constexpr const char *kAotEntrySymbol = "pypm_aot_plan_v1";
+inline constexpr const char *kAotMarkerPrefix = "PYPM-AOT-MARK-v1:";
+} // namespace pypm::plan::aot
+
+#endif // PYPM_PLAN_AOT_AOTABI_H

@@ -1,0 +1,263 @@
+//===- plan/aot/Emitter.cpp - C++ source emitter for MatchPlans -----------===//
+//
+// Each emitted case mirrors Interpreter::stepExec for its instruction;
+// when editing, keep plan/Interpreter.cpp open next to this file. The
+// emitted-tier differential suite (tests/test_aot.cpp) pins the built
+// artifact to the interpreter step for step.
+//
+//===----------------------------------------------------------------------===//
+
+#include "plan/aot/Emitter.h"
+
+#include "plan/aot/AotAbi.h"
+#include "plan/aot/Lowering.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+using namespace pypm;
+using namespace pypm::plan;
+using namespace pypm::plan::aot;
+
+namespace {
+
+/// Byte-identical copy of AotAbi.h's declarations (tests/test_aot.cpp
+/// pins the correspondence): emitted artifacts build standalone.
+constexpr const char *kAbiDecls = R"(#include <stdint.h>
+#define PYPM_AOT_MAGIC 0x31544f414d505950ull
+#define PYPM_AOT_ABI_VERSION 1u
+#define PYPM_AOT_RUNNING 0
+#define PYPM_AOT_FAILURE 2
+#define PYPM_AOT_ACT_GUARD 1u
+#define PYPM_AOT_ACT_CHECK_NAME 2u
+#define PYPM_AOT_ACT_CHECK_FUNNAME 3u
+#define PYPM_AOT_ACT_MATCH_CONSTR 4u
+typedef struct PypmAotOpsV1 {
+  uint32_t (*term_op)(const void *T);
+  uint32_t (*term_arity)(const void *T);
+  const void *(*term_child)(const void *T, uint32_t I);
+  int (*bind_var)(void *Ctx, uint32_t SymIdx, const void *T);
+  int (*bind_funvar)(void *Ctx, uint32_t SymIdx, uint32_t Op);
+  int (*backtrack)(void *Ctx);
+  void (*push_match)(void *Ctx, uint32_t PC, const void *T);
+  void (*push_choice)(void *Ctx, uint32_t AltPC, const void *T);
+  void (*push_action)(void *Ctx, uint32_t Kind, uint32_t Aux,
+                      uint32_t SymIdx);
+  int (*mu_unfold)(void *Ctx, uint32_t MuIdx, const void *T);
+} PypmAotOpsV1;
+typedef struct PypmAotPlanV1 {
+  uint64_t Magic;
+  uint32_t AbiVersion;
+  uint32_t NumEntries;
+  uint32_t NumInstrs;
+  uint32_t Reserved;
+  uint64_t CanonicalSig;
+  uint64_t TableFingerprint;
+  int (*Step)(void *Ctx, const struct PypmAotOpsV1 *Ops, uint32_t PC,
+              const void *T);
+} PypmAotPlanV1;
+)";
+
+std::string hex16(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx", (unsigned long long)V);
+  return Buf;
+}
+
+/// One emitted switch case for every opcode except App/FunVarApp (those
+/// inline their child-PC pool slices and are printed by emitCpp directly).
+void emitCase(std::ostringstream &O, uint32_t PC, const Instr &I) {
+  O << "  case " << PC << "u: {\n";
+  switch (I.Op) {
+  case OpCode::MatchVar:
+    O << "    if (!Ops->bind_var(Ctx, " << I.A << "u, T))\n"
+      << "      return Ops->backtrack(Ctx);\n"
+      << "    return PYPM_AOT_RUNNING;\n";
+    break;
+  case OpCode::MatchApp:
+  case OpCode::MatchFunVarApp:
+    assert(false && "App/FunVarApp are emitted inline by emitCpp");
+    break;
+  case OpCode::MatchAlt:
+    O << "    Ops->push_choice(Ctx, " << I.B << "u, T);\n"
+      << "    Ops->push_match(Ctx, " << I.A << "u, T);\n"
+      << "    return PYPM_AOT_RUNNING;\n";
+    break;
+  case OpCode::MatchGuarded:
+    O << "    Ops->push_action(Ctx, PYPM_AOT_ACT_GUARD, " << I.B
+      << "u, 0u);\n"
+      << "    Ops->push_match(Ctx, " << I.A << "u, T);\n"
+      << "    return PYPM_AOT_RUNNING;\n";
+    break;
+  case OpCode::MatchExists:
+    O << "    Ops->push_action(Ctx, PYPM_AOT_ACT_CHECK_NAME, 0u, " << I.B
+      << "u);\n"
+      << "    Ops->push_match(Ctx, " << I.A << "u, T);\n"
+      << "    return PYPM_AOT_RUNNING;\n";
+    break;
+  case OpCode::MatchExistsFun:
+    O << "    Ops->push_action(Ctx, PYPM_AOT_ACT_CHECK_FUNNAME, 0u, " << I.B
+      << "u);\n"
+      << "    Ops->push_match(Ctx, " << I.A << "u, T);\n"
+      << "    return PYPM_AOT_RUNNING;\n";
+    break;
+  case OpCode::MatchConstraint:
+    O << "    Ops->push_action(Ctx, PYPM_AOT_ACT_MATCH_CONSTR, " << I.B
+      << "u, " << I.C << "u);\n"
+      << "    Ops->push_match(Ctx, " << I.A << "u, T);\n"
+      << "    return PYPM_AOT_RUNNING;\n";
+    break;
+  case OpCode::MatchMu:
+    O << "    return Ops->mu_unfold(Ctx, " << I.A << "u, T);\n";
+    break;
+  case OpCode::Fail:
+    O << "    return Ops->backtrack(Ctx);\n";
+    break;
+  }
+  O << "  }\n";
+}
+
+} // namespace
+
+std::string AotEmitter::markerFor(const Program &P) {
+  return std::string(kAotMarkerPrefix) + hex16(P.CanonicalSig) + ":" +
+         hex16(abiFingerprint(P)) + ";";
+}
+
+std::string AotEmitter::emitCpp(const Program &P) {
+  std::ostringstream O;
+  O << "// Emitted by pypm AotEmitter — generated code, do not edit.\n"
+    << "// plan canonical-sig " << hex16(P.CanonicalSig)
+    << ", table-fingerprint " << hex16(abiFingerprint(P)) << ".\n"
+    << kAbiDecls << "\n"
+    << "static int pypm_step(void *Ctx, const PypmAotOpsV1 *Ops, uint32_t "
+       "PC,\n"
+    << "                     const void *T) {\n"
+    << "  switch (PC) {\n";
+  for (uint32_t PC = 0; PC != P.Code.size(); ++PC) {
+    const Instr &I = P.Code[PC];
+    if (I.Op != OpCode::MatchApp && I.Op != OpCode::MatchFunVarApp) {
+      emitCase(O, PC, I);
+      continue;
+    }
+    // App/FunVarApp inline their child PCs from the pool.
+    O << "  case " << PC << "u: {\n";
+    if (I.Op == OpCode::MatchApp)
+      O << "    if (Ops->term_op(T) != " << I.A << "u)\n"
+        << "      return Ops->backtrack(Ctx);\n";
+    else
+      O << "    if (Ops->term_arity(T) != " << I.NumChildren << "u)\n"
+        << "      return Ops->backtrack(Ctx);\n"
+        << "    if (!Ops->bind_funvar(Ctx, " << I.A
+        << "u, Ops->term_op(T)))\n"
+        << "      return Ops->backtrack(Ctx);\n";
+    for (uint32_t C = I.NumChildren; C-- > 0;)
+      O << "    Ops->push_match(Ctx, " << P.ChildPCs[I.FirstChild + C]
+        << "u, Ops->term_child(T, " << C << "u));\n";
+    O << "    return PYPM_AOT_RUNNING;\n  }\n";
+  }
+  O << "  default:\n    return PYPM_AOT_FAILURE;\n  }\n}\n\n"
+    << "extern \"C\" const char pypm_aot_marker[] = \"" << markerFor(P)
+    << "\";\n\n"
+    << "extern \"C\" const PypmAotPlanV1 *pypm_aot_plan_v1(void) {\n"
+    << "  static const PypmAotPlanV1 Plan = {\n"
+    << "      PYPM_AOT_MAGIC,\n"
+    << "      PYPM_AOT_ABI_VERSION,\n"
+    << "      " << P.Entries.size() << "u,\n"
+    << "      " << P.Code.size() << "u,\n"
+    << "      0u,\n"
+    << "      0x" << hex16(P.CanonicalSig) << "ull,\n"
+    << "      0x" << hex16(abiFingerprint(P)) << "ull,\n"
+    << "      &pypm_step,\n"
+    << "  };\n"
+    << "  // The marker must survive into the binary: referencing it here\n"
+    << "  // keeps even the most aggressive linker from dropping it.\n"
+    << "  return pypm_aot_marker[0] ? &Plan : (const PypmAotPlanV1 *)0;\n"
+    << "}\n";
+  return O.str();
+}
+
+std::string AotEmitter::findCompiler() {
+  auto Executable = [](const std::string &Path) {
+    return ::access(Path.c_str(), X_OK) == 0;
+  };
+  auto OnPath = [&](const std::string &Name) -> std::string {
+    const char *PathEnv = std::getenv("PATH");
+    if (!PathEnv)
+      return "";
+    std::string Dirs(PathEnv);
+    size_t Pos = 0;
+    while (Pos <= Dirs.size()) {
+      size_t Colon = Dirs.find(':', Pos);
+      std::string Dir = Dirs.substr(
+          Pos, Colon == std::string::npos ? std::string::npos : Colon - Pos);
+      if (!Dir.empty()) {
+        std::string Cand = Dir + "/" + Name;
+        if (Executable(Cand))
+          return Cand;
+      }
+      if (Colon == std::string::npos)
+        break;
+      Pos = Colon + 1;
+    }
+    return "";
+  };
+  if (const char *E = std::getenv("PYPM_CXX"); E && *E) {
+    std::string Override(E);
+    if (Override.find('/') != std::string::npos)
+      return Override; // explicit path: used as-is, fails loudly if broken
+    std::string Found = OnPath(Override);
+    return Found.empty() ? Override : Found;
+  }
+  for (const char *Name : {"c++", "g++", "clang++"})
+    if (std::string Found = OnPath(Name); !Found.empty())
+      return Found;
+  return "";
+}
+
+bool AotEmitter::buildSharedObject(const Program &P, const std::string &SoPath,
+                                   std::string &Err) {
+  std::string CXX = findCompiler();
+  if (CXX.empty()) {
+    Err = "no C++ compiler found (set $PYPM_CXX or install c++/g++/clang++ "
+          "on $PATH); emitted-plan tier unavailable";
+    return false;
+  }
+  // The PlanCache write discipline: everything lands under temp names in
+  // the destination directory, then one atomic rename installs the .so.
+  std::string Src = SoPath + ".tmp.cpp";
+  std::string Tmp = SoPath + ".tmp.so";
+  std::string Log = SoPath + ".tmp.log";
+  {
+    std::ofstream OS(Src, std::ios::binary | std::ios::trunc);
+    if (!OS) {
+      Err = "cannot write emitted source to " + Src;
+      return false;
+    }
+    OS << AotEmitter::emitCpp(P);
+  }
+  std::string Cmd = "'" + CXX + "' -O2 -fPIC -shared -o '" + Tmp + "' '" +
+                    Src + "' 2>'" + Log + "'";
+  int RC = std::system(Cmd.c_str());
+  if (RC != 0) {
+    std::ifstream LS(Log);
+    std::ostringstream LO;
+    LO << LS.rdbuf();
+    Err = "emitted-plan compile failed (" + CXX + "): " + LO.str();
+    std::remove(Src.c_str());
+    std::remove(Tmp.c_str());
+    std::remove(Log.c_str());
+    return false;
+  }
+  std::remove(Src.c_str());
+  std::remove(Log.c_str());
+  if (std::rename(Tmp.c_str(), SoPath.c_str()) != 0) {
+    Err = "cannot install emitted plan at " + SoPath;
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,58 @@
+//===- plan/aot/Emitter.h - C++ source emitter for MatchPlans ----*- C++ -*-===//
+///
+/// \file
+/// The cacheable-artifact AOT tier. AotEmitter prints a plan::Program as
+/// one self-contained C++ translation unit: a step function whose switch
+/// is over *program counters* (not opcodes) — each case is the
+/// straight-line code of that one instruction with every operand baked as
+/// an immediate (operator-id compares, child PCs, side-table indices),
+/// so the per-step operand decode of the interpreter disappears entirely.
+/// All state effects go through the PypmAotOpsV1 host-callback table into
+/// the shared plan::ExecState (see AotAbi.h for why that makes semantic
+/// drift impossible by construction).
+///
+/// When a C++ compiler is present (findCompiler: $PYPM_CXX, then
+/// c++/g++/clang++ on $PATH), buildSharedObject compiles the emitted
+/// source into a .so, written crash-safe (temp file + atomic rename, the
+/// PlanCache discipline) so a killed build never leaves a torn artifact
+/// under the final name. No compiler is a clean, reported failure — the
+/// caller falls back to the threaded tier or the interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_PLAN_AOT_EMITTER_H
+#define PYPM_PLAN_AOT_EMITTER_H
+
+#include "plan/Program.h"
+
+#include <string>
+
+namespace pypm::plan::aot {
+
+class AotEmitter {
+public:
+  /// The complete emitted translation unit for \p P (ABI declarations
+  /// embedded, so it builds with no include path back into this repo).
+  static std::string emitCpp(const Program &P);
+
+  /// The pre-dlopen validation marker emitted into (and scanned out of)
+  /// every artifact: "PYPM-AOT-MARK-v1:<canonical>:<table>;" with both
+  /// fingerprints as 16-digit lower-case hex.
+  static std::string markerFor(const Program &P);
+
+  /// Best C++ compiler this process can invoke, or "" (with the search
+  /// order documented above). $PYPM_CXX wins even if broken — an explicit
+  /// override that does not resolve is returned as-is so the build fails
+  /// loudly rather than silently using a different compiler.
+  static std::string findCompiler();
+
+  /// Emits \p P and builds it into \p SoPath (temp + rename). False with
+  /// a human-readable reason in \p Err (no compiler, compile failure with
+  /// the compiler's stderr, filesystem errors).
+  static bool buildSharedObject(const Program &P, const std::string &SoPath,
+                                std::string &Err);
+};
+
+} // namespace pypm::plan::aot
+
+#endif // PYPM_PLAN_AOT_EMITTER_H

@@ -1,0 +1,122 @@
+//===- plan/aot/Library.h - dlopen loader + executor for emitted plans -*- C++ -*-===//
+///
+/// \file
+/// PlanLibrary loads one emitted plan .so through the validation ladder
+/// documented in AotAbi.h: raw-file marker scan (before any code from the
+/// artifact can run), dlopen/dlsym, then the ABI struct's magic, version,
+/// fingerprints, and table sizes against the plan in hand. Every rung has
+/// a distinct machine-readable status (AotLoadStatus, rendered as aot.*
+/// diagnostic codes) so callers — pypmc's exit-code ladder, the engine's
+/// fallback warning, the daemon's cache tier — can tell "no artifact"
+/// from "stale artifact" from "not an artifact at all". A failed load is
+/// always a clean rejection plus interpreter fallback, never UB: no
+/// validation, no execution.
+///
+/// SoExec is the executor over a loaded library — plan::Interpreter's
+/// exact surface, running the shared plan::ExecState loop with the .so's
+/// step function as the compiled-Match step. The host-callback table it
+/// passes down (see Library.cpp) resolves every side-table index and
+/// performs every state mutation in host code, so statuses, witnesses,
+/// stats, and budget polling are the interpreter's by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_PLAN_AOT_LIBRARY_H
+#define PYPM_PLAN_AOT_LIBRARY_H
+
+#include "plan/ExecState.h"
+#include "plan/Profile.h"
+#include "plan/aot/AotAbi.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+
+namespace pypm::plan::aot {
+
+/// One status per validation rung, in ladder order.
+enum class AotLoadStatus : uint8_t {
+  Ok = 0,
+  Unreadable,      ///< the file cannot be read at all
+  NoMarker,        ///< readable, but no AOT marker — not an emitted plan
+  MarkerMismatch,  ///< marker fingerprints disagree with the plan in hand
+  NotLoadable,     ///< marker fine, but dlopen rejected the image
+  NoEntrySymbol,   ///< loaded, but pypm_aot_plan_v1 is missing/null
+  BadMagic,        ///< entry struct magic is wrong
+  AbiVersionMismatch,
+  PlanMismatch,    ///< struct fingerprints/sizes disagree with the plan
+};
+
+/// Machine-readable diagnostic code ("aot.unreadable", "aot.stale", ...).
+const char *aotLoadStatusCode(AotLoadStatus S);
+/// Human-readable one-liner for the same status.
+const char *aotLoadStatusMessage(AotLoadStatus S);
+
+class PlanLibrary {
+public:
+  /// Loads and validates \p SoPath against \p P. On any rung failure:
+  /// nullptr, \p St set, and (when \p Diags is non-null) one warning
+  /// carrying the aot.* code — the caller decides whether fallback is a
+  /// warning (engine) or an exit code (pypmc --aot-lib).
+  static std::unique_ptr<PlanLibrary> load(const std::string &SoPath,
+                                           const Program &P,
+                                           DiagnosticEngine *Diags,
+                                           AotLoadStatus &St);
+
+  ~PlanLibrary();
+  PlanLibrary(const PlanLibrary &) = delete;
+  PlanLibrary &operator=(const PlanLibrary &) = delete;
+
+  const PypmAotPlanV1 *plan() const { return Plan; }
+  const std::string &path() const { return Path; }
+
+  /// True iff this library's baked fingerprints match \p P — the engine
+  /// re-checks before every run, because the plan it compiled may not be
+  /// the plan the caller validated against.
+  bool matches(const Program &P) const;
+
+private:
+  PlanLibrary() = default;
+  void *Handle = nullptr;
+  const PypmAotPlanV1 *Plan = nullptr;
+  std::string Path;
+};
+
+/// Executor over a validated PlanLibrary; plan::Interpreter's surface.
+class SoExec {
+public:
+  SoExec(const Program &Prog, const PlanLibrary &Lib,
+         const term::TermArena &Arena,
+         match::Machine::Options Opts = match::Machine::Options())
+      : Prog(Prog), Lib(Lib), Arena(Arena), Opts(Opts) {}
+
+  void setProfile(Profile *P) { Prof = P; }
+
+  match::MachineStatus matchEntry(size_t EntryIdx, term::TermRef T);
+  match::MatchResult matchOne(size_t EntryIdx, term::TermRef T);
+  match::MachineStatus resume();
+
+  match::MachineStatus status() const { return St.Status; }
+  match::Witness witness() const { return St.witness(); }
+  const match::MachineStats &stats() const { return St.Stats; }
+
+  static match::MatchResult
+  run(const Program &Prog, const PlanLibrary &Lib, size_t EntryIdx,
+      term::TermRef T, const term::TermArena &Arena,
+      match::Machine::Options Opts = match::Machine::Options(),
+      Profile *Prof = nullptr);
+
+private:
+  match::MachineStatus runLoop();
+
+  const Program &Prog;
+  const PlanLibrary &Lib;
+  const term::TermArena &Arena;
+  match::Machine::Options Opts;
+  Profile *Prof = nullptr;
+  ExecState St;
+};
+
+} // namespace pypm::plan::aot
+
+#endif // PYPM_PLAN_AOT_LIBRARY_H

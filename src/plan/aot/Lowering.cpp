@@ -1,0 +1,99 @@
+//===- plan/aot/Lowering.cpp - Shared lowering pass for AOT backends ------===//
+
+#include "plan/aot/Lowering.h"
+
+using namespace pypm;
+using namespace pypm::plan;
+using namespace pypm::plan::aot;
+
+LoweredProgram aot::lower(const Program &P) {
+  LoweredProgram L;
+  L.Prog = &P;
+  L.Code.reserve(P.Code.size());
+  for (const Instr &I : P.Code) {
+    LInstr LI;
+    LI.Op = I.Op;
+    switch (I.Op) {
+    case OpCode::MatchVar:
+      LI.Sym = P.Syms[I.A];
+      break;
+    case OpCode::MatchApp:
+      LI.OpId = term::OpId(I.A);
+      LI.Children = P.ChildPCs.data() + I.FirstChild;
+      LI.NumChildren = I.NumChildren;
+      break;
+    case OpCode::MatchFunVarApp:
+      LI.Sym = P.Syms[I.A];
+      LI.Children = P.ChildPCs.data() + I.FirstChild;
+      LI.NumChildren = I.NumChildren;
+      break;
+    case OpCode::MatchAlt:
+      LI.A = I.A;
+      LI.B = I.B;
+      break;
+    case OpCode::MatchGuarded:
+      LI.A = I.A;
+      LI.Guard = P.Guards[I.B];
+      break;
+    case OpCode::MatchExists:
+    case OpCode::MatchExistsFun:
+      LI.A = I.A;
+      LI.Sym = P.Syms[I.B];
+      break;
+    case OpCode::MatchConstraint:
+      LI.A = I.A;
+      LI.B = I.B;
+      LI.Sym = P.Syms[I.C];
+      break;
+    case OpCode::MatchMu:
+      LI.Mu = P.Mus[I.A];
+      break;
+    case OpCode::Fail:
+      break;
+    }
+    L.Code.push_back(LI);
+  }
+  L.Roots.reserve(P.Entries.size());
+  for (const EntryCode &E : P.Entries)
+    L.Roots.push_back(E.RootPC);
+  return L;
+}
+
+namespace {
+struct Fnv {
+  uint64_t H = 1469598103934665603ull;
+  void mix(uint64_t V) {
+    for (int I = 0; I != 8; ++I) {
+      H ^= (V >> (I * 8)) & 0xffu;
+      H *= 1099511628211ull;
+    }
+  }
+};
+} // namespace
+
+uint64_t aot::abiFingerprint(const Program &P) {
+  Fnv F;
+  F.mix(0x5059504d414f5431ull); // "PYPMAOT1": versions the hash layout
+  F.mix(P.Entries.size());
+  for (const EntryCode &E : P.Entries) {
+    F.mix(E.RootPC);
+    F.mix(E.FirstPC);
+    F.mix(E.NumInstrs);
+  }
+  F.mix(P.Code.size());
+  for (const Instr &I : P.Code) {
+    F.mix(static_cast<uint64_t>(I.Op));
+    F.mix(I.A);
+    F.mix(I.B);
+    F.mix(I.C);
+    F.mix(I.FirstChild);
+    F.mix(I.NumChildren);
+  }
+  F.mix(P.ChildPCs.size());
+  for (uint32_t PC : P.ChildPCs)
+    F.mix(PC);
+  F.mix(P.Syms.size());
+  F.mix(P.Guards.size());
+  F.mix(P.Mus.size());
+  return F.H;
+}

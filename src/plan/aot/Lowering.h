@@ -1,0 +1,76 @@
+//===- plan/aot/Lowering.h - Shared lowering pass for AOT backends -*- C++ -*-===//
+///
+/// \file
+/// The one lowering pass both AOT tiers share. A plan::Program is a
+/// serialization-friendly instruction table: operands are *indices* into
+/// side tables (Syms, Guards, Mus, ChildPCs) that every interpreted step
+/// re-resolves. Lowering decodes that table once into a direct-threaded
+/// instruction stream whose operands are already the values the step
+/// needs — the interned Symbol, the operator id, the GuardExpr*/MuPattern*
+/// side-table pointers, and a direct pointer into the child-PC pool — plus
+/// a per-instruction dispatch label filled in by the threaded backend
+/// (Threaded.cpp) on GCC/Clang.
+///
+/// Lowering is invariant-preserving by construction: it renames no PCs,
+/// reorders nothing, and folds nothing — LInstr[PC] executes exactly what
+/// Instr[PC] describes, so the executed step sequence (and with it every
+/// MachineStats counter, witness, and resume() stream) is untouched. The
+/// differential suite in tests/test_aot.cpp pins this.
+///
+/// abiFingerprint() is the second, *operator-id-dependent* plan
+/// fingerprint. plan::PlanBuilder::signature (Program::CanonicalSig) is
+/// deliberately op-id-independent so profiles survive signature
+/// renumbering; an emitted .so, by contrast, bakes concrete operator ids
+/// and side-table indices into compiled compares, so it is only valid for
+/// a plan whose instruction stream matches *bit for bit*. The fingerprint
+/// is FNV-1a over the entry table, the instruction stream, and the
+/// child-PC pool; the loader (Library.cpp) rejects any artifact whose
+/// recorded fingerprint disagrees with the plan in hand — a stale or
+/// foreign .so degrades to a warning and the interpreter, never UB.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_PLAN_AOT_LOWERING_H
+#define PYPM_PLAN_AOT_LOWERING_H
+
+#include "plan/Program.h"
+
+namespace pypm::plan::aot {
+
+/// One pre-decoded instruction. Only the fields the opcode's step reads
+/// are populated (see lower()); everything else stays value-initialized.
+struct LInstr {
+  OpCode Op = OpCode::Fail;
+  /// Threaded-dispatch target (&&label inside the backend's step
+  /// function); null until ThreadedProgram::decode primes the stream.
+  const void *Label = nullptr;
+  Symbol Sym;                                  ///< resolved Syms[] operand
+  term::OpId OpId;                             ///< MatchApp operator
+  const pattern::GuardExpr *Guard = nullptr;   ///< MatchGuarded
+  const pattern::MuPattern *Mu = nullptr;      ///< MatchMu
+  const uint32_t *Children = nullptr;          ///< &ChildPCs[FirstChild]
+  uint32_t NumChildren = 0;
+  uint32_t A = 0; ///< sub/left PC (Alt/Guarded/Exists*/Constraint)
+  uint32_t B = 0; ///< right PC (Alt) / constraint PC (Constraint)
+};
+
+/// The decoded stream plus the entry points. Borrows the Program (the
+/// child-PC pool, guards, and μ nodes stay owned there); keep it — and the
+/// library that owns its pattern arena — alive while this is in use.
+struct LoweredProgram {
+  const Program *Prog = nullptr;
+  std::vector<LInstr> Code;
+  std::vector<uint32_t> Roots; ///< per-entry RootPC
+};
+
+/// Decodes \p P. PCs are preserved: Code[PC] lowers P.Code[PC].
+LoweredProgram lower(const Program &P);
+
+/// Operator-id-dependent FNV-1a fingerprint over the concrete instruction
+/// stream (entries, code, child-PC pool). See the file comment for why
+/// this is distinct from Program::CanonicalSig.
+uint64_t abiFingerprint(const Program &P);
+
+} // namespace pypm::plan::aot
+
+#endif // PYPM_PLAN_AOT_LOWERING_H

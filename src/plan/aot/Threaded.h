@@ -1,0 +1,88 @@
+//===- plan/aot/Threaded.h - Threaded-code backend for MatchPlans -*- C++ -*-===//
+///
+/// \file
+/// The toolchain-free AOT tier: plan::Program pre-decoded into a
+/// direct-threaded instruction stream (aot::lower), every instruction
+/// carrying its resolved operands and — on GCC/Clang — the address of its
+/// dispatch label, so the per-step opcode switch of the interpreter
+/// becomes a single indirect goto straight off the instruction
+/// (`goto *I->Label`). Elsewhere the same stream runs through a switch;
+/// behavior is identical, only dispatch cost differs.
+///
+/// Guard escapes stay direct calls into the shared ExecState (guard
+/// evaluation, θ/φ checks, and the dynamic μ escape all live in
+/// plan::runExecLoop / ExecState::stepMatchDyn — shared with the
+/// interpreter, so they cannot drift). Alt arms and sub-pattern edges are
+/// inlined as pre-resolved branch-target operands.
+///
+/// A ThreadedProgram is immutable after decode() and shared read-only by
+/// any number of ThreadedExec instances (the engine decodes once per run
+/// and hands it to every discovery worker). A ThreadedExec persists its
+/// ExecState across attempts exactly like a batch-mode Interpreter —
+/// the reuse-parity argument is Interpreter::matchOne's, pinned per
+/// attempt by tests/test_aot.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_PLAN_AOT_THREADED_H
+#define PYPM_PLAN_AOT_THREADED_H
+
+#include "plan/ExecState.h"
+#include "plan/Profile.h"
+#include "plan/aot/Lowering.h"
+
+namespace pypm::plan::aot {
+
+/// A lowered program primed for threaded dispatch (labels resolved on
+/// GCC/Clang; the stream alone elsewhere).
+struct ThreadedProgram {
+  LoweredProgram L;
+
+  /// Lowers \p P and fills every instruction's dispatch label. The label
+  /// addresses are function-local to the backend's step function and
+  /// stable for the process lifetime, so priming once at decode time keeps
+  /// executor construction O(1) — which is what lets the engine spin up a
+  /// fresh executor per worker without paying a per-attempt decode.
+  static ThreadedProgram decode(const Program &P);
+
+  const Program &prog() const { return *L.Prog; }
+};
+
+/// Drop-in executor with plan::Interpreter's exact surface; see
+/// Interpreter.h for the semantics of each member (matchOne reuse parity,
+/// committed-order profiling, resume streams — all identical here).
+class ThreadedExec {
+public:
+  ThreadedExec(const ThreadedProgram &TP, const term::TermArena &Arena,
+               match::Machine::Options Opts = match::Machine::Options())
+      : TP(TP), Arena(Arena), Opts(Opts) {}
+
+  void setProfile(Profile *P) { Prof = P; }
+
+  match::MachineStatus matchEntry(size_t EntryIdx, term::TermRef T);
+  match::MatchResult matchOne(size_t EntryIdx, term::TermRef T);
+  match::MachineStatus resume();
+
+  match::MachineStatus status() const { return St.Status; }
+  match::Witness witness() const { return St.witness(); }
+  const match::MachineStats &stats() const { return St.Stats; }
+
+  static match::MatchResult
+  run(const ThreadedProgram &TP, size_t EntryIdx, term::TermRef T,
+      const term::TermArena &Arena,
+      match::Machine::Options Opts = match::Machine::Options(),
+      Profile *Prof = nullptr);
+
+private:
+  match::MachineStatus runLoop();
+
+  const ThreadedProgram &TP;
+  const term::TermArena &Arena;
+  match::Machine::Options Opts;
+  Profile *Prof = nullptr;
+  ExecState St;
+};
+
+} // namespace pypm::plan::aot
+
+#endif // PYPM_PLAN_AOT_THREADED_H

@@ -38,6 +38,8 @@
 #include "plan/Interpreter.h"
 #include "plan/PlanBuilder.h"
 #include "plan/Profile.h"
+#include "plan/aot/Library.h"
+#include "plan/aot/Threaded.h"
 #include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 
@@ -200,6 +202,11 @@ struct NodeDiscovery {
 struct BatchMatchers {
   std::unique_ptr<plan::Interpreter> Interp;
   std::unique_ptr<match::FastMatcher> Fast;
+  /// The AOT tiers always reuse their executor (construction amortization
+  /// is part of their speedup); matchOne reuse is pinned observationally
+  /// identical to fresh construction by the test_aot differentials.
+  std::unique_ptr<plan::aot::ThreadedExec> Thr;
+  std::unique_ptr<plan::aot::SoExec> So;
 };
 
 class Engine {
@@ -221,7 +228,7 @@ public:
           if (entryName(Rules.entries()[I]) == Name)
             Quarantined[I] = 1;
     MK = Opts.matcher();
-    if (MK == MatcherKind::Plan) {
+    if (planFamily(MK)) {
       if (Opts.PrecompiledPlan && planMatchesRules(*Opts.PrecompiledPlan)) {
         Plan = Opts.PrecompiledPlan;
       } else {
@@ -232,7 +239,38 @@ public:
         Plan = OwnedPlan.get();
       }
     }
-    if (MK == MatcherKind::Plan && Opts.PlanProfile) {
+    if (MK == MatcherKind::PlanThreaded) {
+      // One pre-decode per run (operands resolved, dispatch labels primed)
+      // unless the caller handed in a stream decoded from this very plan —
+      // then even the per-run decode disappears. Every attempt (fresh or
+      // reused executor) runs the same stream either way.
+      if (Opts.PrecompiledThreaded &&
+          &Opts.PrecompiledThreaded->prog() == Plan) {
+        Threaded = Opts.PrecompiledThreaded;
+      } else {
+        OwnedThreaded = std::make_unique<plan::aot::ThreadedProgram>(
+            plan::aot::ThreadedProgram::decode(*Plan));
+        Threaded = OwnedThreaded.get();
+      }
+    } else if (MK == MatcherKind::PlanAot) {
+      // The library was validated by whoever loaded it, but against *their*
+      // plan; this run's plan may be a fresh compile. Re-check, and demote
+      // to the interpreter rather than run a mismatched artifact.
+      if (Opts.AotLib && Opts.AotLib->matches(*Plan)) {
+        AotLib = Opts.AotLib;
+      } else {
+        if (Opts.Diags)
+          Opts.Diags->warning(
+              {}, "aot.fallback",
+              Opts.AotLib
+                  ? "emitted-plan library does not match this run's plan "
+                    "(stale artifact?); falling back to the interpreter"
+                  : "matcher plan-aot selected but no emitted-plan library "
+                    "was supplied; falling back to the interpreter");
+        MK = MatcherKind::Plan;
+      }
+    }
+    if (planFamily(MK) && Opts.PlanProfile) {
       // Arm committed-order profile recording. A populated profile that was
       // recorded against a different plan (stale ruleset) must not be mixed
       // in: skip recording, warn, and run unprofiled — outcomes are
@@ -255,7 +293,21 @@ public:
     // The batched frontier sweep replaces per-node discrimination-tree
     // walks; it only exists where those walks exist. Matcher *reuse* (the
     // other half of batch mode) keys off Opts.Batch alone.
-    BatchActive = Opts.Batch && MK == MatcherKind::Plan && Opts.UseRootIndex;
+    BatchActive = Opts.Batch && planFamily(MK) && Opts.UseRootIndex;
+    // The serial path's reused AOT executors are constructed here, not
+    // lazily at the first attempt: construction is run setup, and leaving
+    // it lazy would bill the first *timed* attempt for it (visible as a
+    // fixed per-run cost in DiscoverySeconds on small graphs). Placed
+    // after the budget wiring above — executors copy MachineOpts, so an
+    // earlier construction would silently drop the budget poll.
+    if (Opts.NumThreads == 0) {
+      if (MK == MatcherKind::PlanThreaded)
+        SerialBatch.Thr = std::make_unique<plan::aot::ThreadedExec>(
+            *Threaded, Arena, Opts.MachineOpts);
+      else if (MK == MatcherKind::PlanAot && AotLib)
+        SerialBatch.So = std::make_unique<plan::aot::SoExec>(
+            *Plan, *AotLib, Arena, Opts.MachineOpts);
+    }
     return Opts.NumThreads == 0 ? runSerial(RewriteMode)
                                 : runParallel(RewriteMode);
   }
@@ -288,6 +340,15 @@ private:
   /// The compiled MatchPlan when MK == Plan (borrowed or freshly built).
   const plan::Program *Plan = nullptr;
   std::unique_ptr<plan::Program> OwnedPlan;
+  /// The pre-decoded threaded stream when MK == PlanThreaded — borrowed
+  /// from Opts.PrecompiledThreaded when that decodes this run's plan,
+  /// otherwise decoded once per run into OwnedThreaded. Executors borrow
+  /// it either way.
+  const plan::aot::ThreadedProgram *Threaded = nullptr;
+  std::unique_ptr<plan::aot::ThreadedProgram> OwnedThreaded;
+  /// The validated emitted-plan library when MK == PlanAot (borrowed from
+  /// Opts.AotLib after the fingerprint re-check in run()).
+  const plan::aot::PlanLibrary *AotLib = nullptr;
   /// Armed (non-null) when Opts.PlanProfile bound to the run's plan. All
   /// counter updates happen in committed order — serial visits, commit-time
   /// trace merges, and commit-time replays — never on worker threads, so
@@ -654,7 +715,7 @@ private:
   }
 
   void computeRootFilters() {
-    if (MK == MatcherKind::Plan)
+    if (planFamily(MK))
       return; // the plan's discrimination tree subsumes the root index
     RootFilters.reserve(Rules.entries().size());
     for (const RewriteEntry &E : Rules.entries())
@@ -682,7 +743,7 @@ private:
                       const std::vector<uint8_t> &Cand) const {
     if (!Opts.UseRootIndex)
       return false;
-    if (MK == MatcherKind::Plan)
+    if (planFamily(MK))
       return !Cand.empty() && !Cand[I];
     return RootFilters[I] && !RootFilters[I]->count(G.op(N));
   }
@@ -692,7 +753,7 @@ private:
   /// traversal trace (profiling).
   void planCandidates(NodeId N, std::vector<uint8_t> &Cand,
                       plan::TraversalTrace *Trace = nullptr) const {
-    if (MK == MatcherKind::Plan && Opts.UseRootIndex)
+    if (planFamily(MK) && Opts.UseRootIndex)
       Plan->candidates(G, N, Cand, Trace);
     else
       Cand.clear();
@@ -722,6 +783,26 @@ private:
       }
       return plan::Interpreter::run(*Plan, EntryIdx, T, A, Opts.MachineOpts,
                                     RecProf);
+    case MatcherKind::PlanThreaded:
+      if (BM) {
+        if (!BM->Thr)
+          BM->Thr = std::make_unique<plan::aot::ThreadedExec>(
+              *Threaded, A, Opts.MachineOpts);
+        BM->Thr->setProfile(RecProf);
+        return BM->Thr->matchOne(EntryIdx, T);
+      }
+      return plan::aot::ThreadedExec::run(*Threaded, EntryIdx, T, A,
+                                          Opts.MachineOpts, RecProf);
+    case MatcherKind::PlanAot:
+      if (BM) {
+        if (!BM->So)
+          BM->So = std::make_unique<plan::aot::SoExec>(*Plan, *AotLib, A,
+                                                       Opts.MachineOpts);
+        BM->So->setProfile(RecProf);
+        return BM->So->matchOne(EntryIdx, T);
+      }
+      return plan::aot::SoExec::run(*Plan, *AotLib, EntryIdx, T, A,
+                                    Opts.MachineOpts, RecProf);
     case MatcherKind::Fast:
       if (BM) {
         if (!BM->Fast)
@@ -734,6 +815,17 @@ private:
       break;
     }
     return match::matchPattern(E.Pattern->Pat, T, A, Opts.MachineOpts);
+  }
+
+  /// Whether a call site's reusable BatchMatchers should actually be used:
+  /// always for the AOT tiers (executor reuse is part of their speedup and
+  /// matchOne reuse is differentially pinned), otherwise only in batch
+  /// mode — keeping Plan/Fast per-attempt behavior exactly as before.
+  BatchMatchers *maybeBatch(BatchMatchers *BM) const {
+    if (Opts.Batch || MK == MatcherKind::PlanThreaded ||
+        MK == MatcherKind::PlanAot)
+      return BM;
+    return nullptr;
   }
 
   static std::string entryName(const RewriteEntry &E) {
@@ -789,8 +881,7 @@ private:
         if (Faults && Faults->atAttemptSite(Stats.Passes, N, I))
           throw InjectedFault("injected fault: attempt site");
         term::TermRef T = W.View.termFor(N);
-        MR = runMatcher(I, E, T, W.Arena, nullptr,
-                        Opts.Batch ? &W.Batch : nullptr);
+        MR = runMatcher(I, E, T, W.Arena, nullptr, maybeBatch(&W.Batch));
       } catch (...) {
         W.View.invalidate();
         A.Kind = AttemptKind::Threw;
@@ -1134,8 +1225,7 @@ private:
         if (Faults && Faults->atAttemptSite(Stats.Passes, N, I))
           throw InjectedFault("injected fault: attempt site");
         term::TermRef T = View.termFor(N);
-        MR = runMatcher(I, E, T, Arena, Prof,
-                        Opts.Batch ? &SerialBatch : nullptr);
+        MR = runMatcher(I, E, T, Arena, Prof, maybeBatch(&SerialBatch));
       } catch (const std::exception &Ex) {
         View.invalidate();
         RecDead = true; // absorbed fault: not replayable

@@ -58,6 +58,11 @@ struct Profile;
 struct Program;
 } // namespace pypm::plan
 
+namespace pypm::plan::aot {
+class PlanLibrary;
+struct ThreadedProgram;
+} // namespace pypm::plan::aot
+
 namespace pypm::rewrite {
 
 struct PatternStats {
@@ -169,7 +174,7 @@ enum class Traversal : uint8_t {
   RootsFirst,
 };
 
-/// Which matcher executes the per-(node, pattern) attempts. All three are
+/// Which matcher executes the per-(node, pattern) attempts. All five are
 /// observably identical per attempt — same status, witness, resume stream,
 /// and step counters (the differential suites assert it); they differ in
 /// cost and in how the engine prefilters:
@@ -177,8 +182,23 @@ enum class Traversal : uint8_t {
 ///  - Fast: the optimized trail-based FastMatcher (root-op prefilter);
 ///  - Plan: the whole rule set compiled into one shared discrimination-tree
 ///    bytecode program (plan::Program); one tree traversal per node yields
-///    the candidate set for all patterns at once.
-enum class MatcherKind : uint8_t { Machine, Fast, Plan };
+///    the candidate set for all patterns at once;
+///  - PlanThreaded: the same plan::Program pre-decoded once per run into a
+///    direct-threaded instruction stream (operands resolved, computed-goto
+///    dispatch where the compiler supports it) — toolchain-free, always
+///    available;
+///  - PlanAot: the same program executed by an emitted-C++ .so supplied via
+///    RewriteOptions::AotLib. A missing or fingerprint-mismatched library
+///    is a warning plus interpreter fallback, never an error or UB.
+enum class MatcherKind : uint8_t { Machine, Fast, Plan, PlanThreaded, PlanAot };
+
+/// True for the matchers that execute a compiled plan::Program (and hence
+/// share the discrimination-tree prefilter, PlanProfile recording, and the
+/// batched frontier sweep): Plan, PlanThreaded, PlanAot.
+inline bool planFamily(MatcherKind MK) {
+  return MK == MatcherKind::Plan || MK == MatcherKind::PlanThreaded ||
+         MK == MatcherKind::PlanAot;
+}
 
 struct RewriteOptions {
   unsigned MaxPasses = 64;
@@ -196,13 +216,23 @@ struct RewriteOptions {
   /// pre-MatchPlan knob, kept so existing ablation configs keep meaning
   /// what they meant).
   std::optional<MatcherKind> Matcher;
-  /// With Matcher == Plan: use this already-compiled program instead of
+  /// With a plan-family matcher: use this already-compiled program instead of
   /// compiling one per run (e.g. loaded from a .pypmplan). Borrowed, must
   /// outlive the run, and must have been compiled from an identical rule
   /// set — the engine verifies entry names and falls back to a fresh
   /// compile on mismatch.
   const plan::Program *PrecompiledPlan = nullptr;
-  /// With Matcher == Plan: record a discrimination-tree/interpreter
+  /// With Matcher == PlanThreaded: the pre-decoded threaded stream to
+  /// execute with, instead of decoding one per run. Borrowed, must outlive
+  /// the run, and must have been decoded from the exact Program the run
+  /// executes (the engine checks the decode's program pointer against the
+  /// plan it resolved and silently re-decodes on mismatch — a stream
+  /// decoded from some other plan is never run). Decode is cheap but its
+  /// allocations land mid-heap right before term building; batch servers
+  /// (PlanCache) and benches decode once per cached plan and pass it here
+  /// so per-run cost is attempts only.
+  const plan::aot::ThreadedProgram *PrecompiledThreaded = nullptr;
+  /// With a plan-family matcher: record a discrimination-tree/interpreter
   /// profile of the run into this profile (see plan/Profile.h). Borrowed,
   /// must outlive the run. An empty profile is bound to the run's plan; a
   /// populated one keeps accumulating if it is bound to the same plan,
@@ -211,6 +241,13 @@ struct RewriteOptions {
   /// traversal traces merge at commit — so the recorded profile is
   /// bit-identical at any NumThreads (tests/test_planprofile.cpp).
   plan::Profile *PlanProfile = nullptr;
+  /// With Matcher == PlanAot: the loaded emitted-plan library (see
+  /// plan/aot/Library.h) to execute attempts with. Borrowed, must outlive
+  /// the run. The engine re-validates its fingerprints against the plan it
+  /// actually runs (compiled or precompiled); null or mismatched demotes
+  /// the run to the interpreter with a Diags warning — the fallback ladder
+  /// ends in working code, never in refusing to rewrite.
+  const plan::aot::PlanLibrary *AotLib = nullptr;
 
   MatcherKind matcher() const {
     if (Matcher)

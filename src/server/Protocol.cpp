@@ -319,7 +319,7 @@ bool pypm::server::decodeRewriteRequest(std::string_view Body,
              : "truncated rewrite request body";
     return false;
   }
-  if (Named > 1 || Out.Matcher > 3 || (Flags & ~3u) != 0) {
+  if (Named > 1 || Out.Matcher > 5 || (Flags & ~3u) != 0) {
     Err = "rewrite request field out of range";
     return false;
   }

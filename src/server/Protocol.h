@@ -101,7 +101,10 @@ struct RewriteRequest {
   uint64_t MaxMuUnfolds = 0;
   uint64_t MaxRewrites = 0;
   uint32_t Threads = 0;
-  /// 0 = server default (plan), 1 = machine, 2 = fast, 3 = plan.
+  /// 0 = server default (plan), 1 = machine, 2 = fast, 3 = plan,
+  /// 4 = plan-threaded, 5 = plan-aot (uses the cache's emitted .pypmso
+  /// when present; otherwise the engine falls back to the interpreter
+  /// with a warning — never a failed request).
   uint8_t Matcher = 0;
   bool Incremental = false;
   bool Batch = false;

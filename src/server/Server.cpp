@@ -166,12 +166,25 @@ RewriteReply Server::handle(const RewriteRequest &R) {
   case 2:
     EOpts.Matcher = rewrite::MatcherKind::Fast;
     break;
+  case 4:
+    EOpts.Matcher = rewrite::MatcherKind::PlanThreaded;
+    break;
+  case 5:
+    EOpts.Matcher = rewrite::MatcherKind::PlanAot;
+    break;
   default: // 0 (daemon default) and 3: the cached, shared MatchPlan
     EOpts.Matcher = rewrite::MatcherKind::Plan;
     break;
   }
-  if (EOpts.matcher() == rewrite::MatcherKind::Plan)
+  if (rewrite::planFamily(EOpts.matcher())) {
     EOpts.PrecompiledPlan = &E->prog();
+    EOpts.PrecompiledThreaded = E->threaded(); // decode-once per entry
+    // Fourth cache tier: the validated emitted library, when the cache
+    // built one. Null (tier off, no compiler, build failed) is fine — the
+    // engine re-validates and demotes PlanAot to the interpreter with a
+    // warning rather than failing the request.
+    EOpts.AotLib = E->aotLib();
+  }
   EOpts.Incremental = R.Incremental;
   EOpts.Batch = R.Batch;
   if (R.MaxRewrites)

@@ -132,6 +132,57 @@ for B in build-ci-tsan build-ci-asan; do
   grep -q '"served":3' "$SMOKE/replies.$B.jsonl" # clean drain counted all 3
 done
 
+# AOT plan backends. The threaded tier runs under both sanitizers — the
+# computed-goto loop shares ExecState's trail/unwind machinery with the
+# interpreter (ASan/UBSan territory) and discovery workers each spin up an
+# executor over the one shared decoded stream (TSan territory). The
+# hostile-input .so corpus (MalformedAotLibrary.*) rides along under
+# ASan/UBSan: the validation ladder's whole job is rejecting corrupt
+# artifacts before dlopen can make anything undefined.
+echo "=== AOT plan-backend suites under ASan/UBSan ==="
+./build-ci-asan/tests/pypm_tests \
+  --gtest_filter='*Aot*:MalformedAotLibrary.*'
+
+echo "=== AOT plan-backend suites under TSan ==="
+./build-ci-tsan/tests/pypm_tests --gtest_filter='*Aot*'
+
+# Emitted-.so round trip, end to end over the real CLI: compile-plan
+# builds the library, rewrite runs it via --aot-lib and must agree with
+# the interpreter run bit for bit; a garbage library must exit 9. Runs
+# against the plain build (the emitter invokes the host compiler, whose
+# output is uninstrumented) and auto-skips when no host compiler exists —
+# the same condition under which the in-process tests GTEST_SKIP.
+if command -v c++ >/dev/null 2>&1 || command -v g++ >/dev/null 2>&1; then
+  echo "=== emitted-plan .so round trip (pypmc) ==="
+  ./build-ci/tools/pypmc compile-plan "$SMOKE/rules.pypm" \
+    -o "$SMOKE/rules.pypmplan" --aot="$SMOKE/rules.so"
+  ./build-ci/tools/pypmc rewrite "$SMOKE/rules.pypmplan" \
+    "$SMOKE/graph.pypmg" -o "$SMOKE/out-aot.pypmg" \
+    --matcher=plan-aot --aot-lib="$SMOKE/rules.so"
+  ./build-ci/tools/pypmc rewrite "$SMOKE/rules.pypmplan" \
+    "$SMOKE/graph.pypmg" -o "$SMOKE/out-plan.pypmg" --matcher=plan
+  cmp "$SMOKE/out-aot.pypmg" "$SMOKE/out-plan.pypmg"
+  printf 'not a shared object' > "$SMOKE/garbage.so"
+  if ./build-ci/tools/pypmc rewrite "$SMOKE/rules.pypmplan" \
+    "$SMOKE/graph.pypmg" --aot-lib="$SMOKE/garbage.so" \
+    2> "$SMOKE/garbage.err"; then
+    echo "error: garbage --aot-lib was accepted" >&2
+    exit 1
+  else
+    [[ $? -eq 9 ]]
+  fi
+  grep -q 'aot.not-an-artifact' "$SMOKE/garbage.err"
+else
+  echo "=== emitted-plan .so round trip: SKIPPED (no host C++ compiler" \
+    "on PATH; the threaded tier above still covers AOT execution) ==="
+fi
+
+# Threaded-vs-interpreter sweep (smoke): exercises the sweep driver end to
+# end and asserts match-count agreement as it times (the committed
+# BENCH_aot_sweep.json is produced by a full-size run).
+echo "=== aot-sweep benchmark (smoke) ==="
+./build-ci/bench/bench_partitioning --aot-sweep --smoke >/dev/null
+
 # Smoke-sized batched/incremental benchmark: exercises the sweep driver
 # end to end and sanity-checks that the modes actually amortize (the
 # committed BENCH_incremental_sweep.json is produced by a full-size run).

@@ -21,7 +21,11 @@
 /// permissions) from a malformed artifact without scraping stderr.
 /// `rewrite` additionally distinguishes the failure taxonomy of a governed
 /// run: 3 budget exhausted, 4 cancelled (SIGINT), 5 completed with
-/// quarantined patterns, 6 fault injected ($PYPM_FAULT).
+/// quarantined patterns, 6 fault injected ($PYPM_FAULT), 9 when an
+/// explicitly requested emitted-plan library (--aot-lib=) fails any rung
+/// of the AOT validation ladder — the aot.* diagnostic on stderr names
+/// the rung; an *implicit* fallback (matcher plan-aot without a usable
+/// library never requested by path) is a warning, not an exit code.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +40,8 @@
 #include "plan/PlanBuilder.h"
 #include "plan/PlanSerializer.h"
 #include "plan/Profile.h"
+#include "plan/aot/Emitter.h"
+#include "plan/aot/Library.h"
 #include "rewrite/RewriteEngine.h"
 #include "server/PlanCache.h"
 #include "sim/CostModel.h"
@@ -58,7 +64,8 @@ int usage() {
                "usage: pypmc compile <file.pypm> -o <file.pypmbin>\n"
                "       pypmc compile-plan <file.pypm|file.pypmbin> "
                "-o <file.pypmplan> [--emit-plan]\n"
-               "                     [--profile=<file.pypmprof>]\n"
+               "                     [--profile=<file.pypmprof>] "
+               "[--emit-cpp=<file.cpp>] [--aot=<file.so>]\n"
                "       pypmc check   <file.pypm>\n"
                "       pypmc lint    <file.pypm|file.pypmbin|file.pypmplan> "
                "[--json] [--notes]\n"
@@ -70,18 +77,21 @@ int usage() {
                "[-o <out.pypmg>] [--threads N]\n"
                "                     [--budget-ms M] [--max-steps N] "
                "[--stats-json]\n"
-               "                     [--matcher=machine|fast|plan] "
-               "[--emit-plan] [--lint]\n"
+               "                     [--matcher=machine|fast|plan|"
+               "plan-threaded|plan-aot] [--emit-plan] [--lint]\n"
                "                     [--incremental] [--batch] "
                "[--profile-out=<file.pypmprof>]\n"
-               "                     [--plan-cache-dir=<dir>]\n"
+               "                     [--plan-cache-dir=<dir>] "
+               "[--aot-lib=<file.so>]\n"
                "       pypmc cost    <graph.pypmg>\n"
                "rewrite exit codes: 0 ok, 1 rule set malformed, 2 usage, "
                "3 budget exhausted,\n"
                "                    4 cancelled, 5 patterns quarantined, "
                "6 fault injected,\n"
                "                    7 lint rejected (--lint), 8 rule-set "
-               "file unreadable\n"
+               "file unreadable,\n"
+               "                    9 emitted-plan library unusable "
+               "(--aot-lib)\n"
                "lint exit codes:    0 no errors, 1 malformed, 2 usage, "
                "7 error findings, 8 unreadable\n");
   return 2;
@@ -171,6 +181,7 @@ int cmdCompile(int Argc, char **Argv) {
 
 int cmdCompilePlan(int Argc, char **Argv) {
   const char *In = nullptr, *Out = nullptr, *ProfilePath = nullptr;
+  const char *EmitCpp = nullptr, *AotOut = nullptr;
   bool EmitPlan = false;
   for (int I = 0; I != Argc; ++I) {
     if (std::strcmp(Argv[I], "-o") == 0 && I + 1 != Argc)
@@ -179,6 +190,10 @@ int cmdCompilePlan(int Argc, char **Argv) {
       EmitPlan = true;
     else if (std::strncmp(Argv[I], "--profile=", 10) == 0)
       ProfilePath = Argv[I] + 10;
+    else if (std::strncmp(Argv[I], "--emit-cpp=", 11) == 0)
+      EmitCpp = Argv[I] + 11;
+    else if (std::strncmp(Argv[I], "--aot=", 6) == 0)
+      AotOut = Argv[I] + 6;
     else if (!In)
       In = Argv[I];
     else
@@ -245,6 +260,29 @@ int cmdCompilePlan(int Argc, char **Argv) {
               Info.TreeNodes, LP->Prof ? ", profile-ordered" : "");
   if (EmitPlan)
     std::printf("%s", LP->Prog.disassemble(CheckSig).c_str());
+
+  // The AOT artifacts are emitted from the *round-tripped* program — the
+  // exact plan a consumer loading the .pypmplan will run — so the baked
+  // fingerprints match what `pypmc rewrite <plan> --aot-lib=` re-derives.
+  if (EmitCpp) {
+    std::string Src = plan::aot::AotEmitter::emitCpp(LP->Prog);
+    std::ofstream CppFile(EmitCpp, std::ios::binary);
+    if (!CppFile ||
+        !CppFile.write(Src.data(), static_cast<std::streamsize>(Src.size()))) {
+      std::fprintf(stderr, "pypmc: cannot write '%s'\n", EmitCpp);
+      return 1;
+    }
+    std::printf("wrote %s: %zu bytes of emitted C++\n", EmitCpp, Src.size());
+  }
+  if (AotOut) {
+    std::string Err;
+    if (!plan::aot::AotEmitter::buildSharedObject(LP->Prog, AotOut, Err)) {
+      std::fprintf(stderr, "pypmc: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("wrote %s: emitted plan (canonical-sig %016llx)\n", AotOut,
+                static_cast<unsigned long long>(LP->Prog.CanonicalSig));
+  }
   return 0;
 }
 
@@ -507,6 +545,7 @@ int cmdRewrite(int Argc, char **Argv) {
   const char *Patterns = nullptr, *GraphPath = nullptr, *Out = nullptr;
   const char *ProfileOut = nullptr;
   const char *PlanCacheDir = nullptr;
+  const char *AotLibPath = nullptr;
   unsigned Threads = 0;
   double BudgetMs = 0;
   uint64_t MaxSteps = 0;
@@ -544,9 +583,15 @@ int cmdRewrite(int Argc, char **Argv) {
         Matcher = rewrite::MatcherKind::Fast;
       else if (std::strcmp(V, "plan") == 0)
         Matcher = rewrite::MatcherKind::Plan;
+      else if (std::strcmp(V, "plan-threaded") == 0)
+        Matcher = rewrite::MatcherKind::PlanThreaded;
+      else if (std::strcmp(V, "plan-aot") == 0)
+        Matcher = rewrite::MatcherKind::PlanAot;
       else
         return usage();
-    } else if (!Patterns)
+    } else if (std::strncmp(Argv[I], "--aot-lib=", 10) == 0)
+      AotLibPath = Argv[I] + 10;
+    else if (!Patterns)
       Patterns = Argv[I];
     else if (!GraphPath)
       GraphPath = Argv[I];
@@ -609,6 +654,9 @@ int cmdRewrite(int Argc, char **Argv) {
   // flag implies it rather than silently recording nothing.
   if (ProfileOut && !Matcher)
     Matcher = rewrite::MatcherKind::Plan;
+  // Naming an emitted library is an explicit request for the AOT tier.
+  if (AotLibPath && !Matcher)
+    Matcher = rewrite::MatcherKind::PlanAot;
   const rewrite::RuleSet &Rules =
       CacheEntry ? CacheEntry->rules() : (LP ? LP->Rules : OwnRules);
 
@@ -634,15 +682,31 @@ int cmdRewrite(int Argc, char **Argv) {
   std::unique_ptr<plan::Program> FreshPlan;
   const plan::Program *Plan =
       CacheEntry ? &CacheEntry->prog() : (LP ? &LP->Prog : nullptr);
-  if (!Plan && (EmitPlan || Opts.matcher() == rewrite::MatcherKind::Plan)) {
+  if (!Plan && (EmitPlan || rewrite::planFamily(Opts.matcher()))) {
     FreshPlan = std::make_unique<plan::Program>(
         plan::PlanBuilder::compile(Rules, Sig));
     Plan = FreshPlan.get();
   }
-  if (Opts.matcher() == rewrite::MatcherKind::Plan)
+  if (rewrite::planFamily(Opts.matcher()))
     Opts.PrecompiledPlan = Plan;
   if (EmitPlan)
     std::fprintf(stderr, "%s", Plan->disassemble(Sig).c_str());
+
+  // --aot-lib= is an *explicit* request: any validation-ladder failure is
+  // exit 9 with the machine-readable aot.* diagnostic, never a silent
+  // interpreter fallback (that lenient path belongs to the engine, for
+  // callers that set Matcher=PlanAot without naming a library).
+  std::unique_ptr<plan::aot::PlanLibrary> AotLib;
+  if (AotLibPath) {
+    DiagnosticEngine AotDiags;
+    plan::aot::AotLoadStatus St;
+    AotLib = plan::aot::PlanLibrary::load(AotLibPath, *Plan, &AotDiags, St);
+    if (!AotLib) {
+      std::fprintf(stderr, "%s", AotDiags.renderAll().c_str());
+      return 9;
+    }
+    Opts.AotLib = AotLib.get();
+  }
 
   // --profile-out: record committed-order traversal/attempt counters into
   // an empty profile (it binds to whatever plan the run uses) and write
