@@ -115,7 +115,7 @@ size_t Graph::numLiveNodes() const {
   return Count;
 }
 
-size_t Graph::removeUnreachable() {
+size_t Graph::removeUnreachable(std::vector<NodeId> *SweptIds) {
   std::vector<char> Reachable(Nodes.size(), 0);
   std::vector<NodeId> Stack(Outputs.begin(), Outputs.end());
   while (!Stack.empty()) {
@@ -133,6 +133,8 @@ size_t Graph::removeUnreachable() {
       continue;
     Nodes[N].Dead = true;
     Users[N].clear();
+    if (SweptIds)
+      SweptIds->push_back(N);
     ++Swept;
   }
   // Prune dead users from remaining use lists.

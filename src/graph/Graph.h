@@ -135,8 +135,11 @@ public:
   uint64_t approxMemoryBytes() const { return ApproxBytes; }
 
   /// Marks every node unreachable from the outputs as dead; returns the
-  /// count swept.
-  size_t removeUnreachable();
+  /// count swept. \p SweptIds, when non-null, receives the ids swept by
+  /// THIS call (previously dead nodes are not re-reported) in ascending
+  /// order — the search loop prices exactly the newly dead nodes when
+  /// delta-costing a commit (sim::CostModel::commitDelta).
+  size_t removeUnreachable(std::vector<NodeId> *SweptIds = nullptr);
 
   /// Live nodes, inputs before users. Deterministic.
   std::vector<NodeId> topoOrder() const;

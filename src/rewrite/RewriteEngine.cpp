@@ -40,6 +40,7 @@
 #include "plan/Profile.h"
 #include "plan/aot/Library.h"
 #include "plan/aot/Threaded.h"
+#include "search/Search.h"
 #include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 
@@ -1395,8 +1396,9 @@ private:
 
 NodeId pypm::rewrite::buildRhs(Graph &G, graph::TermView &View,
                                const RhsExpr *Rhs, const match::Witness &W,
-                               const graph::ShapeInference &SI) {
-  return buildRhsImpl(G, View, Rhs, W, SI, /*Faults=*/nullptr);
+                               const graph::ShapeInference &SI,
+                               FaultInjector *Faults) {
+  return buildRhsImpl(G, View, Rhs, W, SI, Faults);
 }
 
 RewriteStats pypm::rewrite::rewriteToFixpoint(Graph &G, const RuleSet &Rules,
@@ -1418,6 +1420,12 @@ RewriteStats pypm::rewrite::rewriteToFixpoint(Graph &G, const RuleSet &Rules,
       return Stats;
     }
   }
+  // Cost-directed commit selection runs its own loop (src/search/); the
+  // degenerate configurations (Lookahead == 0 or BeamWidth == 0) fall
+  // through to the greedy engine below, which is what makes them
+  // bit-identical to greedy by construction (see RewriteOptions::Search).
+  if (search::searchActive(Opts))
+    return search::searchRewrite(G, Rules, SI, Opts);
   return Engine(G, Rules, &SI, Opts).run(/*RewriteMode=*/true);
 }
 

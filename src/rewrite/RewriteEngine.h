@@ -63,6 +63,10 @@ class PlanLibrary;
 struct ThreadedProgram;
 } // namespace pypm::plan::aot
 
+namespace pypm::sim {
+class CostModel;
+} // namespace pypm::sim
+
 namespace pypm::rewrite {
 
 struct PatternStats {
@@ -138,6 +142,23 @@ struct RewriteStats {
   /// frontier sweep instead of a per-node tree traversal
   /// (RewriteOptions::Batch with the Plan matcher; 0 otherwise).
   uint64_t BatchedNodes = 0;
+  /// Cost-directed search accounting (RewriteOptions::Search != Greedy
+  /// with Lookahead >= 1; all zero otherwise — the degenerate
+  /// configurations dispatch to the greedy engine and report greedy's
+  /// stats bit for bit). SearchSteps counts enumeration sweeps (committed
+  /// commits plus the final fixpoint-proving sweep), SearchCandidates the
+  /// fireable candidates enumerated on the committed path, and
+  /// SearchExpansions the speculative clone-apply-price evaluations.
+  uint64_t SearchSteps = 0;
+  uint64_t SearchCandidates = 0;
+  uint64_t SearchExpansions = 0;
+  /// Wall-clock inside speculative expansion + scoring (a subinterval of
+  /// TotalSeconds; excluded from equality comparisons like all Seconds).
+  double SearchSeconds = 0.0;
+  /// sim::CostModel whole-graph Seconds before the first commit and after
+  /// the last (search mode only; both zero under the greedy engine).
+  double ModeledCostBefore = 0.0;
+  double ModeledCostAfter = 0.0;
   /// Structured outcome of the run: Completed, or the most severe of
   /// PatternQuarantined / FaultInjected / BudgetExhausted / Cancelled.
   /// Deterministic wherever the triggering ceilings are (step/μ/rewrite
@@ -199,6 +220,19 @@ inline bool planFamily(MatcherKind MK) {
   return MK == MatcherKind::Plan || MK == MatcherKind::PlanThreaded ||
          MK == MatcherKind::PlanAot;
 }
+
+/// How commits are selected once matches are discovered (see DESIGN.md
+/// §"Cost-directed search"). Greedy is §2.4's strategy: fire the first
+/// rule of the first witness at the first matching pattern, in canonical
+/// order. BestOfN and Beam enumerate competing candidates per sweep —
+/// including alternate witnesses of the same pattern via the resume
+/// machinery — price each with sim::CostModel, and commit the cheapest:
+///  - BestOfN: score the first BeamWidth candidates (each rolled forward
+///    Lookahead-1 greedy steps on a speculative clone), commit the best;
+///  - Beam: keep the BeamWidth cheapest partial commit sequences, expand
+///    them to depth Lookahead, commit the first step of the winner
+///    (receding horizon), re-enumerate, repeat.
+enum class SearchStrategy : uint8_t { Greedy, BestOfN, Beam };
 
 struct RewriteOptions {
   unsigned MaxPasses = 64;
@@ -292,6 +326,31 @@ struct RewriteOptions {
   unsigned NumThreads = 0;
   match::Machine::Options MachineOpts;
 
+  // --- Cost-directed search (pypm::search) -------------------------------
+
+  /// Commit-selection strategy. Greedy runs the engine above. BestOfN and
+  /// Beam run the cost-directed search loop (src/search/) — EXCEPT in the
+  /// degenerate configurations Lookahead == 0 or BeamWidth == 0, which
+  /// dispatch to the greedy engine: with no pricing horizon there is
+  /// nothing to rank, and the canonical-order tie-break IS greedy. That
+  /// dispatch is what makes `--search=beam --beam-width=1 --lookahead=0`
+  /// bit-identical to greedy by construction (graphs, witnesses, stats);
+  /// the differential suite in tests/test_search.cpp pins it.
+  SearchStrategy Search = SearchStrategy::Greedy;
+  /// Beam width (Beam) / number of candidates scored per step (BestOfN).
+  unsigned BeamWidth = 4;
+  /// Commit horizon priced per candidate: 1 scores the immediate cost
+  /// delta, L > 1 rolls each survivor forward on speculative clones to
+  /// depth L before ranking. 0 disables pricing entirely (greedy).
+  unsigned Lookahead = 1;
+  /// Witnesses enumerated per (node, pattern) via the resume machinery;
+  /// each distinct witness with a passing rule guard is its own candidate
+  /// (greedy only ever sees witness 0).
+  unsigned SearchWitnesses = 4;
+  /// Cost model pricing the candidates. Borrowed; null uses a default
+  /// a6000-like model. Ignored by the greedy engine.
+  const sim::CostModel *SearchCost = nullptr;
+
   // --- Resource governance and fault tolerance ---------------------------
 
   /// Optional budget governing the whole run (deadline, total step/μ
@@ -350,11 +409,16 @@ RewriteStats matchAll(graph::Graph &G, const RuleSet &Rules,
                       RewriteOptions Opts = {});
 
 /// Builds the replacement graph for \p Rhs under the witness \p W.
-/// Exposed for the partitioner and tests. New nodes are appended to the
-/// graph and shape-inferred; returns the replacement root.
+/// Exposed for the partitioner, the search loop, and tests. New nodes are
+/// appended to the graph and shape-inferred; returns the replacement root.
+/// \p Faults, when non-null, is consulted per replacement node built
+/// (FaultInjector::onRhsBuild) — the search loop passes its injector on
+/// the committed path so injected RHS faults land in search runs exactly
+/// as they do in greedy runs; speculative builds always pass nullptr.
 graph::NodeId buildRhs(graph::Graph &G, graph::TermView &View,
                        const pattern::RhsExpr *Rhs, const match::Witness &W,
-                       const graph::ShapeInference &SI);
+                       const graph::ShapeInference &SI,
+                       FaultInjector *Faults = nullptr);
 
 } // namespace pypm::rewrite
 

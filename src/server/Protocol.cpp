@@ -296,6 +296,10 @@ std::string pypm::server::encodeRewriteRequest(const RewriteRequest &R) {
   B.push_back(static_cast<char>(Flags));
   putU64(B, R.FaultSiteSeed);
   putU64(B, R.FaultSitePeriod);
+  B.push_back(static_cast<char>(R.Search));
+  putU32(B, R.BeamWidth);
+  putU32(B, R.Lookahead);
+  putU32(B, R.SearchWitnesses);
   return B;
 }
 
@@ -313,13 +317,15 @@ bool pypm::server::decodeRewriteRequest(std::string_view Body,
             C.u64(Out.MaxSteps) && C.u64(Out.MaxMuUnfolds) &&
             C.u64(Out.MaxRewrites) && C.u32(Out.Threads) &&
             C.u8(Out.Matcher) && C.u8(Flags) && C.u64(Out.FaultSiteSeed) &&
-            C.u64(Out.FaultSitePeriod);
+            C.u64(Out.FaultSitePeriod) && C.u8(Out.Search) &&
+            C.u32(Out.BeamWidth) && C.u32(Out.Lookahead) &&
+            C.u32(Out.SearchWitnesses);
   if (!Ok || !C.atEnd()) {
     Err = Ok ? "trailing bytes after rewrite request"
              : "truncated rewrite request body";
     return false;
   }
-  if (Named > 1 || Out.Matcher > 5 || (Flags & ~3u) != 0) {
+  if (Named > 1 || Out.Matcher > 5 || (Flags & ~3u) != 0 || Out.Search > 2) {
     Err = "rewrite request field out of range";
     return false;
   }

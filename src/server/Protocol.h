@@ -112,6 +112,14 @@ struct RewriteRequest {
   /// (support/FaultInjection.h) armed for this run only. 0 period = off.
   uint64_t FaultSiteSeed = 0;
   uint64_t FaultSitePeriod = 0;
+  /// Cost-directed commit selection (RewriteOptions::Search): 0 = greedy,
+  /// 1 = best-of-n, 2 = beam. The width/lookahead/witness knobs follow the
+  /// zero-means-default convention of every other field here, so an
+  /// all-zero request still means a plain greedy `pypmc rewrite`.
+  uint8_t Search = 0;
+  uint32_t BeamWidth = 0;
+  uint32_t Lookahead = 0;
+  uint32_t SearchWitnesses = 0;
 
   bool operator==(const RewriteRequest &) const = default;
 };

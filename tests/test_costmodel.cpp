@@ -1,10 +1,16 @@
 //===- tests/test_costmodel.cpp - Analytic GPU cost model ----------------------===//
 
+#include "dsl/Sema.h"
+#include "graph/GraphIO.h"
 #include "graph/ShapeInference.h"
 #include "models/Transformers.h"
+#include "rewrite/RewriteEngine.h"
 #include "sim/CostModel.h"
 
 #include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
 
 using namespace pypm;
 using namespace pypm::graph;
@@ -184,4 +190,114 @@ TEST_F(CostTest, FlattenIsFree) {
   KernelCost C = CM.nodeCost(G, F);
   EXPECT_EQ(C.Seconds, 0.0);
   EXPECT_EQ(C.Launches, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// The delta-costing contract the beam search builds on
+//===----------------------------------------------------------------------===//
+
+// commitDelta must reprice a commit EXACTLY — graphCost(after) ==
+// graphCost(before) + delta — and deltas of commits into disjoint regions
+// must be additive, so a partial commit sequence can be priced as a
+// running sum instead of a whole-graph re-cost per step
+// (src/search/Search.cpp relies on both).
+TEST_F(CostTest, CommitDeltasAreExactAndAdditiveOverDisjointRegions) {
+  // Two disjoint Gelu(MatMul(A, B)) regions.
+  NodeId Gelus[2], As[2], Bs[2];
+  for (int I = 0; I != 2; ++I) {
+    As[I] = input({256, 256});
+    Bs[I] = input({256, 256});
+    Gelus[I] = node("Gelu", {node("MatMul", {As[I], Bs[I]})});
+    G.addOutput(Gelus[I]);
+  }
+  double Before = CM.graphCost(G).Seconds;
+
+  // Commit an epilog fusion into each region, the way the search's
+  // applyCandidate does: append the replacement, redirect uses, sweep,
+  // delta-cost the appended-live vs swept-previously-live node sets.
+  double Deltas[2];
+  for (int I = 0; I != 2; ++I) {
+    NodeId FirstNew = G.numNodes();
+    NodeId E = node("GemmEpilog", {As[I], Bs[I]});
+    G.replaceAllUses(Gelus[I], E, FirstNew);
+    std::vector<NodeId> Swept;
+    G.removeUnreachable(&Swept);
+    std::vector<NodeId> Removed;
+    for (NodeId N : Swept)
+      if (N < FirstNew)
+        Removed.push_back(N);
+    std::vector<NodeId> Added{E};
+    Deltas[I] = CM.commitDelta(G, Added, Removed);
+    EXPECT_LT(Deltas[I], 0.0); // the fusion shrinks the modeled cost
+  }
+  double After = CM.graphCost(G).Seconds;
+  EXPECT_NEAR(After, Before + Deltas[0] + Deltas[1], 1e-12);
+  // Disjoint regions, identical shapes: the two deltas are the same
+  // number, and each one alone accounts for exactly half the movement.
+  EXPECT_DOUBLE_EQ(Deltas[0], Deltas[1]);
+}
+
+// Every fused kernel the standard rules introduce launches at most as
+// many kernels as the nodes it replaces — fusion may never increase the
+// modeled launch count.
+TEST_F(CostTest, FusionNeverIncreasesLaunchCount) {
+  NodeId A = input({128, 128});
+  NodeId B = input({128, 128});
+  NodeId M = node("MatMul", {A, B});
+  NodeId Ge = node("Gelu", {M});
+  EXPECT_LE(CM.nodeCost(G, node("GemmEpilog", {A, B})).Launches,
+            CM.nodeCost(G, M).Launches + CM.nodeCost(G, Ge).Launches);
+
+  NodeId T = node("Trans", {B});
+  NodeId MT = node("MatMul", {A, T});
+  EXPECT_LE(CM.nodeCost(G, node("cublasMM_xyT_f32", {A, B})).Launches,
+            CM.nodeCost(G, T).Launches + CM.nodeCost(G, MT).Launches);
+
+  NodeId Q = input({4, 64, 32});
+  NodeId K = input({4, 64, 32});
+  NodeId V = input({4, 64, 32});
+  NodeId Scores = node("MatMul", {Q, node("Trans", {K})});
+  NodeId Probs = node("Softmax", {Scores});
+  NodeId Attn = node("MatMul", {Probs, V});
+  unsigned Decomposed = CM.nodeCost(G, G.inputs(Scores)[1]).Launches +
+                        CM.nodeCost(G, Scores).Launches +
+                        CM.nodeCost(G, Probs).Launches +
+                        CM.nodeCost(G, Attn).Launches;
+  EXPECT_LE(CM.nodeCost(G, node("FMHA", {Q, K, V})).Launches, Decomposed);
+}
+
+// The search's pricing must be a pure function of the graph and rules:
+// worker threads price hermetic clones, so the modeled costs a search run
+// reports are bit-equal at every thread count.
+TEST_F(CostTest, SearchPricingIsDeterministicAcrossThreads) {
+  auto Lib = dsl::compileOrDie("pattern RR(x) { return Relu(Relu(x)); }\n"
+                               "rule rr for RR(x) { return Relu(x); }\n",
+                               Sig);
+  rewrite::RuleSet RS;
+  RS.addLibrary(*Lib);
+  NodeId N = input({64, 64});
+  for (int I = 0; I != 6; ++I)
+    N = node("Relu", {N});
+  G.addOutput(N);
+
+  auto Run = [&](unsigned Threads) {
+    graph::Graph Copy(G);
+    rewrite::RewriteOptions O;
+    O.Search = rewrite::SearchStrategy::Beam;
+    O.BeamWidth = 2;
+    O.Lookahead = 2;
+    O.NumThreads = Threads;
+    O.SearchCost = &CM;
+    rewrite::RewriteStats S = rewrite::rewriteToFixpoint(Copy, RS, SI, O);
+    return std::tuple(S.ModeledCostBefore, S.ModeledCostAfter,
+                      CM.graphCost(Copy).Seconds,
+                      graph::writeGraphText(Copy));
+  };
+  auto Serial = Run(0);
+  EXPECT_GT(std::get<0>(Serial), std::get<1>(Serial));
+  EXPECT_EQ(std::get<1>(Serial), std::get<2>(Serial));
+  for (unsigned Threads : {2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(Threads));
+    EXPECT_EQ(Run(Threads), Serial); // bit-equal doubles, identical graph
+  }
 }

@@ -148,10 +148,22 @@ TEST(ServerProtocol, RewriteRequestRoundTrips) {
   R.Incremental = true;
   R.FaultSiteSeed = 5;
   R.FaultSitePeriod = 11;
+  R.Search = 2;
+  R.BeamWidth = 6;
+  R.Lookahead = 3;
+  R.SearchWitnesses = 2;
   RewriteRequest Out;
   std::string Err;
   ASSERT_TRUE(decodeRewriteRequest(encodeRewriteRequest(R), Out, Err)) << Err;
   EXPECT_EQ(R, Out);
+}
+
+TEST(ServerProtocol, RewriteRequestRejectsUnknownSearchStrategy) {
+  RewriteRequest R = basicRequest(8);
+  R.Search = 3; // only 0 (greedy), 1 (best-of-n), 2 (beam) exist
+  RewriteRequest Out;
+  std::string Err;
+  EXPECT_FALSE(decodeRewriteRequest(encodeRewriteRequest(R), Out, Err));
 }
 
 TEST(ServerProtocol, RewriteReplyRoundTrips) {
@@ -305,6 +317,26 @@ TEST(ServerServe, MalformedRuleSetAndGraphStatuses) {
   EXPECT_EQ(Got[0], ServerStatus::RuleSetMalformed);
   EXPECT_EQ(Got[1], ServerStatus::GraphMalformed);
   EXPECT_EQ(Got[2], ServerStatus::RuleSetUnreadable);
+  Srv.stop();
+}
+
+TEST(ServerServe, SearchRequestRunsAndReachesGreedyFixpoint) {
+  Server Srv(ServerOptions{});
+  RewriteReply Greedy = Srv.handle(basicRequest(1));
+  ASSERT_EQ(Greedy.Status, ServerStatus::Ok);
+  ASSERT_GE(Greedy.Fired, 1u);
+  RewriteRequest R = basicRequest(2);
+  R.Search = 2; // beam
+  R.BeamWidth = 2;
+  R.Lookahead = 1;
+  RewriteReply Beam = Srv.handle(R);
+  EXPECT_EQ(Beam.Status, ServerStatus::Ok);
+  EXPECT_EQ(static_cast<EngineStatusCode>(Beam.EngineCode),
+            EngineStatusCode::Completed);
+  // kRules is confluent and conflict-free, so cost-directed commit order
+  // lands on the same fixpoint with the same number of fires.
+  EXPECT_EQ(Beam.GraphText, Greedy.GraphText);
+  EXPECT_EQ(Beam.Fired, Greedy.Fired);
   Srv.stop();
 }
 

@@ -196,4 +196,26 @@ echo "=== incremental-sweep benchmark (smoke) ==="
 echo "=== daemon-sweep benchmark (smoke) ==="
 ./build-ci/bench/bench_partitioning --daemon-sweep --smoke >/dev/null
 
+# Cost-directed search. The oracle/differential/fall-through suites run
+# under ASan/UBSan — applyCandidate's transactional rollback and the
+# clone-per-candidate expansion are allocation-heavy unwind paths — and
+# the beam commit loop under TSan: speculative expansion fans clones out
+# across the worker pool while the committed path stays serial, which is
+# exactly the isolation boundary a race would cross. (Tier-1 members ran
+# in ctest above; the filtered re-runs keep the search legs greppable.)
+echo "=== cost-directed search suites under ASan/UBSan ==="
+./build-ci-asan/tests/pypm_tests \
+  --gtest_filter='Search*:CostModel.*'
+
+echo "=== cost-directed search suites under TSan ==="
+./build-ci-tsan/tests/pypm_tests \
+  --gtest_filter='SearchConflictTest.*:SearchStress*'
+
+# Search sweep (smoke): the beam must strictly beat greedy modeled cost
+# on the conflict ladder and match it on the confluent zoo — the sweep
+# driver exits nonzero if either claim fails (the committed
+# BENCH_search_sweep.json comes from a full-size run).
+echo "=== search-sweep benchmark (smoke) ==="
+./build-ci/bench/bench_partitioning --search-sweep --smoke >/dev/null
+
 echo "=== ci.sh: all green ==="

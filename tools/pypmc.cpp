@@ -83,6 +83,9 @@ int usage() {
                "[--profile-out=<file.pypmprof>]\n"
                "                     [--plan-cache-dir=<dir>] "
                "[--aot-lib=<file.so>]\n"
+               "                     [--search=greedy|best-of-n|beam] "
+               "[--beam-width=N] [--lookahead=N]\n"
+               "                     [--search-witnesses=N]\n"
                "       pypmc cost    <graph.pypmg>\n"
                "rewrite exit codes: 0 ok, 1 rule set malformed, 2 usage, "
                "3 budget exhausted,\n"
@@ -552,6 +555,8 @@ int cmdRewrite(int Argc, char **Argv) {
   bool StatsJson = false, EmitPlan = false, Lint = false;
   bool Incremental = false, Batch = false;
   std::optional<rewrite::MatcherKind> Matcher;
+  rewrite::SearchStrategy Search = rewrite::SearchStrategy::Greedy;
+  unsigned BeamWidth = 4, Lookahead = 1, SearchWitnesses = 4;
   for (int I = 0; I != Argc; ++I) {
     if (std::strcmp(Argv[I], "-o") == 0 && I + 1 != Argc)
       Out = Argv[++I];
@@ -589,7 +594,24 @@ int cmdRewrite(int Argc, char **Argv) {
         Matcher = rewrite::MatcherKind::PlanAot;
       else
         return usage();
-    } else if (std::strncmp(Argv[I], "--aot-lib=", 10) == 0)
+    } else if (std::strncmp(Argv[I], "--search=", 9) == 0) {
+      const char *V = Argv[I] + 9;
+      if (std::strcmp(V, "greedy") == 0)
+        Search = rewrite::SearchStrategy::Greedy;
+      else if (std::strcmp(V, "best-of-n") == 0)
+        Search = rewrite::SearchStrategy::BestOfN;
+      else if (std::strcmp(V, "beam") == 0)
+        Search = rewrite::SearchStrategy::Beam;
+      else
+        return usage();
+    } else if (std::strncmp(Argv[I], "--beam-width=", 13) == 0)
+      BeamWidth = static_cast<unsigned>(std::strtoul(Argv[I] + 13, nullptr, 10));
+    else if (std::strncmp(Argv[I], "--lookahead=", 12) == 0)
+      Lookahead = static_cast<unsigned>(std::strtoul(Argv[I] + 12, nullptr, 10));
+    else if (std::strncmp(Argv[I], "--search-witnesses=", 19) == 0)
+      SearchWitnesses =
+          static_cast<unsigned>(std::strtoul(Argv[I] + 19, nullptr, 10));
+    else if (std::strncmp(Argv[I], "--aot-lib=", 10) == 0)
       AotLibPath = Argv[I] + 10;
     else if (!Patterns)
       Patterns = Argv[I];
@@ -676,6 +698,14 @@ int cmdRewrite(int Argc, char **Argv) {
   // committed stats are bit-identical with or without them.
   Opts.Incremental = Incremental;
   Opts.Batch = Batch;
+  // --search= selects cost-directed commit ordering; the CLI's own cost
+  // model (the one reporting "simulated time" below) prices candidates, so
+  // the printed before/after numbers and the search's objective agree.
+  Opts.Search = Search;
+  Opts.BeamWidth = BeamWidth;
+  Opts.Lookahead = Lookahead;
+  Opts.SearchWitnesses = SearchWitnesses;
+  Opts.SearchCost = &CM;
 
   // A plan compiled here (or loaded above) serves both --emit-plan and the
   // engine's PrecompiledPlan fast path.
@@ -756,10 +786,19 @@ int cmdRewrite(int Argc, char **Argv) {
                Stats.summary().c_str(), Before * 1e3, After * 1e3,
                Before / After);
   if (StatsJson)
+    // Schema note: every key is emitted unconditionally — in particular
+    // planCompileSeconds is 0.0 (not absent) when no in-run compile
+    // happened (non-plan matcher, or a precompiled .pypmplan / cached /
+    // pre-threaded stream) — so consumers can parse a fixed shape
+    // (tests/CMakeLists.txt pins this with rewrite_stats_json_schema).
     std::fprintf(stderr,
                  "{\"engine\":%s,\"passes\":%llu,\"fired\":%llu,"
                  "\"matches\":%llu,\"nodes\":%zu,\"memoHits\":%llu,"
-                 "\"memoMisses\":%llu,\"batchedNodes\":%llu}\n",
+                 "\"memoMisses\":%llu,\"batchedNodes\":%llu,"
+                 "\"planCompileSeconds\":%.6f,"
+                 "\"searchSteps\":%llu,\"searchCandidates\":%llu,"
+                 "\"searchExpansions\":%llu,"
+                 "\"modeledCostBefore\":%.9f,\"modeledCostAfter\":%.9f}\n",
                  Stats.Status.json().c_str(),
                  static_cast<unsigned long long>(Stats.Passes),
                  static_cast<unsigned long long>(Stats.TotalFired),
@@ -767,7 +806,12 @@ int cmdRewrite(int Argc, char **Argv) {
                  G->numLiveNodes(),
                  static_cast<unsigned long long>(Stats.MemoHits),
                  static_cast<unsigned long long>(Stats.MemoMisses),
-                 static_cast<unsigned long long>(Stats.BatchedNodes));
+                 static_cast<unsigned long long>(Stats.BatchedNodes),
+                 Stats.PlanCompileSeconds,
+                 static_cast<unsigned long long>(Stats.SearchSteps),
+                 static_cast<unsigned long long>(Stats.SearchCandidates),
+                 static_cast<unsigned long long>(Stats.SearchExpansions),
+                 Stats.ModeledCostBefore, Stats.ModeledCostAfter);
 
   std::string Text = graph::writeGraphText(*G);
   if (Out) {

@@ -80,6 +80,9 @@ int usage() {
       "plan-aot]\n"
       "                   [--incremental]\n"
       "                   [--batch] [--fault-seed N] [--fault-period N]\n"
+      "                   [--search=greedy|best-of-n|beam] "
+      "[--beam-width N]\n"
+      "                   [--lookahead N] [--search-witnesses N]\n"
       "       pypmd emit ping [--seq N]\n"
       "       pypmd emit shutdown [--seq N]\n"
       "       pypmd emit corrupt-body <rules> <graph> [--seq N]\n"
@@ -142,6 +145,31 @@ bool parseEmitRewrite(int Argc, char **Argv, RewriteRequest &R) {
       continue;
     if (Num("--threads", Threads64)) {
       R.Threads = static_cast<uint32_t>(Threads64);
+      continue;
+    }
+    uint64_t U32Tmp = 0;
+    if (Num("--beam-width", U32Tmp)) {
+      R.BeamWidth = static_cast<uint32_t>(U32Tmp);
+      continue;
+    }
+    if (Num("--lookahead", U32Tmp)) {
+      R.Lookahead = static_cast<uint32_t>(U32Tmp);
+      continue;
+    }
+    if (Num("--search-witnesses", U32Tmp)) {
+      R.SearchWitnesses = static_cast<uint32_t>(U32Tmp);
+      continue;
+    }
+    if (std::strncmp(Argv[I], "--search=", 9) == 0) {
+      const char *V = Argv[I] + 9;
+      if (std::strcmp(V, "greedy") == 0)
+        R.Search = 0;
+      else if (std::strcmp(V, "best-of-n") == 0)
+        R.Search = 1;
+      else if (std::strcmp(V, "beam") == 0)
+        R.Search = 2;
+      else
+        return false;
       continue;
     }
     if (std::strncmp(Argv[I], "--matcher=", 10) == 0) {
