@@ -11,6 +11,7 @@
 
 #include "BenchCommon.h"
 
+#include "analysis/CriticalPairs.h"
 #include "dsl/Sema.h"
 #include "graph/GraphIO.h"
 #include "pattern/Serializer.h"
@@ -903,6 +904,230 @@ rule full for FullGelu(x, y) { return Gelu(cublasMM_xyT_f32(x, y)); }
   return 0;
 }
 
+/// `--critical-sweep`: what the confluence certificate costs to produce
+/// and what it buys back (BENCH_critical_sweep.json). Leg one prices the
+/// analysis itself: best-of-R analyzeConfluence wall time over every §4
+/// std library plus the conflict rule set from `--search-sweep`, with the
+/// verdict and pair counts alongside — the certificate is a compile-time
+/// artifact, so this is the once-per-.pypmplan cost. Leg two measures the
+/// search tax `--search=auto` avoids: over the zoo, the certified epilog
+/// library is rewritten to fixpoint under an uncertified user's cautious
+/// beam(4,1) and under auto carrying the certificate (which resolves to
+/// greedy); end-state modeled costs must agree and auto must report zero
+/// search work, so the wall-clock ratio is pure avoided tax. Leg three is
+/// the safety half: on the conflict ladder auto must land exactly on
+/// beam's (cheaper) end state — the certificate never trades result
+/// quality for speed. `--smoke` shrinks the zoo and the repeat count.
+int runCriticalSweep(bool Smoke) {
+  namespace critical = analysis::critical;
+  const int Repeats = Smoke ? 3 : 9;
+  using Clock = std::chrono::steady_clock;
+
+  constexpr const char *ConflictRules = R"pypm(
+pattern EpiGelu(a, b) { return Gelu(MatMul(a, b)); }
+rule epi for EpiGelu(a, b) { return GemmEpilog(a, b); }
+
+pattern FullGelu(x, y) {
+  yt = Trans(y);
+  return Gelu(MatMul(x, yt));
+}
+rule full for FullGelu(x, y) { return Gelu(cublasMM_xyT_f32(x, y)); }
+)pypm";
+
+  std::printf("{\n  \"repeats\": %d,\n  \"smoke\": %s,\n  \"analysis\": [\n",
+              Repeats, Smoke ? "true" : "false");
+
+  // Leg one: analysis cost + verdict per rule set.
+  struct Entry {
+    const char *Name;
+    std::unique_ptr<pattern::Library> (*Compile)(term::Signature &);
+  };
+  const Entry Libraries[] = {{"fmha", opt::compileFmha},
+                             {"epilog", opt::compileEpilog},
+                             {"cublas", opt::compileCublas},
+                             {"unarychain", opt::compileUnaryChain},
+                             {"partition", opt::compilePartition}};
+  auto EmitRow = [&](const char *Name, size_t Rules,
+                     const critical::ConfluenceReport &R, double BestSec,
+                     bool Last) {
+    std::printf("    {\"ruleset\": \"%s\", \"rules\": %zu, "
+                "\"verdict\": \"%s\", \"pairs\": %u, \"joinable\": %u, "
+                "\"conflicting\": %u, \"unknown\": %u, "
+                "\"analysis_ms\": %.3f}%s\n",
+                Name, Rules,
+                std::string(critical::verdictName(R.Overall)).c_str(),
+                R.PairsExamined, R.PairsJoinable, R.PairsConflicting,
+                R.PairsUnknown, BestSec * 1e3, Last ? "" : ",");
+  };
+  for (const Entry &E : Libraries) {
+    term::Signature Sig;
+    auto Lib = E.Compile(Sig);
+    critical::ConfluenceReport R;
+    double Best = 0;
+    for (int Rep = 0; Rep != Repeats; ++Rep) {
+      Clock::time_point T0 = Clock::now();
+      R = critical::analyzeConfluence(*Lib, Sig);
+      double Sec = std::chrono::duration<double>(Clock::now() - T0).count();
+      if (Rep == 0 || Sec < Best)
+        Best = Sec;
+    }
+    EmitRow(E.Name, Lib->Rules.size(), R, Best, /*Last=*/false);
+  }
+  {
+    term::Signature Sig;
+    models::declareModelOps(Sig);
+    auto Lib = dsl::compileOrDie(ConflictRules, Sig);
+    critical::ConfluenceReport R;
+    double Best = 0;
+    for (int Rep = 0; Rep != Repeats; ++Rep) {
+      Clock::time_point T0 = Clock::now();
+      R = critical::analyzeConfluence(*Lib, Sig);
+      double Sec = std::chrono::duration<double>(Clock::now() - T0).count();
+      if (Rep == 0 || Sec < Best)
+        Best = Sec;
+    }
+    if (R.Overall != critical::Verdict::Conflicting) {
+      std::fprintf(stderr, "critical-sweep: the conflict rule set failed to "
+                           "refute (verdict %s)\n",
+                   std::string(critical::verdictName(R.Overall)).c_str());
+      return 1;
+    }
+    EmitRow("conflict", Lib->Rules.size(), R, Best, /*Last=*/true);
+  }
+
+  // Leg two: search tax avoided by auto on the certified epilog library.
+  std::vector<models::ModelEntry> Zoo;
+  {
+    auto Hf = models::hfSuite();
+    auto Tv = models::tvSuite();
+    const size_t PerSuite = Smoke ? 2 : SIZE_MAX;
+    for (size_t I = 0; I != Hf.size() && I != PerSuite; ++I)
+      Zoo.push_back(Hf[I]);
+    for (size_t I = 0; I != Tv.size() && I != PerSuite; ++I)
+      Zoo.push_back(Tv[I]);
+  }
+  std::printf("  ],\n  \"tax_avoided\": [\n");
+  double BeamSum = 0, AutoSum = 0;
+  for (size_t MI = 0; MI != Zoo.size(); ++MI) {
+    const models::ModelEntry &Model = Zoo[MI];
+    critical::ConfluenceReport CR;
+    {
+      term::Signature Sig;
+      (void)Model.Build(Sig);
+      CR = critical::analyzeConfluence(*opt::compileEpilog(Sig), Sig);
+    }
+    if (!CR.certified()) {
+      std::fprintf(stderr, "critical-sweep: the epilog library failed to "
+                           "certify on %s (verdict %s)\n",
+                   Model.Name.c_str(),
+                   std::string(critical::verdictName(CR.Overall)).c_str());
+      return 1;
+    }
+    auto RunOnce = [&](const rewrite::RewriteOptions &Opts, double &BestWall,
+                       bool First, rewrite::RewriteStats *StatsOut) {
+      term::Signature Sig;
+      auto G = Model.Build(Sig);
+      auto Epilog = opt::compileEpilog(Sig);
+      RuleSet RS;
+      RS.addLibrary(*Epilog);
+      Clock::time_point T0 = Clock::now();
+      rewrite::RewriteStats S =
+          rewrite::rewriteToFixpoint(*G, RS, graph::ShapeInference(), Opts);
+      double Wall = std::chrono::duration<double>(Clock::now() - T0).count();
+      if (First || Wall < BestWall)
+        BestWall = Wall;
+      if (StatsOut)
+        *StatsOut = S;
+      return sim::CostModel().graphCost(*G).Seconds;
+    };
+    rewrite::RewriteOptions Beam;
+    Beam.Search = rewrite::SearchStrategy::Beam;
+    Beam.BeamWidth = 4;
+    Beam.Lookahead = 1;
+    rewrite::RewriteOptions Auto = Beam;
+    Auto.Search = rewrite::SearchStrategy::Auto;
+    Auto.Confluence = &CR;
+
+    double BeamWall = 0, AutoWall = 0;
+    double BeamCost = 0, AutoCost = 0;
+    rewrite::RewriteStats AutoStats;
+    for (int Rep = 0; Rep != Repeats; ++Rep) {
+      BeamCost = RunOnce(Beam, BeamWall, Rep == 0, nullptr);
+      AutoCost = RunOnce(Auto, AutoWall, Rep == 0, &AutoStats);
+    }
+    if (AutoStats.SearchSteps != 0 || AutoStats.SearchExpansions != 0) {
+      std::fprintf(stderr, "critical-sweep: auto spent search work on the "
+                           "certified set (%s)\n",
+                   Model.Name.c_str());
+      return 1;
+    }
+    if (AutoCost > BeamCost + 1e-15) {
+      std::fprintf(stderr, "critical-sweep: auto regressed end-state cost "
+                           "on %s (%.9e vs %.9e)\n",
+                   Model.Name.c_str(), AutoCost, BeamCost);
+      return 1;
+    }
+    BeamSum += BeamWall;
+    AutoSum += AutoWall;
+    std::printf("    {\"model\": \"%s\", \"beam_wall_ms\": %.3f, "
+                "\"auto_wall_ms\": %.3f, \"tax_avoided\": %.3f}%s\n",
+                Model.Name.c_str(), BeamWall * 1e3, AutoWall * 1e3,
+                AutoWall > 0 ? BeamWall / AutoWall : 0.0,
+                MI + 1 == Zoo.size() ? "" : ",");
+  }
+  std::printf("  ],\n  \"tax_avoided_total\": {\"beam_wall_ms\": %.3f, "
+              "\"auto_wall_ms\": %.3f, \"tax_avoided\": %.3f},\n",
+              BeamSum * 1e3, AutoSum * 1e3,
+              AutoSum > 0 ? BeamSum / AutoSum : 0.0);
+
+  // Leg three: on the conflicting set auto must land on beam's end state.
+  {
+    auto RunConflictBlocks = [&](const rewrite::RewriteOptions &Opts) {
+      term::Signature Sig;
+      models::declareModelOps(Sig);
+      auto Lib = dsl::compileOrDie(ConflictRules, Sig);
+      RuleSet RS;
+      RS.addLibrary(*Lib);
+      graph::Graph G(Sig);
+      for (size_t I = 0; I != 4; ++I) {
+        graph::NodeId A = G.addLeaf(
+            "Input", graph::TensorType::make(term::DType::F32, {512, 512}));
+        graph::NodeId B = G.addLeaf(
+            "Input", graph::TensorType::make(term::DType::F32, {512, 512}));
+        graph::NodeId T = G.addNode(Sig.lookup("Trans"), {B});
+        graph::NodeId M = G.addNode(Sig.lookup("MatMul"), {A, T});
+        graph::NodeId Ge = G.addNode(Sig.lookup("Gelu"), {M});
+        G.addOutput(Ge);
+      }
+      graph::ShapeInference SI;
+      SI.inferAll(G);
+      (void)rewrite::rewriteToFixpoint(G, RS, SI, Opts);
+      return sim::CostModel().graphCost(G).Seconds;
+    };
+    rewrite::RewriteOptions Greedy;
+    rewrite::RewriteOptions Beam;
+    Beam.Search = rewrite::SearchStrategy::Beam;
+    Beam.BeamWidth = 2;
+    Beam.Lookahead = 1;
+    rewrite::RewriteOptions Auto = Beam;
+    Auto.Search = rewrite::SearchStrategy::Auto;
+    double GreedyCost = RunConflictBlocks(Greedy);
+    double BeamCost = RunConflictBlocks(Beam);
+    double AutoCost = RunConflictBlocks(Auto);
+    if (AutoCost != BeamCost || !(AutoCost < GreedyCost)) {
+      std::fprintf(stderr, "critical-sweep: auto failed to keep beam's end "
+                           "state on the conflicting set (greedy %.9e, "
+                           "beam %.9e, auto %.9e)\n",
+                   GreedyCost, BeamCost, AutoCost);
+      return 1;
+    }
+    std::printf("  \"conflict_guard\": {\"greedy_cost_us\": %.3f, "
+                "\"beam_cost_us\": %.3f, \"auto_cost_us\": %.3f}\n}\n",
+                GreedyCost * 1e6, BeamCost * 1e6, AutoCost * 1e6);
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -925,6 +1150,8 @@ int main(int argc, char **argv) {
       return runDaemonSweep(Smoke);
     if (std::string_view(argv[I]) == "--search-sweep")
       return runSearchSweep(Smoke);
+    if (std::string_view(argv[I]) == "--critical-sweep")
+      return runCriticalSweep(Smoke);
   }
   std::printf("=== Section 4.2: directed graph partitioning with Fig. 14's "
               "MatMulEpilog family ===\n");

@@ -2,6 +2,7 @@
 
 #include "analysis/Analysis.h"
 
+#include "analysis/CriticalPairs.h"
 #include "analysis/GuardSolver.h"
 #include "analysis/Skeleton.h"
 #include "graph/ShapeInference.h"
@@ -11,6 +12,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <functional>
+#include <tuple>
 #include <unordered_set>
 
 using namespace pypm;
@@ -30,6 +32,20 @@ std::string Finding::render() const {
 
 bool LintReport::hasCode(std::string_view Code) const {
   return countCode(Code) != 0;
+}
+
+void LintReport::sortFindings() {
+  std::stable_sort(Findings.begin(), Findings.end(),
+                   [](const Finding &A, const Finding &B) {
+                     if (A.Sev != B.Sev)
+                       return static_cast<int>(A.Sev) > static_cast<int>(B.Sev);
+                     auto Key = [](const Finding &F) {
+                       return std::tie(F.Loc.Line, F.Loc.Col, F.Code,
+                                       F.PatternName, F.RuleName, F.Alternate,
+                                       F.Message);
+                     };
+                     return Key(A) < Key(B);
+                   });
 }
 
 unsigned LintReport::countCode(std::string_view Code) const {
@@ -151,6 +167,9 @@ public:
     checkEntryShadowing();
     checkRewriteCycles();
     checkOpaqueRhsOps();
+    // Stable output order, so `pypmc lint --json` diffs never depend on
+    // analysis or dedup-hash iteration order.
+    Report.sortFindings();
     return std::move(Report);
   }
 
@@ -655,10 +674,26 @@ private:
               : "rules '" + Names +
                     "' can rewrite each other's results indefinitely "
                     "(replacement shapes unify with the cycle's patterns)";
-      add(Severity::Warning, "analysis.rewrite-cycle", First.R->Loc,
-          std::string(Entries[First.Entry].E->Pattern->Name.str()),
-          std::string(First.R->Name.str()), -1,
-          Msg + "; termination relies on the engine's pass/rewrite caps");
+      // A confluence certificate can retire the heuristic: if every
+      // overlap among the SCC's rules was proven joinable and their
+      // termination probes passed, the loop shape the skeletons saw
+      // cannot actually diverge — note, not warning.
+      std::vector<std::string> CycleRules;
+      for (uint32_t V : Comp)
+        CycleRules.emplace_back(Nodes[V].R->Name.str());
+      bool ProvenJoinable =
+          Opts.Confluence && Opts.Confluence->joinableAmong(CycleRules);
+      if (ProvenJoinable)
+        add(Severity::Note, "analysis.rewrite-cycle", First.R->Loc,
+            std::string(Entries[First.Entry].E->Pattern->Name.str()),
+            std::string(First.R->Name.str()), -1,
+            Msg + "; critical-pair analysis proved every overlap joinable, "
+                  "so the cycle cannot diverge");
+      else
+        add(Severity::Warning, "analysis.rewrite-cycle", First.R->Loc,
+            std::string(Entries[First.Entry].E->Pattern->Name.str()),
+            std::string(First.R->Name.str()), -1,
+            Msg + "; termination relies on the engine's pass/rewrite caps");
     };
     for (uint32_t U = 0; U != N; ++U)
       if (Index[U] < 0)

@@ -24,6 +24,19 @@
 ///   analysis.generic-cost         N  an RHS operator the cost model
 ///                                    prices with the generic fallback
 ///
+/// `pypmc lint --critical-pairs` (analysis/CriticalPairs.h) adds:
+///
+///   analysis.critical-pair        W  a critical pair whose two reducts
+///                                    normalize to distinct normal forms
+///                                    (confluence refuted, witness term
+///                                    and both normal forms in Message)
+///   analysis.joinability-unknown  W  a confluence proof obligation that
+///                                    could not be discharged (μ bail-out,
+///                                    unrealizable witness, step bound)
+///   analysis.certified-confluent  N  the certificate: every overlap
+///                                    joinable, every termination probe
+///                                    passed
+///
 /// Error-severity findings are facts (the conservative analyses only
 /// report what they can prove); warnings can over-report in the documented
 /// heuristic corners. Consumed three ways: `pypmc lint`, the
@@ -44,6 +57,10 @@
 namespace pypm::graph {
 class ShapeInference;
 } // namespace pypm::graph
+
+namespace pypm::analysis::critical {
+struct ConfluenceReport;
+} // namespace pypm::analysis::critical
 
 namespace pypm::analysis {
 
@@ -68,6 +85,13 @@ struct LintOptions {
   /// Also report RHS operators the analytic cost model prices generically
   /// (analysis.generic-cost notes).
   bool CostModelNotes = false;
+  /// Confluence certificate for the same rule set (CriticalPairs.h).
+  /// Borrowed. When set and the certificate proves every overlap among a
+  /// rewrite-cycle SCC's rules joinable, that cycle's finding downgrades
+  /// from warning to note: the skeleton heuristic saw a loop shape, but
+  /// the critical-pair analysis proved the rules cannot diverge and their
+  /// termination probes passed.
+  const critical::ConfluenceReport *Confluence = nullptr;
 };
 
 struct LintReport {
@@ -77,6 +101,13 @@ struct LintReport {
   bool clean() const { return Errors == 0; }
   bool hasCode(std::string_view Code) const;
   unsigned countCode(std::string_view Code) const;
+
+  /// Re-establishes the report's stable output order — most severe first,
+  /// then source location, then every remaining field (a total order).
+  /// Linter::run leaves reports sorted; callers that append findings
+  /// afterwards (e.g. `pypmc lint --critical-pairs` folding a confluence
+  /// report in) call this to restore the invariant.
+  void sortFindings();
 
   /// One rendered finding per line, followed by a summary line.
   std::string renderAll() const;

@@ -1,0 +1,508 @@
+//===- analysis/Unify.cpp - First-order unification over patterns ---------===//
+
+#include "analysis/Unify.h"
+
+#include "term/Signature.h"
+
+#include <algorithm>
+#include <span>
+#include <unordered_set>
+
+namespace pypm::analysis::critical {
+
+using pattern::GuardExpr;
+using pattern::GuardKind;
+using pattern::Pattern;
+using pattern::PatternKind;
+
+//===----------------------------------------------------------------------===//
+// PTerm / PTermArena
+//===----------------------------------------------------------------------===//
+
+std::string PTerm::toString(const term::Signature &Sig) const {
+  switch (Kind) {
+  case K::Var:
+    return std::string(Var.str());
+  case K::Op:
+  case K::Fun: {
+    std::string S = Kind == K::Op ? std::string(Sig.name(Op).str())
+                                  : std::string(Fun.str());
+    S += '(';
+    for (size_t I = 0; I < Kids.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += Kids[I]->toString(Sig);
+    }
+    S += ')';
+    return S;
+  }
+  }
+  return "?";
+}
+
+const PTerm *PTermArena::var(Symbol Name) {
+  // Interned per symbol: every occurrence of a variable is the same node,
+  // so substitution memoization (and hence witness-graph sharing for
+  // nonlinear patterns) falls out of pointer identity.
+  auto It = VarCache.find(Name);
+  if (It != VarCache.end())
+    return It->second;
+  PTerm &T = Store.emplace_back();
+  T.Kind = PTerm::K::Var;
+  T.Var = Name;
+  VarCache.emplace(Name, &T);
+  return &T;
+}
+
+const PTerm *PTermArena::op(term::OpId Op, std::vector<const PTerm *> Kids) {
+  PTerm &T = Store.emplace_back();
+  T.Kind = PTerm::K::Op;
+  T.Op = Op;
+  T.Kids = std::move(Kids);
+  return &T;
+}
+
+const PTerm *PTermArena::fun(Symbol FunVar, std::vector<const PTerm *> Kids) {
+  PTerm &T = Store.emplace_back();
+  T.Kind = PTerm::K::Fun;
+  T.Fun = FunVar;
+  T.Kids = std::move(Kids);
+  return &T;
+}
+
+//===----------------------------------------------------------------------===//
+// Flattening
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A reading under construction: term + collected guard conjuncts.
+struct Partial {
+  const PTerm *T = nullptr;
+  std::vector<const GuardExpr *> Guards;
+};
+
+/// Rebuilds \p T with variable \p V replaced by \p R.
+const PTerm *substVar(const PTerm *T, Symbol V, const PTerm *R,
+                      PTermArena &Arena) {
+  if (T->Kind == PTerm::K::Var)
+    return T->Var == V ? R : T;
+  bool Changed = false;
+  std::vector<const PTerm *> Kids;
+  Kids.reserve(T->Kids.size());
+  for (const PTerm *K : T->Kids) {
+    const PTerm *NK = substVar(K, V, R, Arena);
+    Changed |= NK != K;
+    Kids.push_back(NK);
+  }
+  if (!Changed)
+    return T;
+  return T->Kind == PTerm::K::Op ? Arena.op(T->Op, std::move(Kids))
+                                 : Arena.fun(T->Fun, std::move(Kids));
+}
+
+class Flattener {
+public:
+  Flattener(std::string_view Prefix, PTermArena &Arena,
+            pattern::PatternArena &GuardArena, unsigned MaxAlts)
+      : Prefix(Prefix), Arena(Arena), GuardArena(GuardArena),
+        MaxAlts(MaxAlts) {}
+
+  bool Bailed = false;
+  std::string Reason;
+
+  Symbol rename(Symbol S) {
+    return Symbol::intern(std::string(Prefix) + std::string(S.str()));
+  }
+
+  /// Clones \p G into the guard arena with every variable / function
+  /// variable renamed through rename(). Keeping guards renamed apart is
+  /// what lets two rules' conjunctions be fed to the solver jointly.
+  const GuardExpr *cloneGuard(const GuardExpr *G) {
+    switch (G->kind()) {
+    case GuardKind::IntLit:
+      return GuardArena.intLit(G->intValue());
+    case GuardKind::Attr:
+      return GuardArena.attr(rename(G->varName()), G->attrName());
+    case GuardKind::FunAttr:
+      return GuardArena.funAttr(rename(G->varName()), G->attrName());
+    case GuardKind::OpClassRef:
+      return GuardArena.opClassRef(G->refName());
+    case GuardKind::OpRef:
+      return GuardArena.opRef(G->refName());
+    case GuardKind::Not:
+      return GuardArena.notExpr(cloneGuard(G->lhs()));
+    default:
+      return GuardArena.binary(G->kind(), cloneGuard(G->lhs()),
+                               cloneGuard(G->rhs()));
+    }
+  }
+
+  void bail(std::string Why) {
+    if (!Bailed) {
+      Bailed = true;
+      Reason = std::move(Why);
+    }
+  }
+
+  std::vector<Partial> flat(const Pattern *P) {
+    if (Bailed)
+      return {};
+    switch (P->kind()) {
+    case PatternKind::Var:
+      return {{Arena.var(rename(pattern::cast<pattern::VarPattern>(P)->name())),
+               {}}};
+    case PatternKind::App: {
+      const auto *A = pattern::cast<pattern::AppPattern>(P);
+      return flatApp(A->children(), [&](std::vector<const PTerm *> Kids) {
+        return Arena.op(A->op(), std::move(Kids));
+      });
+    }
+    case PatternKind::FunVarApp: {
+      const auto *A = pattern::cast<pattern::FunVarAppPattern>(P);
+      Symbol F = rename(A->funVar());
+      return flatApp(A->children(), [&](std::vector<const PTerm *> Kids) {
+        return Arena.fun(F, std::move(Kids));
+      });
+    }
+    case PatternKind::Alt: {
+      const auto *A = pattern::cast<pattern::AltPattern>(P);
+      std::vector<Partial> L = flat(A->left());
+      std::vector<Partial> R = flat(A->right());
+      if (Bailed)
+        return {};
+      if (L.size() + R.size() > MaxAlts) {
+        bail("alternate expansion exceeds cap");
+        return {};
+      }
+      L.insert(L.end(), R.begin(), R.end());
+      return L;
+    }
+    case PatternKind::Guarded: {
+      const auto *G = pattern::cast<pattern::GuardedPattern>(P);
+      std::vector<Partial> Sub = flat(G->sub());
+      const GuardExpr *Cloned = Bailed ? nullptr : cloneGuard(G->guard());
+      for (Partial &S : Sub)
+        S.Guards.push_back(Cloned);
+      return Sub;
+    }
+    case PatternKind::Exists:
+      return flat(pattern::cast<pattern::ExistsPattern>(P)->sub());
+    case PatternKind::ExistsFun:
+      return flat(pattern::cast<pattern::ExistsFunPattern>(P)->sub());
+    case PatternKind::MatchConstraint: {
+      const auto *M = pattern::cast<pattern::MatchConstraintPattern>(P);
+      Symbol V = rename(M->var());
+      std::vector<Partial> Subs = flat(M->sub());
+      std::vector<Partial> Cons = flat(M->constraint());
+      if (Bailed)
+        return {};
+      if (Subs.size() * Cons.size() > MaxAlts) {
+        bail("match-constraint expansion exceeds cap");
+        return {};
+      }
+      std::vector<Partial> Out;
+      for (const Partial &S : Subs) {
+        unsigned N = countVar(S.T, V);
+        if (N != 1) {
+          // Inlining at the occurrence is only meaning-preserving when the
+          // constrained variable appears exactly once in this reading.
+          bail("match-constraint variable '" + std::string(V.str()) +
+               "' occurs " + std::to_string(N) + " times");
+          return {};
+        }
+        for (const Partial &C : Cons) {
+          Partial Merged;
+          Merged.T = substVar(S.T, V, C.T, Arena);
+          Merged.Guards = S.Guards;
+          Merged.Guards.insert(Merged.Guards.end(), C.Guards.begin(),
+                               C.Guards.end());
+          Out.push_back(std::move(Merged));
+        }
+      }
+      return Out;
+    }
+    case PatternKind::Mu:
+    case PatternKind::RecCall:
+      bail("recursive pattern (mu) has no finite flat reading");
+      return {};
+    }
+    bail("unknown pattern kind");
+    return {};
+  }
+
+private:
+  template <typename MakeFn>
+  std::vector<Partial> flatApp(std::span<const Pattern *const> Children,
+                               MakeFn Make) {
+    // Cross-product of the children's readings, capped.
+    std::vector<std::vector<Partial>> PerChild;
+    size_t Total = 1;
+    for (const Pattern *C : Children) {
+      PerChild.push_back(flat(C));
+      if (Bailed)
+        return {};
+      Total *= PerChild.back().size();
+      if (Total > MaxAlts) {
+        bail("nested alternate expansion exceeds cap");
+        return {};
+      }
+    }
+    std::vector<Partial> Out;
+    std::vector<size_t> Idx(PerChild.size(), 0);
+    for (;;) {
+      Partial P;
+      std::vector<const PTerm *> Kids;
+      Kids.reserve(PerChild.size());
+      for (size_t I = 0; I < PerChild.size(); ++I) {
+        const Partial &C = PerChild[I][Idx[I]];
+        Kids.push_back(C.T);
+        P.Guards.insert(P.Guards.end(), C.Guards.begin(), C.Guards.end());
+      }
+      P.T = Make(std::move(Kids));
+      Out.push_back(std::move(P));
+      // Odometer increment; PerChild may be empty (arity-0 op) — then the
+      // single empty combination above is the only one.
+      size_t I = 0;
+      for (; I < PerChild.size(); ++I) {
+        if (++Idx[I] < PerChild[I].size())
+          break;
+        Idx[I] = 0;
+      }
+      if (I == PerChild.size())
+        break;
+    }
+    return Out;
+  }
+
+  std::string_view Prefix;
+  PTermArena &Arena;
+  pattern::PatternArena &GuardArena;
+  unsigned MaxAlts;
+};
+
+/// Splits the top-level ‖ spine of \p P in source order.
+void collectTopAlts(const Pattern *P, std::vector<const Pattern *> &Out) {
+  if (const auto *A = pattern::dyn_cast<pattern::AltPattern>(P)) {
+    collectTopAlts(A->left(), Out);
+    collectTopAlts(A->right(), Out);
+    return;
+  }
+  Out.push_back(P);
+}
+
+} // namespace
+
+FlattenResult flattenPattern(const pattern::NamedPattern &NP,
+                             std::string_view Prefix, PTermArena &Arena,
+                             pattern::PatternArena &GuardArena,
+                             unsigned MaxAlts) {
+  FlattenResult R;
+  Flattener F(Prefix, Arena, GuardArena, MaxAlts);
+  std::vector<const Pattern *> Tops;
+  collectTopAlts(NP.Pat, Tops);
+  for (size_t I = 0; I < Tops.size(); ++I) {
+    std::vector<Partial> Alts = F.flat(Tops[I]);
+    if (F.Bailed)
+      break;
+    if (R.Alts.size() + Alts.size() > MaxAlts) {
+      F.bail("alternate expansion exceeds cap");
+      break;
+    }
+    for (Partial &P : Alts)
+      R.Alts.push_back({P.T, std::move(P.Guards), static_cast<int>(I)});
+  }
+  if (F.Bailed) {
+    R.Alts.clear();
+    R.Bailed = true;
+    R.BailReason = std::move(F.Reason);
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Unification
+//===----------------------------------------------------------------------===//
+
+Symbol Subst::funRep(Symbol F) const {
+  for (;;) {
+    auto It = FunAlias.find(F);
+    if (It == FunAlias.end() || It->second == F)
+      return F;
+    F = It->second;
+  }
+}
+
+std::optional<term::OpId> Subst::funPin(Symbol F) const {
+  auto It = FunOp.find(funRep(F));
+  if (It == FunOp.end())
+    return std::nullopt;
+  return It->second;
+}
+
+namespace {
+
+const PTerm *walk(const PTerm *T, const Subst &S) {
+  while (T->Kind == PTerm::K::Var) {
+    auto It = S.Vars.find(T->Var);
+    if (It == S.Vars.end())
+      break;
+    T = It->second;
+  }
+  return T;
+}
+
+bool occurs(Symbol V, const PTerm *T, const Subst &S) {
+  T = walk(T, S);
+  if (T->Kind == PTerm::K::Var)
+    return T->Var == V;
+  for (const PTerm *K : T->Kids)
+    if (occurs(V, K, S))
+      return true;
+  return false;
+}
+
+bool pinFun(Symbol F, term::OpId Op, Subst &S) {
+  Symbol Rep = S.funRep(F);
+  auto It = S.FunOp.find(Rep);
+  if (It != S.FunOp.end())
+    return It->second == Op;
+  S.FunOp.emplace(Rep, Op);
+  return true;
+}
+
+bool aliasFun(Symbol A, Symbol B, Subst &S) {
+  Symbol RA = S.funRep(A), RB = S.funRep(B);
+  if (RA == RB)
+    return true;
+  auto PA = S.FunOp.find(RA), PB = S.FunOp.find(RB);
+  if (PA != S.FunOp.end() && PB != S.FunOp.end() &&
+      !(PA->second == PB->second))
+    return false;
+  if (PA != S.FunOp.end() && PB == S.FunOp.end())
+    S.FunOp.emplace(RB, PA->second);
+  S.FunAlias[RA] = RB;
+  return true;
+}
+
+bool unifyRec(const PTerm *A, const PTerm *B, Subst &S) {
+  A = walk(A, S);
+  B = walk(B, S);
+  if (A == B)
+    return true;
+  if (A->Kind == PTerm::K::Var) {
+    if (B->Kind == PTerm::K::Var && A->Var == B->Var)
+      return true;
+    if (occurs(A->Var, B, S))
+      return false;
+    S.Vars.emplace(A->Var, B);
+    return true;
+  }
+  if (B->Kind == PTerm::K::Var) {
+    if (occurs(B->Var, A, S))
+      return false;
+    S.Vars.emplace(B->Var, A);
+    return true;
+  }
+  if (A->Kids.size() != B->Kids.size())
+    return false;
+  if (A->Kind == PTerm::K::Op && B->Kind == PTerm::K::Op) {
+    if (!(A->Op == B->Op))
+      return false;
+  } else if (A->Kind == PTerm::K::Fun && B->Kind == PTerm::K::Op) {
+    if (!pinFun(A->Fun, B->Op, S))
+      return false;
+  } else if (A->Kind == PTerm::K::Op && B->Kind == PTerm::K::Fun) {
+    if (!pinFun(B->Fun, A->Op, S))
+      return false;
+  } else {
+    if (!aliasFun(A->Fun, B->Fun, S))
+      return false;
+  }
+  for (size_t I = 0; I < A->Kids.size(); ++I)
+    if (!unifyRec(A->Kids[I], B->Kids[I], S))
+      return false;
+  return true;
+}
+
+const PTerm *applyRec(const PTerm *T, const Subst &S, PTermArena &Arena,
+                      std::unordered_map<const PTerm *, const PTerm *> &Memo) {
+  auto It = Memo.find(T);
+  if (It != Memo.end())
+    return It->second;
+  const PTerm *R = nullptr;
+  switch (T->Kind) {
+  case PTerm::K::Var: {
+    auto B = S.Vars.find(T->Var);
+    R = B == S.Vars.end() ? T : applyRec(B->second, S, Arena, Memo);
+    break;
+  }
+  case PTerm::K::Op:
+  case PTerm::K::Fun: {
+    bool Changed = false;
+    std::vector<const PTerm *> Kids;
+    Kids.reserve(T->Kids.size());
+    for (const PTerm *K : T->Kids) {
+      const PTerm *NK = applyRec(K, S, Arena, Memo);
+      Changed |= NK != K;
+      Kids.push_back(NK);
+    }
+    if (T->Kind == PTerm::K::Op) {
+      R = Changed ? Arena.op(T->Op, std::move(Kids)) : T;
+    } else {
+      std::optional<term::OpId> Pin = S.funPin(T->Fun);
+      Symbol Rep = S.funRep(T->Fun);
+      if (Pin)
+        R = Arena.op(*Pin, std::move(Kids));
+      else if (Rep != T->Fun || Changed)
+        R = Arena.fun(Rep, std::move(Kids));
+      else
+        R = T;
+    }
+    break;
+  }
+  }
+  Memo.emplace(T, R);
+  return R;
+}
+
+} // namespace
+
+std::optional<Subst> unify(const PTerm *A, const PTerm *B) {
+  Subst S;
+  if (!unifyRec(A, B, S))
+    return std::nullopt;
+  return S;
+}
+
+const PTerm *applySubst(const PTerm *T, const Subst &S, PTermArena &Arena) {
+  std::unordered_map<const PTerm *, const PTerm *> Memo;
+  return applyRec(T, S, Arena, Memo);
+}
+
+std::vector<const PTerm *> properSubterms(const PTerm *T) {
+  std::vector<const PTerm *> Out;
+  std::unordered_set<const PTerm *> Seen;
+  // Preorder over the children only: the root itself is not a proper
+  // subterm.
+  auto Visit = [&](auto &&Self, const PTerm *N) -> void {
+    if (N->Kind != PTerm::K::Var && Seen.insert(N).second)
+      Out.push_back(N);
+    for (const PTerm *K : N->Kids)
+      Self(Self, K);
+  };
+  for (const PTerm *K : T->Kids)
+    Visit(Visit, K);
+  return Out;
+}
+
+unsigned countVar(const PTerm *T, Symbol V) {
+  if (T->Kind == PTerm::K::Var)
+    return T->Var == V ? 1u : 0u;
+  unsigned N = 0;
+  for (const PTerm *K : T->Kids)
+    N += countVar(K, V);
+  return N;
+}
+
+} // namespace pypm::analysis::critical

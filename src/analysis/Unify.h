@@ -1,0 +1,132 @@
+//===- analysis/Unify.h - First-order unification over patterns -*- C++ -*-===//
+///
+/// \file
+/// The term domain for critical-pair analysis (see CriticalPairs.h): a
+/// CorePyPM pattern flattened into plain first-order terms — variables,
+/// concrete operator applications, and function-variable applications —
+/// plus Robinson unification with occurs check over that domain.
+///
+/// Flattening is a conservative projection of the full pattern grammar:
+///  - alternates expand into a bounded disjunction of flat readings;
+///  - guards are collected into a per-reading conjunction (cloned with the
+///    reading's variable renaming so two rules' same-named variables cannot
+///    collide in the solver);
+///  - ∃ binders are transparent (the binder only demands a binding);
+///  - a match constraint `x <= p'` inlines p' at x's occurrence when x
+///    occurs exactly once in the base reading;
+///  - μ-recursion, recursive calls, multi-occurrence constraints, and
+///    blow-ups past the expansion cap BAIL OUT — the pattern gets no flat
+///    reading and the caller must treat every overlap involving it as
+///    unknown rather than absent. Bailing is what keeps the projection
+///    sound: a pattern is never silently under-approximated.
+///
+/// Unification treats a function-variable application F(p1..pn) as
+/// unifiable with any application of the same arity; the resulting pin
+/// (F ↦ concrete operator, or F ↦ G) is recorded in the substitution so
+/// guard compatibility and witness construction can act on it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PYPM_ANALYSIS_UNIFY_H
+#define PYPM_ANALYSIS_UNIFY_H
+
+#include "pattern/Pattern.h"
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pypm::analysis::critical {
+
+/// A flat first-order pattern term. Nodes are immutable and owned by a
+/// PTermArena; sharing is allowed (the term denotes a tree).
+struct PTerm {
+  enum class K : uint8_t { Var, Op, Fun };
+  K Kind = K::Var;
+  Symbol Var;      ///< K::Var — renamed-apart variable name
+  term::OpId Op;   ///< K::Op — concrete operator
+  Symbol Fun;      ///< K::Fun — renamed-apart function variable
+  std::vector<const PTerm *> Kids; ///< K::Op / K::Fun children
+
+  std::string toString(const term::Signature &Sig) const;
+};
+
+/// Owns PTerm nodes; nodes live as long as the arena.
+class PTermArena {
+public:
+  const PTerm *var(Symbol Name);
+  const PTerm *op(term::OpId Op, std::vector<const PTerm *> Kids);
+  const PTerm *fun(Symbol FunVar, std::vector<const PTerm *> Kids);
+
+private:
+  std::deque<PTerm> Store;
+  std::unordered_map<Symbol, const PTerm *> VarCache;
+};
+
+/// One flat reading of a pattern: the term plus the guard conjunction that
+/// holds on any match through this reading (alternate-spine guards, deep
+/// guards, and rule guards all join the same conjunction downstream).
+struct FlatAlt {
+  const PTerm *Term = nullptr;
+  std::vector<const pattern::GuardExpr *> Guards;
+  /// Top-level ‖-alternate this reading came from (0-based; nested
+  /// alternates share their top-level index). Used for reporting and for
+  /// the trivial-self-overlap exclusion.
+  int TopAlt = 0;
+};
+
+struct FlattenResult {
+  std::vector<FlatAlt> Alts;
+  /// True when the pattern contains a construct the flat domain cannot
+  /// represent (μ-recursion, a multi-occurrence match constraint) or the
+  /// expansion cap tripped. Alts is empty; the pattern must be treated as
+  /// "overlaps unknown", never "no overlaps".
+  bool Bailed = false;
+  std::string BailReason;
+};
+
+/// Flattens \p NP.Pat, renaming every variable and function variable to
+/// `<Prefix><name>` (renamed guard clones are allocated in \p GuardArena).
+/// \p MaxAlts caps the disjunction expansion.
+FlattenResult flattenPattern(const pattern::NamedPattern &NP,
+                             std::string_view Prefix, PTermArena &Arena,
+                             pattern::PatternArena &GuardArena,
+                             unsigned MaxAlts = 16);
+
+/// A triangular substitution: variables map to terms (resolve through
+/// repeated lookups), function variables union into alias classes whose
+/// representative may be pinned to a concrete operator.
+struct Subst {
+  std::unordered_map<Symbol, const PTerm *> Vars;
+  std::unordered_map<Symbol, Symbol> FunAlias;   ///< funvar → representative
+  std::unordered_map<Symbol, term::OpId> FunOp;  ///< representative → op pin
+
+  /// Resolves \p F through the alias chain.
+  Symbol funRep(Symbol F) const;
+  /// The operator \p F is pinned to, if any.
+  std::optional<term::OpId> funPin(Symbol F) const;
+};
+
+/// Most general unifier of \p A and \p B, or nullopt when they clash.
+/// Purely syntactic: guards are NOT consulted (callers refine with the
+/// guard solver afterwards).
+std::optional<Subst> unify(const PTerm *A, const PTerm *B);
+
+/// Deep-applies \p S to \p T over \p Arena. Bound-variable occurrences of
+/// the same binding share the rebuilt node, so nonlinear instantiations
+/// stay observably shared downstream (witness graphs reuse one node per
+/// binding). Function variables pinned to an operator become Op nodes.
+const PTerm *applySubst(const PTerm *T, const Subst &S, PTermArena &Arena);
+
+/// Collects the non-variable proper subterms of \p T in preorder
+/// (duplicates by shared structure appear once).
+std::vector<const PTerm *> properSubterms(const PTerm *T);
+
+/// Counts occurrences of variable \p V in \p T.
+unsigned countVar(const PTerm *T, Symbol V);
+
+} // namespace pypm::analysis::critical
+
+#endif // PYPM_ANALYSIS_UNIFY_H

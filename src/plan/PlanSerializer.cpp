@@ -13,9 +13,10 @@ using namespace pypm::plan;
 
 namespace {
 
-// v2: appends the optional embedded-profile section (v1 artifacts predate
-// profile-guided ordering and are rejected with a clean version error).
-constexpr uint32_t kPlanVersion = 2;
+// v3: appends the optional embedded confluence certificate (v2 added the
+// embedded-profile section; older artifacts are rejected with a clean
+// version error).
+constexpr uint32_t kPlanVersion = 3;
 
 void appendU32(std::string &Out, uint32_t V) {
   char Buf[4];
@@ -40,10 +41,10 @@ rewrite::RuleSet planRules(const pattern::Library &Lib, bool RulesOnly) {
 
 } // namespace
 
-std::string pypm::plan::serializePlan(const pattern::Library &Lib,
-                                      const term::Signature &Sig,
-                                      bool RulesOnly, DiagnosticEngine &Diags,
-                                      const Profile *Prof) {
+std::string pypm::plan::serializePlan(
+    const pattern::Library &Lib, const term::Signature &Sig, bool RulesOnly,
+    DiagnosticEngine &Diags, const Profile *Prof,
+    const analysis::critical::ConfluenceReport *Confluence) {
   std::string LibBytes = pattern::serializeLibrary(Lib, Sig);
 
   // Round-trip the library so the compiled streams match what the loader's
@@ -111,6 +112,14 @@ std::string pypm::plan::serializePlan(const pattern::Library &Lib,
     std::string ProfBytes = serializeProfile(*Prof);
     appendU32(Out, static_cast<uint32_t>(ProfBytes.size()));
     Out += ProfBytes;
+  }
+
+  Out.push_back(Confluence ? char(1) : char(0));
+  if (Confluence) {
+    std::string ConfBytes =
+        analysis::critical::serializeConfluence(*Confluence);
+    appendU32(Out, static_cast<uint32_t>(ConfBytes.size()));
+    Out += ConfBytes;
   }
 
   return Out;
@@ -239,6 +248,22 @@ public:
       Pos += ProfLen;
     }
 
+    uint8_t HasConfluence;
+    if (!readU8(HasConfluence))
+      return nullptr;
+    if (HasConfluence > 1)
+      return fail("bad confluence-presence flag");
+    std::string_view ConfBytes;
+    if (HasConfluence) {
+      uint32_t ConfLen;
+      if (!readU32(ConfLen))
+        return nullptr;
+      if (ConfLen > Bytes.size() - Pos)
+        return fail("truncated embedded confluence certificate");
+      ConfBytes = Bytes.substr(Pos, ConfLen);
+      Pos += ConfLen;
+    }
+
     if (Pos != Bytes.size())
       return fail("trailing bytes after match plan payload");
 
@@ -279,6 +304,17 @@ public:
       if (!PlanBuilder::applyProfile(Fresh, *Plan->Prof))
         return fail("embedded profile does not match the plan "
                     "(corrupt or inconsistent artifact)");
+    }
+
+    // The embedded certificate is self-hardened (own magic/version/bounds
+    // gates); a blob that fails them rejects the artifact rather than
+    // loading as a silently absent certificate.
+    if (HasConfluence) {
+      std::string ConfError;
+      Plan->Confluence =
+          analysis::critical::deserializeConfluence(ConfBytes, &ConfError);
+      if (!Plan->Confluence)
+        return fail("embedded confluence certificate: " + ConfError);
     }
 
     Plan->Prog = std::move(Fresh);

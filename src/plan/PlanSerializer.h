@@ -6,7 +6,7 @@
 /// the compiled streams: the entry table, the symbol table, and the
 /// instruction/child-PC arrays.
 ///
-/// Layout (v2, little-endian):
+/// Layout (v3, little-endian):
 ///   magic "PYPL", u32 version
 ///   u32 libLen, libLen bytes of embedded .pypmbin
 ///   entries:  u32 count, per entry: name (u32 len + bytes),
@@ -19,6 +19,11 @@
 ///   childPCs: u32 count, u32 each
 ///   profile:  u8 hasProfile; if 1: u32 profLen, profLen bytes of a
 ///             .pypmprof artifact (v2; optional profile-guided ordering)
+///   confluence: u8 hasConfluence; if 1: u32 confLen, confLen bytes of a
+///             confluence certificate (v3; analysis/CriticalPairs.h codec,
+///             self-contained magic/version/bounds hardening) — cached
+///             plans carry their certificate so `--search=auto` dispatches
+///             without re-running the analysis
 ///
 /// The loader is hardened like the .pypmbin reader (magic/version gates,
 /// count plausibility gates, per-operand bounds checks, trailing-byte
@@ -40,6 +45,7 @@
 #ifndef PYPM_PLAN_PLANSERIALIZER_H
 #define PYPM_PLAN_PLANSERIALIZER_H
 
+#include "analysis/CriticalPairs.h"
 #include "plan/Profile.h"
 #include "plan/Program.h"
 #include "rewrite/Rule.h"
@@ -58,11 +64,15 @@ namespace pypm::plan {
 /// streams are exactly what the loader's recompilation will produce.
 /// When \p Prof is non-null it is embedded for profile-guided ordering;
 /// it must bind to the compiled plan (signature check) or serialization
-/// fails. Returns the empty string and emits a diagnostic on failure.
+/// fails. When \p Confluence is non-null its certificate is embedded so
+/// loaded plans can answer `--search=auto` without re-analysis. Returns
+/// the empty string and emits a diagnostic on failure.
 std::string serializePlan(const pattern::Library &Lib,
                           const term::Signature &Sig, bool RulesOnly,
                           DiagnosticEngine &Diags,
-                          const Profile *Prof = nullptr);
+                          const Profile *Prof = nullptr,
+                          const analysis::critical::ConfluenceReport
+                              *Confluence = nullptr);
 
 /// A deserialized plan: the embedded library, the rule set reconstructed
 /// from the entry table, and the (recompiled, validated) program — with
@@ -73,6 +83,8 @@ struct LoadedPlan {
   rewrite::RuleSet Rules;
   Program Prog;
   std::unique_ptr<Profile> Prof; ///< embedded profile, when present
+  /// Embedded confluence certificate, when present (v3).
+  std::unique_ptr<analysis::critical::ConfluenceReport> Confluence;
 };
 
 /// Deserializes a .pypmplan. Operator declarations of the embedded library

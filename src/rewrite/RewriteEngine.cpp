@@ -33,6 +33,7 @@
 #include "rewrite/RewriteEngine.h"
 
 #include "analysis/Analysis.h"
+#include "analysis/CriticalPairs.h"
 #include "match/Declarative.h"
 #include "match/FastMatcher.h"
 #include "plan/Interpreter.h"
@@ -1419,6 +1420,25 @@ RewriteStats pypm::rewrite::rewriteToFixpoint(Graph &G, const RuleSet &Rules,
       Stats.Status.raise(EngineStatusCode::LintRejected);
       return Stats;
     }
+  }
+  if (Opts.Search == SearchStrategy::Auto) {
+    // Resolve the certificate-directed strategy AFTER the lint preflight
+    // (a refused run must spend zero search work) and BEFORE the search
+    // dispatch. Certified-confluent means every strategy reaches the same
+    // normal form, so greedy's single pass is the optimum; any conflict
+    // or undischarged obligation keeps beam's speculative pricing. The
+    // resolved run is literally the greedy/beam engine with the same
+    // knobs — bit-identical graphs and stats, which the differential in
+    // tests/test_search.cpp pins.
+    bool Certified;
+    if (Opts.Confluence) {
+      Certified = Opts.Confluence->certified();
+    } else {
+      Certified =
+          analysis::critical::analyzeConfluence(Rules, G.signature())
+              .certified();
+    }
+    Opts.Search = Certified ? SearchStrategy::Greedy : SearchStrategy::Beam;
   }
   // Cost-directed commit selection runs its own loop (src/search/); the
   // degenerate configurations (Lookahead == 0 or BeamWidth == 0) fall

@@ -49,6 +49,10 @@
 #include <optional>
 #include <string>
 
+namespace pypm::analysis::critical {
+struct ConfluenceReport;
+} // namespace pypm::analysis::critical
+
 namespace pypm {
 class FaultInjector;
 } // namespace pypm
@@ -232,7 +236,11 @@ inline bool planFamily(MatcherKind MK) {
 ///  - Beam: keep the BeamWidth cheapest partial commit sequences, expand
 ///    them to depth Lookahead, commit the first step of the winner
 ///    (receding horizon), re-enumerate, repeat.
-enum class SearchStrategy : uint8_t { Greedy, BestOfN, Beam };
+/// Auto's wire value is 3 (server protocol Search field) — keep the
+/// enumerator order stable. Auto never reaches searchActive(): the engine
+/// resolves it to Greedy (certified-confluent rule set) or Beam (anything
+/// else) right after the lint preflight, before any search dispatch.
+enum class SearchStrategy : uint8_t { Greedy, BestOfN, Beam, Auto };
 
 struct RewriteOptions {
   unsigned MaxPasses = 64;
@@ -350,6 +358,13 @@ struct RewriteOptions {
   /// Cost model pricing the candidates. Borrowed; null uses a default
   /// a6000-like model. Ignored by the greedy engine.
   const sim::CostModel *SearchCost = nullptr;
+  /// Confluence certificate for THIS rule set, consulted only when Search
+  /// == Auto: Certified resolves to Greedy (search on a confluent set is
+  /// pure tax — every strategy reaches the same normal form), anything
+  /// else resolves to Beam. Borrowed, not owned (plan-loaded certificates
+  /// live in the LoadedPlan). Null makes the engine run the analysis
+  /// itself on dispatch.
+  const analysis::critical::ConfluenceReport *Confluence = nullptr;
 
   // --- Resource governance and fault tolerance ---------------------------
 

@@ -325,7 +325,7 @@ bool pypm::server::decodeRewriteRequest(std::string_view Body,
              : "truncated rewrite request body";
     return false;
   }
-  if (Named > 1 || Out.Matcher > 5 || (Flags & ~3u) != 0 || Out.Search > 2) {
+  if (Named > 1 || Out.Matcher > 5 || (Flags & ~3u) != 0 || Out.Search > 3) {
     Err = "rewrite request field out of range";
     return false;
   }

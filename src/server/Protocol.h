@@ -113,7 +113,9 @@ struct RewriteRequest {
   uint64_t FaultSiteSeed = 0;
   uint64_t FaultSitePeriod = 0;
   /// Cost-directed commit selection (RewriteOptions::Search): 0 = greedy,
-  /// 1 = best-of-n, 2 = beam. The width/lookahead/witness knobs follow the
+  /// 1 = best-of-n, 2 = beam, 3 = auto (certificate-directed: greedy when
+  /// the rule set's confluence certificate proves order independence, beam
+  /// otherwise). The width/lookahead/witness knobs follow the
   /// zero-means-default convention of every other field here, so an
   /// all-zero request still means a plain greedy `pypmc rewrite`.
   uint8_t Search = 0;

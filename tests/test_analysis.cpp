@@ -22,6 +22,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analysis.h"
+#include "analysis/CriticalPairs.h"
 #include "analysis/GuardSolver.h"
 #include "analysis/Skeleton.h"
 #include "dsl/Sema.h"
@@ -560,6 +561,59 @@ rule r for P(x) { return Gelu(x); }
             std::string::npos);
 }
 
+TEST(AnalysisPreflight, LintRejectionUnderSearchAndIncrementalIsInert) {
+  // S3: the preflight refusal must compose with the cost-directed search
+  // and the incremental discovery mode — a refused run spends zero search
+  // work (no clones priced, no steps) and leaves the graph byte-identical,
+  // for beam, auto, and their --incremental combinations alike.
+  term::Signature Sig;
+  std::unique_ptr<pattern::Library> Lib = dsl::compileOrDie(R"(
+op Relu(1);
+op Gelu(1);
+pattern P(x) {
+  assert x.shape.rank == 1 && x.shape.rank == 2;
+  return Relu(x);
+}
+rule r for P(x) { return Gelu(x); }
+)",
+                                                            Sig);
+  rewrite::RuleSet RS;
+  RS.addLibrary(*Lib);
+  auto G = tinyGraph(Sig);
+  std::string Before = graph::writeGraphText(*G);
+
+  struct Combo {
+    rewrite::SearchStrategy Search;
+    bool Incremental;
+    const char *Label;
+  };
+  const Combo Combos[] = {
+      {rewrite::SearchStrategy::Beam, false, "beam"},
+      {rewrite::SearchStrategy::Beam, true, "beam+incremental"},
+      {rewrite::SearchStrategy::Auto, false, "auto"},
+      {rewrite::SearchStrategy::Auto, true, "auto+incremental"},
+  };
+  sim::CostModel CM;
+  for (const Combo &C : Combos) {
+    SCOPED_TRACE(C.Label);
+    rewrite::RewriteOptions Opts;
+    Opts.Lint = true;
+    Opts.Search = C.Search;
+    Opts.BeamWidth = 2;
+    Opts.Lookahead = 1;
+    Opts.SearchCost = &CM;
+    Opts.Incremental = C.Incremental;
+    rewrite::RewriteStats Stats =
+        rewrite::rewriteToFixpoint(*G, RS, graph::ShapeInference(), Opts);
+    EXPECT_EQ(Stats.Status.Code, EngineStatusCode::LintRejected);
+    EXPECT_EQ(Stats.TotalFired, 0u);
+    EXPECT_EQ(Stats.SearchSteps, 0u);
+    EXPECT_EQ(Stats.SearchExpansions, 0u);
+    EXPECT_EQ(graph::writeGraphText(*G), Before)
+        << "refused run must leave the graph byte-identical";
+  }
+}
+
 TEST(AnalysisPreflight, WarningsDoNotRefuseTheRun) {
   term::Signature Sig;
   std::unique_ptr<pattern::Library> Lib = dsl::compileOrDie(R"(
@@ -587,6 +641,280 @@ rule dead for P(x) { return x; }
   EXPECT_FALSE(Diags.hasErrors());
   EXPECT_NE(Diags.renderAll().find("analysis.shadowed-rule"),
             std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Critical pairs and confluence certificates (analysis/CriticalPairs.h)
+//===----------------------------------------------------------------------===//
+
+using analysis::critical::ConfluenceReport;
+using analysis::critical::Verdict;
+
+ConfluenceReport analyzeSource(std::string_view Source) {
+  term::Signature Sig;
+  std::unique_ptr<pattern::Library> Lib = dsl::compileOrDie(Source, Sig);
+  return analysis::critical::analyzeConfluence(*Lib, Sig);
+}
+
+constexpr const char *TowerSource = R"(
+op Relu(1);
+pattern RR(x) { return Relu(Relu(x)); }
+rule rr for RR(x) { return Relu(x); }
+)";
+
+constexpr const char *TransposeConflictSource = R"(
+op MatMul(2);
+op Trans(1);
+pattern TT(x) { return Trans(Trans(x)); }
+rule tt for TT(x) { return x; }
+pattern MMTT(x, y) { return MatMul(Trans(x), Trans(y)); }
+rule hoist for MMTT(x, y) { return Trans(MatMul(y, x)); }
+)";
+
+TEST(AnalysisConfluence, TowerCollapseCertifies) {
+  // Relu(Relu(x)) -> Relu(x): one self-overlap (the Relu^3 tower), both
+  // reducts normalize to Relu(x), and the termination probe passes.
+  ConfluenceReport R = analyzeSource(TowerSource);
+  EXPECT_EQ(R.Overall, Verdict::Certified);
+  EXPECT_TRUE(R.certified());
+  EXPECT_GE(R.PairsExamined, 1u);
+  EXPECT_EQ(R.PairsExamined, R.PairsJoinable);
+  EXPECT_EQ(R.PairsConflicting, 0u);
+  EXPECT_TRUE(R.CertifiedRules.count("rr"));
+  const analysis::Finding *Cert = nullptr;
+  for (const analysis::Finding &F : R.Findings)
+    if (F.Code == "analysis.certified-confluent")
+      Cert = &F;
+  ASSERT_NE(Cert, nullptr);
+  EXPECT_EQ(Cert->Sev, Severity::Note);
+  std::vector<std::string> Rules{"rr"};
+  EXPECT_TRUE(R.joinableAmong(Rules));
+}
+
+TEST(AnalysisConfluence, TransposeHoistConflictCarriesBothNormalForms) {
+  // Peak MatMul(Trans(Trans(z)), Trans(y)): collapsing the double
+  // transpose first kills the hoist's match, hoisting first strands a
+  // Trans over the MatMul — genuinely distinct normal forms.
+  ConfluenceReport R = analyzeSource(TransposeConflictSource);
+  EXPECT_EQ(R.Overall, Verdict::Conflicting);
+  EXPECT_FALSE(R.certified());
+  EXPECT_GE(R.PairsConflicting, 1u);
+  const analysis::Finding *CP = nullptr;
+  for (const analysis::Finding &F : R.Findings)
+    if (F.Code == "analysis.critical-pair")
+      CP = &F;
+  ASSERT_NE(CP, nullptr);
+  EXPECT_EQ(CP->Sev, Severity::Warning);
+  // The witness message names both rules and reproduces both normal forms.
+  EXPECT_NE(CP->Message.find("'tt'"), std::string::npos) << CP->Message;
+  EXPECT_NE(CP->Message.find("'hoist'"), std::string::npos) << CP->Message;
+  EXPECT_NE(CP->Message.find("witness"), std::string::npos);
+  EXPECT_NE(CP->Message.find("normal form"), std::string::npos);
+  std::vector<std::string> Pair{"tt", "hoist"};
+  EXPECT_FALSE(R.joinableAmong(Pair));
+}
+
+TEST(AnalysisConfluence, AlphaEquivalentReductsAreJoinable) {
+  // Neg(Neg(x)) -> x self-overlaps at Neg^3; both reducts reach Neg(x)
+  // but delete *different* nodes of the shared peak. The canonical-form
+  // comparison must see through the node renumbering — raw graph text
+  // would report a spurious divergence here.
+  ConfluenceReport R = analyzeSource(R"(
+op Neg(1);
+pattern DN(x) { return Neg(Neg(x)); }
+rule dn for DN(x) { return x; }
+)");
+  EXPECT_EQ(R.Overall, Verdict::Certified) << R.render();
+  EXPECT_EQ(R.PairsConflicting, 0u);
+}
+
+TEST(AnalysisConfluence, SwapRuleFailsTheTerminationProbe) {
+  // Add(x,y) -> Add(y,x) has zero critical pairs yet never terminates:
+  // joinable overlaps alone prove only local confluence, so the probe
+  // must keep the verdict out of Certified.
+  ConfluenceReport R = analyzeSource(R"(
+op Add(2);
+pattern SwapAdd(x, y) { return Add(x, y); }
+rule swap for SwapAdd(x, y) { return Add(y, x); }
+)");
+  EXPECT_NE(R.Overall, Verdict::Certified);
+  EXPECT_FALSE(R.certified());
+  EXPECT_FALSE(R.CertifiedRules.count("swap"));
+  const analysis::Finding *F = nullptr;
+  for (const analysis::Finding &G : R.Findings)
+    if (G.Code == "analysis.joinability-unknown")
+      F = &G;
+  ASSERT_NE(F, nullptr);
+  EXPECT_NE(F->Message.find("termination probe"), std::string::npos);
+}
+
+TEST(AnalysisConfluence, MuRecursionBailsOutToUnknown) {
+  // μ-recursive patterns have no finite flat first-order reading; the
+  // analysis must degrade to Unknown, never silently claim "no overlaps".
+  term::Signature Sig;
+  std::unique_ptr<pattern::Library> Lib = opt::compileUnaryChain(Sig);
+  ASSERT_NE(Lib, nullptr);
+  ConfluenceReport R = analysis::critical::analyzeConfluence(*Lib, Sig);
+  EXPECT_EQ(R.Overall, Verdict::Unknown);
+  EXPECT_FALSE(R.certified());
+  const analysis::Finding *F = nullptr;
+  for (const analysis::Finding &G : R.Findings)
+    if (G.Code == "analysis.joinability-unknown")
+      F = &G;
+  ASSERT_NE(F, nullptr);
+  EXPECT_NE(F->Message.find("no flat first-order reading"),
+            std::string::npos);
+}
+
+TEST(AnalysisConfluence, FunVarEpilogLibraryCertifies) {
+  // Function-variable patterns (the Fig. 14 epilog idiom) flatten via
+  // funvar unification; the std epilog library has no diverging overlap.
+  term::Signature Sig;
+  std::unique_ptr<pattern::Library> Lib = opt::compileEpilog(Sig);
+  ASSERT_NE(Lib, nullptr);
+  ConfluenceReport R = analysis::critical::analyzeConfluence(*Lib, Sig);
+  EXPECT_EQ(R.Overall, Verdict::Certified) << R.render();
+}
+
+TEST(AnalysisConfluence, FindingsRankConflictsFirst) {
+  // One conflicting overlap plus a μ bail-out in the same set: the
+  // report lists analysis.critical-pair before analysis.joinability-
+  // unknown, notes last.
+  ConfluenceReport R = analyzeSource(TransposeConflictSource);
+  ASSERT_FALSE(R.Findings.empty());
+  int LastRank = 0;
+  for (const analysis::Finding &F : R.Findings) {
+    int Rank = F.Code == "analysis.critical-pair"        ? 0
+               : F.Code == "analysis.joinability-unknown" ? 1
+                                                          : 2;
+    EXPECT_GE(Rank, LastRank) << F.Code;
+    LastRank = Rank;
+  }
+}
+
+TEST(AnalysisConfluence, CertificateRoundTripsThroughTheCodec) {
+  for (const char *Source : {TowerSource, TransposeConflictSource}) {
+    SCOPED_TRACE(Source);
+    ConfluenceReport R = analyzeSource(Source);
+    std::string Bytes = analysis::critical::serializeConfluence(R);
+    std::string Err;
+    std::unique_ptr<ConfluenceReport> R2 =
+        analysis::critical::deserializeConfluence(Bytes, &Err);
+    ASSERT_NE(R2, nullptr) << Err;
+    EXPECT_EQ(R2->Overall, R.Overall);
+    EXPECT_EQ(R2->PairsExamined, R.PairsExamined);
+    EXPECT_EQ(R2->PairsJoinable, R.PairsJoinable);
+    EXPECT_EQ(R2->PairsConflicting, R.PairsConflicting);
+    EXPECT_EQ(R2->PairsUnknown, R.PairsUnknown);
+    EXPECT_EQ(R2->CertifiedRules, R.CertifiedRules);
+    EXPECT_EQ(R2->UnresolvedPairs, R.UnresolvedPairs);
+    ASSERT_EQ(R2->Findings.size(), R.Findings.size());
+    for (size_t I = 0; I != R.Findings.size(); ++I) {
+      EXPECT_EQ(R2->Findings[I].Sev, R.Findings[I].Sev);
+      EXPECT_EQ(R2->Findings[I].Code, R.Findings[I].Code);
+      EXPECT_EQ(R2->Findings[I].Message, R.Findings[I].Message);
+      EXPECT_EQ(R2->Findings[I].RuleName, R.Findings[I].RuleName);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// S1: the certificate downgrades proven-joinable rewrite cycles
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisCycles, CertificateDowngradesProvenJoinableCycleToNote) {
+  term::Signature Sig;
+  std::unique_ptr<pattern::Library> Lib = dsl::compileOrDie(TowerSource, Sig);
+  ConfluenceReport CR = analysis::critical::analyzeConfluence(*Lib, Sig);
+  ASSERT_TRUE(CR.certified());
+
+  LintOptions Opts;
+  Opts.Confluence = &CR;
+  LintReport R = analysis::lintLibrary(*Lib, Sig, Opts);
+  const analysis::Finding *F = findCode(R, "analysis.rewrite-cycle");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Sev, Severity::Note);
+  EXPECT_NE(F->Message.find("cannot diverge"), std::string::npos);
+  EXPECT_EQ(R.Warnings, 0u);
+
+  // Without the certificate the same cycle stays the pinned warning.
+  LintReport Plain = analysis::lintLibrary(*Lib, Sig);
+  const analysis::Finding *F0 = findCode(Plain, "analysis.rewrite-cycle");
+  ASSERT_NE(F0, nullptr);
+  EXPECT_EQ(F0->Sev, Severity::Warning);
+}
+
+TEST(AnalysisCycles, UnprovenCycleStaysWarningUnderCertificate) {
+  // The swap rule's cycle is NOT proved joinable (its termination probe
+  // fails), so passing the certificate must not downgrade it.
+  term::Signature Sig;
+  std::unique_ptr<pattern::Library> Lib = dsl::compileOrDie(R"(
+op Add(2);
+pattern SwapAdd(x, y) { return Add(x, y); }
+rule swap for SwapAdd(x, y) { return Add(y, x); }
+)",
+                                                            Sig);
+  ConfluenceReport CR = analysis::critical::analyzeConfluence(*Lib, Sig);
+  ASSERT_FALSE(CR.certified());
+  LintOptions Opts;
+  Opts.Confluence = &CR;
+  LintReport R = analysis::lintLibrary(*Lib, Sig, Opts);
+  const analysis::Finding *F = findCode(R, "analysis.rewrite-cycle");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Sev, Severity::Warning);
+}
+
+//===----------------------------------------------------------------------===//
+// S2: stable severity-then-location report order
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisReport, SortFindingsOrdersSeverityThenLocation) {
+  LintReport R;
+  auto Mk = [](Severity Sev, unsigned Line, unsigned Col,
+               std::string Code) {
+    analysis::Finding F;
+    F.Sev = Sev;
+    F.Loc = {Line, Col};
+    F.Code = std::move(Code);
+    return F;
+  };
+  R.Findings.push_back(Mk(Severity::Note, 1, 1, "analysis.opaque-rhs-op"));
+  R.Findings.push_back(Mk(Severity::Warning, 9, 2, "analysis.vacuous-guard"));
+  R.Findings.push_back(Mk(Severity::Error, 5, 3, "analysis.unsat-guard"));
+  R.Findings.push_back(Mk(Severity::Warning, 2, 8, "analysis.vacuous-guard"));
+  R.Findings.push_back(Mk(Severity::Warning, 2, 4, "analysis.shadowed-rule"));
+  R.sortFindings();
+  ASSERT_EQ(R.Findings.size(), 5u);
+  EXPECT_EQ(R.Findings[0].Sev, Severity::Error);
+  EXPECT_EQ(R.Findings[1].Sev, Severity::Warning);
+  EXPECT_EQ(R.Findings[1].Loc.Line, 2u);
+  EXPECT_EQ(R.Findings[1].Loc.Col, 4u);
+  EXPECT_EQ(R.Findings[2].Loc.Line, 2u);
+  EXPECT_EQ(R.Findings[2].Loc.Col, 8u);
+  EXPECT_EQ(R.Findings[3].Loc.Line, 9u);
+  EXPECT_EQ(R.Findings[4].Sev, Severity::Note);
+}
+
+TEST(AnalysisReport, LinterEmitsSortedReports) {
+  // A fixture producing an error (unsat guard, late in the file) plus an
+  // earlier warning: the error must still come first.
+  LintReport R = lintSource(R"(
+op Relu(1);
+op Gelu(1);
+pattern W(x) { assert 1 <= 2; return Relu(x); }
+rule w for W(x) { return Gelu(x); }
+pattern E(x) { assert x.shape.rank == 1 && x.shape.rank == 2; return Relu(x); }
+rule e for E(x) { return Gelu(x); }
+)");
+  ASSERT_GE(R.Findings.size(), 2u);
+  for (size_t I = 1; I < R.Findings.size(); ++I) {
+    EXPECT_LE(static_cast<int>(R.Findings[I].Sev),
+              static_cast<int>(R.Findings[I - 1].Sev));
+    if (R.Findings[I].Sev == R.Findings[I - 1].Sev) {
+      EXPECT_GE(R.Findings[I].Loc.Line, R.Findings[I - 1].Loc.Line);
+    }
+  }
+  EXPECT_EQ(R.Findings.front().Sev, Severity::Error);
 }
 
 //===----------------------------------------------------------------------===//

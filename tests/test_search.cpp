@@ -26,6 +26,7 @@
 
 #include "StressHarness.h"
 #include "TestHelpers.h"
+#include "analysis/CriticalPairs.h"
 #include "dsl/Sema.h"
 #include "plan/PlanBuilder.h"
 #include "search/Search.h"
@@ -554,6 +555,108 @@ TEST(SearchDegenerate, DegenerateConfigsDoNotDispatchToSearch) {
   O.Lookahead = 1;
   O.BeamWidth = 0;
   EXPECT_FALSE(search::searchActive(O));
+}
+
+//===----------------------------------------------------------------------===//
+// --search=auto: the confluence certificate picks the engine
+//===----------------------------------------------------------------------===//
+
+/// Certified-confluent fixture: Relu(Relu(x)) -> Relu(x) self-overlaps at
+/// the Relu^3 tower, every overlap is joinable, and the termination probe
+/// passes — so auto must resolve to greedy and spend zero search work.
+class SearchAutoCertifiedTest : public ::testing::Test {
+protected:
+  SearchAutoCertifiedTest() : G(Sig) {
+    Lib = dsl::compileOrDie(R"(
+op Relu(1);
+pattern RR(x) { return Relu(Relu(x)); }
+rule rr for RR(x) { return Relu(x); }
+)",
+                            Sig);
+    RS.addLibrary(*Lib);
+    graph::NodeId N = G.addLeaf(
+        "Input", graph::TensorType::make(term::DType::F32, {8, 8}));
+    for (int I = 0; I != 5; ++I)
+      N = G.addNode(Sig.lookup("Relu"), {N});
+    G.addOutput(N);
+    SI.inferAll(G);
+  }
+
+  RunResult run(rewrite::RewriteOptions Opts) {
+    graph::Graph Copy(G);
+    RunResult R;
+    R.Stats = rewrite::rewriteToFixpoint(Copy, RS, SI, Opts);
+    R.GraphText = graph::writeGraphText(Copy);
+    return R;
+  }
+
+  term::Signature Sig;
+  graph::Graph G;
+  graph::ShapeInference SI;
+  std::unique_ptr<pattern::Library> Lib;
+  rewrite::RuleSet RS;
+  sim::CostModel CM;
+};
+
+TEST_F(SearchAutoCertifiedTest, AutoIsGreedyBitIdenticallyOnACertifiedSet) {
+  analysis::critical::ConfluenceReport CR =
+      analysis::critical::analyzeConfluence(RS, Sig);
+  ASSERT_TRUE(CR.certified()) << CR.render();
+  for (unsigned Threads : {0u, 1u, 2u, 4u, 8u}) {
+    rewrite::RewriteOptions Greedy;
+    Greedy.NumThreads = Threads;
+    RunResult A = run(Greedy);
+
+    // Auto with the engine running the analysis itself...
+    rewrite::RewriteOptions Auto = Greedy;
+    Auto.Search = SearchStrategy::Auto;
+    Auto.SearchCost = &CM;
+    RunResult B = run(Auto);
+    expectFullyEqual(A, B,
+                     "auto-vs-greedy threads=" + std::to_string(Threads));
+    EXPECT_EQ(B.Stats.SearchSteps, 0u);
+    EXPECT_EQ(B.Stats.SearchExpansions, 0u);
+
+    // ...and auto dispatching from a borrowed (plan-embedded) certificate.
+    rewrite::RewriteOptions AutoCert = Auto;
+    AutoCert.Confluence = &CR;
+    expectFullyEqual(
+        A, run(AutoCert),
+        "auto-with-certificate-vs-greedy threads=" + std::to_string(Threads));
+  }
+}
+
+TEST_F(SearchConflictTest, AutoIsBeamBitIdenticallyOnAConflictingSet) {
+  analysis::critical::ConfluenceReport CR =
+      analysis::critical::analyzeConfluence(RS, Sig);
+  ASSERT_EQ(CR.Overall, analysis::critical::Verdict::Conflicting)
+      << CR.render();
+  for (unsigned Threads : {0u, 1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE(Threads);
+    RewriteStats BeamStats, AutoStats;
+    std::string BeamText, AutoText;
+    double BeamCost = endCost(beamOpts(4, 1, Threads), &BeamStats, &BeamText);
+
+    rewrite::RewriteOptions Auto = beamOpts(4, 1, Threads);
+    Auto.Search = SearchStrategy::Auto;
+    double AutoCost = endCost(Auto, &AutoStats, &AutoText);
+
+    EXPECT_EQ(AutoText, BeamText);
+    EXPECT_DOUBLE_EQ(AutoCost, BeamCost);
+    EXPECT_EQ(AutoStats.TotalFired, BeamStats.TotalFired);
+    EXPECT_EQ(AutoStats.SearchSteps, BeamStats.SearchSteps);
+    EXPECT_EQ(AutoStats.SearchExpansions, BeamStats.SearchExpansions);
+    EXPECT_GT(AutoStats.SearchSteps, 0u)
+        << "auto on a conflicting set must actually search";
+
+    // Borrowed certificate: same dispatch without re-analysis.
+    rewrite::RewriteOptions AutoCert = Auto;
+    AutoCert.Confluence = &CR;
+    std::string CertText;
+    double CertCost = endCost(AutoCert, nullptr, &CertText);
+    EXPECT_EQ(CertText, BeamText);
+    EXPECT_DOUBLE_EQ(CertCost, BeamCost);
+  }
 }
 
 //===----------------------------------------------------------------------===//

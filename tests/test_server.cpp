@@ -160,7 +160,7 @@ TEST(ServerProtocol, RewriteRequestRoundTrips) {
 
 TEST(ServerProtocol, RewriteRequestRejectsUnknownSearchStrategy) {
   RewriteRequest R = basicRequest(8);
-  R.Search = 3; // only 0 (greedy), 1 (best-of-n), 2 (beam) exist
+  R.Search = 4; // only 0 (greedy), 1 (best-of-n), 2 (beam), 3 (auto) exist
   RewriteRequest Out;
   std::string Err;
   EXPECT_FALSE(decodeRewriteRequest(encodeRewriteRequest(R), Out, Err));

@@ -94,10 +94,25 @@ echo "=== incremental/batched suites under TSan ==="
 # suites re-run here too so the lint-on ≡ lint-off differential stays loud.
 echo "=== rule-set lint (std libraries + examples) under ASan/UBSan ==="
 ./build-ci-asan/tools/pypmc lint --std
+./build-ci-asan/tools/pypmc lint --std --critical-pairs
 for RS in examples/rulesets/*.pypm; do
   ./build-ci-asan/tools/pypmc lint "$RS"
 done
 ./build-ci-asan/tests/pypm_tests --gtest_filter='Analysis*:*LintDifferential*'
+
+# Critical-pair analysis against the shipped example rule sets: the
+# algebra and epilog-fusion sets must certify confluent, and the
+# transpose set must be refuted with a concrete witness (exit 0 either
+# way — conflicts are warnings; the greps pin the verdicts). Under
+# ASan/UBSan: the analyzer unifies, clones, and normalizes aggressively,
+# which is exactly where lifetime bugs would hide.
+echo "=== critical-pair certificates (example rule sets) under ASan/UBSan ==="
+./build-ci-asan/tools/pypmc lint examples/rulesets/algebra.pypm \
+  --critical-pairs | grep -q 'analysis.certified-confluent'
+./build-ci-asan/tools/pypmc lint examples/rulesets/epilog_fusion.pypm \
+  --critical-pairs | grep -q 'analysis.certified-confluent'
+./build-ci-asan/tools/pypmc lint examples/rulesets/transpose.pypm \
+  --critical-pairs | grep -q 'analysis.critical-pair'
 
 # The rewrite daemon, end to end over its real wire format, under both
 # sanitizer builds: TSan watches the worker pool / admission queue /
@@ -217,5 +232,30 @@ echo "=== cost-directed search suites under TSan ==="
 # BENCH_search_sweep.json comes from a full-size run).
 echo "=== search-sweep benchmark (smoke) ==="
 ./build-ci/bench/bench_partitioning --search-sweep --smoke >/dev/null
+
+# Critical-pair sweep (smoke): the driver asserts its claims as it
+# measures — the conflict set must refute, the epilog library must
+# certify, auto must spend zero search work on the certified set and
+# land on beam's end state on the conflicting one (the committed
+# BENCH_critical_sweep.json comes from a full-size run).
+echo "=== critical-sweep benchmark (smoke) ==="
+./build-ci/bench/bench_partitioning --critical-sweep --smoke >/dev/null
+
+# Static analysis over the analysis subsystem itself: clang-tidy's
+# bugprone-* and performance-* checks, warnings-as-errors, against the
+# compile database the plain build exports. Scoped to src/analysis/ — the
+# newest, most pointer-juggling code — so the leg stays fast and the
+# signal stays high. Auto-skips when clang-tidy is not on PATH, the same
+# convention as the emitted-.so leg above.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== clang-tidy (src/analysis/, bugprone-* performance-*) ==="
+  clang-tidy -p build-ci \
+    -checks='-*,bugprone-*,performance-*' \
+    -warnings-as-errors='bugprone-*,performance-*' \
+    src/analysis/*.cpp
+else
+  echo "=== clang-tidy: SKIPPED (not on PATH; the sanitizer builds above" \
+    "still cover src/analysis/ dynamically) ==="
+fi
 
 echo "=== ci.sh: all green ==="

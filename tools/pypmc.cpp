@@ -30,6 +30,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analysis.h"
+#include "analysis/CriticalPairs.h"
 #include "dsl/Sema.h"
 #include "graph/GraphIO.h"
 #include "opt/StdPatterns.h"
@@ -68,8 +69,9 @@ int usage() {
                "[--emit-cpp=<file.cpp>] [--aot=<file.so>]\n"
                "       pypmc check   <file.pypm>\n"
                "       pypmc lint    <file.pypm|file.pypmbin|file.pypmplan> "
-               "[--json] [--notes]\n"
-               "       pypmc lint    --std [--json] [--notes]\n"
+               "[--json] [--notes] [--critical-pairs]\n"
+               "       pypmc lint    --std [--json] [--notes] "
+               "[--critical-pairs]\n"
                "       pypmc dump    <file.pypmbin>\n"
                "       pypmc match   <file.pypm|file.pypmbin> <Pattern> "
                "<term> [--trace] [--explain]\n"
@@ -83,7 +85,7 @@ int usage() {
                "[--profile-out=<file.pypmprof>]\n"
                "                     [--plan-cache-dir=<dir>] "
                "[--aot-lib=<file.so>]\n"
-               "                     [--search=greedy|best-of-n|beam] "
+               "                     [--search=greedy|best-of-n|beam|auto] "
                "[--beam-width=N] [--lookahead=N]\n"
                "                     [--search-witnesses=N]\n"
                "       pypmc cost    <graph.pypmg>\n"
@@ -228,11 +230,17 @@ int cmdCompilePlan(int Argc, char **Argv) {
     }
   }
 
+  // Every artifact carries its confluence certificate: a cached plan can
+  // answer `--search=auto` without re-running the analysis, and a lint of
+  // the artifact reports the verdict the producer saw.
+  analysis::critical::ConfluenceReport Confluence =
+      analysis::critical::analyzeConfluence(*Lib, Sig);
+
   DiagnosticEngine Diags;
   // RulesOnly mirrors `pypmc rewrite`'s RuleSet::addLibrary default:
   // match-only patterns are not part of the rewrite rule set.
   std::string Bytes = plan::serializePlan(*Lib, Sig, /*RulesOnly=*/true, Diags,
-                                          Prof.get());
+                                          Prof.get(), &Confluence);
   std::fprintf(stderr, "%s", Diags.renderAll().c_str());
   if (Bytes.empty())
     return 1;
@@ -257,10 +265,15 @@ int cmdCompilePlan(int Argc, char **Argv) {
   }
   plan::ProgramInfo Info = LP->Prog.info();
   std::printf("wrote %s: %zu bytes, %zu entr%s, %zu instruction(s), "
-              "%zu tree node(s)%s\n",
+              "%zu tree node(s)%s, confluence: %s\n",
               Out, Bytes.size(), LP->Prog.Entries.size(),
               LP->Prog.Entries.size() == 1 ? "y" : "ies", Info.Instrs,
-              Info.TreeNodes, LP->Prof ? ", profile-ordered" : "");
+              Info.TreeNodes, LP->Prof ? ", profile-ordered" : "",
+              LP->Confluence
+                  ? std::string(analysis::critical::verdictName(
+                                    LP->Confluence->Overall))
+                        .c_str()
+                  : "absent");
   if (EmitPlan)
     std::printf("%s", LP->Prog.disassemble(CheckSig).c_str());
 
@@ -316,8 +329,30 @@ void printLintReport(const char *Subject, const analysis::LintReport &Report,
   std::printf("== %s ==\n%s", Subject, Report.renderAll().c_str());
 }
 
+/// `--critical-pairs`: appends the confluence analysis's findings to the
+/// subject's lint report (updating the severity tallies) and restores the
+/// stable severity-then-location order.
+void foldConfluence(analysis::LintReport &LR,
+                    const analysis::critical::ConfluenceReport &CR) {
+  for (const analysis::Finding &F : CR.Findings) {
+    switch (F.Sev) {
+    case Severity::Error:
+      ++LR.Errors;
+      break;
+    case Severity::Warning:
+      ++LR.Warnings;
+      break;
+    case Severity::Note:
+      ++LR.Notes;
+      break;
+    }
+    LR.Findings.push_back(F);
+  }
+  LR.sortFindings();
+}
+
 int cmdLint(int Argc, char **Argv) {
-  bool Json = false, Notes = false, Std = false;
+  bool Json = false, Notes = false, Std = false, Critical = false;
   const char *In = nullptr;
   for (int I = 0; I != Argc; ++I) {
     if (std::strcmp(Argv[I], "--json") == 0)
@@ -326,6 +361,8 @@ int cmdLint(int Argc, char **Argv) {
       Notes = true;
     else if (std::strcmp(Argv[I], "--std") == 0)
       Std = true;
+    else if (std::strcmp(Argv[I], "--critical-pairs") == 0)
+      Critical = true;
     else if (!In)
       In = Argv[I];
     else
@@ -365,15 +402,29 @@ int cmdLint(int Argc, char **Argv) {
                      L.Name);
         return 1;
       }
-      printLintReport(L.Name, analysis::lintLibrary(*Lib, Sig, LOpts), Json,
-                      TotalErrors);
+      analysis::critical::ConfluenceReport CR;
+      if (Critical) {
+        CR = analysis::critical::analyzeConfluence(*Lib, Sig);
+        LOpts.Confluence = &CR;
+      }
+      analysis::LintReport LR = analysis::lintLibrary(*Lib, Sig, LOpts);
+      if (Critical)
+        foldConfluence(LR, CR);
+      LOpts.Confluence = nullptr;
+      printLintReport(L.Name, LR, Json, TotalErrors);
     }
     // The assembled Both pipeline adds the cross-library rule order.
     term::Signature Sig;
     opt::Pipeline Pipe = opt::makePipeline(Sig, opt::OptConfig::Both);
-    printLintReport("pipeline:both",
-                    analysis::lintRuleSet(Pipe.Rules, Sig, LOpts), Json,
-                    TotalErrors);
+    analysis::critical::ConfluenceReport CR;
+    if (Critical) {
+      CR = analysis::critical::analyzeConfluence(Pipe.Rules, Sig);
+      LOpts.Confluence = &CR;
+    }
+    analysis::LintReport LR = analysis::lintRuleSet(Pipe.Rules, Sig, LOpts);
+    if (Critical)
+      foldConfluence(LR, CR);
+    printLintReport("pipeline:both", LR, Json, TotalErrors);
     return TotalErrors ? 7 : 0;
   }
 
@@ -389,14 +440,32 @@ int cmdLint(int Argc, char **Argv) {
       std::fprintf(stderr, "%s", PlanDiags.renderAll().c_str());
       return 1;
     }
-    printLintReport(In, analysis::lintRuleSet(LP->Rules, Sig, LOpts), Json,
-                    TotalErrors);
+    // Prefer the certificate embedded by the producer; re-analyze only
+    // when the artifact predates v3 or was stripped.
+    analysis::critical::ConfluenceReport CR;
+    if (Critical) {
+      CR = LP->Confluence
+               ? *LP->Confluence
+               : analysis::critical::analyzeConfluence(LP->Rules, Sig);
+      LOpts.Confluence = &CR;
+    }
+    analysis::LintReport LR = analysis::lintRuleSet(LP->Rules, Sig, LOpts);
+    if (Critical)
+      foldConfluence(LR, CR);
+    printLintReport(In, LR, Json, TotalErrors);
   } else {
     std::unique_ptr<pattern::Library> Lib = load(In, Sig);
     if (!Lib)
       return 1; // readable (readFile above) but malformed
-    printLintReport(In, analysis::lintLibrary(*Lib, Sig, LOpts), Json,
-                    TotalErrors);
+    analysis::critical::ConfluenceReport CR;
+    if (Critical) {
+      CR = analysis::critical::analyzeConfluence(*Lib, Sig);
+      LOpts.Confluence = &CR;
+    }
+    analysis::LintReport LR = analysis::lintLibrary(*Lib, Sig, LOpts);
+    if (Critical)
+      foldConfluence(LR, CR);
+    printLintReport(In, LR, Json, TotalErrors);
   }
   return TotalErrors ? 7 : 0;
 }
@@ -602,6 +671,8 @@ int cmdRewrite(int Argc, char **Argv) {
         Search = rewrite::SearchStrategy::BestOfN;
       else if (std::strcmp(V, "beam") == 0)
         Search = rewrite::SearchStrategy::Beam;
+      else if (std::strcmp(V, "auto") == 0)
+        Search = rewrite::SearchStrategy::Auto;
       else
         return usage();
     } else if (std::strncmp(Argv[I], "--beam-width=", 13) == 0)
@@ -706,6 +777,10 @@ int cmdRewrite(int Argc, char **Argv) {
   Opts.Lookahead = Lookahead;
   Opts.SearchWitnesses = SearchWitnesses;
   Opts.SearchCost = &CM;
+  // A plan artifact carries its producer's confluence certificate;
+  // --search=auto dispatches from it instead of re-running the analysis.
+  if (LP && LP->Confluence)
+    Opts.Confluence = LP->Confluence.get();
 
   // A plan compiled here (or loaded above) serves both --emit-plan and the
   // engine's PrecompiledPlan fast path.

@@ -80,7 +80,7 @@ int usage() {
       "plan-aot]\n"
       "                   [--incremental]\n"
       "                   [--batch] [--fault-seed N] [--fault-period N]\n"
-      "                   [--search=greedy|best-of-n|beam] "
+      "                   [--search=greedy|best-of-n|beam|auto] "
       "[--beam-width N]\n"
       "                   [--lookahead N] [--search-witnesses N]\n"
       "       pypmd emit ping [--seq N]\n"
@@ -168,6 +168,8 @@ bool parseEmitRewrite(int Argc, char **Argv, RewriteRequest &R) {
         R.Search = 1;
       else if (std::strcmp(V, "beam") == 0)
         R.Search = 2;
+      else if (std::strcmp(V, "auto") == 0)
+        R.Search = 3;
       else
         return false;
       continue;
